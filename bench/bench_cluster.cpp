@@ -1,0 +1,121 @@
+// E11 — extension ablation: the paper's work-in-progress primary/standby
+// architecture vs symmetric redundancy, across node reliability and
+// failover quality, cross-checked against the semantic simulator.
+#include <iomanip>
+#include <iostream>
+
+#include "markov/steady_state.hpp"
+#include "mg/generator.hpp"
+#include "sim/block_sim.hpp"
+
+namespace {
+
+double availability_of(const rascad::spec::BlockSpec& b,
+                       const rascad::spec::GlobalParams& g) {
+  const auto model = rascad::mg::generate(b, g);
+  const auto r = rascad::markov::solve_steady_state(model.chain);
+  return rascad::markov::expected_reward(model.chain, r.pi);
+}
+
+rascad::spec::BlockSpec node(double mtbf_h) {
+  rascad::spec::BlockSpec b;
+  b.name = "node";
+  b.quantity = 1;
+  b.min_quantity = 1;
+  b.mtbf_h = mtbf_h;
+  b.transient_fit = 25'000.0;
+  b.mttr_corrective_min = 90.0;
+  b.service_response_h = 4.0;
+  b.p_correct_diagnosis = 0.98;
+  return b;
+}
+
+}  // namespace
+
+int main() {
+  rascad::spec::GlobalParams g;
+
+  std::cout << "=== E11: primary/standby generation (extension) ===\n\n";
+  std::cout << "yearly downtime (min) by architecture and node MTBF:\n";
+  std::cout << std::right << std::setw(12) << "node MTBF" << std::setw(12)
+            << "single" << std::setw(16) << "prim/standby" << std::setw(16)
+            << "symmetric 2N" << '\n';
+  for (double mtbf : {10'000.0, 30'000.0, 100'000.0}) {
+    const double single = availability_of(node(mtbf), g);
+
+    rascad::spec::BlockSpec ps = node(mtbf);
+    ps.quantity = 2;
+    ps.min_quantity = 1;
+    ps.mode = rascad::spec::RedundancyMode::kPrimaryStandby;
+    ps.failover_time_min = 3.0;
+    ps.p_failover = 0.98;
+    ps.t_spf_min = 45.0;
+    ps.repair = rascad::spec::Transparency::kTransparent;
+    const double a_ps = availability_of(ps, g);
+
+    rascad::spec::BlockSpec sym = node(mtbf);
+    sym.quantity = 2;
+    sym.min_quantity = 1;
+    sym.recovery = rascad::spec::Transparency::kTransparent;
+    sym.repair = rascad::spec::Transparency::kTransparent;
+    const double a_sym = availability_of(sym, g);
+
+    std::cout << std::setw(12) << std::fixed << std::setprecision(0) << mtbf
+              << std::setw(12) << std::setprecision(2)
+              << (1 - single) * 525'600.0 << std::setw(16)
+              << (1 - a_ps) * 525'600.0 << std::setw(16)
+              << (1 - a_sym) * 525'600.0 << '\n';
+    std::cout.unsetf(std::ios::fixed);
+  }
+
+  std::cout << "\nfailover-quality surface (node MTBF 30,000 h):\n";
+  std::cout << std::setw(16) << "failover (min)";
+  for (double p : {0.9, 0.95, 0.99, 1.0}) {
+    std::cout << std::setw(12) << std::setprecision(2) << p;
+  }
+  std::cout << "   (downtime min/y)\n";
+  for (double fo : {0.5, 2.0, 5.0, 15.0}) {
+    std::cout << std::setw(16) << std::setprecision(1) << std::fixed << fo;
+    std::cout.unsetf(std::ios::fixed);
+    for (double p : {0.9, 0.95, 0.99, 1.0}) {
+      rascad::spec::BlockSpec ps = node(30'000.0);
+      ps.quantity = 2;
+      ps.min_quantity = 1;
+      ps.mode = rascad::spec::RedundancyMode::kPrimaryStandby;
+      ps.failover_time_min = fo;
+      ps.p_failover = p;
+      ps.t_spf_min = 45.0;
+      ps.repair = rascad::spec::Transparency::kTransparent;
+      std::cout << std::setw(12) << std::fixed << std::setprecision(2)
+                << (1 - availability_of(ps, g)) * 525'600.0;
+      std::cout.unsetf(std::ios::fixed);
+    }
+    std::cout << '\n';
+  }
+
+  // Cross-check one configuration against the semantic simulator.
+  {
+    rascad::spec::BlockSpec ps = node(10'000.0);
+    ps.quantity = 2;
+    ps.min_quantity = 1;
+    ps.mode = rascad::spec::RedundancyMode::kPrimaryStandby;
+    ps.failover_time_min = 3.0;
+    ps.p_failover = 0.98;
+    ps.t_spf_min = 45.0;
+    ps.repair = rascad::spec::Transparency::kTransparent;
+    const double analytic = availability_of(ps, g);
+    const auto stats = rascad::sim::replicate_block_availability(
+        ps, g, 150'000.0, 60, 424'242);
+    const auto ci = stats.confidence_interval();
+    std::cout << "\nsimulator cross-check (MTBF 10k, 60 replications):\n"
+              << std::setprecision(7) << "  analytic  " << analytic
+              << "\n  simulated " << stats.mean() << "  (95% CI [" << ci.lo
+              << ", " << ci.hi << "])\n";
+  }
+
+  std::cout << "\nexpected shape: primary/standby recovers most of the\n"
+               "symmetric-redundancy win; the gap to symmetric 2N is the\n"
+               "failover downtime, so it closes as failover gets faster and\n"
+               "more reliable.\n";
+  return 0;
+}

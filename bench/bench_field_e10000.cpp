@@ -1,0 +1,69 @@
+// E6 — Section 5's field validation: two E10000-class servers observed for
+// 15 months. The field data is synthesized by the discrete-event simulator
+// (DESIGN.md substitutions); the experiment reports analytic-model vs
+// observed downtime with confidence intervals, in exponential mode (the
+// chain's own assumptions) and with non-exponential repair/logistics.
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+
+#include "core/library.hpp"
+#include "mg/system.hpp"
+#include "sim/system_sim.hpp"
+
+int main() {
+  const auto spec = rascad::core::library::e10000_like();
+  const auto system = rascad::mg::SystemModel::build(spec);
+
+  const double horizon = 15.0 * 730.0;  // 15 months in hours
+  const double analytic_a = system.availability();
+  const double analytic_dt = (1.0 - analytic_a) * horizon * 60.0;
+
+  std::cout << "=== E6: model vs simulated field data (" << spec.title
+            << ", 2 servers x 15 months) ===\n\n";
+  std::cout << std::fixed;
+  std::cout << "analytic availability            : " << std::setprecision(7)
+            << analytic_a << '\n';
+  std::cout << "analytic downtime per 15 months  : " << std::setprecision(1)
+            << analytic_dt << " min\n";
+  std::cout << "generated states                 : " << system.total_states()
+            << " across " << system.blocks().size() << " chains\n\n";
+
+  std::cout << std::left << std::setw(26) << "field model" << std::right
+            << std::setw(10) << "samples" << std::setw(12) << "mean dt"
+            << std::setw(22) << "95% CI" << std::setw(12) << "rel err %"
+            << std::setw(14) << "CI covers?" << '\n';
+
+  for (const bool exponential : {true, false}) {
+    rascad::sim::BlockSimOptions opts;
+    opts.exponential_everything = exponential;
+    rascad::sim::SampleStats downtime;
+    // 300 campaigns x 2 servers: the per-15-month variance is large (a
+    // single service event is ~5 h), exactly like real field data.
+    const int campaigns = 300;
+    for (int c = 0; c < campaigns; ++c) {
+      for (int server = 0; server < 2; ++server) {
+        const auto r = rascad::sim::simulate_system(
+            spec, horizon, 7'000'019ULL * (c + 1) + server, opts);
+        downtime.add(r.downtime_minutes());
+      }
+    }
+    const auto ci = downtime.confidence_interval();
+    const double rel =
+        std::abs(downtime.mean() - analytic_dt) / analytic_dt * 100.0;
+    std::cout << std::left << std::setw(26)
+              << (exponential ? "exponential (chain's own)"
+                              : "lognormal + deterministic")
+              << std::right << std::setw(10) << downtime.count()
+              << std::setw(12) << std::setprecision(1) << downtime.mean()
+              << std::setw(10) << ci.lo << " .. " << std::setw(8) << ci.hi
+              << std::setw(12) << std::setprecision(2) << rel << std::setw(14)
+              << (ci.contains(analytic_dt) ? "yes" : "NO") << '\n';
+  }
+
+  std::cout << "\nexpected shape (paper): the analytic prediction agrees\n"
+               "with the observed field downtime; per-interval scatter is\n"
+               "wide (few events in 15 months) but the mean converges and\n"
+               "the confidence interval covers the model value.\n";
+  return 0;
+}

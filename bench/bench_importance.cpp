@@ -1,0 +1,63 @@
+// E12 — importance / sensitivity ablation: which FRU dominates the Data
+// Center System's availability budget, by four classic importance
+// measures, plus parameter elasticities. The design-guidance use case of
+// the tool ("analytically assess and compare RAS quantities achievable by
+// the computer architectures under design", Section 2).
+#include <iomanip>
+#include <iostream>
+
+#include "core/importance.hpp"
+#include "core/library.hpp"
+#include "mg/system.hpp"
+
+int main() {
+  const auto spec = rascad::core::library::datacenter_system();
+  const auto system = rascad::mg::SystemModel::build(spec);
+
+  std::cout << "=== E12: importance analysis (" << spec.title << ") ===\n\n";
+  std::cout << "system availability " << std::setprecision(9)
+            << system.availability() << ", downtime "
+            << std::setprecision(4) << system.yearly_downtime_min()
+            << " min/year\n\n";
+
+  const auto imps = rascad::core::block_importance(system);
+  std::cout << std::left << std::setw(24) << "block (top 10)" << std::right
+            << std::setw(13) << "criticality" << std::setw(13) << "Birnbaum"
+            << std::setw(10) << "RAW" << std::setw(10) << "RRW"
+            << std::setw(13) << "dt (min/y)" << '\n';
+  for (std::size_t i = 0; i < imps.size() && i < 10; ++i) {
+    const auto& imp = imps[i];
+    std::cout << std::left << std::setw(24) << imp.block.substr(0, 23)
+              << std::right << std::setw(13) << std::setprecision(4)
+              << imp.criticality << std::setw(13) << imp.birnbaum
+              << std::setw(10) << std::fixed << std::setprecision(1)
+              << imp.raw << std::setw(10) << imp.rrw << std::setw(13)
+              << std::setprecision(3) << imp.yearly_downtime_min << '\n';
+    std::cout.unsetf(std::ios::fixed);
+  }
+
+  std::cout << "\nparameter elasticities of system unavailability "
+               "(d ln U / d ln theta), top blocks:\n";
+  std::cout << std::left << std::setw(24) << "block" << std::right
+            << std::setw(12) << "MTBF" << std::setw(12) << "MTTR"
+            << std::setw(12) << "Tresp" << '\n';
+  const auto sens = rascad::core::parameter_sensitivity(system);
+  // Print in the criticality order computed above.
+  for (std::size_t i = 0; i < imps.size() && i < 6; ++i) {
+    for (const auto& s : sens) {
+      if (s.block != imps[i].block || s.diagram != imps[i].diagram) continue;
+      std::cout << std::left << std::setw(24) << s.block.substr(0, 23)
+                << std::right << std::setw(12) << std::setprecision(4)
+                << s.mtbf_elasticity << std::setw(12) << s.mttr_elasticity
+                << std::setw(12) << s.tresp_elasticity << '\n';
+    }
+  }
+
+  std::cout << "\nexpected shape: criticality ranking tracks the per-block\n"
+               "downtime shares; system-level MTBF elasticities are\n"
+               "negative and equal the block's own elasticity (-1 for a\n"
+               "non-redundant block) scaled by its downtime share;\n"
+               "repair-side elasticities are positive and split between\n"
+               "MTTR and Tresp by their share of the repair cycle.\n";
+  return 0;
+}

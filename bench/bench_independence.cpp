@@ -1,0 +1,58 @@
+// E14 — ablation of the paper's core modeling assumption ("failures and
+// repairs for different component types are independent", Section 4).
+//
+// A shared Poisson shock process (power sags, cooling excursions,
+// operator error) injects correlated component faults across every block.
+// The analytic model knows nothing about it; the experiment shows how far
+// the independent-model prediction drifts as the common-cause intensity
+// grows — and that it is exact when the shock rate is zero.
+#include <iomanip>
+#include <iostream>
+
+#include "core/library.hpp"
+#include "mg/system.hpp"
+#include "sim/system_sim.hpp"
+
+int main() {
+  const auto spec = rascad::core::library::midrange_server();
+  const auto system = rascad::mg::SystemModel::build(spec);
+  const double analytic_dt =
+      (1.0 - system.availability()) * 525'600.0;  // min/year
+
+  std::cout << "=== E14: independence assumption under common-cause shocks "
+               "===\n\n";
+  std::cout << "model: " << spec.title
+            << ", analytic (independent) downtime " << std::fixed
+            << std::setprecision(2) << analytic_dt << " min/year\n";
+  std::cout << "shock: shared Poisson process, each shock kills one\n"
+               "component per block with probability p = 0.3\n\n";
+  std::cout << std::right << std::setw(22) << "shocks per year"
+            << std::setw(18) << "sim dt (m/y)" << std::setw(22) << "95% CI"
+            << std::setw(16) << "vs analytic" << '\n';
+
+  const double horizon = 50'000.0;
+  const int reps = 200;
+  for (double per_year : {0.0, 0.5, 2.0, 6.0, 24.0}) {
+    const double rate = per_year / 8760.0;
+    rascad::sim::SampleStats downtime;
+    for (int r = 0; r < reps; ++r) {
+      const auto result = rascad::sim::simulate_system_common_cause(
+          spec, horizon, 90'000 + 77 * r, rate, 0.3);
+      downtime.add(result.downtime_minutes() / (horizon / 8760.0));
+    }
+    const auto ci = downtime.confidence_interval();
+    std::cout << std::setw(22) << std::setprecision(1) << per_year
+              << std::setw(18) << std::setprecision(2) << downtime.mean()
+              << std::setw(10) << ci.lo << " .. " << std::setw(8) << ci.hi
+              << std::setw(15) << std::setprecision(2)
+              << downtime.mean() / analytic_dt << "x\n";
+  }
+
+  std::cout << "\nexpected shape: at zero shock rate the simulation\n"
+               "reproduces the analytic value (sampling error only); as the\n"
+               "common-cause rate grows the real downtime pulls away from\n"
+               "the independent-model prediction — the redundancy the model\n"
+               "credits is defeated by simultaneous faults. This bounds the\n"
+               "regime where the paper's independence assumption is safe.\n";
+  return 0;
+}

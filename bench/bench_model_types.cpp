@@ -1,0 +1,76 @@
+// E3 — Section 4's four model types: same redundant block under the four
+// recovery x repair transparency combinations.
+//
+// Paper shape to reproduce: model complexity increases from Type 1 to
+// Type 4, and each nontransparent property costs availability.
+#include <iomanip>
+#include <iostream>
+
+#include "mg/generator.hpp"
+#include "mg/measures.hpp"
+
+int main() {
+  using rascad::spec::Transparency;
+  rascad::spec::GlobalParams g;
+  g.reboot_time_h = 8.0 / 60.0;
+  g.mttm_h = 48.0;
+  g.mttrfid_h = 4.0;
+  g.mission_time_h = 8760.0;
+
+  rascad::spec::BlockSpec base;
+  base.name = "Redundant FRU";
+  base.quantity = 2;
+  base.min_quantity = 1;
+  base.mtbf_h = 100'000.0;
+  base.transient_fit = 2'000.0;
+  base.mttr_diagnosis_min = 15.0;
+  base.mttr_corrective_min = 20.0;
+  base.mttr_verification_min = 10.0;
+  base.service_response_h = 4.0;
+  base.p_correct_diagnosis = 0.95;
+  base.p_latent_fault = 0.05;
+  base.mttdlf_h = 48.0;
+  base.ar_time_min = 6.0;
+  base.p_spf = 0.01;
+  base.t_spf_min = 30.0;
+  base.reintegration_min = 8.0;
+
+  struct Row {
+    const char* label;
+    Transparency recovery;
+    Transparency repair;
+  };
+  const Row rows[] = {
+      {"Type 1", Transparency::kTransparent, Transparency::kTransparent},
+      {"Type 2", Transparency::kTransparent, Transparency::kNontransparent},
+      {"Type 3", Transparency::kNontransparent, Transparency::kTransparent},
+      {"Type 4", Transparency::kNontransparent,
+       Transparency::kNontransparent},
+  };
+
+  std::cout << "=== E3: the four generated model types (N=2, K=1) ===\n\n";
+  std::cout << std::left << std::setw(8) << "type" << std::right
+            << std::setw(8) << "states" << std::setw(13) << "transitions"
+            << std::setw(16) << "availability" << std::setw(16)
+            << "downtime(min/y)" << std::setw(12) << "MTTF(h)" << '\n';
+  for (const Row& row : rows) {
+    rascad::spec::BlockSpec b = base;
+    b.recovery = row.recovery;
+    b.repair = row.repair;
+    const auto model = rascad::mg::generate(b, g);
+    const auto m = rascad::mg::compute_measures(model, g);
+    std::cout << std::left << std::setw(8) << row.label << std::right
+              << std::setw(8) << model.chain.size() << std::setw(13)
+              << model.chain.transition_count() << std::setw(16)
+              << std::fixed << std::setprecision(9) << m.availability
+              << std::setw(16) << std::setprecision(3)
+              << m.yearly_downtime_min << std::setw(12)
+              << std::setprecision(0) << m.mttf_h << '\n';
+    std::cout.unsetf(std::ios::fixed);
+  }
+
+  std::cout << "\nexpected shape (paper): complexity grows Type1 -> Type4;\n"
+               "each nontransparent property adds downtime, so availability\n"
+               "orders Type1 > {Type2, Type3} > Type4.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E8 — parametric analysis capability (Section 1): availability series
+// over parameter sweeps of the midrange-server library model. Prints the
+// series the tool's graphs would plot.
+#include <iomanip>
+#include <iostream>
+
+#include "core/library.hpp"
+#include "core/sweep.hpp"
+
+namespace {
+
+void print_series(const char* title, const char* x_label,
+                  const std::vector<rascad::core::SweepPoint>& points) {
+  std::cout << title << '\n';
+  std::cout << "  " << std::left << std::setw(14) << x_label << std::right
+            << std::setw(16) << "availability" << std::setw(18)
+            << "downtime (m/y)" << '\n';
+  for (const auto& p : points) {
+    std::cout << "  " << std::left << std::setw(14) << std::setprecision(6)
+              << p.value << std::right << std::setw(16) << std::fixed
+              << std::setprecision(9) << p.availability << std::setw(18)
+              << std::setprecision(3) << p.yearly_downtime_min << '\n';
+    std::cout.unsetf(std::ios::fixed);
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  const auto base = rascad::core::library::midrange_server();
+  std::cout << "=== E8: parametric analysis (" << base.title << ") ===\n\n";
+
+  print_series("CPU MTBF sweep (hours, log spacing)", "mtbf",
+               rascad::core::sweep_block_parameter(
+                   base, "Midrange Server", "CPU Module",
+                   [](rascad::spec::BlockSpec& b, double v) { b.mtbf_h = v; },
+                   rascad::core::logspace(50'000.0, 2'000'000.0, 6)));
+
+  print_series("disk MTTR sweep (minutes)", "mttr",
+               rascad::core::sweep_block_parameter(
+                   base, "Midrange Server", "Mirrored Disk",
+                   [](rascad::spec::BlockSpec& b, double v) {
+                     b.mttr_corrective_min = v;
+                   },
+                   rascad::core::linspace(10.0, 480.0, 6)));
+
+  print_series("CPU probability of correct diagnosis", "pcd",
+               rascad::core::sweep_block_parameter(
+                   base, "Midrange Server", "CPU Module",
+                   [](rascad::spec::BlockSpec& b, double v) {
+                     b.p_correct_diagnosis = v;
+                   },
+                   rascad::core::linspace(0.7, 1.0, 6)));
+
+  print_series("CPU probability of latent fault", "plf",
+               rascad::core::sweep_block_parameter(
+                   base, "Midrange Server", "CPU Module",
+                   [](rascad::spec::BlockSpec& b, double v) {
+                     b.p_latent_fault = v;
+                   },
+                   rascad::core::linspace(0.0, 0.5, 6)));
+
+  print_series("global service restriction time MTTM (hours)", "mttm",
+               rascad::core::sweep_global_parameter(
+                   base,
+                   [](rascad::spec::GlobalParams& g, double v) {
+                     g.mttm_h = v;
+                   },
+                   rascad::core::linspace(0.0, 168.0, 6)));
+
+  print_series("global reboot time (minutes)", "tboot",
+               rascad::core::sweep_global_parameter(
+                   base,
+                   [](rascad::spec::GlobalParams& g, double v) {
+                     g.reboot_time_h = v / 60.0;
+                   },
+                   rascad::core::linspace(2.0, 40.0, 6)));
+
+  std::cout << "expected shapes: availability rises with MTBF and Pcd,\n"
+               "falls with MTTR, Plf, MTTM, and Tboot — each curve is\n"
+               "monotone, with diminishing returns on MTBF.\n";
+  return 0;
+}

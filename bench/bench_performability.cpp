@@ -1,0 +1,75 @@
+// E15 — Markov reward extension: performability (delivered capacity) vs
+// plain availability for a K-of-N compute block. The reward machinery is
+// the paper's Section 4 reward-rate assignment generalized from {0, 1} to
+// capacity fractions (Meyer-style performability, the paper's refs
+// [1, 4, 6]).
+#include <iomanip>
+#include <iostream>
+
+#include "markov/steady_state.hpp"
+#include "mg/generator.hpp"
+
+namespace {
+
+rascad::spec::BlockSpec cpu(unsigned n, unsigned k) {
+  rascad::spec::BlockSpec b;
+  b.name = "CPU";
+  b.quantity = n;
+  b.min_quantity = k;
+  b.mtbf_h = 50'000.0;
+  b.mttr_corrective_min = 45.0;
+  b.service_response_h = 4.0;
+  b.recovery = rascad::spec::Transparency::kTransparent;
+  b.repair = rascad::spec::Transparency::kTransparent;
+  return b;
+}
+
+double reward_of(const rascad::spec::BlockSpec& b,
+                 rascad::mg::RewardKind kind) {
+  rascad::spec::GlobalParams g;
+  rascad::mg::GenerationOptions opts;
+  opts.reward = kind;
+  const auto model = rascad::mg::generate(b, g, opts);
+  const auto r = rascad::markov::solve_steady_state(model.chain);
+  return rascad::markov::expected_reward(model.chain, r.pi);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E15: availability vs performability (capacity reward) "
+               "===\n\n";
+  std::cout << "CPU pool, K = 1, MTBF 50k h, deferred one-at-a-time repair:\n";
+  std::cout << std::right << std::setw(6) << "N" << std::setw(18)
+            << "availability" << std::setw(18) << "E[capacity]"
+            << std::setw(22) << "capacity shortfall" << '\n';
+  for (unsigned n : {1u, 2u, 4u, 8u, 16u}) {
+    const auto b = cpu(n, 1);
+    const double a = reward_of(b, rascad::mg::RewardKind::kAvailability);
+    const double c = reward_of(b, rascad::mg::RewardKind::kCapacity);
+    std::cout << std::setw(6) << n << std::setw(18) << std::fixed
+              << std::setprecision(10) << a << std::setw(18) << c
+              << std::setw(20) << std::setprecision(2) << (a - c) * 1e6
+              << "e-6\n";
+    std::cout.unsetf(std::ios::fixed);
+  }
+
+  std::cout << "\ntightening K on an 8-wide pool:\n";
+  std::cout << std::right << std::setw(6) << "K" << std::setw(18)
+            << "availability" << std::setw(18) << "E[capacity]" << '\n';
+  for (unsigned k : {1u, 4u, 7u, 8u}) {
+    const auto b = cpu(8, k);
+    const double a = reward_of(b, rascad::mg::RewardKind::kAvailability);
+    const double c = reward_of(b, rascad::mg::RewardKind::kCapacity);
+    std::cout << std::setw(6) << k << std::setw(18) << std::fixed
+              << std::setprecision(10) << a << std::setw(18) << c << '\n';
+    std::cout.unsetf(std::ios::fixed);
+  }
+
+  std::cout << "\nexpected shape: availability climbs toward 1 with spares\n"
+               "while expected capacity stays pinned near (1 - per-unit\n"
+               "unavailability) — the availability number alone overstates\n"
+               "what an N-wide pool delivers. Tightening K collapses the\n"
+               "two (at K = N every degraded state is already down).\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+// E7 — automatic generation at scale: state count, generation time, and
+// solve time as the redundancy depth N-K and the hierarchy width grow
+// ("these states are all generated automatically in RAScad" — Section 4).
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+
+#include "markov/steady_state.hpp"
+#include "mg/generator.hpp"
+#include "mg/system.hpp"
+#include "spec/ast.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+rascad::spec::BlockSpec deep_block(unsigned n, unsigned k) {
+  rascad::spec::BlockSpec b;
+  b.name = "deep";
+  b.quantity = n;
+  b.min_quantity = k;
+  b.mtbf_h = 100'000.0;
+  b.transient_fit = 2'000.0;
+  b.mttr_corrective_min = 45.0;
+  b.service_response_h = 4.0;
+  b.p_correct_diagnosis = 0.95;
+  b.p_latent_fault = 0.05;
+  b.mttdlf_h = 48.0;
+  b.recovery = rascad::spec::Transparency::kNontransparent;
+  b.ar_time_min = 6.0;
+  b.p_spf = 0.01;
+  b.t_spf_min = 30.0;
+  b.repair = rascad::spec::Transparency::kNontransparent;
+  b.reintegration_min = 8.0;
+  return b;
+}
+
+}  // namespace
+
+int main() {
+  rascad::spec::GlobalParams g;
+
+  std::cout << "=== E7: generation + solution scalability ===\n\n";
+  std::cout << "Type 4 block, K=1, growing N (redundancy depth N-1):\n";
+  std::cout << std::right << std::setw(6) << "N" << std::setw(9) << "states"
+            << std::setw(13) << "transitions" << std::setw(13) << "gen (ms)"
+            << std::setw(13) << "solve (ms)" << std::setw(16)
+            << "availability" << '\n';
+  for (unsigned n : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    const auto b = deep_block(n, 1);
+    const auto t0 = Clock::now();
+    const auto model = rascad::mg::generate(b, g);
+    const double gen_ms = ms_since(t0);
+    const auto t1 = Clock::now();
+    const auto r = rascad::markov::solve_steady_state(model.chain);
+    const double solve_ms = ms_since(t1);
+    std::cout << std::setw(6) << n << std::setw(9) << model.chain.size()
+              << std::setw(13) << model.chain.transition_count()
+              << std::setw(13) << std::fixed << std::setprecision(3) << gen_ms
+              << std::setw(13) << solve_ms << std::setw(16)
+              << std::setprecision(10)
+              << rascad::markov::expected_reward(model.chain, r.pi) << '\n';
+    std::cout.unsetf(std::ios::fixed);
+  }
+
+  std::cout << "\niterative solver on the largest chain (direct LU above is "
+               "O(n^3)):\n";
+  {
+    const auto model = rascad::mg::generate(deep_block(128, 1), g);
+    rascad::markov::SteadyStateOptions opts;
+    opts.method = rascad::markov::SteadyStateMethod::kSor;
+    opts.tolerance = 1e-13;
+    const auto t0 = Clock::now();
+    const auto r = rascad::markov::solve_steady_state(model.chain, opts);
+    std::cout << "  SOR: " << std::fixed << std::setprecision(3)
+              << ms_since(t0) << " ms, " << r.iterations
+              << " sweeps, residual " << std::scientific << r.residual
+              << '\n';
+    std::cout.unsetf(std::ios::fixed);
+    std::cout.unsetf(std::ios::scientific);
+  }
+
+  std::cout << "\nhierarchy width: flat system of W copies of a Type 3 "
+               "block (N=4, K=2):\n";
+  std::cout << std::right << std::setw(8) << "width" << std::setw(14)
+            << "total states" << std::setw(16) << "build+solve ms"
+            << std::setw(16) << "availability" << '\n';
+  for (unsigned width : {5u, 20u, 50u, 100u}) {
+    rascad::spec::ModelSpec spec;
+    spec.title = "wide";
+    rascad::spec::DiagramSpec d;
+    d.name = "wide";
+    for (unsigned i = 0; i < width; ++i) {
+      auto b = deep_block(4, 2);
+      b.repair = rascad::spec::Transparency::kTransparent;
+      b.reintegration_min = 0.0;
+      b.name = "blk" + std::to_string(i);
+      d.blocks.push_back(b);
+    }
+    spec.diagrams.push_back(d);
+    const auto t0 = Clock::now();
+    const auto system = rascad::mg::SystemModel::build(spec);
+    std::cout << std::setw(8) << width << std::setw(14)
+              << system.total_states() << std::setw(16) << std::fixed
+              << std::setprecision(2) << ms_since(t0) << std::setw(16)
+              << std::setprecision(8) << system.availability() << '\n';
+    std::cout.unsetf(std::ios::fixed);
+  }
+
+  std::cout << "\nexpected shape: states grow linearly in N-K; generation is\n"
+               "microseconds; the dense direct solve grows cubically, which\n"
+               "is where the iterative path takes over.\n";
+  return 0;
+}

@@ -1,0 +1,143 @@
+// E10 — numerical-method ablation ("solved using numerical methods",
+// Section 1): google-benchmark timings of the four steady-state solvers on
+// generated chains of growing size, plus uniformization cost vs horizon.
+// Accuracy agreement across methods is asserted by the test suite; this
+// binary measures cost.
+#include <benchmark/benchmark.h>
+
+#include "markov/ode.hpp"
+#include "markov/steady_state.hpp"
+#include "markov/transient.hpp"
+#include "mg/generator.hpp"
+#include "spec/ast.hpp"
+
+namespace {
+
+rascad::mg::GeneratedModel chain_of_depth(unsigned n) {
+  rascad::spec::BlockSpec b;
+  b.name = "bench";
+  b.quantity = n;
+  b.min_quantity = 1;
+  b.mtbf_h = 100'000.0;
+  b.transient_fit = 2'000.0;
+  b.mttr_corrective_min = 45.0;
+  b.service_response_h = 4.0;
+  b.p_correct_diagnosis = 0.95;
+  b.p_latent_fault = 0.05;
+  b.mttdlf_h = 48.0;
+  b.recovery = rascad::spec::Transparency::kNontransparent;
+  b.ar_time_min = 6.0;
+  b.p_spf = 0.01;
+  b.t_spf_min = 30.0;
+  b.repair = rascad::spec::Transparency::kNontransparent;
+  b.reintegration_min = 8.0;
+  rascad::spec::GlobalParams g;
+  return rascad::mg::generate(b, g);
+}
+
+void solve_with(benchmark::State& state,
+                rascad::markov::SteadyStateMethod method) {
+  const auto model = chain_of_depth(static_cast<unsigned>(state.range(0)));
+  rascad::markov::SteadyStateOptions opts;
+  opts.method = method;
+  opts.tolerance = 1e-12;
+  for (auto _ : state) {
+    auto result = rascad::markov::solve_steady_state(model.chain, opts);
+    benchmark::DoNotOptimize(result.pi.data());
+  }
+  state.counters["states"] = static_cast<double>(model.chain.size());
+}
+
+void BM_Generate(benchmark::State& state) {
+  rascad::spec::GlobalParams g;
+  rascad::spec::BlockSpec b;
+  b.name = "bench";
+  b.quantity = static_cast<unsigned>(state.range(0));
+  b.min_quantity = 1;
+  b.mtbf_h = 100'000.0;
+  b.mttr_corrective_min = 45.0;
+  b.service_response_h = 4.0;
+  b.recovery = rascad::spec::Transparency::kNontransparent;
+  b.ar_time_min = 6.0;
+  b.repair = rascad::spec::Transparency::kTransparent;
+  for (auto _ : state) {
+    auto model = rascad::mg::generate(b, g);
+    benchmark::DoNotOptimize(model.chain.size());
+  }
+}
+BENCHMARK(BM_Generate)->Arg(2)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SolveDirect(benchmark::State& state) {
+  solve_with(state, rascad::markov::SteadyStateMethod::kDirect);
+}
+void BM_SolveSor(benchmark::State& state) {
+  solve_with(state, rascad::markov::SteadyStateMethod::kSor);
+}
+void BM_SolvePower(benchmark::State& state) {
+  solve_with(state, rascad::markov::SteadyStateMethod::kPower);
+}
+void BM_SolveBiCgStab(benchmark::State& state) {
+  solve_with(state, rascad::markov::SteadyStateMethod::kBiCgStab);
+}
+BENCHMARK(BM_SolveDirect)->Arg(2)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_SolveSor)->Arg(2)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_SolvePower)->Arg(2)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_SolveBiCgStab)->Arg(2)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_Uniformization(benchmark::State& state) {
+  const auto model = chain_of_depth(4);
+  const auto pi0 = rascad::markov::point_mass(model.chain, model.initial);
+  const double horizon = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    const double a =
+        rascad::markov::interval_availability(model.chain, pi0, horizon);
+    benchmark::DoNotOptimize(a);
+  }
+  state.counters["horizon_h"] = horizon;
+}
+BENCHMARK(BM_Uniformization)->Arg(24)->Arg(720)->Arg(8760);
+
+// Transient ablation: uniformization vs the explicit RKF45 integrator on
+// the same stiff generated chain. The step counter shows why analytic
+// availability tools standardize on uniformization.
+void BM_TransientOde(benchmark::State& state) {
+  const auto model = chain_of_depth(4);
+  const auto pi0 = rascad::markov::point_mass(model.chain, model.initial);
+  const double horizon = static_cast<double>(state.range(0));
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    const auto r = rascad::markov::transient_distribution_ode(model.chain,
+                                                              pi0, horizon);
+    steps = r.steps;
+    benchmark::DoNotOptimize(r.distribution.data());
+  }
+  state.counters["rk_steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_TransientOde)->Arg(24)->Arg(720);
+
+void BM_TransientUniformization(benchmark::State& state) {
+  const auto model = chain_of_depth(4);
+  const auto pi0 = rascad::markov::point_mass(model.chain, model.initial);
+  const double horizon = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    const auto pit =
+        rascad::markov::transient_distribution(model.chain, pi0, horizon);
+    benchmark::DoNotOptimize(pit.data());
+  }
+}
+BENCHMARK(BM_TransientUniformization)->Arg(24)->Arg(720);
+
+void BM_RewardCurve(benchmark::State& state) {
+  const auto model = chain_of_depth(4);
+  const auto pi0 = rascad::markov::point_mass(model.chain, model.initial);
+  for (auto _ : state) {
+    const auto curve = rascad::markov::reward_curve(
+        model.chain, pi0, 8760.0, static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(curve.data());
+  }
+}
+BENCHMARK(BM_RewardCurve)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

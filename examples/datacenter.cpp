@@ -1,0 +1,63 @@
+// The paper's Figures 1-2 scenario: a Data Center System whose Server Box
+// block expands into a 19-block subdiagram, plus mirrored boot drives and
+// two RAID-5 arrays. Shows hierarchy traversal, per-block downtime
+// decomposition, and what-if analysis on a single block.
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "core/library.hpp"
+#include "core/sweep.hpp"
+#include "mg/system.hpp"
+
+int main() {
+  using rascad::mg::SystemModel;
+
+  const auto spec = rascad::core::library::datacenter_system();
+  const SystemModel system = SystemModel::build(spec);
+
+  std::cout << "=== " << spec.title << " ===\n";
+  std::cout << "level-1 blocks: " << spec.root().blocks.size()
+            << ", Server Box subdiagram blocks: "
+            << spec.find_diagram("Server Box")->blocks.size() << "\n\n";
+
+  std::cout << std::fixed << std::setprecision(7);
+  std::cout << "system availability : " << system.availability() << '\n';
+  std::cout << std::setprecision(1);
+  std::cout << "yearly downtime     : " << system.yearly_downtime_min()
+            << " min\n";
+  std::cout << "system MTBF         : " << system.mtbf_h() << " h\n";
+  std::cout << "generated states    : " << system.total_states() << " across "
+            << system.blocks().size() << " chains\n\n";
+
+  // Downtime decomposition: which FRUs dominate the budget?
+  std::vector<SystemModel::BlockEntry> blocks = system.blocks();
+  std::sort(blocks.begin(), blocks.end(),
+            [](const auto& a, const auto& b) {
+              return a.yearly_downtime_min > b.yearly_downtime_min;
+            });
+  std::cout << "top contributors to yearly downtime:\n";
+  std::cout << std::left << std::setw(24) << "  block" << std::right
+            << std::setw(12) << "min/year" << "  model type\n";
+  for (std::size_t i = 0; i < blocks.size() && i < 8; ++i) {
+    std::cout << "  " << std::left << std::setw(22) << blocks[i].block.name
+              << std::right << std::setw(12) << std::setprecision(2)
+              << blocks[i].yearly_downtime_min << "  "
+              << rascad::mg::to_string(blocks[i].type) << '\n';
+  }
+
+  // What-if: the centerplane is the single point of failure — how much
+  // does a faster field service contract help?
+  std::cout << "\nwhat-if: centerplane service response time\n";
+  const auto points = rascad::core::sweep_block_parameter(
+      spec, "Server Box", "Centerplane",
+      [](rascad::spec::BlockSpec& b, double v) { b.service_response_h = v; },
+      {1.0, 2.0, 4.0, 8.0, 24.0});
+  for (const auto& p : points) {
+    std::cout << "  Tresp = " << std::setw(4) << std::setprecision(0) << p.value
+              << " h  ->  downtime " << std::setw(7) << std::setprecision(2)
+              << p.yearly_downtime_min << " min/year\n";
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// The paper's field-validation scenario (Section 5): compare the analytic
+// model prediction for an E10000-class server against "field data" — here,
+// a discrete-event simulation of two such servers observed for 15 months,
+// both with the exponential assumptions of the chain and with realistic
+// non-exponential repair/logistics distributions.
+#include <iomanip>
+#include <iostream>
+
+#include "core/library.hpp"
+#include "mg/system.hpp"
+#include "sim/system_sim.hpp"
+
+int main() {
+  const auto spec = rascad::core::library::e10000_like();
+  const auto system = rascad::mg::SystemModel::build(spec);
+
+  const double months15 = 15.0 * 730.0;  // hours
+  const double analytic_a = system.availability();
+  const double analytic_dt15 = (1.0 - analytic_a) * months15 * 60.0;
+
+  std::cout << "=== " << spec.title << ": model vs simulated field data ===\n";
+  std::cout << std::fixed << std::setprecision(7);
+  std::cout << "analytic availability        : " << analytic_a << '\n';
+  std::cout << std::setprecision(1);
+  std::cout << "analytic downtime / 15 months: " << analytic_dt15
+            << " min\n\n";
+
+  // Two servers x 15 months, many monitoring "campaigns" for confidence
+  // intervals. Exponential mode reproduces the chain's assumptions.
+  for (const bool exponential : {true, false}) {
+    rascad::sim::BlockSimOptions opts;
+    opts.exponential_everything = exponential;
+    rascad::sim::SampleStats availability;
+    rascad::sim::SampleStats downtime_min;
+    const int campaigns = 40;
+    for (int c = 0; c < campaigns; ++c) {
+      for (int server = 0; server < 2; ++server) {
+        const auto r = rascad::sim::simulate_system(
+            spec, months15, 1'000'003 * (c + 1) + server, opts);
+        availability.add(r.availability());
+        downtime_min.add(r.downtime_minutes());
+      }
+    }
+    const auto ci = downtime_min.confidence_interval();
+    std::cout << (exponential ? "exponential field model"
+                              : "lognormal/deterministic field model")
+              << " (2 servers x 15 months x " << campaigns
+              << " campaigns):\n";
+    std::cout << "  observed downtime / 15 months: " << std::setprecision(1)
+              << downtime_min.mean() << " min  (95% CI [" << ci.lo << ", "
+              << ci.hi << "])\n";
+    std::cout << "  observed availability        : " << std::setprecision(7)
+              << availability.mean() << '\n';
+    const double rel_err =
+        std::abs(downtime_min.mean() - analytic_dt15) / analytic_dt15;
+    std::cout << "  relative downtime error vs model: " << std::setprecision(3)
+              << rel_err * 100.0 << " %\n\n";
+  }
+  std::cout << "(the paper reports model-vs-field agreement for two E10000\n"
+               " servers over 15 months; with the exponential field model the\n"
+               " error is pure sampling noise, and the non-exponential model\n"
+               " shows the robustness of the mean-based chain abstraction)\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Expert-mode walkthrough: the GMB module. RAS experts build Markov,
+// semi-Markov, and RBD models directly (instead of relying on automatic
+// generation) and compose them hierarchically; this example does all three
+// through the builder API and through the `.gmb` text format, then uses a
+// GMB model as the independent comparator for an MG-generated block — the
+// paper's combined-MG-and-GMB workflow.
+#include <iomanip>
+#include <iostream>
+
+#include "gmb/parser.hpp"
+#include "gmb/workspace.hpp"
+#include "markov/steady_state.hpp"
+#include "mg/generator.hpp"
+#include "semimarkov/smp.hpp"
+
+int main() {
+  rascad::gmb::Workspace ws;
+
+  // 1. A Markov chain built state-by-state: CPU board with failure,
+  //    recovery, and a rare double-fault path.
+  {
+    rascad::markov::CtmcBuilder b;
+    const auto ok = b.add_state("Ok", 1.0);
+    const auto degraded = b.add_state("Degraded", 1.0);
+    const auto down = b.add_state("Down", 0.0);
+    b.add_transition(ok, degraded, 4e-5);
+    b.add_transition(degraded, ok, 1.0 / 53.0);
+    b.add_transition(degraded, down, 2e-5);
+    b.add_transition(down, degraded, 1.0 / 4.8);
+    ws.add_markov("cpu-board", b.build());
+  }
+
+  // 2. A semi-Markov disk model: Weibull wear-out, lognormal repair —
+  //    distributions a plain CTMC cannot express.
+  {
+    rascad::semimarkov::SmpBuilder sb;
+    const auto up =
+        sb.add_state("Up", 1.0, rascad::dist::weibull(1.4, 400'000.0));
+    const auto repair = sb.add_state(
+        "Repair", 0.0, rascad::dist::lognormal_mean_cv(5.5, 0.8));
+    sb.add_transition(up, repair, 1.0);
+    sb.add_transition(repair, up, 1.0);
+    ws.add_semi_markov("disk", sb.build());
+  }
+
+  // 3. The same workspace extended from the text format: an RBD that
+  //    references both models hierarchically.
+  rascad::gmb::parse_into(R"(
+markov "nic" {
+  state "Up" reward = 1
+  state "Down" reward = 0
+  arc "Up" "Down" rate = 0.000002
+  arc "Down" "Up" rate = 0.2
+}
+
+rbd "storage-node" {
+  series {
+    ref "cpu-board"
+    ref "disk"
+    parallel { ref "nic"
+               leaf "backup-nic" availability = 0.99999 }
+  }
+}
+)",
+                          ws);
+
+  std::cout << std::setprecision(9);
+  std::cout << "GMB workspace models:\n";
+  for (const auto& name : ws.model_names()) {
+    std::cout << "  " << std::left << std::setw(14) << name
+              << " availability " << ws.availability(name) << '\n';
+  }
+
+  // 4. MG-vs-GMB cross-check: the generated lean Type-1 chain against a
+  //    hand-built equivalent (what the paper's Section 5 does against
+  //    SHARPE/MEADEP).
+  rascad::spec::BlockSpec psu;
+  psu.name = "PSU";
+  psu.quantity = 2;
+  psu.min_quantity = 1;
+  psu.mtbf_h = 150'000.0;
+  psu.mttr_corrective_min = 45.0;
+  psu.service_response_h = 4.0;
+  psu.recovery = rascad::spec::Transparency::kTransparent;
+  psu.repair = rascad::spec::Transparency::kTransparent;
+  rascad::spec::GlobalParams g;
+  const auto generated = rascad::mg::generate(psu, g);
+  const auto steady = rascad::markov::solve_steady_state(generated.chain);
+  const double a_mg =
+      rascad::markov::expected_reward(generated.chain, steady.pi);
+
+  rascad::markov::CtmcBuilder hand;
+  const auto s0 = hand.add_state("both-up", 1.0);
+  const auto s1 = hand.add_state("one-down", 1.0);
+  const auto s2 = hand.add_state("both-down", 0.0);
+  hand.add_transition(s0, s1, 2.0 / 150'000.0);
+  hand.add_transition(s1, s0, 1.0 / 52.75);
+  hand.add_transition(s1, s2, 1.0 / 150'000.0);
+  hand.add_transition(s2, s1, 1.0 / 4.75);
+  ws.add_markov("psu-by-hand", hand.build());
+
+  std::cout << "\nMG generated PSU availability : " << a_mg << '\n';
+  std::cout << "GMB hand-built equivalent     : "
+            << ws.availability("psu-by-hand") << '\n';
+  std::cout << "relative downtime error       : "
+            << std::abs((1 - a_mg) - (1 - ws.availability("psu-by-hand"))) /
+                   (1 - a_mg)
+            << "  (paper's validation band: < 0.002)\n";
+  return 0;
+}

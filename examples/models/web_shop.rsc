@@ -1,0 +1,53 @@
+# A three-tier web shop, written by hand in the engineering language.
+title = "Web Shop"
+
+globals {
+  reboot_time  = 6 min
+  mttm         = 24 h
+  mttrfid      = 4 h
+  mission_time = 8760 h
+}
+
+diagram "Web Shop" {
+  block "Load Balancer Pair" {
+    quantity = 2  min_quantity = 1
+    mtbf = 120000 h
+    mttr_corrective = 45 min  service_response = 4 h
+    recovery = transparent  repair = transparent
+  }
+  block "App Server" { subdiagram = "App Server" }
+  block "Database" { subdiagram = "Database" }
+}
+
+diagram "App Server" {
+  block "Chassis" {
+    mtbf = 400000 h
+    mttr_corrective = 60 min  service_response = 4 h
+  }
+  block "CPU" {
+    quantity = 4  min_quantity = 3
+    mtbf = 500000 h  transient_rate = 2000 fit
+    mttr_corrective = 30 min  service_response = 4 h
+    recovery = nontransparent  ar_time = 5 min
+    repair = transparent
+  }
+  block "Application Software" { transient_rate = 30000 fit }
+}
+
+diagram "Database" {
+  block "DB Node Pair" {
+    quantity = 2  min_quantity = 1
+    mtbf = 40000 h  transient_rate = 20000 fit
+    mttr_corrective = 90 min  service_response = 4 h
+    mode = primary_standby
+    failover_time = 2 min  p_failover = 0.99  t_spf = 30 min
+    repair = transparent
+  }
+  block "Storage Array, RAID5" {
+    quantity = 8  min_quantity = 7
+    mtbf = 250000 h
+    mttr_corrective = 30 min  service_response = 4 h
+    recovery = transparent  repair = transparent
+    p_latent_fault = 0.03  mttdlf = 24 h
+  }
+}

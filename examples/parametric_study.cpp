@@ -1,0 +1,87 @@
+// Parametric analysis (the paper's "graphical output and parametric
+// analysis capability"): sweep design parameters of a midrange server and
+// print availability curves as ASCII tables/plots, the text equivalent of
+// RAScad's graphs.
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "core/library.hpp"
+#include "core/sweep.hpp"
+
+namespace {
+
+void plot(const std::vector<rascad::core::SweepPoint>& points,
+          const std::string& x_label) {
+  double lo = points.front().yearly_downtime_min;
+  double hi = lo;
+  for (const auto& p : points) {
+    lo = std::min(lo, p.yearly_downtime_min);
+    hi = std::max(hi, p.yearly_downtime_min);
+  }
+  const double span = std::max(hi - lo, 1e-9);
+  std::cout << "  " << std::left << std::setw(12) << x_label << std::right
+            << std::setw(12) << "downtime" << "  (min/year)\n";
+  for (const auto& p : points) {
+    const int bars =
+        1 + static_cast<int>(49.0 * (p.yearly_downtime_min - lo) / span);
+    std::cout << "  " << std::left << std::setw(12) << std::setprecision(6)
+              << p.value << std::right << std::setw(12) << std::fixed
+              << std::setprecision(2) << p.yearly_downtime_min << "  "
+              << std::string(static_cast<std::size_t>(bars), '#') << '\n';
+    std::cout.unsetf(std::ios::fixed);
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  const auto base = rascad::core::library::midrange_server();
+  std::cout << "=== Parametric analysis: " << base.title << " ===\n\n";
+
+  std::cout << "1. CPU MTBF (log sweep)\n";
+  plot(rascad::core::sweep_block_parameter(
+           base, "Midrange Server", "CPU Module",
+           [](rascad::spec::BlockSpec& b, double v) { b.mtbf_h = v; },
+           rascad::core::logspace(50'000.0, 2'000'000.0, 7)),
+       "MTBF (h)");
+
+  std::cout << "2. Disk corrective-action time\n";
+  plot(rascad::core::sweep_block_parameter(
+           base, "Midrange Server", "Mirrored Disk",
+           [](rascad::spec::BlockSpec& b, double v) {
+             b.mttr_corrective_min = v;
+           },
+           rascad::core::linspace(10.0, 480.0, 7)),
+       "MTTR (min)");
+
+  std::cout << "3. Probability of correct diagnosis (all-blocks quality "
+               "lever on the CPU)\n";
+  plot(rascad::core::sweep_block_parameter(
+           base, "Midrange Server", "CPU Module",
+           [](rascad::spec::BlockSpec& b, double v) {
+             b.p_correct_diagnosis = v;
+           },
+           rascad::core::linspace(0.7, 1.0, 7)),
+       "Pcd");
+
+  std::cout << "4. Service restriction time (global MTTM)\n";
+  plot(rascad::core::sweep_global_parameter(
+           base,
+           [](rascad::spec::GlobalParams& g, double v) { g.mttm_h = v; },
+           rascad::core::linspace(0.0, 168.0, 8)),
+       "MTTM (h)");
+
+  std::cout << "5. Reboot time (global Tboot) — the nontransparent-recovery "
+               "cost lever\n";
+  plot(rascad::core::sweep_global_parameter(
+           base,
+           [](rascad::spec::GlobalParams& g, double v) {
+             g.reboot_time_h = v / 60.0;
+           },
+           rascad::core::linspace(2.0, 40.0, 7)),
+       "Tboot (min)");
+
+  return 0;
+}

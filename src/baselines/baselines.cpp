@@ -1,0 +1,176 @@
+#include "baselines/baselines.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rascad::baselines {
+
+namespace {
+
+void require_positive(double x, const char* what) {
+  if (!(x > 0.0)) {
+    throw std::invalid_argument(std::string(what) + " must be positive");
+  }
+}
+
+/// Effective repair rate with i units down and `repairmen` servers
+/// (0 == unlimited).
+double repair_rate(unsigned i, double mu, unsigned repairmen) {
+  const unsigned busy = repairmen == 0 ? i : std::min(i, repairmen);
+  return static_cast<double>(busy) * mu;
+}
+
+}  // namespace
+
+double single_unit_availability(double mtbf_h, double mdt_h) {
+  require_positive(mtbf_h, "mtbf");
+  if (mdt_h < 0.0) {
+    throw std::invalid_argument("mdt must be non-negative");
+  }
+  return mtbf_h / (mtbf_h + mdt_h);
+}
+
+double two_state_availability(double lambda, double mu) {
+  require_positive(lambda, "lambda");
+  require_positive(mu, "mu");
+  return mu / (lambda + mu);
+}
+
+double two_state_point_availability(double lambda, double mu, double t) {
+  require_positive(lambda, "lambda");
+  require_positive(mu, "mu");
+  if (t < 0.0) throw std::invalid_argument("t must be non-negative");
+  const double s = lambda + mu;
+  return mu / s + lambda / s * std::exp(-s * t);
+}
+
+double two_state_interval_availability(double lambda, double mu, double t) {
+  require_positive(lambda, "lambda");
+  require_positive(mu, "mu");
+  require_positive(t, "t");
+  const double s = lambda + mu;
+  return mu / s + lambda / (s * s * t) * (1.0 - std::exp(-s * t));
+}
+
+std::vector<double> birth_death_stationary(const std::vector<double>& birth,
+                                           const std::vector<double>& death) {
+  if (birth.size() != death.size()) {
+    throw std::invalid_argument(
+        "birth_death_stationary: rate vectors must have equal size");
+  }
+  const std::size_t m = birth.size();
+  std::vector<double> pi(m + 1, 0.0);
+  // Unnormalized products pi_{i+1}/pi_i = birth[i]/death[i]; accumulate in
+  // a numerically safe way by renormalizing at the end.
+  pi[0] = 1.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    require_positive(birth[i], "birth rate");
+    require_positive(death[i], "death rate");
+    pi[i + 1] = pi[i] * (birth[i] / death[i]);
+  }
+  double total = 0.0;
+  for (double x : pi) total += x;
+  for (double& x : pi) x /= total;
+  return pi;
+}
+
+double k_of_n_availability(unsigned n, unsigned k, double lambda, double mu,
+                           unsigned repairmen) {
+  if (k == 0 || k > n) {
+    throw std::invalid_argument("k_of_n_availability: need 1 <= k <= n");
+  }
+  require_positive(lambda, "lambda");
+  require_positive(mu, "mu");
+  // Birth-death over the number of failed units, i = 0..n.
+  std::vector<double> birth(n);
+  std::vector<double> death(n);
+  for (unsigned i = 0; i < n; ++i) {
+    birth[i] = static_cast<double>(n - i) * lambda;
+    death[i] = repair_rate(i + 1, mu, repairmen);
+  }
+  const std::vector<double> pi = birth_death_stationary(birth, death);
+  double up = 0.0;
+  for (unsigned i = 0; i + k <= n; ++i) up += pi[i];  // i failed, n-i >= k
+  return up;
+}
+
+double birth_death_mttf(const std::vector<double>& birth,
+                        const std::vector<double>& death) {
+  if (birth.empty() || birth.size() != death.size()) {
+    throw std::invalid_argument(
+        "birth_death_mttf: rate vectors must be non-empty and equal-sized");
+  }
+  const std::size_t m = birth.size();
+  // h[i] = expected time to go from state i to i+1:
+  //   h[0] = 1/b0;  h[i] = 1/b_i + (d_i / b_i) h[i-1]
+  // where d_i is the rate from state i back to i-1 (death[i-1]).
+  double total = 0.0;
+  double h_prev = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    require_positive(birth[i], "birth rate");
+    double h = 1.0 / birth[i];
+    if (i > 0) {
+      require_positive(death[i - 1], "death rate");
+      h += (death[i - 1] / birth[i]) * h_prev;
+    }
+    total += h;
+    h_prev = h;
+  }
+  return total;
+}
+
+double k_of_n_mttf_no_repair(unsigned n, unsigned k, double lambda) {
+  if (k == 0 || k > n) {
+    throw std::invalid_argument("k_of_n_mttf_no_repair: need 1 <= k <= n");
+  }
+  require_positive(lambda, "lambda");
+  double acc = 0.0;
+  for (unsigned i = k; i <= n; ++i) {
+    acc += 1.0 / (static_cast<double>(i) * lambda);
+  }
+  return acc;
+}
+
+double k_of_n_mttf_with_repair(unsigned n, unsigned k, double lambda,
+                               double mu, unsigned repairmen) {
+  if (k == 0 || k > n) {
+    throw std::invalid_argument("k_of_n_mttf_with_repair: need 1 <= k <= n");
+  }
+  require_positive(lambda, "lambda");
+  require_positive(mu, "mu");
+  // Failure = reaching n-k+1 failed units. Birth rates up to that level;
+  // death rates apply to the states below it.
+  const unsigned m = n - k + 1;
+  std::vector<double> birth(m);
+  std::vector<double> death(m);  // death[i-1] = repair rate from state i
+  for (unsigned i = 0; i < m; ++i) {
+    birth[i] = static_cast<double>(n - i) * lambda;
+    death[i] = repair_rate(i + 1, mu, repairmen);
+  }
+  return birth_death_mttf(birth, death);
+}
+
+double series_availability(const std::vector<double>& a) {
+  double acc = 1.0;
+  for (double x : a) {
+    if (x < 0.0 || x > 1.0) {
+      throw std::invalid_argument("series_availability: value outside [0,1]");
+    }
+    acc *= x;
+  }
+  return acc;
+}
+
+double parallel_availability(const std::vector<double>& a) {
+  double acc = 1.0;
+  for (double x : a) {
+    if (x < 0.0 || x > 1.0) {
+      throw std::invalid_argument(
+          "parallel_availability: value outside [0,1]");
+    }
+    acc *= (1.0 - x);
+  }
+  return 1.0 - acc;
+}
+
+}  // namespace rascad::baselines

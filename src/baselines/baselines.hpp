@@ -1,0 +1,61 @@
+// Closed-form analytic baselines.
+//
+// The paper validates RAScad against SHARPE and MEADEP; this module plays
+// that comparator role with textbook closed forms (Trivedi, "Probability &
+// Statistics with Reliability, Queuing and Computer Science Applications" —
+// reference [10] of the paper) computed by completely independent code
+// paths: no chain generation, no linear solves.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rascad::baselines {
+
+/// Steady-state availability of one repairable unit with mean up time
+/// `mtbf_h` and mean down time `mdt_h`: A = MTBF / (MTBF + MDT).
+double single_unit_availability(double mtbf_h, double mdt_h);
+
+/// Two-state Markov availability: A = mu / (lambda + mu).
+double two_state_availability(double lambda, double mu);
+
+/// Two-state point availability at time t starting up:
+/// A(t) = mu/(l+mu) + l/(l+mu) * exp(-(l+mu) t).
+double two_state_point_availability(double lambda, double mu, double t);
+
+/// Two-state interval availability over (0, t) starting up:
+/// (1/t) * integral of A(u) du.
+double two_state_interval_availability(double lambda, double mu, double t);
+
+/// Stationary distribution of a finite birth-death chain with birth rates
+/// birth[i] (i -> i+1, size m) and death rates death[i] (i+1 -> i, size m).
+/// Returns m+1 probabilities. Throws std::invalid_argument on size
+/// mismatch or non-positive rates.
+std::vector<double> birth_death_stationary(const std::vector<double>& birth,
+                                           const std::vector<double>& death);
+
+/// K-of-N availability with per-unit failure rate lambda and repair rate
+/// mu; `repairmen` bounds concurrent repairs (0 means unlimited). Exact
+/// birth-death solution; the system is up while at most N-K units are down.
+double k_of_n_availability(unsigned n, unsigned k, double lambda, double mu,
+                           unsigned repairmen = 0);
+
+/// Expected first passage time 0 -> m in a birth-death chain (birth[i]:
+/// i -> i+1, death[i]: i+1 -> i with death[m-1] the rate out of state m-1;
+/// death[0] is the rate 1 -> 0). Standard ladder recursion.
+double birth_death_mttf(const std::vector<double>& birth,
+                        const std::vector<double>& death);
+
+/// MTTF of a K-of-N system without repair: sum_{i=K}^{N} 1/(i*lambda).
+double k_of_n_mttf_no_repair(unsigned n, unsigned k, double lambda);
+
+/// MTTF of a K-of-N system with repair rate mu (bounded repairmen; 0 means
+/// unlimited), starting with all units good.
+double k_of_n_mttf_with_repair(unsigned n, unsigned k, double lambda,
+                               double mu, unsigned repairmen = 0);
+
+/// Series / parallel availability algebra over independent components.
+double series_availability(const std::vector<double>& a);
+double parallel_availability(const std::vector<double>& a);
+
+}  // namespace rascad::baselines

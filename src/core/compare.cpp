@@ -1,0 +1,100 @@
+#include "core/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace rascad::core {
+
+ComparisonReport compare_systems(const mg::SystemModel& a,
+                                 const mg::SystemModel& b) {
+  ComparisonReport report;
+  report.name_a = a.spec().title.empty() ? a.spec().root().name
+                                         : a.spec().title;
+  report.name_b = b.spec().title.empty() ? b.spec().root().name
+                                         : b.spec().title;
+  report.availability_a = a.availability();
+  report.availability_b = b.availability();
+  report.downtime_a_min = a.yearly_downtime_min();
+  report.downtime_b_min = b.yearly_downtime_min();
+  report.mtbf_a_h = a.mtbf_h();
+  report.mtbf_b_h = b.mtbf_h();
+
+  // Blocks are matched by name alone: the two designs' diagrams are named
+  // after their architectures, so a (diagram, name) key would never match
+  // across them. If a name appears several times on one side, the
+  // downtimes accumulate, which is the right roll-up for a comparison.
+  std::map<std::string, BlockDelta> merged;
+  for (const auto& blk : a.blocks()) {
+    BlockDelta& d = merged[blk.block.name];
+    d.diagram = blk.diagram;
+    d.block = blk.block.name;
+    d.downtime_a_min =
+        d.downtime_a_min.value_or(0.0) + blk.yearly_downtime_min;
+  }
+  for (const auto& blk : b.blocks()) {
+    BlockDelta& d = merged[blk.block.name];
+    if (d.diagram.empty()) d.diagram = blk.diagram;
+    d.block = blk.block.name;
+    d.downtime_b_min =
+        d.downtime_b_min.value_or(0.0) + blk.yearly_downtime_min;
+  }
+  report.blocks.reserve(merged.size());
+  for (auto& [key, delta] : merged) report.blocks.push_back(std::move(delta));
+  std::sort(report.blocks.begin(), report.blocks.end(),
+            [](const BlockDelta& x, const BlockDelta& y) {
+              return std::abs(x.delta_min()) > std::abs(y.delta_min());
+            });
+  return report;
+}
+
+void write_comparison(std::ostream& os, const ComparisonReport& r) {
+  os << "architecture comparison: A = " << r.name_a << ", B = " << r.name_b
+     << "\n\n";
+  os << std::left << std::setw(26) << "system measure" << std::right
+     << std::setw(16) << "A" << std::setw(16) << "B" << std::setw(16)
+     << "B - A" << '\n';
+  os << std::left << std::setw(26) << "availability" << std::right
+     << std::setw(16) << std::fixed << std::setprecision(9)
+     << r.availability_a << std::setw(16) << r.availability_b << std::setw(16)
+     << r.availability_b - r.availability_a << '\n';
+  os << std::left << std::setw(26) << "yearly downtime (min)" << std::right
+     << std::setw(16) << std::setprecision(3) << r.downtime_a_min
+     << std::setw(16) << r.downtime_b_min << std::setw(16)
+     << r.downtime_delta_min() << '\n';
+  os << std::left << std::setw(26) << "system MTBF (h)" << std::right
+     << std::setw(16) << std::setprecision(1) << r.mtbf_a_h << std::setw(16)
+     << r.mtbf_b_h << std::setw(16) << r.mtbf_b_h - r.mtbf_a_h << '\n';
+  os.unsetf(std::ios::fixed);
+
+  os << "\nper-block yearly downtime (min), by |delta|:\n";
+  os << std::left << std::setw(26) << "block" << std::right << std::setw(14)
+     << "A" << std::setw(14) << "B" << std::setw(14) << "B - A" << '\n';
+  for (const auto& d : r.blocks) {
+    os << std::left << std::setw(26) << d.block.substr(0, 25) << std::right
+       << std::fixed << std::setprecision(3);
+    if (d.downtime_a_min) {
+      os << std::setw(14) << *d.downtime_a_min;
+    } else {
+      os << std::setw(14) << "-";
+    }
+    if (d.downtime_b_min) {
+      os << std::setw(14) << *d.downtime_b_min;
+    } else {
+      os << std::setw(14) << "-";
+    }
+    os << std::setw(14) << d.delta_min() << '\n';
+    os.unsetf(std::ios::fixed);
+  }
+}
+
+std::string comparison_text(const ComparisonReport& report) {
+  std::ostringstream os;
+  write_comparison(os, report);
+  return os.str();
+}
+
+}  // namespace rascad::core

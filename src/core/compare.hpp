@@ -1,0 +1,54 @@
+// Architecture comparison — the tool's raison d'être per the paper's
+// Section 2: "analytically assess and compare RAS quantities achievable by
+// the computer architectures under design". Solves two models and lines up
+// system- and block-level measures side by side.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mg/system.hpp"
+
+namespace rascad::core {
+
+struct BlockDelta {
+  std::string diagram;
+  std::string block;
+  /// Empty optionals mean the block exists on only one side.
+  std::optional<double> downtime_a_min;
+  std::optional<double> downtime_b_min;
+
+  double delta_min() const {
+    return downtime_b_min.value_or(0.0) - downtime_a_min.value_or(0.0);
+  }
+};
+
+struct ComparisonReport {
+  std::string name_a;
+  std::string name_b;
+  double availability_a = 1.0;
+  double availability_b = 1.0;
+  double downtime_a_min = 0.0;
+  double downtime_b_min = 0.0;
+  double mtbf_a_h = 0.0;
+  double mtbf_b_h = 0.0;
+  /// Sorted by |delta| descending.
+  std::vector<BlockDelta> blocks;
+
+  /// B minus A, minutes/year; negative means B is the better design.
+  double downtime_delta_min() const {
+    return downtime_b_min - downtime_a_min;
+  }
+};
+
+/// Compares two solved systems. Blocks are matched by (diagram, name).
+ComparisonReport compare_systems(const mg::SystemModel& a,
+                                 const mg::SystemModel& b);
+
+/// Renders the comparison as an aligned text table.
+void write_comparison(std::ostream& os, const ComparisonReport& report);
+std::string comparison_text(const ComparisonReport& report);
+
+}  // namespace rascad::core

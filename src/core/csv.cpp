@@ -1,0 +1,93 @@
+#include "core/csv.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace rascad::core {
+
+namespace {
+
+/// Quotes a field if it contains CSV-active characters.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+void write_sweep_csv(std::ostream& os, const std::vector<SweepPoint>& points) {
+  os << "value,availability,yearly_downtime_min,eq_failure_rate\n";
+  os << std::setprecision(12);
+  for (const auto& p : points) {
+    os << p.value << ',' << p.availability << ',' << p.yearly_downtime_min
+       << ',' << p.eq_failure_rate << '\n';
+  }
+}
+
+std::string sweep_csv(const std::vector<SweepPoint>& points) {
+  std::ostringstream os;
+  write_sweep_csv(os, points);
+  return os.str();
+}
+
+void write_curve_csv(std::ostream& os, const linalg::Vector& curve,
+                     double horizon) {
+  os << "t,value\n";
+  os << std::setprecision(12);
+  if (curve.empty()) return;
+  const double step =
+      curve.size() > 1 ? horizon / static_cast<double>(curve.size() - 1) : 0.0;
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    os << static_cast<double>(i) * step << ',' << curve[i] << '\n';
+  }
+}
+
+std::string curve_csv(const linalg::Vector& curve, double horizon) {
+  std::ostringstream os;
+  write_curve_csv(os, curve, horizon);
+  return os.str();
+}
+
+void write_blocks_csv(std::ostream& os, const mg::SystemModel& system) {
+  os << "diagram,block,quantity,min_quantity,model_type,states,availability,"
+        "yearly_downtime_min\n";
+  os << std::setprecision(12);
+  for (const auto& b : system.blocks()) {
+    os << csv_field(b.diagram) << ',' << csv_field(b.block.name) << ','
+       << b.block.quantity << ',' << b.block.min_quantity << ','
+       << csv_field(mg::to_string(b.type)) << ',' << b.chain->size() << ','
+       << b.availability << ',' << b.yearly_downtime_min << '\n';
+  }
+}
+
+std::string blocks_csv(const mg::SystemModel& system) {
+  std::ostringstream os;
+  write_blocks_csv(os, system);
+  return os.str();
+}
+
+void write_importance_csv(std::ostream& os,
+                          const std::vector<BlockImportance>& imps) {
+  os << "diagram,block,availability,birnbaum,criticality,raw,rrw\n";
+  os << std::setprecision(12);
+  for (const auto& i : imps) {
+    os << csv_field(i.diagram) << ',' << csv_field(i.block) << ','
+       << i.availability << ',' << i.birnbaum << ',' << i.criticality << ','
+       << i.raw << ',' << i.rrw << '\n';
+  }
+}
+
+std::string importance_csv(const std::vector<BlockImportance>& imps) {
+  std::ostringstream os;
+  write_importance_csv(os, imps);
+  return os.str();
+}
+
+}  // namespace rascad::core

@@ -1,0 +1,37 @@
+// CSV serialization of analysis results — the interchange half of the
+// tool's "graphical output" (plots are drawn from these series).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/importance.hpp"
+#include "core/sweep.hpp"
+#include "linalg/dense.hpp"
+#include "mg/system.hpp"
+
+namespace rascad::core {
+
+/// Sweep series: value,availability,yearly_downtime_min,eq_failure_rate.
+void write_sweep_csv(std::ostream& os, const std::vector<SweepPoint>& points);
+std::string sweep_csv(const std::vector<SweepPoint>& points);
+
+/// Sampled time curve: t,value — `horizon` spread uniformly over the rows.
+void write_curve_csv(std::ostream& os, const linalg::Vector& curve,
+                     double horizon);
+std::string curve_csv(const linalg::Vector& curve, double horizon);
+
+/// Per-block summary of a solved system:
+/// diagram,block,quantity,min_quantity,model_type,states,availability,
+/// yearly_downtime_min.
+void write_blocks_csv(std::ostream& os, const mg::SystemModel& system);
+std::string blocks_csv(const mg::SystemModel& system);
+
+/// Importance table:
+/// diagram,block,availability,birnbaum,criticality,raw,rrw.
+void write_importance_csv(std::ostream& os,
+                          const std::vector<BlockImportance>& imps);
+std::string importance_csv(const std::vector<BlockImportance>& imps);
+
+}  // namespace rascad::core

@@ -1,0 +1,142 @@
+#include "core/export_dot.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace rascad::core {
+
+namespace {
+
+/// DOT string literal with quotes/backslashes escaped.
+std::string dot_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void chain_body(std::ostream& os, const markov::Ctmc& chain,
+                const std::string& id_prefix) {
+  for (markov::StateIndex i = 0; i < chain.size(); ++i) {
+    os << "  " << id_prefix << i << " [label=" << dot_quote(chain.state_name(i));
+    if (chain.reward(i) > 0.0) {
+      os << ", shape=ellipse";
+    } else {
+      os << ", shape=ellipse, style=filled, fillcolor=gray80";
+    }
+    os << "];\n";
+  }
+  const auto& q = chain.generator();
+  for (markov::StateIndex i = 0; i < chain.size(); ++i) {
+    const auto row = q.row(i);
+    for (std::size_t k = 0; k < row.size; ++k) {
+      if (row.cols[k] == i) continue;
+      std::ostringstream rate;
+      rate << std::setprecision(6) << row.values[k];
+      os << "  " << id_prefix << i << " -> " << id_prefix << row.cols[k]
+         << " [label=" << dot_quote(rate.str()) << "];\n";
+    }
+  }
+}
+
+/// Emits the subtree rooted at `node`; returns this node's DOT id.
+std::string rbd_body(std::ostream& os, const rbd::RbdNode& node, int& counter) {
+  const std::string id = "n" + std::to_string(counter++);
+  switch (node.kind()) {
+    case rbd::RbdKind::kLeaf: {
+      std::ostringstream label;
+      label << node.name() << "\nA=" << std::setprecision(8)
+            << node.availability();
+      os << "  " << id << " [shape=box, label=" << dot_quote(label.str())
+         << "];\n";
+      return id;
+    }
+    case rbd::RbdKind::kSeries:
+      os << "  " << id << " [shape=box, style=rounded, label="
+         << dot_quote(node.name() + " [series]") << "];\n";
+      break;
+    case rbd::RbdKind::kParallel:
+      os << "  " << id << " [shape=box, style=rounded, label="
+         << dot_quote(node.name() + " [parallel]") << "];\n";
+      break;
+    case rbd::RbdKind::kKofN:
+      os << "  " << id << " [shape=box, style=rounded, label="
+         << dot_quote(node.name() + " [" + std::to_string(node.required()) +
+                      "-of-" + std::to_string(node.children().size()) + "]")
+         << "];\n";
+      break;
+  }
+  for (const auto& child : node.children()) {
+    const std::string child_id = rbd_body(os, *child, counter);
+    os << "  " << id << " -> " << child_id << ";\n";
+  }
+  return id;
+}
+
+}  // namespace
+
+void write_chain_dot(std::ostream& os, const markov::Ctmc& chain,
+                     const std::string& graph_name) {
+  os << "digraph " << dot_quote(graph_name) << " {\n";
+  os << "  rankdir=LR;\n";
+  chain_body(os, chain, "s");
+  os << "}\n";
+}
+
+std::string chain_dot(const markov::Ctmc& chain,
+                      const std::string& graph_name) {
+  std::ostringstream os;
+  write_chain_dot(os, chain, graph_name);
+  return os.str();
+}
+
+void write_rbd_dot(std::ostream& os, const rbd::RbdNode& root,
+                   const std::string& graph_name) {
+  os << "digraph " << dot_quote(graph_name) << " {\n";
+  os << "  rankdir=TB;\n";
+  int counter = 0;
+  rbd_body(os, root, counter);
+  os << "}\n";
+}
+
+std::string rbd_dot(const rbd::RbdNode& root, const std::string& graph_name) {
+  std::ostringstream os;
+  write_rbd_dot(os, root, graph_name);
+  return os.str();
+}
+
+void write_system_dot(std::ostream& os, const mg::SystemModel& system) {
+  os << "digraph " << dot_quote(system.spec().title.empty()
+                                    ? system.spec().root().name
+                                    : system.spec().title)
+     << " {\n  compound=true;\n  rankdir=LR;\n";
+  std::size_t cluster = 0;
+  for (const auto& block : system.blocks()) {
+    os << "  subgraph cluster_" << cluster << " {\n";
+    os << "    label=" << dot_quote(block.diagram + " / " + block.block.name +
+                                    " (" + mg::to_string(block.type) + ")")
+       << ";\n";
+    std::ostringstream inner;
+    chain_body(inner, *block.chain,
+               "c" + std::to_string(cluster) + "_");
+    // Indent the chain body to sit inside the cluster.
+    std::istringstream lines(inner.str());
+    std::string line;
+    while (std::getline(lines, line)) os << "  " << line << '\n';
+    os << "  }\n";
+    ++cluster;
+  }
+  os << "}\n";
+}
+
+std::string system_dot(const mg::SystemModel& system) {
+  std::ostringstream os;
+  write_system_dot(os, system);
+  return os.str();
+}
+
+}  // namespace rascad::core

@@ -1,0 +1,34 @@
+// Graphviz (DOT) export — the "graphical representation" of generated
+// models. RAScad draws chains and diagrams in its GUI; the library emits
+// DOT so any downstream renderer can do the same.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "markov/ctmc.hpp"
+#include "mg/system.hpp"
+#include "rbd/rbd.hpp"
+
+namespace rascad::core {
+
+/// One Markov chain as a digraph: up states as solid ellipses, down states
+/// shaded; edges labeled with rates.
+void write_chain_dot(std::ostream& os, const markov::Ctmc& chain,
+                     const std::string& graph_name = "chain");
+std::string chain_dot(const markov::Ctmc& chain,
+                      const std::string& graph_name = "chain");
+
+/// An RBD tree as a nested digraph (structure nodes as boxes, leaves with
+/// availabilities).
+void write_rbd_dot(std::ostream& os, const rbd::RbdNode& root,
+                   const std::string& graph_name = "rbd");
+std::string rbd_dot(const rbd::RbdNode& root,
+                    const std::string& graph_name = "rbd");
+
+/// The whole generated system: one cluster per block chain plus the
+/// diagram tree.
+void write_system_dot(std::ostream& os, const mg::SystemModel& system);
+std::string system_dot(const mg::SystemModel& system);
+
+}  // namespace rascad::core

@@ -1,0 +1,110 @@
+#include "core/importance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "markov/steady_state.hpp"
+#include "mg/generator.hpp"
+
+namespace rascad::core {
+
+namespace {
+
+double block_availability(const spec::BlockSpec& block,
+                          const spec::GlobalParams& globals) {
+  const auto model = mg::generate(block, globals);
+  const auto r = markov::solve_steady_state(model.chain);
+  return markov::expected_reward(model.chain, r.pi);
+}
+
+}  // namespace
+
+std::vector<BlockImportance> block_importance(const mg::SystemModel& system) {
+  const double a_sys = system.availability();
+  const double u_sys = std::max(1.0 - a_sys, 1e-300);
+  std::vector<BlockImportance> out;
+  out.reserve(system.blocks().size());
+  for (const auto& entry : system.blocks()) {
+    BlockImportance imp;
+    imp.diagram = entry.diagram;
+    imp.block = entry.block.name;
+    imp.availability = entry.availability;
+    imp.yearly_downtime_min = entry.yearly_downtime_min;
+    const double a_perfect = system.availability_with_override(
+        entry.diagram, entry.block.name, 1.0);
+    const double a_failed = system.availability_with_override(
+        entry.diagram, entry.block.name, 0.0);
+    imp.birnbaum = a_perfect - a_failed;
+    imp.criticality = imp.birnbaum * (1.0 - entry.availability) / u_sys;
+    imp.raw = (1.0 - a_failed) / u_sys;
+    const double u_perfect = 1.0 - a_perfect;
+    imp.rrw = u_perfect > 0.0 ? u_sys / u_perfect
+                              : std::numeric_limits<double>::infinity();
+    out.push_back(imp);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BlockImportance& a, const BlockImportance& b) {
+              return a.criticality > b.criticality;
+            });
+  return out;
+}
+
+std::vector<ParameterSensitivity> parameter_sensitivity(
+    const mg::SystemModel& system, double relative_step) {
+  if (!(relative_step > 0.0) || relative_step >= 1.0) {
+    throw std::invalid_argument(
+        "parameter_sensitivity: relative_step must be in (0, 1)");
+  }
+  const spec::GlobalParams& globals = system.spec().globals;
+
+  // ln U_sys with one block's availability replaced.
+  const auto log_u_with = [&](const mg::SystemModel::BlockEntry& entry,
+                              double block_availability_value) {
+    const double a = system.availability_with_override(
+        entry.diagram, entry.block.name, block_availability_value);
+    return std::log(std::max(1.0 - a, 1e-300));
+  };
+
+  std::vector<ParameterSensitivity> out;
+  for (const auto& entry : system.blocks()) {
+    ParameterSensitivity s;
+    s.diagram = entry.diagram;
+    s.block = entry.block.name;
+
+    const auto elasticity = [&](auto&& set_param, double base) {
+      if (base <= 0.0) return 0.0;
+      spec::BlockSpec lo = entry.block;
+      spec::BlockSpec hi = entry.block;
+      set_param(lo, base * (1.0 - relative_step));
+      set_param(hi, base * (1.0 + relative_step));
+      const double u_lo = log_u_with(entry, block_availability(lo, globals));
+      const double u_hi = log_u_with(entry, block_availability(hi, globals));
+      return (u_hi - u_lo) / (std::log(1.0 + relative_step) -
+                              std::log(1.0 - relative_step));
+    };
+
+    s.mtbf_elasticity = elasticity(
+        [](spec::BlockSpec& b, double v) { b.mtbf_h = v; },
+        entry.block.mtbf_h);
+    s.mttr_elasticity = elasticity(
+        [](spec::BlockSpec& b, double v) {
+          const double total = b.mttr_diagnosis_min + b.mttr_corrective_min +
+                               b.mttr_verification_min;
+          if (total <= 0.0) return;
+          const double scale = v / total;
+          b.mttr_diagnosis_min *= scale;
+          b.mttr_corrective_min *= scale;
+          b.mttr_verification_min *= scale;
+        },
+        entry.block.mttr_diagnosis_min + entry.block.mttr_corrective_min +
+            entry.block.mttr_verification_min);
+    s.tresp_elasticity = elasticity(
+        [](spec::BlockSpec& b, double v) { b.service_response_h = v; },
+        entry.block.service_response_h);
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace rascad::core

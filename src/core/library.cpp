@@ -1,0 +1,335 @@
+#include "core/library.hpp"
+
+namespace rascad::core::library {
+
+namespace {
+
+using spec::BlockSpec;
+using spec::DiagramSpec;
+using spec::GlobalParams;
+using spec::ModelSpec;
+using spec::RedundancyMode;
+using spec::Transparency;
+
+/// Baseline FRU with sane service parameters; callers override fields.
+BlockSpec fru(std::string name, unsigned n, unsigned k, double mtbf_h) {
+  BlockSpec b;
+  b.name = std::move(name);
+  b.quantity = n;
+  b.min_quantity = k;
+  b.mtbf_h = mtbf_h;
+  b.mttr_diagnosis_min = 15.0;
+  b.mttr_corrective_min = 20.0;
+  b.mttr_verification_min = 10.0;
+  b.service_response_h = 4.0;
+  b.p_correct_diagnosis = 0.98;
+  return b;
+}
+
+BlockSpec redundant_fru(std::string name, unsigned n, unsigned k,
+                        double mtbf_h, Transparency recovery,
+                        Transparency repair) {
+  BlockSpec b = fru(std::move(name), n, k, mtbf_h);
+  b.recovery = recovery;
+  b.repair = repair;
+  b.p_latent_fault = 0.02;
+  b.mttdlf_h = 48.0;
+  b.ar_time_min = recovery == Transparency::kNontransparent ? 6.0 : 0.0;
+  b.p_spf = 0.002;
+  b.t_spf_min = 30.0;
+  b.reintegration_min = repair == Transparency::kNontransparent ? 8.0 : 0.0;
+  return b;
+}
+
+GlobalParams default_globals() {
+  GlobalParams g;
+  g.reboot_time_h = 8.0 / 60.0;
+  g.mttm_h = 48.0;
+  g.mttrfid_h = 4.0;
+  g.mission_time_h = 8760.0;
+  return g;
+}
+
+/// The 19-block Server Box subdiagram of the paper's Figure 2.
+DiagramSpec server_box_diagram() {
+  DiagramSpec d;
+  d.name = "Server Box";
+  const auto t = Transparency::kTransparent;
+  const auto nt = Transparency::kNontransparent;
+
+  // Compute complex: reboot-deconfiguration recovery, DR repair.
+  d.blocks.push_back(redundant_fru("System Board", 4, 3, 200'000.0, nt, t));
+  {
+    BlockSpec b = redundant_fru("CPU Module", 8, 7, 500'000.0, nt, t);
+    b.transient_fit = 2'000.0;
+    d.blocks.push_back(b);
+  }
+  {
+    BlockSpec b = redundant_fru("Memory Module", 32, 31, 1'000'000.0, t, t);
+    b.transient_fit = 4'000.0;  // ECC-corrected upsets that page-retire
+    d.blocks.push_back(b);
+  }
+  d.blocks.push_back(redundant_fru("DC-DC Converter", 4, 3, 400'000.0, t, t));
+
+  // Power and cooling: N+1, hot-pluggable, fully transparent.
+  d.blocks.push_back(redundant_fru("Power Supply", 3, 2, 150'000.0, t, t));
+  d.blocks.push_back(redundant_fru("AC Input Module", 2, 1, 500'000.0, t, t));
+  d.blocks.push_back(redundant_fru("Fan Tray", 4, 3, 300'000.0, t, t));
+  d.blocks.push_back(redundant_fru("Blower Assembly", 2, 1, 350'000.0, t, t));
+
+  // Control: redundant controllers/clocks with disruptive takeover.
+  d.blocks.push_back(
+      redundant_fru("System Controller", 2, 1, 250'000.0, nt, t));
+  d.blocks.push_back(redundant_fru("Clock Board", 2, 1, 800'000.0, nt, t));
+  d.blocks.push_back(
+      redundant_fru("Service Processor", 2, 1, 300'000.0, t, t));
+
+  // Backplane: single point of failure, long replacement.
+  {
+    BlockSpec b = fru("Centerplane", 1, 1, 2'000'000.0);
+    b.mttr_corrective_min = 120.0;
+    d.blocks.push_back(b);
+  }
+
+  // I/O: multipathing makes recovery transparent on the I/O boards' ports
+  // but board replacement needs a domain reboot on this class of machine.
+  d.blocks.push_back(redundant_fru("I/O Board", 2, 1, 220'000.0, nt, nt));
+  d.blocks.push_back(
+      redundant_fru("Network Interface", 2, 1, 400'000.0, t, t));
+  d.blocks.push_back(
+      redundant_fru("Host Bus Adapter", 2, 1, 450'000.0, t, t));
+  d.blocks.push_back(redundant_fru("Disk Controller", 2, 1, 350'000.0, t, t));
+  {
+    BlockSpec b = redundant_fru("Internal Boot Disk", 2, 1, 400'000.0, t, t);
+    b.p_latent_fault = 0.05;  // mirror-half failures surface on scrub
+    b.mttdlf_h = 24.0;
+    d.blocks.push_back(b);
+  }
+
+  // Removable media: rarely exercised, generous MTBF.
+  d.blocks.push_back(fru("Media Tray", 1, 1, 1'500'000.0));
+
+  // Operating environment: transient (panic/reboot) faults only.
+  {
+    BlockSpec b;
+    b.name = "Operating System";
+    b.quantity = 1;
+    b.min_quantity = 1;
+    b.transient_fit = 15'000.0;  // ~ one panic per 7.6 years
+    d.blocks.push_back(b);
+  }
+  return d;
+}
+
+}  // namespace
+
+ModelSpec datacenter_system() {
+  ModelSpec m;
+  m.title = "Data Center System";
+  m.globals = default_globals();
+
+  DiagramSpec root;
+  root.name = "Data Center System";
+  {
+    BlockSpec b;
+    b.name = "Server Box";
+    b.quantity = 1;
+    b.min_quantity = 1;
+    b.subdiagram = "Server Box";
+    root.blocks.push_back(b);
+  }
+  {
+    BlockSpec b = redundant_fru("Boot Drives, RAID1", 2, 1, 300'000.0,
+                                Transparency::kTransparent,
+                                Transparency::kTransparent);
+    b.p_latent_fault = 0.05;
+    b.mttdlf_h = 24.0;
+    root.blocks.push_back(b);
+  }
+  {
+    BlockSpec b = redundant_fru("Storage 1, RAID5", 6, 5, 250'000.0,
+                                Transparency::kTransparent,
+                                Transparency::kTransparent);
+    b.p_latent_fault = 0.03;
+    b.mttdlf_h = 24.0;
+    root.blocks.push_back(b);
+  }
+  {
+    BlockSpec b = redundant_fru("Storage 2, RAID5", 8, 7, 250'000.0,
+                                Transparency::kTransparent,
+                                Transparency::kTransparent);
+    b.p_latent_fault = 0.03;
+    b.mttdlf_h = 24.0;
+    root.blocks.push_back(b);
+  }
+  m.diagrams.push_back(std::move(root));
+  m.diagrams.push_back(server_box_diagram());
+  return m;
+}
+
+ModelSpec e10000_like() {
+  ModelSpec m;
+  m.title = "E10000-class Server";
+  m.globals = default_globals();
+  m.globals.reboot_time_h = 20.0 / 60.0;  // large domain boot
+
+  DiagramSpec d;
+  d.name = "E10000-class Server";
+  const auto t = Transparency::kTransparent;
+  const auto nt = Transparency::kNontransparent;
+
+  d.blocks.push_back(redundant_fru("System Board", 16, 15, 180'000.0, nt, t));
+  {
+    BlockSpec b = redundant_fru("CPU Module", 64, 62, 500'000.0, nt, t);
+    b.transient_fit = 2'000.0;
+    d.blocks.push_back(b);
+  }
+  {
+    BlockSpec b = redundant_fru("Memory Bank", 64, 63, 900'000.0, t, t);
+    b.transient_fit = 3'000.0;
+    d.blocks.push_back(b);
+  }
+  d.blocks.push_back(redundant_fru("Power Supply", 8, 6, 150'000.0, t, t));
+  d.blocks.push_back(redundant_fru("Cooling Fan", 16, 14, 280'000.0, t, t));
+  d.blocks.push_back(
+      redundant_fru("Control Board", 2, 1, 260'000.0, nt, t));
+  d.blocks.push_back(
+      redundant_fru("Support Processor", 2, 1, 320'000.0, t, t));
+  {
+    BlockSpec b = fru("Centerplane", 1, 1, 2'500'000.0);
+    b.mttr_corrective_min = 180.0;
+    d.blocks.push_back(b);
+  }
+  {
+    BlockSpec b;
+    b.name = "Operating Environment";
+    b.quantity = 1;
+    b.min_quantity = 1;
+    b.transient_fit = 12'000.0;
+    d.blocks.push_back(b);
+  }
+  m.diagrams.push_back(std::move(d));
+  return m;
+}
+
+ModelSpec entry_server() {
+  ModelSpec m;
+  m.title = "Entry Server";
+  m.globals = default_globals();
+  m.globals.mttm_h = 0.0;  // no deferred maintenance on a one-box shop
+
+  DiagramSpec d;
+  d.name = "Entry Server";
+  d.blocks.push_back(fru("Motherboard", 1, 1, 300'000.0));
+  {
+    BlockSpec b = fru("CPU", 1, 1, 600'000.0);
+    b.transient_fit = 2'500.0;
+    d.blocks.push_back(b);
+  }
+  {
+    BlockSpec b = fru("Memory", 4, 4, 1'200'000.0);
+    b.transient_fit = 6'000.0;
+    d.blocks.push_back(b);
+  }
+  d.blocks.push_back(fru("Power Supply", 1, 1, 120'000.0));
+  d.blocks.push_back(fru("Boot Disk", 1, 1, 350'000.0));
+  {
+    BlockSpec b;
+    b.name = "Operating System";
+    b.quantity = 1;
+    b.min_quantity = 1;
+    b.transient_fit = 25'000.0;
+    d.blocks.push_back(b);
+  }
+  m.diagrams.push_back(std::move(d));
+  return m;
+}
+
+ModelSpec midrange_server() {
+  ModelSpec m;
+  m.title = "Midrange Server";
+  m.globals = default_globals();
+
+  DiagramSpec d;
+  d.name = "Midrange Server";
+  const auto t = Transparency::kTransparent;
+  const auto nt = Transparency::kNontransparent;
+  d.blocks.push_back(fru("System Board", 1, 1, 250'000.0));
+  {
+    BlockSpec b = redundant_fru("CPU Module", 4, 3, 500'000.0, nt, nt);
+    b.transient_fit = 2'000.0;
+    d.blocks.push_back(b);
+  }
+  {
+    BlockSpec b = redundant_fru("Memory Module", 16, 15, 1'000'000.0, t, t);
+    b.transient_fit = 4'000.0;
+    d.blocks.push_back(b);
+  }
+  d.blocks.push_back(redundant_fru("Power Supply", 2, 1, 150'000.0, t, t));
+  d.blocks.push_back(redundant_fru("Fan Tray", 3, 2, 300'000.0, t, t));
+  {
+    BlockSpec b = redundant_fru("Mirrored Disk", 2, 1, 400'000.0, t, t);
+    b.p_latent_fault = 0.05;
+    b.mttdlf_h = 24.0;
+    d.blocks.push_back(b);
+  }
+  {
+    BlockSpec b;
+    b.name = "Operating System";
+    b.quantity = 1;
+    b.min_quantity = 1;
+    b.transient_fit = 20'000.0;
+    d.blocks.push_back(b);
+  }
+  m.diagrams.push_back(std::move(d));
+  return m;
+}
+
+ModelSpec two_node_cluster() {
+  ModelSpec m;
+  m.title = "Two-Node Cluster";
+  m.globals = default_globals();
+
+  DiagramSpec root;
+  root.name = "Two-Node Cluster";
+  {
+    // Node pair under failover clustering: node-level MTBF aggregates the
+    // node's non-redundant internals; transients are OS panics.
+    BlockSpec b = fru("Node Pair", 2, 1, 30'000.0);
+    b.mode = RedundancyMode::kPrimaryStandby;
+    b.transient_fit = 25'000.0;
+    b.failover_time_min = 3.0;
+    b.p_failover = 0.98;
+    b.t_spf_min = 45.0;
+    b.repair = Transparency::kTransparent;
+    root.blocks.push_back(b);
+  }
+  {
+    BlockSpec b = redundant_fru("Shared Storage, RAID1", 2, 1, 300'000.0,
+                                Transparency::kTransparent,
+                                Transparency::kTransparent);
+    b.p_latent_fault = 0.05;
+    b.mttdlf_h = 24.0;
+    root.blocks.push_back(b);
+  }
+  {
+    BlockSpec b = redundant_fru("Cluster Interconnect", 2, 1, 500'000.0,
+                                Transparency::kTransparent,
+                                Transparency::kTransparent);
+    root.blocks.push_back(b);
+  }
+  m.diagrams.push_back(std::move(root));
+  return m;
+}
+
+std::vector<LibraryEntry> all_models() {
+  return {
+      {"datacenter_system", &datacenter_system},
+      {"e10000_like", &e10000_like},
+      {"entry_server", &entry_server},
+      {"midrange_server", &midrange_server},
+      {"two_node_cluster", &two_node_cluster},
+  };
+}
+
+}  // namespace rascad::core::library

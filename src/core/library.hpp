@@ -1,0 +1,48 @@
+// Built-in model library.
+//
+// RAScad ships "a library of models for existing Sun products and
+// integration with the component MTBF database"; this module is the
+// equivalent: ready-made ModelSpecs with representative FRU parameters.
+// `datacenter_system()` reproduces the structure of the paper's Figures
+// 1-2 (a Data Center System whose Server Box block expands into a
+// 19-block subdiagram). Parameter values are realistic orders of
+// magnitude for late-1990s enterprise hardware, not Sun's proprietary
+// numbers (see DESIGN.md, substitutions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spec/ast.hpp"
+
+namespace rascad::core::library {
+
+/// The paper's Figures 1-2: Data Center System = Server Box (19-block
+/// subdiagram) + Boot Drives (RAID 1) + two RAID 5 storage arrays.
+spec::ModelSpec datacenter_system();
+
+/// A large partitioned server in the spirit of the E10000 used for the
+/// paper's field validation: heavy board/CPU redundancy, reboot-based
+/// deconfiguration (nontransparent recovery), dynamic reconfiguration
+/// (transparent repair).
+spec::ModelSpec e10000_like();
+
+/// Entry server: no redundancy anywhere (every block is Type 0).
+spec::ModelSpec entry_server();
+
+/// Midrange server: N+1 power/cooling, mirrored disks, single system board.
+spec::ModelSpec midrange_server();
+
+/// Two-node failover cluster (primary/standby extension) over shared
+/// mirrored storage.
+spec::ModelSpec two_node_cluster();
+
+struct LibraryEntry {
+  std::string name;
+  spec::ModelSpec (*factory)();
+};
+
+/// All library models, for enumeration in tools and tests.
+std::vector<LibraryEntry> all_models();
+
+}  // namespace rascad::core::library

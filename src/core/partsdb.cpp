@@ -1,0 +1,196 @@
+#include "core/partsdb.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rascad::core {
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (char c : line) {
+    if (c == '"') {
+      quoted = !quoted;
+    } else if (c == ',' && !quoted) {
+      fields.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(current);
+  for (auto& f : fields) {
+    // Trim surrounding whitespace.
+    const auto begin = f.find_first_not_of(" \t\r");
+    const auto end = f.find_last_not_of(" \t\r");
+    f = begin == std::string::npos ? "" : f.substr(begin, end - begin + 1);
+  }
+  return fields;
+}
+
+std::optional<double> parse_optional_number(const std::string& field,
+                                            std::size_t line_no) {
+  if (field.empty()) return std::nullopt;
+  double value = 0.0;
+  const auto result =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (result.ec != std::errc{} || result.ptr != field.data() + field.size()) {
+    throw std::invalid_argument("parts CSV line " + std::to_string(line_no) +
+                                ": malformed number '" + field + "'");
+  }
+  if (value < 0.0) {
+    throw std::invalid_argument("parts CSV line " + std::to_string(line_no) +
+                                ": negative value");
+  }
+  return value;
+}
+
+}  // namespace
+
+PartsDatabase PartsDatabase::from_csv(std::string_view csv) {
+  PartsDatabase db;
+  std::istringstream in{std::string(csv)};
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    if (!header_seen) {
+      header_seen = true;  // header row: validated loosely by field count
+      const auto header = split_csv_line(line);
+      if (header.size() < 7 || header[0] != "part_number") {
+        throw std::invalid_argument(
+            "parts CSV: expected header 'part_number,description,mtbf_h,"
+            "transient_fit,mttr_diagnosis_min,mttr_corrective_min,"
+            "mttr_verification_min'");
+      }
+      continue;
+    }
+    const auto fields = split_csv_line(line);
+    if (fields.size() != 7) {
+      throw std::invalid_argument("parts CSV line " + std::to_string(line_no) +
+                                  ": expected 7 fields, got " +
+                                  std::to_string(fields.size()));
+    }
+    PartRecord r;
+    r.part_number = fields[0];
+    if (r.part_number.empty()) {
+      throw std::invalid_argument("parts CSV line " + std::to_string(line_no) +
+                                  ": empty part number");
+    }
+    r.description = fields[1];
+    r.mtbf_h = parse_optional_number(fields[2], line_no);
+    r.transient_fit = parse_optional_number(fields[3], line_no);
+    r.mttr_diagnosis_min = parse_optional_number(fields[4], line_no);
+    r.mttr_corrective_min = parse_optional_number(fields[5], line_no);
+    r.mttr_verification_min = parse_optional_number(fields[6], line_no);
+    db.insert(std::move(r));
+  }
+  return db;
+}
+
+PartsDatabase PartsDatabase::from_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open parts database: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_csv(buffer.str());
+}
+
+void PartsDatabase::insert(PartRecord record) {
+  const std::string key = record.part_number;
+  if (!records_.emplace(key, std::move(record)).second) {
+    throw std::invalid_argument("parts database: duplicate part number '" +
+                                key + "'");
+  }
+}
+
+const PartRecord* PartsDatabase::find(const std::string& part_number) const {
+  const auto it = records_.find(part_number);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+std::string quoted_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string PartsDatabase::to_csv() const {
+  std::vector<const PartRecord*> sorted;
+  sorted.reserve(records_.size());
+  for (const auto& [key, record] : records_) sorted.push_back(&record);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const PartRecord* a, const PartRecord* b) {
+              return a->part_number < b->part_number;
+            });
+  std::ostringstream os;
+  os << "part_number,description,mtbf_h,transient_fit,mttr_diagnosis_min,"
+        "mttr_corrective_min,mttr_verification_min\n";
+  auto field = [&os](const std::optional<double>& v) {
+    os << ',';
+    if (v) os << *v;
+  };
+  for (const PartRecord* r : sorted) {
+    os << quoted_field(r->part_number) << ',' << quoted_field(r->description);
+    field(r->mtbf_h);
+    field(r->transient_fit);
+    field(r->mttr_diagnosis_min);
+    field(r->mttr_corrective_min);
+    field(r->mttr_verification_min);
+    os << '\n';
+  }
+  return os.str();
+}
+
+EnrichmentReport apply_parts_database(spec::ModelSpec& model,
+                                      const PartsDatabase& db) {
+  EnrichmentReport report;
+  for (auto& diagram : model.diagrams) {
+    for (auto& block : diagram.blocks) {
+      if (block.part_number.empty()) continue;
+      const PartRecord* r = db.find(block.part_number);
+      if (!r) {
+        report.unknown_parts.push_back(diagram.name + "/" + block.name +
+                                       " (part " + block.part_number + ")");
+        continue;
+      }
+      if (r->mtbf_h) block.mtbf_h = *r->mtbf_h;
+      if (r->transient_fit) block.transient_fit = *r->transient_fit;
+      if (r->mttr_diagnosis_min) {
+        block.mttr_diagnosis_min = *r->mttr_diagnosis_min;
+      }
+      if (r->mttr_corrective_min) {
+        block.mttr_corrective_min = *r->mttr_corrective_min;
+      }
+      if (r->mttr_verification_min) {
+        block.mttr_verification_min = *r->mttr_verification_min;
+      }
+      if (block.description.empty()) block.description = r->description;
+      report.enriched.push_back(diagram.name + "/" + block.name + " <- " +
+                                block.part_number);
+    }
+  }
+  return report;
+}
+
+}  // namespace rascad::core

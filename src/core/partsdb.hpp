@@ -1,0 +1,64 @@
+// Component parts database.
+//
+// RAScad integrates with Sun's component MTBF database: blocks carry a
+// part number and the tool fills in measured MTBF/FIT/MTTR values. This
+// module is that integration point — a CSV-backed database keyed by part
+// number, applied to a ModelSpec in place.
+//
+// CSV schema (header required, '#' comments allowed):
+//   part_number,description,mtbf_h,transient_fit,mttr_diagnosis_min,
+//   mttr_corrective_min,mttr_verification_min
+// Empty numeric fields leave the block's own value untouched.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "spec/ast.hpp"
+
+namespace rascad::core {
+
+struct PartRecord {
+  std::string part_number;
+  std::string description;
+  std::optional<double> mtbf_h;
+  std::optional<double> transient_fit;
+  std::optional<double> mttr_diagnosis_min;
+  std::optional<double> mttr_corrective_min;
+  std::optional<double> mttr_verification_min;
+};
+
+class PartsDatabase {
+ public:
+  /// Parses CSV text. Throws std::invalid_argument on malformed rows,
+  /// duplicate part numbers, or negative values.
+  static PartsDatabase from_csv(std::string_view csv);
+  static PartsDatabase from_csv_file(const std::string& path);
+
+  void insert(PartRecord record);
+
+  std::size_t size() const noexcept { return records_.size(); }
+  const PartRecord* find(const std::string& part_number) const;
+
+  /// Serializes back to CSV (canonical order by part number).
+  std::string to_csv() const;
+
+ private:
+  std::unordered_map<std::string, PartRecord> records_;
+};
+
+struct EnrichmentReport {
+  std::vector<std::string> enriched;        // "diagram/block <- part"
+  std::vector<std::string> unknown_parts;   // blocks whose part is missing
+};
+
+/// Fills every block that names a part_number with the database values
+/// (database wins over spec values for fields the record provides).
+/// Returns what was touched; unknown part numbers are reported, not fatal.
+EnrichmentReport apply_parts_database(spec::ModelSpec& model,
+                                      const PartsDatabase& db);
+
+}  // namespace rascad::core

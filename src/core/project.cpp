@@ -1,0 +1,37 @@
+#include "core/project.hpp"
+
+#include "spec/parser.hpp"
+#include "spec/validate.hpp"
+
+namespace rascad::core {
+
+Project::Project(spec::ModelSpec model) : spec_(std::move(model)) {
+  spec::validate_or_throw(spec_);
+}
+
+Project Project::from_string(std::string_view rsc_text) {
+  return Project(spec::parse_model(rsc_text));
+}
+
+Project Project::from_file(const std::string& path) {
+  return Project(spec::parse_model_file(path));
+}
+
+Project Project::from_spec(spec::ModelSpec model) {
+  return Project(std::move(model));
+}
+
+const mg::SystemModel& Project::system() const {
+  if (!system_) {
+    system_ = std::make_shared<const mg::SystemModel>(
+        mg::SystemModel::build(spec_, opts_));
+  }
+  return *system_;
+}
+
+void Project::set_options(const mg::SystemModel::Options& opts) {
+  opts_ = opts;
+  system_.reset();
+}
+
+}  // namespace rascad::core

@@ -1,0 +1,49 @@
+// Top-level facade: load an engineering-language model, generate and solve
+// it, and query the paper's measure set — the library's main entry point.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "mg/system.hpp"
+#include "spec/ast.hpp"
+
+namespace rascad::core {
+
+class Project {
+ public:
+  /// Parses and validates `.rsc` text. Throws spec::ParseError /
+  /// std::invalid_argument on problems.
+  static Project from_string(std::string_view rsc_text);
+  static Project from_file(const std::string& path);
+  static Project from_spec(spec::ModelSpec model);
+
+  const spec::ModelSpec& spec() const noexcept { return spec_; }
+
+  /// The generated and solved system model (built on first access).
+  const mg::SystemModel& system() const;
+
+  /// Options applied to the next system() build; call before first use.
+  void set_options(const mg::SystemModel::Options& opts);
+
+  // Convenience measures (all delegate to the solved system).
+  double availability() const { return system().availability(); }
+  double yearly_downtime_min() const { return system().yearly_downtime_min(); }
+  double mtbf_h() const { return system().mtbf_h(); }
+  double interval_availability_at_mission() const {
+    return system().interval_availability(spec_.globals.mission_time_h);
+  }
+  double reliability_at_mission() const {
+    return system().reliability(spec_.globals.mission_time_h);
+  }
+
+ private:
+  explicit Project(spec::ModelSpec model);
+
+  spec::ModelSpec spec_;
+  mg::SystemModel::Options opts_;
+  mutable std::shared_ptr<const mg::SystemModel> system_;
+};
+
+}  // namespace rascad::core

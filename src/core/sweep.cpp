@@ -1,0 +1,100 @@
+#include "core/sweep.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rascad::core {
+
+namespace {
+
+SweepPoint solve_point(const spec::ModelSpec& model, double value) {
+  const mg::SystemModel system = mg::SystemModel::build(model);
+  SweepPoint p;
+  p.value = value;
+  p.availability = system.availability();
+  p.yearly_downtime_min = system.yearly_downtime_min();
+  p.eq_failure_rate = system.eq_failure_rate();
+  return p;
+}
+
+spec::BlockSpec* find_block(spec::ModelSpec& model, const std::string& diagram,
+                            const std::string& block) {
+  for (auto& d : model.diagrams) {
+    if (d.name != diagram) continue;
+    for (auto& b : d.blocks) {
+      if (b.name == block) return &b;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> sweep_block_parameter(
+    const spec::ModelSpec& base, const std::string& diagram,
+    const std::string& block, const BlockMutator& mutate,
+    const std::vector<double>& values) {
+  if (!mutate) {
+    throw std::invalid_argument("sweep_block_parameter: null mutator");
+  }
+  {
+    spec::ModelSpec probe = base;
+    if (!find_block(probe, diagram, block)) {
+      throw std::invalid_argument("sweep_block_parameter: no block '" + block +
+                                  "' in diagram '" + diagram + "'");
+    }
+  }
+  std::vector<SweepPoint> points;
+  points.reserve(values.size());
+  for (double v : values) {
+    spec::ModelSpec model = base;
+    mutate(*find_block(model, diagram, block), v);
+    points.push_back(solve_point(model, v));
+  }
+  return points;
+}
+
+std::vector<SweepPoint> sweep_global_parameter(
+    const spec::ModelSpec& base, const GlobalMutator& mutate,
+    const std::vector<double>& values) {
+  if (!mutate) {
+    throw std::invalid_argument("sweep_global_parameter: null mutator");
+  }
+  std::vector<SweepPoint> points;
+  points.reserve(values.size());
+  for (double v : values) {
+    spec::ModelSpec model = base;
+    mutate(model.globals, v);
+    points.push_back(solve_point(model, v));
+  }
+  return points;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  if (n < 2) throw std::invalid_argument("linspace: need at least 2 points");
+  std::vector<double> v(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = lo + step * static_cast<double>(i);
+  }
+  v.back() = hi;
+  return v;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t n) {
+  if (n < 2) throw std::invalid_argument("logspace: need at least 2 points");
+  if (!(lo > 0.0) || !(hi > 0.0)) {
+    throw std::invalid_argument("logspace: bounds must be positive");
+  }
+  std::vector<double> v(n);
+  const double llo = std::log(lo);
+  const double lhi = std::log(hi);
+  const double step = (lhi - llo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = std::exp(llo + step * static_cast<double>(i));
+  }
+  v.back() = hi;
+  return v;
+}
+
+}  // namespace rascad::core

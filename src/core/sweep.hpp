@@ -1,0 +1,46 @@
+// Parametric analysis (paper Section 1: "graphical output and parametric
+// analysis capability"): re-solve the model over a sweep of one block or
+// global parameter and report the availability series.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mg/system.hpp"
+#include "spec/ast.hpp"
+
+namespace rascad::core {
+
+struct SweepPoint {
+  double value = 0.0;
+  double availability = 1.0;
+  double yearly_downtime_min = 0.0;
+  double eq_failure_rate = 0.0;
+};
+
+/// Mutator applied to the targeted block for each sweep value.
+using BlockMutator = std::function<void(spec::BlockSpec&, double)>;
+/// Mutator applied to the global parameters for each sweep value.
+using GlobalMutator = std::function<void(spec::GlobalParams&, double)>;
+
+/// Sweeps a block parameter: for each value, copies the model, applies the
+/// mutator to the named block (in the named diagram), re-generates, and
+/// solves. Throws std::invalid_argument if the block does not exist.
+std::vector<SweepPoint> sweep_block_parameter(
+    const spec::ModelSpec& base, const std::string& diagram,
+    const std::string& block, const BlockMutator& mutate,
+    const std::vector<double>& values);
+
+/// Sweeps a global parameter over all values.
+std::vector<SweepPoint> sweep_global_parameter(
+    const spec::ModelSpec& base, const GlobalMutator& mutate,
+    const std::vector<double>& values);
+
+/// Evenly spaced values in [lo, hi] (n >= 2 points).
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Logarithmically spaced values in [lo, hi], lo > 0 (n >= 2 points).
+std::vector<double> logspace(double lo, double hi, std::size_t n);
+
+}  // namespace rascad::core

@@ -1,0 +1,331 @@
+#include "dist/distribution.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rascad::dist {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+double require_positive(double x, const char* what) {
+  if (!(x > 0.0)) {
+    throw std::invalid_argument(std::string(what) + " must be positive");
+  }
+  return x;
+}
+
+double require_non_negative(double x, const char* what) {
+  if (!(x >= 0.0)) {
+    throw std::invalid_argument(std::string(what) + " must be non-negative");
+  }
+  return x;
+}
+
+/// Standard normal sample via Box-Muller.
+double sample_normal(RandomSource& rng) {
+  const double u1 = rng.uniform01();
+  const double u2 = rng.uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+}
+
+/// Regularized lower incomplete gamma P(a, x), by series (x < a + 1) or
+/// continued fraction (x >= a + 1). Standard Numerical-Recipes scheme.
+double regularized_gamma_p(double a, double x) {
+  if (x <= 0.0) return 0.0;
+  const double gln = std::lgamma(a);
+  if (x < a + 1.0) {
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int n = 0; n < 500; ++n) {
+      ap += 1.0;
+      del *= x / ap;
+      sum += del;
+      if (std::abs(del) < std::abs(sum) * 1e-15) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - gln);
+  }
+  // Lentz continued fraction for Q(a, x).
+  double b = x + 1.0 - a;
+  double c = 1e300;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < 1e-300) d = 1e-300;
+    c = b + an / c;
+    if (std::abs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-15) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - gln) * h;
+  return 1.0 - q;
+}
+
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double lambda)
+      : lambda_(require_positive(lambda, "exponential rate")) {}
+  double mean() const override { return 1.0 / lambda_; }
+  double variance() const override { return 1.0 / (lambda_ * lambda_); }
+  double cdf(double t) const override {
+    return t <= 0.0 ? 0.0 : 1.0 - std::exp(-lambda_ * t);
+  }
+  double sample(RandomSource& rng) const override {
+    return -std::log(rng.uniform01()) / lambda_;
+  }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "Exp(rate=" << lambda_ << ")";
+    return os.str();
+  }
+
+ private:
+  double lambda_;
+};
+
+class Deterministic final : public Distribution {
+ public:
+  explicit Deterministic(double t)
+      : t_(require_non_negative(t, "deterministic value")) {}
+  double mean() const override { return t_; }
+  double variance() const override { return 0.0; }
+  double cdf(double t) const override { return t >= t_ ? 1.0 : 0.0; }
+  double sample(RandomSource&) const override { return t_; }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "Det(" << t_ << ")";
+    return os.str();
+  }
+
+ private:
+  double t_;
+};
+
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+    require_non_negative(lo, "uniform lower bound");
+    if (hi < lo) {
+      throw std::invalid_argument("uniform: hi must be >= lo");
+    }
+  }
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+  double variance() const override {
+    const double w = hi_ - lo_;
+    return w * w / 12.0;
+  }
+  double cdf(double t) const override {
+    if (t <= lo_) return 0.0;
+    if (t >= hi_) return 1.0;
+    return (t - lo_) / (hi_ - lo_);
+  }
+  double sample(RandomSource& rng) const override {
+    return lo_ + (hi_ - lo_) * rng.uniform01();
+  }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "Uniform[" << lo_ << ", " << hi_ << "]";
+    return os.str();
+  }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+class Weibull final : public Distribution {
+ public:
+  Weibull(double shape, double scale)
+      : k_(require_positive(shape, "weibull shape")),
+        scale_(require_positive(scale, "weibull scale")) {}
+  double mean() const override {
+    return scale_ * std::tgamma(1.0 + 1.0 / k_);
+  }
+  double variance() const override {
+    const double g1 = std::tgamma(1.0 + 1.0 / k_);
+    const double g2 = std::tgamma(1.0 + 2.0 / k_);
+    return scale_ * scale_ * (g2 - g1 * g1);
+  }
+  double cdf(double t) const override {
+    return t <= 0.0 ? 0.0 : 1.0 - std::exp(-std::pow(t / scale_, k_));
+  }
+  double sample(RandomSource& rng) const override {
+    return scale_ * std::pow(-std::log(rng.uniform01()), 1.0 / k_);
+  }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "Weibull(shape=" << k_ << ", scale=" << scale_ << ")";
+    return os.str();
+  }
+
+ private:
+  double k_;
+  double scale_;
+};
+
+class Lognormal final : public Distribution {
+ public:
+  Lognormal(double mu, double sigma)
+      : mu_(mu), sigma_(require_positive(sigma, "lognormal sigma")) {}
+  double mean() const override {
+    return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+  }
+  double variance() const override {
+    const double s2 = sigma_ * sigma_;
+    return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+  }
+  double cdf(double t) const override {
+    if (t <= 0.0) return 0.0;
+    return 0.5 * std::erfc(-(std::log(t) - mu_) / (sigma_ * std::sqrt(2.0)));
+  }
+  double sample(RandomSource& rng) const override {
+    return std::exp(mu_ + sigma_ * sample_normal(rng));
+  }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "Lognormal(mu=" << mu_ << ", sigma=" << sigma_ << ")";
+    return os.str();
+  }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+class Gamma final : public Distribution {
+ public:
+  Gamma(double shape, double rate)
+      : alpha_(require_positive(shape, "gamma shape")),
+        beta_(require_positive(rate, "gamma rate")) {}
+  double mean() const override { return alpha_ / beta_; }
+  double variance() const override { return alpha_ / (beta_ * beta_); }
+  double cdf(double t) const override {
+    return t <= 0.0 ? 0.0 : regularized_gamma_p(alpha_, beta_ * t);
+  }
+  double sample(RandomSource& rng) const override {
+    // Marsaglia-Tsang squeeze; the shape < 1 case boosts to shape + 1.
+    double alpha = alpha_;
+    double boost = 1.0;
+    if (alpha < 1.0) {
+      boost = std::pow(rng.uniform01(), 1.0 / alpha);
+      alpha += 1.0;
+    }
+    const double d = alpha - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+      double x;
+      double v;
+      do {
+        x = sample_normal(rng);
+        v = 1.0 + c * x;
+      } while (v <= 0.0);
+      v = v * v * v;
+      const double u = rng.uniform01();
+      if (u < 1.0 - 0.0331 * x * x * x * x ||
+          std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+        return boost * d * v / beta_;
+      }
+    }
+  }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "Gamma(shape=" << alpha_ << ", rate=" << beta_ << ")";
+    return os.str();
+  }
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+class Erlang final : public Distribution {
+ public:
+  Erlang(std::uint32_t k, double lambda)
+      : k_(k), lambda_(require_positive(lambda, "erlang rate")) {
+    if (k == 0) throw std::invalid_argument("erlang: k must be >= 1");
+  }
+  double mean() const override { return k_ / lambda_; }
+  double variance() const override { return k_ / (lambda_ * lambda_); }
+  double cdf(double t) const override {
+    if (t <= 0.0) return 0.0;
+    // 1 - sum_{n<k} e^{-lt} (lt)^n / n!
+    const double lt = lambda_ * t;
+    double term = std::exp(-lt);
+    double acc = term;
+    for (std::uint32_t n = 1; n < k_; ++n) {
+      term *= lt / n;
+      acc += term;
+    }
+    return 1.0 - acc;
+  }
+  double sample(RandomSource& rng) const override {
+    double acc = 0.0;
+    for (std::uint32_t i = 0; i < k_; ++i) {
+      acc += -std::log(rng.uniform01());
+    }
+    return acc / lambda_;
+  }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "Erlang(k=" << k_ << ", rate=" << lambda_ << ")";
+    return os.str();
+  }
+
+ private:
+  std::uint32_t k_;
+  double lambda_;
+};
+
+}  // namespace
+
+DistributionPtr exponential(double lambda) {
+  return std::make_shared<Exponential>(lambda);
+}
+
+DistributionPtr exponential_mean(double mean) {
+  require_positive(mean, "exponential mean");
+  return std::make_shared<Exponential>(1.0 / mean);
+}
+
+DistributionPtr deterministic(double t) {
+  return std::make_shared<Deterministic>(t);
+}
+
+DistributionPtr uniform(double lo, double hi) {
+  return std::make_shared<Uniform>(lo, hi);
+}
+
+DistributionPtr weibull(double shape, double scale) {
+  return std::make_shared<Weibull>(shape, scale);
+}
+
+DistributionPtr lognormal(double mu, double sigma) {
+  return std::make_shared<Lognormal>(mu, sigma);
+}
+
+DistributionPtr lognormal_mean_cv(double mean, double cv) {
+  require_positive(mean, "lognormal mean");
+  require_positive(cv, "lognormal cv");
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return std::make_shared<Lognormal>(mu, std::sqrt(sigma2));
+}
+
+DistributionPtr erlang(std::uint32_t k, double lambda) {
+  return std::make_shared<Erlang>(k, lambda);
+}
+
+DistributionPtr gamma(double shape, double rate) {
+  return std::make_shared<Gamma>(shape, rate);
+}
+
+}  // namespace rascad::dist

@@ -1,0 +1,68 @@
+// Holding-time / lifetime distributions.
+//
+// The analytic engines only need means (exponential CTMCs; semi-Markov
+// steady state via mean holding times), while the discrete-event simulator
+// samples full distributions — including the non-exponential ones that make
+// the simulator a genuinely independent oracle for the generated models.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace rascad::dist {
+
+/// Minimal counter-based RNG interface so distributions can be sampled
+/// without binding to a concrete engine (the simulator provides xoshiro).
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+  /// Uniform double in (0, 1) — never exactly 0 or 1, so log() is safe.
+  virtual double uniform01() = 0;
+};
+
+/// Abstract distribution over non-negative durations.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  virtual double mean() const = 0;
+  virtual double variance() const = 0;
+  /// P(X <= t).
+  virtual double cdf(double t) const = 0;
+  virtual double sample(RandomSource& rng) const = 0;
+  virtual std::string describe() const = 0;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+/// Exponential with rate lambda (mean 1/lambda). Throws
+/// std::invalid_argument unless lambda > 0.
+DistributionPtr exponential(double lambda);
+
+/// Exponential specified by its mean. Throws unless mean > 0.
+DistributionPtr exponential_mean(double mean);
+
+/// Point mass at t >= 0.
+DistributionPtr deterministic(double t);
+
+/// Uniform on [lo, hi], 0 <= lo <= hi.
+DistributionPtr uniform(double lo, double hi);
+
+/// Weibull with shape k > 0 and scale lambda > 0.
+DistributionPtr weibull(double shape, double scale);
+
+/// Lognormal with parameters mu (log-scale) and sigma > 0.
+DistributionPtr lognormal(double mu, double sigma);
+
+/// Lognormal specified by its mean m > 0 and coefficient of variation
+/// cv > 0 (convenience for repair-time modeling).
+DistributionPtr lognormal_mean_cv(double mean, double cv);
+
+/// Erlang: sum of k >= 1 iid exponentials of rate lambda > 0.
+DistributionPtr erlang(std::uint32_t k, double lambda);
+
+/// Gamma with shape alpha > 0 and rate beta > 0.
+DistributionPtr gamma(double shape, double rate);
+
+}  // namespace rascad::dist

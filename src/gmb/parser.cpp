@@ -1,0 +1,312 @@
+#include "gmb/parser.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "spec/lexer.hpp"
+
+namespace rascad::gmb {
+
+namespace {
+
+using spec::ParseError;
+using spec::Token;
+using spec::TokenKind;
+
+class GmbParser {
+ public:
+  GmbParser(std::string_view source, Workspace& workspace)
+      : tokens_(spec::tokenize(source)), workspace_(workspace) {}
+
+  void run() {
+    while (peek().kind != TokenKind::kEndOfInput) {
+      const Token& t = peek();
+      if (t.kind != TokenKind::kIdentifier) {
+        throw ParseError(t.line, t.column,
+                         "expected 'markov', 'semi_markov', or 'rbd'");
+      }
+      if (t.text == "markov") {
+        parse_markov();
+      } else if (t.text == "semi_markov") {
+        parse_semi_markov();
+      } else if (t.text == "rbd") {
+        parse_rbd();
+      } else {
+        throw ParseError(t.line, t.column,
+                         "unknown model kind '" + t.text + "'");
+      }
+    }
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& next() { return tokens_[pos_++]; }
+
+  const Token& expect(TokenKind kind, const char* what) {
+    const Token& t = peek();
+    if (t.kind != kind) {
+      throw ParseError(t.line, t.column, std::string("expected ") + what +
+                                             ", got '" + t.text + "'");
+    }
+    return next();
+  }
+
+  void expect_keyword(const char* keyword) {
+    const Token& t = peek();
+    if (t.kind != TokenKind::kIdentifier || t.text != keyword) {
+      throw ParseError(t.line, t.column,
+                       std::string("expected '") + keyword + "'");
+    }
+    next();
+  }
+
+  bool accept_keyword(const char* keyword) {
+    const Token& t = peek();
+    if (t.kind == TokenKind::kIdentifier && t.text == keyword) {
+      next();
+      return true;
+    }
+    return false;
+  }
+
+  void skip_separators() {
+    while (peek().kind == TokenKind::kSemicolon) next();
+  }
+
+  double expect_number(const char* what) {
+    return expect(TokenKind::kNumber, what).number;
+  }
+
+  double keyed_number(const char* keyword) {
+    expect_keyword(keyword);
+    expect(TokenKind::kEquals, "'='");
+    return expect_number("a number");
+  }
+
+  void parse_markov() {
+    next();  // 'markov'
+    const std::string name = expect(TokenKind::kString, "model name").text;
+    expect(TokenKind::kLBrace, "'{'");
+    markov::CtmcBuilder builder;
+    std::string initial_name;
+    struct PendingArc {
+      std::string from;
+      std::string to;
+      double rate;
+      std::size_t line;
+      std::size_t column;
+    };
+    std::vector<PendingArc> arcs;
+    while (peek().kind != TokenKind::kRBrace) {
+      const Token t = peek();
+      if (accept_keyword("initial")) {
+        expect(TokenKind::kEquals, "'='");
+        initial_name = expect(TokenKind::kString, "state name").text;
+      } else if (accept_keyword("state")) {
+        const std::string sname =
+            expect(TokenKind::kString, "state name").text;
+        const double reward = keyed_number("reward");
+        builder.add_state(sname, reward);
+      } else if (accept_keyword("arc")) {
+        PendingArc arc;
+        arc.line = t.line;
+        arc.column = t.column;
+        arc.from = expect(TokenKind::kString, "source state").text;
+        arc.to = expect(TokenKind::kString, "target state").text;
+        arc.rate = keyed_number("rate");
+        arcs.push_back(std::move(arc));
+      } else {
+        throw ParseError(t.line, t.column,
+                         "expected 'initial', 'state', or 'arc'");
+      }
+      skip_separators();
+    }
+    next();  // '}'
+    for (const auto& arc : arcs) {
+      const auto from = builder.find_state(arc.from);
+      const auto to = builder.find_state(arc.to);
+      if (!from || !to) {
+        throw ParseError(arc.line, arc.column,
+                         "arc references an undeclared state");
+      }
+      builder.add_transition(*from, *to, arc.rate);
+    }
+    markov::Ctmc chain = builder.build();
+    markov::StateIndex initial = 0;
+    if (!initial_name.empty()) {
+      const auto idx = chain.find_state(initial_name);
+      if (!idx) {
+        throw std::invalid_argument("gmb: initial state '" + initial_name +
+                                    "' not declared in model '" + name + "'");
+      }
+      initial = *idx;
+    }
+    workspace_.add_markov(name, std::move(chain), initial);
+  }
+
+  dist::DistributionPtr parse_distribution() {
+    const Token t = expect(TokenKind::kIdentifier, "a distribution name");
+    if (t.text == "exponential") {
+      return dist::exponential(expect_number("rate"));
+    }
+    if (t.text == "exponential_mean") {
+      return dist::exponential_mean(expect_number("mean"));
+    }
+    if (t.text == "deterministic") {
+      return dist::deterministic(expect_number("value"));
+    }
+    if (t.text == "uniform") {
+      const double lo = expect_number("lower bound");
+      const double hi = expect_number("upper bound");
+      return dist::uniform(lo, hi);
+    }
+    if (t.text == "weibull") {
+      const double shape = expect_number("shape");
+      const double scale = expect_number("scale");
+      return dist::weibull(shape, scale);
+    }
+    if (t.text == "lognormal") {
+      const double mu = expect_number("mu");
+      const double sigma = expect_number("sigma");
+      return dist::lognormal(mu, sigma);
+    }
+    if (t.text == "lognormal_mean_cv") {
+      const double mean = expect_number("mean");
+      const double cv = expect_number("cv");
+      return dist::lognormal_mean_cv(mean, cv);
+    }
+    if (t.text == "erlang") {
+      const double k = expect_number("k");
+      const double rate = expect_number("rate");
+      return dist::erlang(static_cast<std::uint32_t>(k), rate);
+    }
+    if (t.text == "gamma") {
+      const double shape = expect_number("shape");
+      const double rate = expect_number("rate");
+      return dist::gamma(shape, rate);
+    }
+    throw ParseError(t.line, t.column,
+                     "unknown distribution '" + t.text + "'");
+  }
+
+  void parse_semi_markov() {
+    next();  // 'semi_markov'
+    const std::string name = expect(TokenKind::kString, "model name").text;
+    expect(TokenKind::kLBrace, "'{'");
+    semimarkov::SmpBuilder builder;
+    std::unordered_map<std::string, std::size_t> indices;
+    struct PendingArc {
+      std::string from;
+      std::string to;
+      double p;
+      std::size_t line;
+      std::size_t column;
+    };
+    std::vector<PendingArc> arcs;
+    while (peek().kind != TokenKind::kRBrace) {
+      const Token t = peek();
+      if (accept_keyword("state")) {
+        const std::string sname =
+            expect(TokenKind::kString, "state name").text;
+        const double reward = keyed_number("reward");
+        expect_keyword("sojourn");
+        expect(TokenKind::kEquals, "'='");
+        dist::DistributionPtr sojourn = parse_distribution();
+        indices.emplace(sname,
+                        builder.add_state(sname, reward, std::move(sojourn)));
+      } else if (accept_keyword("arc")) {
+        PendingArc arc;
+        arc.line = t.line;
+        arc.column = t.column;
+        arc.from = expect(TokenKind::kString, "source state").text;
+        arc.to = expect(TokenKind::kString, "target state").text;
+        arc.p = keyed_number("p");
+        arcs.push_back(std::move(arc));
+      } else {
+        throw ParseError(t.line, t.column, "expected 'state' or 'arc'");
+      }
+      skip_separators();
+    }
+    next();  // '}'
+    for (const auto& arc : arcs) {
+      const auto from = indices.find(arc.from);
+      const auto to = indices.find(arc.to);
+      if (from == indices.end() || to == indices.end()) {
+        throw ParseError(arc.line, arc.column,
+                         "arc references an undeclared state");
+      }
+      builder.add_transition(from->second, to->second, arc.p);
+    }
+    workspace_.add_semi_markov(name, builder.build());
+  }
+
+  rbd::RbdNodePtr parse_rbd_node() {
+    const Token t = expect(TokenKind::kIdentifier, "an RBD element");
+    if (t.text == "leaf") {
+      const std::string lname = expect(TokenKind::kString, "leaf name").text;
+      const double a = keyed_number("availability");
+      return rbd::RbdNode::leaf(lname, a);
+    }
+    if (t.text == "ref") {
+      const std::string rname =
+          expect(TokenKind::kString, "referenced model name").text;
+      if (!workspace_.contains(rname)) {
+        throw ParseError(t.line, t.column,
+                         "ref to unknown model '" + rname + "'");
+      }
+      return workspace_.ref_leaf(rname);
+    }
+    std::size_t k = 0;
+    if (t.text == "kofn") {
+      k = static_cast<std::size_t>(expect_number("k"));
+    } else if (t.text != "series" && t.text != "parallel") {
+      throw ParseError(t.line, t.column,
+                       "expected leaf/ref/series/parallel/kofn");
+    }
+    expect(TokenKind::kLBrace, "'{'");
+    std::vector<rbd::RbdNodePtr> children;
+    while (peek().kind != TokenKind::kRBrace) {
+      children.push_back(parse_rbd_node());
+      skip_separators();
+    }
+    next();  // '}'
+    if (t.text == "series") return rbd::RbdNode::series("series", children);
+    if (t.text == "parallel") {
+      return rbd::RbdNode::parallel("parallel", children);
+    }
+    return rbd::RbdNode::k_of_n("kofn", k, children);
+  }
+
+  void parse_rbd() {
+    next();  // 'rbd'
+    const std::string name = expect(TokenKind::kString, "model name").text;
+    expect(TokenKind::kLBrace, "'{'");
+    rbd::RbdNodePtr tree = parse_rbd_node();
+    skip_separators();
+    expect(TokenKind::kRBrace, "'}' (RBD models hold one root element)");
+    workspace_.add_rbd(name, std::move(tree));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  Workspace& workspace_;
+};
+
+}  // namespace
+
+void parse_into(std::string_view source, Workspace& workspace) {
+  GmbParser(source, workspace).run();
+}
+
+void parse_file_into(const std::string& path, Workspace& workspace) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open gmb file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  parse_into(buffer.str(), workspace);
+}
+
+}  // namespace rascad::gmb

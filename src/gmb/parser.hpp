@@ -1,0 +1,53 @@
+// Text format for GMB models, sharing the `.rsc` lexer.
+//
+// RAScad's GMB is graphical; the equivalent information here is a `.gmb`
+// file, one or more named models:
+//
+//   markov "cpu" {
+//     initial = "Ok"
+//     state "Ok"   reward = 1
+//     state "Down" reward = 0
+//     arc "Ok" "Down" rate = 0.001
+//     arc "Down" "Ok" rate = 0.25
+//   }
+//
+//   semi_markov "disk" {
+//     state "Up"     reward = 1 sojourn = weibull 1.5 120000
+//     state "Repair" reward = 0 sojourn = lognormal_mean_cv 6 0.8
+//     arc "Up" "Repair" p = 1
+//     arc "Repair" "Up" p = 1
+//   }
+//
+//   rbd "system" {
+//     series {
+//       ref "cpu"
+//       ref "disk"
+//       parallel { leaf "psu-a" availability = 0.9995
+//                  leaf "psu-b" availability = 0.9995 }
+//       kofn 2 { leaf "fan1" availability = 0.999
+//                leaf "fan2" availability = 0.999
+//                leaf "fan3" availability = 0.999 }
+//     }
+//   }
+//
+// `ref` resolves against models defined earlier in the same file or
+// already present in the workspace (hierarchical modeling).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "gmb/workspace.hpp"
+
+namespace rascad::gmb {
+
+/// Parses `.gmb` text and registers every model into `workspace`. Throws
+/// spec::ParseError (with position) on malformed input, and
+/// std::invalid_argument for semantic problems (duplicate names, dangling
+/// refs, bad probabilities).
+void parse_into(std::string_view source, Workspace& workspace);
+
+/// Convenience: parse a file from disk.
+void parse_file_into(const std::string& path, Workspace& workspace);
+
+}  // namespace rascad::gmb

@@ -1,0 +1,150 @@
+#include "linalg/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace rascad::linalg {
+
+CsrBuilder::CsrBuilder(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {}
+
+void CsrBuilder::add(std::size_t r, std::size_t c, double value) {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("CsrBuilder::add: index out of range");
+  }
+  if (value == 0.0) return;
+  triplets_.push_back({r, c, value});
+}
+
+CsrMatrix CsrBuilder::build() const {
+  std::vector<Triplet> sorted = triplets_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.rows_ = rows_;
+  m.cols_ = cols_;
+  m.row_ptr_.assign(rows_ + 1, 0);
+  m.col_idx_.reserve(sorted.size());
+  m.values_.reserve(sorted.size());
+
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    m.row_ptr_[r] = m.values_.size();
+    while (i < sorted.size() && sorted[i].row == r) {
+      const std::size_t c = sorted[i].col;
+      double v = 0.0;
+      while (i < sorted.size() && sorted[i].row == r && sorted[i].col == c) {
+        v += sorted[i].value;
+        ++i;
+      }
+      if (v != 0.0) {
+        m.col_idx_.push_back(c);
+        m.values_.push_back(v);
+      }
+    }
+  }
+  m.row_ptr_[rows_] = m.values_.size();
+  return m;
+}
+
+Vector CsrMatrix::mul(const Vector& x) const {
+  if (x.size() != cols_) {
+    throw std::invalid_argument("CsrMatrix::mul: shape mismatch");
+  }
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vector CsrMatrix::mul_transpose(const Vector& x) const {
+  if (x.size() != rows_) {
+    throw std::invalid_argument("CsrMatrix::mul_transpose: shape mismatch");
+  }
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      y[col_idx_[k]] += values_[k] * xr;
+    }
+  }
+  return y;
+}
+
+double CsrMatrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("CsrMatrix::at: index out of range");
+  }
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+Vector CsrMatrix::diagonal() const {
+  const std::size_t n = std::min(rows_, cols_);
+  Vector d(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) d[i] = at(i, i);
+  return d;
+}
+
+double CsrMatrix::max_abs_diagonal() const noexcept {
+  double m = 0.0;
+  const std::size_t n = std::min(rows_, cols_);
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::abs(at(i, i)));
+  return m;
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  CsrBuilder b(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      b.add(col_idx_[k], r, values_[k]);
+    }
+  }
+  return b.build();
+}
+
+DenseMatrix CsrMatrix::to_dense() const {
+  DenseMatrix m(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      m(r, col_idx_[k]) = values_[k];
+    }
+  }
+  return m;
+}
+
+Vector CsrMatrix::row_sums() const {
+  Vector s(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      s[r] += values_[k];
+    }
+  }
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const CsrMatrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto row = m.row(r);
+    for (std::size_t k = 0; k < row.size; ++k) {
+      os << '(' << r << ", " << row.cols[k] << ") = " << row.values[k] << '\n';
+    }
+  }
+  return os;
+}
+
+}  // namespace rascad::linalg

@@ -1,0 +1,95 @@
+// Compressed sparse row (CSR) matrix.
+//
+// Generated Markov chains are sparse (a handful of outgoing arcs per state),
+// so the iterative steady-state solvers and the uniformization transient
+// solver operate on CSR. Matrices are assembled through CsrBuilder, which
+// accumulates coordinate triplets and merges duplicates on build.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace rascad::linalg {
+
+class CsrMatrix;
+
+/// Accumulates (row, col, value) triplets; duplicates are summed.
+class CsrBuilder {
+ public:
+  CsrBuilder(std::size_t rows, std::size_t cols);
+
+  /// Adds value at (r, c). Throws std::out_of_range for bad indices.
+  void add(std::size_t r, std::size_t c, double value);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  CsrMatrix build() const;
+
+ private:
+  struct Triplet {
+    std::size_t row;
+    std::size_t col;
+    double value;
+  };
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Triplet> triplets_;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t nnz() const noexcept { return values_.size(); }
+
+  /// y = A * x. Throws std::invalid_argument on shape mismatch.
+  Vector mul(const Vector& x) const;
+
+  /// y = A^T * x. Throws std::invalid_argument on shape mismatch.
+  Vector mul_transpose(const Vector& x) const;
+
+  /// Element lookup (binary search within the row); absent entries are 0.
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Vector of the diagonal entries (length min(rows, cols)).
+  Vector diagonal() const;
+
+  /// Maximum absolute diagonal entry — the uniformization rate bound for a
+  /// generator matrix.
+  double max_abs_diagonal() const noexcept;
+
+  CsrMatrix transposed() const;
+  DenseMatrix to_dense() const;
+
+  /// Row iteration support: columns/values of row r as parallel spans.
+  struct RowView {
+    const std::size_t* cols;
+    const double* values;
+    std::size_t size;
+  };
+  RowView row(std::size_t r) const noexcept {
+    return {col_idx_.data() + row_ptr_[r], values_.data() + row_ptr_[r],
+            row_ptr_[r + 1] - row_ptr_[r]};
+  }
+
+  /// Sum of each row's entries (for generator-matrix conservation checks).
+  Vector row_sums() const;
+
+ private:
+  friend class CsrBuilder;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;  // rows_ + 1 entries
+  std::vector<std::size_t> col_idx_;  // nnz entries
+  std::vector<double> values_;        // nnz entries
+};
+
+std::ostream& operator<<(std::ostream& os, const CsrMatrix& m);
+
+}  // namespace rascad::linalg

@@ -1,0 +1,140 @@
+#include "markov/dtmc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/iterative.hpp"
+#include "linalg/lu.hpp"
+
+namespace rascad::markov {
+
+std::size_t DtmcBuilder::add_state(std::string name) {
+  for (const auto& existing : names_) {
+    if (existing == name) {
+      throw std::invalid_argument("DtmcBuilder: duplicate state name '" +
+                                  name + "'");
+    }
+  }
+  names_.push_back(std::move(name));
+  return names_.size() - 1;
+}
+
+void DtmcBuilder::add_transition(std::size_t from, std::size_t to,
+                                 double probability) {
+  if (from >= names_.size() || to >= names_.size()) {
+    throw std::out_of_range("DtmcBuilder: transition endpoint out of range");
+  }
+  if (!(probability > 0.0) || probability > 1.0 + 1e-12) {
+    throw std::invalid_argument("DtmcBuilder: probability must be in (0, 1]");
+  }
+  arcs_.push_back({from, to, probability});
+}
+
+Dtmc DtmcBuilder::build(double row_sum_tolerance) const {
+  if (names_.empty()) {
+    throw std::invalid_argument("DtmcBuilder: chain has no states");
+  }
+  const std::size_t n = names_.size();
+  linalg::CsrBuilder pb(n, n);
+  std::vector<double> row_sum(n, 0.0);
+  for (const Arc& a : arcs_) {
+    pb.add(a.from, a.to, a.p);
+    row_sum[a.from] += a.p;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::abs(row_sum[i] - 1.0) > row_sum_tolerance) {
+      throw std::invalid_argument("DtmcBuilder: row " + names_[i] +
+                                  " does not sum to 1");
+    }
+  }
+  Dtmc chain;
+  chain.names_ = names_;
+  chain.p_ = pb.build();
+  return chain;
+}
+
+std::optional<std::size_t> Dtmc::find_state(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+linalg::Vector Dtmc::stationary(bool direct) const {
+  const std::size_t n = size();
+  if (n == 1) return {1.0};
+  if (direct) {
+    // pi (P - I) = 0 with a replaced normalization row, like the CTMC case.
+    linalg::DenseMatrix a = p_.transposed().to_dense();
+    for (std::size_t i = 0; i < n; ++i) a(i, i) -= 1.0;
+    for (std::size_t c = 0; c < n; ++c) a(n - 1, c) = 1.0;
+    linalg::Vector b(n, 0.0);
+    b[n - 1] = 1.0;
+    linalg::Vector pi = linalg::lu_solve(std::move(a), b);
+    for (double& x : pi) {
+      if (x < 0.0 && x > -1e-12) x = 0.0;
+    }
+    linalg::normalize_sum(pi);
+    return pi;
+  }
+  linalg::IterativeOptions opts;
+  const linalg::IterativeResult r = linalg::power_stationary(p_, opts);
+  if (!r.converged) {
+    throw std::runtime_error("Dtmc::stationary: power iteration diverged");
+  }
+  return r.solution;
+}
+
+bool Dtmc::is_absorbing(std::size_t i) const {
+  if (i >= size()) {
+    throw std::out_of_range("Dtmc::is_absorbing: index out of range");
+  }
+  return p_.at(i, i) > 1.0 - 1e-12;
+}
+
+double Dtmc::expected_steps_to_absorption(std::size_t start) const {
+  if (start >= size()) {
+    throw std::out_of_range(
+        "Dtmc::expected_steps_to_absorption: index out of range");
+  }
+  std::vector<std::size_t> transient;
+  std::vector<std::ptrdiff_t> position(size(), -1);
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (!is_absorbing(i)) {
+      position[i] = static_cast<std::ptrdiff_t>(transient.size());
+      transient.push_back(i);
+    }
+  }
+  if (transient.size() == size()) {
+    throw std::invalid_argument(
+        "Dtmc::expected_steps_to_absorption: no absorbing states");
+  }
+  if (is_absorbing(start)) return 0.0;
+
+  // (I - P_TT) t = 1.
+  const std::size_t m = transient.size();
+  linalg::DenseMatrix a(m, m);
+  linalg::Vector ones(m, 1.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    a(r, r) = 1.0;
+    const auto row = p_.row(transient[r]);
+    for (std::size_t k = 0; k < row.size; ++k) {
+      const std::ptrdiff_t c = position[row.cols[k]];
+      if (c >= 0) a(r, static_cast<std::size_t>(c)) -= row.values[k];
+    }
+  }
+  const linalg::Vector t = linalg::lu_solve(std::move(a), ones);
+  return t[static_cast<std::size_t>(position[start])];
+}
+
+linalg::Vector Dtmc::evolve(const linalg::Vector& start,
+                            std::size_t steps) const {
+  if (start.size() != size()) {
+    throw std::invalid_argument("Dtmc::evolve: start size mismatch");
+  }
+  linalg::Vector v = start;
+  for (std::size_t s = 0; s < steps; ++s) v = p_.mul_transpose(v);
+  return v;
+}
+
+}  // namespace rascad::markov

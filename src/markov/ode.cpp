@@ -1,0 +1,117 @@
+#include "markov/ode.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rascad::markov {
+
+namespace {
+
+// Runge-Kutta-Fehlberg 4(5) tableau.
+constexpr double kA2 = 1.0 / 4.0;
+constexpr double kB31 = 3.0 / 32.0, kB32 = 9.0 / 32.0;
+constexpr double kB41 = 1932.0 / 2197.0, kB42 = -7200.0 / 2197.0,
+                 kB43 = 7296.0 / 2197.0;
+constexpr double kB51 = 439.0 / 216.0, kB52 = -8.0, kB53 = 3680.0 / 513.0,
+                 kB54 = -845.0 / 4104.0;
+constexpr double kB61 = -8.0 / 27.0, kB62 = 2.0, kB63 = -3544.0 / 2565.0,
+                 kB64 = 1859.0 / 4104.0, kB65 = -11.0 / 40.0;
+// 5th-order solution weights.
+constexpr double kC1 = 16.0 / 135.0, kC3 = 6656.0 / 12825.0,
+                 kC4 = 28561.0 / 56430.0, kC5 = -9.0 / 50.0, kC6 = 2.0 / 55.0;
+// 4th-order solution weights (for the error estimate).
+constexpr double kD1 = 25.0 / 216.0, kD3 = 1408.0 / 2565.0,
+                 kD4 = 2197.0 / 4104.0, kD5 = -1.0 / 5.0;
+
+}  // namespace
+
+OdeResult transient_distribution_ode(const Ctmc& chain,
+                                     const linalg::Vector& pi0, double t,
+                                     const OdeOptions& opts) {
+  if (pi0.size() != chain.size()) {
+    throw std::invalid_argument("transient_distribution_ode: pi0 size");
+  }
+  if (!(t >= 0.0)) {
+    throw std::invalid_argument(
+        "transient_distribution_ode: time must be non-negative");
+  }
+  OdeResult result;
+  result.distribution = pi0;
+  if (t == 0.0) return result;
+
+  const auto& q = chain.generator();
+  const auto deriv = [&q](const linalg::Vector& pi) {
+    return q.mul_transpose(pi);  // (pi Q)^T
+  };
+
+  const std::size_t n = chain.size();
+  linalg::Vector& y = result.distribution;
+  double time = 0.0;
+  // Initial step: a fraction of the fastest time constant.
+  const double qmax = std::max(q.max_abs_diagonal(), 1e-12);
+  double h = std::min(t, 0.1 / qmax);
+
+  linalg::Vector k1, k2, k3, k4, k5, k6, y5(n), y4(n), stage(n);
+  while (time < t) {
+    if (result.steps + result.rejected_steps >= opts.max_steps) {
+      throw std::runtime_error(
+          "transient_distribution_ode: step budget exhausted (stiff chain; "
+          "use uniformization)");
+    }
+    h = std::min(h, t - time);
+
+    k1 = deriv(y);
+    for (std::size_t i = 0; i < n; ++i) stage[i] = y[i] + h * kA2 * k1[i];
+    k2 = deriv(stage);
+    for (std::size_t i = 0; i < n; ++i) {
+      stage[i] = y[i] + h * (kB31 * k1[i] + kB32 * k2[i]);
+    }
+    k3 = deriv(stage);
+    for (std::size_t i = 0; i < n; ++i) {
+      stage[i] = y[i] + h * (kB41 * k1[i] + kB42 * k2[i] + kB43 * k3[i]);
+    }
+    k4 = deriv(stage);
+    for (std::size_t i = 0; i < n; ++i) {
+      stage[i] = y[i] + h * (kB51 * k1[i] + kB52 * k2[i] + kB53 * k3[i] +
+                             kB54 * k4[i]);
+    }
+    k5 = deriv(stage);
+    for (std::size_t i = 0; i < n; ++i) {
+      stage[i] = y[i] + h * (kB61 * k1[i] + kB62 * k2[i] + kB63 * k3[i] +
+                             kB64 * k4[i] + kB65 * k5[i]);
+    }
+    k6 = deriv(stage);
+
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      y5[i] = y[i] + h * (kC1 * k1[i] + kC3 * k3[i] + kC4 * k4[i] +
+                          kC5 * k5[i] + kC6 * k6[i]);
+      y4[i] = y[i] + h * (kD1 * k1[i] + kD3 * k3[i] + kD4 * k4[i] +
+                          kD5 * k5[i]);
+      const double scale =
+          opts.absolute_tolerance +
+          opts.relative_tolerance * std::max(std::abs(y[i]), std::abs(y5[i]));
+      err = std::max(err, std::abs(y5[i] - y4[i]) / scale);
+    }
+
+    if (err <= 1.0) {
+      time += h;
+      y = y5;
+      ++result.steps;
+      // Clamp the tiny negatives explicit steps can introduce.
+      for (double& x : y) {
+        if (x < 0.0 && x > -1e-12) x = 0.0;
+      }
+    } else {
+      ++result.rejected_steps;
+    }
+    const double factor =
+        err > 0.0 ? 0.9 * std::pow(err, -0.2) : 5.0;
+    h *= std::clamp(factor, 0.2, 5.0);
+  }
+  linalg::normalize_sum(y);
+  return result;
+}
+
+}  // namespace rascad::markov

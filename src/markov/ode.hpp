@@ -1,0 +1,35 @@
+// Transient CTMC solution by explicit ODE integration — the classical
+// alternative to uniformization (Reibman & Trivedi's survey, the paper's
+// reference [6], compares exactly these two families). Provided for the
+// solver-ablation experiment: availability chains are stiff (rates span
+// many orders of magnitude), so the explicit integrator's step count
+// explodes where uniformization stays flat.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/dense.hpp"
+#include "markov/ctmc.hpp"
+
+namespace rascad::markov {
+
+struct OdeOptions {
+  double relative_tolerance = 1e-8;
+  double absolute_tolerance = 1e-12;
+  std::size_t max_steps = 50'000'000;
+};
+
+struct OdeResult {
+  linalg::Vector distribution;
+  std::size_t steps = 0;           // accepted steps
+  std::size_t rejected_steps = 0;  // error-control rejections
+};
+
+/// Integrates d pi/dt = pi Q from pi0 over [0, t] with the adaptive
+/// Runge-Kutta-Fehlberg 4(5) pair. Throws std::runtime_error if max_steps
+/// is exhausted, std::invalid_argument on bad inputs.
+OdeResult transient_distribution_ode(const Ctmc& chain,
+                                     const linalg::Vector& pi0, double t,
+                                     const OdeOptions& opts = {});
+
+}  // namespace rascad::markov

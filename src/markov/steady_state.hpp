@@ -1,0 +1,54 @@
+// Steady-state solution of CTMCs: pi Q = 0, sum(pi) = 1.
+//
+// Four methods are provided; Direct (dense LU on the normalized system) is
+// the default for generated availability chains, the iterative methods are
+// the large-chain path and the subject of the solver-ablation bench (E10).
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/dense.hpp"
+#include "markov/ctmc.hpp"
+
+namespace rascad::markov {
+
+enum class SteadyStateMethod {
+  kDirect,    // dense LU on Q^T with a replaced normalization row
+  kSor,       // Gauss-Seidel/SOR sweeps on pi Q = 0 with renormalization
+  kPower,     // power iteration on the uniformized DTMC
+  kBiCgStab,  // Krylov solve of the replaced-row system
+};
+
+struct SteadyStateOptions {
+  SteadyStateMethod method = SteadyStateMethod::kDirect;
+  double tolerance = 1e-13;
+  std::size_t max_iterations = 500'000;
+  double relaxation = 1.0;  // SOR omega
+};
+
+struct SteadyStateResult {
+  linalg::Vector pi;
+  std::size_t iterations = 0;  // 0 for the direct method
+  double residual = 0.0;       // infinity norm of pi Q
+};
+
+/// Computes the stationary distribution. The chain must be irreducible
+/// (availability chains from the generator always are); a singular direct
+/// solve or non-converged iteration raises std::domain_error /
+/// std::runtime_error respectively.
+SteadyStateResult solve_steady_state(const Ctmc& chain,
+                                     const SteadyStateOptions& opts = {});
+
+/// Expected steady-state reward rate: sum_i pi_i * reward_i. For a 0/1
+/// reward structure this is the steady-state availability.
+double expected_reward(const Ctmc& chain, const linalg::Vector& pi);
+
+/// Equivalent (steady-state) system failure rate: the rate of up->down
+/// transitions conditioned on being up. See Trivedi, ch. 8.
+double equivalent_failure_rate(const Ctmc& chain, const linalg::Vector& pi);
+
+/// Equivalent (steady-state) system recovery rate: down->up flow
+/// conditioned on being down.
+double equivalent_recovery_rate(const Ctmc& chain, const linalg::Vector& pi);
+
+}  // namespace rascad::markov

@@ -1,0 +1,87 @@
+#include "mg/explain.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "mg/generator.hpp"
+
+namespace rascad::mg {
+
+std::string explain(const spec::BlockSpec& block,
+                    const spec::GlobalParams& globals) {
+  const MarkovModelType type = classify(block);
+  const DerivedRates d = derive_rates(block, globals);
+  const GeneratedModel model = generate(block, globals);
+
+  std::ostringstream os;
+  os << "block '" << block.name << "': " << to_string(type) << "\n";
+  os << "  quantity N = " << block.quantity << ", required K = "
+     << block.min_quantity;
+  if (block.redundant()) {
+    os << " -> " << block.quantity - block.min_quantity
+       << " redundancy level(s); the PF/AR/TF/Latent state families repeat "
+          "once per level";
+  } else if (block.mode != spec::RedundancyMode::kPrimaryStandby) {
+    os << " -> no redundancy: any component fault downs the block";
+  }
+  os << "\n";
+
+  os << std::setprecision(6);
+  if (d.lambda_p > 0.0) {
+    os << "  permanent faults: MTBF " << block.mtbf_h << " h per component ("
+       << d.lambda_p * 1e9 << " FIT); repair cycle "
+       << d.immediate_repair_h() << " h hands-on";
+    if (block.redundant()) {
+      os << ", deferred by MTTM + Tresp to " << d.deferred_repair_h()
+         << " h while redundancy holds";
+    }
+    os << "\n";
+  } else {
+    os << "  no permanent faults (mtbf = 0)\n";
+  }
+  if (d.lambda_t > 0.0) {
+    os << "  transient faults: " << block.transient_fit
+       << " FIT per component, cleared by a " << d.t_boot_h * 60.0
+       << "-minute reboot\n";
+  }
+  if (block.redundant()) {
+    os << "  recovery is "
+       << (block.recovery == spec::Transparency::kTransparent
+               ? "transparent: faults are masked with no downtime"
+               : "nontransparent: each detected fault costs an AR window of " +
+                     std::to_string(block.ar_time_min) + " min (down)")
+       << "\n";
+    os << "  repair is "
+       << (block.repair == spec::Transparency::kTransparent
+               ? "transparent: hot-plug + dynamic reconfiguration, no "
+                 "reintegration downtime"
+               : "nontransparent: reintegration restart of " +
+                     std::to_string(block.reintegration_min) + " min (down)")
+       << "\n";
+    if (block.p_latent_fault > 0.0) {
+      os << "  latent faults: " << block.p_latent_fault * 100.0
+         << "% of permanent faults go undetected for " << block.mttdlf_h
+         << " h on average (Latent states)\n";
+    }
+    if (block.p_spf > 0.0) {
+      os << "  single-point-of-failure risk: " << block.p_spf * 100.0
+         << "% of recoveries corrupt state and cost " << block.t_spf_min
+         << " min (SPF states)\n";
+    }
+  }
+  if (block.p_correct_diagnosis < 1.0 && d.lambda_p > 0.0) {
+    os << "  imperfect service: " << (1.0 - block.p_correct_diagnosis) * 100.0
+       << "% of repairs pull the wrong part, costing MTTRFID = "
+       << globals.mttrfid_h << " h (ServiceError states)\n";
+  }
+  if (type == MarkovModelType::kPrimaryStandby) {
+    os << "  failover: " << block.failover_time_min << " min, succeeds with "
+       << "probability " << block.p_failover << "\n";
+  }
+  os << "  generated chain: " << model.chain.size() << " states, "
+     << model.chain.transition_count() << " transitions, initial state '"
+     << model.chain.state_name(model.initial) << "'\n";
+  return os.str();
+}
+
+}  // namespace rascad::mg

@@ -1,0 +1,18 @@
+// Human-readable explanation of the generation decisions for a block —
+// the "you don't need to understand the underlying mathematical models,
+// but here is what the tool did and why" documentation hook.
+#pragma once
+
+#include <string>
+
+#include "spec/ast.hpp"
+
+namespace rascad::mg {
+
+/// Explains, in prose, which chain family the generator picks for this
+/// block, which state families will exist and why, and the derived rates.
+/// Throws the same std::invalid_argument as generate() on bad specs.
+std::string explain(const spec::BlockSpec& block,
+                    const spec::GlobalParams& globals);
+
+}  // namespace rascad::mg

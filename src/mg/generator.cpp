@@ -1,0 +1,663 @@
+#include "mg/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rascad::mg {
+
+using markov::CtmcBuilder;
+using markov::StateIndex;
+using spec::BlockSpec;
+using spec::GlobalParams;
+using spec::RedundancyMode;
+using spec::Transparency;
+
+namespace {
+
+constexpr double kUp = 1.0;
+constexpr double kDown = 0.0;
+
+std::string level_name(const char* prefix, unsigned level) {
+  return std::string(prefix) + std::to_string(level);
+}
+
+/// Generator for one symmetric redundant block (Types 1-4). The chain
+/// layout follows DESIGN.md Section 4; every state family is created only
+/// when the parameters that feed it are active, so degenerate parameter
+/// settings produce the smallest equivalent chain.
+class RedundantChainBuilder {
+ public:
+  RedundantChainBuilder(const BlockSpec& block, const DerivedRates& d,
+                        RewardKind reward)
+      : block_(block),
+        d_(d),
+        reward_(reward),
+        levels_(block.quantity - block.min_quantity),
+        transparent_recovery_(block.recovery == Transparency::kTransparent),
+        transparent_repair_(block.repair == Transparency::kTransparent),
+        has_perm_(d.lambda_p > 0.0),
+        has_trans_(d.lambda_t > 0.0),
+        has_latent_(has_perm_ && block.p_latent_fault > 0.0),
+        has_spf_(block.p_spf > 0.0),
+        imperfect_(has_perm_ && block.p_correct_diagnosis < 1.0) {}
+
+  GeneratedModel build() {
+    create_states();
+    add_failure_transitions();
+    add_recovery_transitions();
+    add_repair_transitions();
+    GeneratedModel model;
+    model.chain = builder_.build();
+    model.type = classify(block_);
+    model.initial = pf_[0];
+    model.block_name = block_.name;
+    return model;
+  }
+
+ private:
+  /// Reward of a level-i up state: 1 for availability models, remaining
+  /// capacity fraction for performability models.
+  double level_reward(unsigned i) const {
+    if (reward_ == RewardKind::kAvailability) return kUp;
+    const double n = static_cast<double>(block_.quantity);
+    return (n - static_cast<double>(i)) / n;
+  }
+
+  void create_states() {
+    const unsigned m = levels_;
+    pf_.resize(m + 1);
+    pf_[0] = builder_.add_state("Ok", kUp);
+    for (unsigned i = 1; i <= m; ++i) {
+      pf_[i] = builder_.add_state(level_name("PF", i), level_reward(i));
+    }
+    if (has_perm_) {
+      pf_down_ = builder_.add_state(level_name("PF", m + 1), kDown);
+    }
+    if (has_latent_) {
+      latent_.assign(m + 1, 0);
+      for (unsigned i = 1; i <= m; ++i) {
+        latent_[i] =
+            builder_.add_state(level_name("Latent", i), level_reward(i));
+      }
+    }
+    if (has_perm_ && !transparent_recovery_) {
+      ar_.assign(m + 1, 0);
+      for (unsigned i = 1; i <= m; ++i) {
+        ar_[i] = builder_.add_state(level_name("AR", i), kDown);
+      }
+    }
+    if (has_spf_) {
+      spf_.assign(m + 1, 0);
+      for (unsigned i = 1; i <= m; ++i) {
+        spf_[i] = builder_.add_state(level_name("SPF", i), kDown);
+      }
+    }
+    if (has_trans_ && !transparent_recovery_) {
+      tf_.assign(m + 1, 0);
+      for (unsigned i = 1; i <= m; ++i) {
+        tf_[i] = builder_.add_state(level_name("TF", i), kDown);
+      }
+    }
+    if (has_trans_) {
+      tf_down_ = builder_.add_state(level_name("TF", m + 1), kDown);
+    }
+    if (imperfect_) {
+      se_.assign(m + 1, 0);
+      for (unsigned i = 1; i <= m; ++i) {
+        se_[i] = builder_.add_state(level_name("SE", i), kDown);
+      }
+      se_down_ = builder_.add_state(level_name("SE", m + 1), kDown);
+    }
+    if (has_perm_ && !transparent_repair_) {
+      reint_.assign(m + 1, 0);
+      for (unsigned i = 1; i <= m; ++i) {
+        reint_[i] = builder_.add_state(level_name("Reint", i), kDown);
+      }
+    }
+  }
+
+  /// Routes a *detected* permanent fault occurring at level `i` (i < M):
+  /// nontransparent recovery dwells in AR(i+1); transparent recovery
+  /// branches instantly between the next level and its SPF state.
+  void route_detected_fault(StateIndex from, unsigned i, double rate) {
+    if (transparent_recovery_) {
+      const double p_spf = has_spf_ ? block_.p_spf : 0.0;
+      if (rate * (1.0 - p_spf) > 0.0) {
+        builder_.add_transition(from, pf_[i + 1], rate * (1.0 - p_spf));
+      }
+      if (has_spf_ && rate * p_spf > 0.0) {
+        builder_.add_transition(from, spf_[i + 1], rate * p_spf);
+      }
+    } else {
+      builder_.add_transition(from, ar_[i + 1], rate);
+    }
+  }
+
+  void add_failure_transitions() {
+    const unsigned m = levels_;
+    const unsigned n = block_.quantity;
+    const double plf = has_latent_ ? block_.p_latent_fault : 0.0;
+
+    for (unsigned i = 0; i <= m; ++i) {
+      const double good = static_cast<double>(n - i);
+      const double perm_rate = good * d_.lambda_p;
+      const double trans_rate = good * d_.lambda_t;
+
+      // Permanent faults from the detected-degraded level i.
+      if (has_perm_) {
+        if (i == m) {
+          // No redundancy left: the block goes down regardless of
+          // detection (paper: PF1 -> PF2 in Figure 4).
+          builder_.add_transition(pf_[i], pf_down_, perm_rate);
+        } else {
+          route_detected_fault(pf_[i], i, perm_rate * (1.0 - plf));
+          if (has_latent_) {
+            builder_.add_transition(pf_[i], latent_[i + 1], perm_rate * plf);
+          }
+        }
+      }
+
+      // Transient faults from level i.
+      if (has_trans_) {
+        if (i == m) {
+          builder_.add_transition(pf_[i], tf_down_, trans_rate);
+        } else if (!transparent_recovery_) {
+          builder_.add_transition(pf_[i], tf_[i + 1], trans_rate);
+        } else if (has_spf_) {
+          // Transparent recovery masks the transient except for the
+          // data-corruption branch that costs a redundancy level.
+          builder_.add_transition(pf_[i], spf_[i + 1],
+                                  trans_rate * block_.p_spf);
+        }
+      }
+    }
+
+    // Faults striking while a latent fault is outstanding.
+    if (has_latent_) {
+      for (unsigned i = 1; i <= m; ++i) {
+        const double good = static_cast<double>(n - i);
+        const double perm_rate = good * d_.lambda_p;
+        const double trans_rate = good * d_.lambda_t;
+        if (i == m) {
+          // Paper: Latent1 -> PF2 / TF2 for N=2, K=1.
+          builder_.add_transition(latent_[i], pf_down_, perm_rate);
+          if (has_trans_) {
+            builder_.add_transition(latent_[i], tf_down_, trans_rate);
+          }
+        } else {
+          route_detected_fault(latent_[i], i, perm_rate * (1.0 - plf));
+          builder_.add_transition(latent_[i], latent_[i + 1],
+                                  perm_rate * plf);
+          if (has_trans_) {
+            if (!transparent_recovery_) {
+              builder_.add_transition(latent_[i], tf_[i + 1], trans_rate);
+            } else if (has_spf_) {
+              builder_.add_transition(latent_[i], spf_[i + 1],
+                                      trans_rate * block_.p_spf);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  void add_recovery_transitions() {
+    const unsigned m = levels_;
+    const double p_spf = has_spf_ ? block_.p_spf : 0.0;
+
+    // AR dwell states (nontransparent recovery): success reaches the next
+    // degraded level, failure is the single point of failure.
+    if (has_perm_ && !transparent_recovery_) {
+      const double ar_rate = 1.0 / d_.ar_time_h;
+      for (unsigned i = 1; i <= m; ++i) {
+        if (ar_rate * (1.0 - p_spf) > 0.0) {
+          builder_.add_transition(ar_[i], pf_[i], ar_rate * (1.0 - p_spf));
+        }
+        if (has_spf_) {
+          builder_.add_transition(ar_[i], spf_[i], ar_rate * p_spf);
+        }
+      }
+    }
+
+    // Latent-fault detection after MTTDLF (paper: Latent1 -> AR1).
+    if (has_latent_) {
+      const double detect = 1.0 / d_.mttdlf_h;
+      for (unsigned i = 1; i <= m; ++i) {
+        if (!transparent_recovery_) {
+          builder_.add_transition(latent_[i], ar_[i], detect);
+        } else {
+          if (detect * (1.0 - p_spf) > 0.0) {
+            builder_.add_transition(latent_[i], pf_[i],
+                                    detect * (1.0 - p_spf));
+          }
+          if (has_spf_) {
+            builder_.add_transition(latent_[i], spf_[i], detect * p_spf);
+          }
+        }
+      }
+    }
+
+    // SPF dwell, then the system continues at the degraded level.
+    if (has_spf_) {
+      const double out = 1.0 / d_.t_spf_h;
+      for (unsigned i = 1; i <= m; ++i) {
+        builder_.add_transition(spf_[i], pf_[i], out);
+      }
+    }
+
+    // Transient recovery by reboot (nontransparent): success clears the
+    // fault back to the originating level; data corruption costs a level.
+    if (has_trans_) {
+      const double boot = 1.0 / d_.t_boot_h;
+      if (!transparent_recovery_) {
+        for (unsigned i = 1; i <= m; ++i) {
+          if (boot * (1.0 - p_spf) > 0.0) {
+            builder_.add_transition(tf_[i], pf_[i - 1],
+                                    boot * (1.0 - p_spf));
+          }
+          if (has_spf_) {
+            builder_.add_transition(tf_[i], spf_[i], boot * p_spf);
+          }
+        }
+      }
+      // Bottom transient state exists in every type.
+      if (boot * (1.0 - p_spf) > 0.0) {
+        builder_.add_transition(tf_down_, pf_[m], boot * (1.0 - p_spf));
+      }
+      if (has_spf_ && m >= 1) {
+        builder_.add_transition(tf_down_, spf_[m], boot * p_spf);
+      } else if (has_spf_) {
+        builder_.add_transition(tf_down_, pf_[m], boot * p_spf);
+      }
+    }
+  }
+
+  void add_repair_transitions() {
+    if (!has_perm_) return;
+    const unsigned m = levels_;
+    const double pcd = block_.p_correct_diagnosis;
+    const double deferred = 1.0 / d_.deferred_repair_h();
+    const double immediate = 1.0 / d_.immediate_repair_h();
+
+    // Deferred repair of one component per service action from each
+    // degraded level (paper: PF1 -> Ok after MTTM + Tresp).
+    for (unsigned i = 1; i <= m; ++i) {
+      const StateIndex success_target =
+          transparent_repair_ ? pf_[i - 1] : reint_[i];
+      if (deferred * pcd > 0.0) {
+        builder_.add_transition(pf_[i], success_target, deferred * pcd);
+      }
+      if (imperfect_) {
+        builder_.add_transition(pf_[i], se_[i], deferred * (1.0 - pcd));
+      }
+      // Repair of the older, already-detected faults while the newest
+      // fault is still latent (only meaningful at depth >= 2).
+      if (has_latent_ && i >= 2) {
+        if (deferred * pcd > 0.0) {
+          builder_.add_transition(latent_[i], latent_[i - 1],
+                                  deferred * pcd);
+        }
+        if (imperfect_) {
+          builder_.add_transition(latent_[i], se_[i], deferred * (1.0 - pcd));
+        }
+      }
+    }
+
+    // Nontransparent repair: reintegration restart downtime.
+    if (!transparent_repair_) {
+      const double out = 1.0 / d_.reint_h;
+      for (unsigned i = 1; i <= m; ++i) {
+        builder_.add_transition(reint_[i], pf_[i - 1], out);
+      }
+    }
+
+    // Service error: incorrect diagnosis pulled the wrong component; the
+    // longer MTTRFID downtime ends with the original fault fixed.
+    if (imperfect_) {
+      const double out = 1.0 / d_.mttrfid_h;
+      for (unsigned i = 1; i <= m; ++i) {
+        builder_.add_transition(se_[i], pf_[i - 1], out);
+      }
+      builder_.add_transition(se_down_, pf_[m], out);
+    }
+
+    // Bottom level: immediate service call (paper: "In PF2, an immediate
+    // service call is placed").
+    if (immediate * pcd > 0.0) {
+      builder_.add_transition(pf_down_, pf_[m], immediate * pcd);
+    }
+    if (imperfect_) {
+      builder_.add_transition(pf_down_, se_down_, immediate * (1.0 - pcd));
+    }
+  }
+
+  const BlockSpec& block_;
+  const DerivedRates& d_;
+  const RewardKind reward_;
+  const unsigned levels_;  // M = N - K
+  const bool transparent_recovery_;
+  const bool transparent_repair_;
+  const bool has_perm_;
+  const bool has_trans_;
+  const bool has_latent_;
+  const bool has_spf_;
+  const bool imperfect_;
+
+  CtmcBuilder builder_;
+  std::vector<StateIndex> pf_;      // pf_[0] == Ok
+  std::vector<StateIndex> latent_;  // valid 1..M when has_latent_
+  std::vector<StateIndex> ar_;      // valid 1..M, nontransparent recovery
+  std::vector<StateIndex> spf_;     // valid 1..M when has_spf_
+  std::vector<StateIndex> tf_;      // valid 1..M, nontransparent recovery
+  std::vector<StateIndex> se_;      // valid 1..M when imperfect_
+  std::vector<StateIndex> reint_;   // valid 1..M, nontransparent repair
+  StateIndex pf_down_ = 0;
+  StateIndex tf_down_ = 0;
+  StateIndex se_down_ = 0;
+};
+
+/// Redundant block with only transient faults (no permanent-fault level
+/// structure): transparent recovery masks transients entirely except the
+/// SPF branch; nontransparent recovery costs a reboot per transient.
+GeneratedModel generate_transient_only_redundant(const BlockSpec& block,
+                                                 const DerivedRates& d) {
+  CtmcBuilder b;
+  const StateIndex ok = b.add_state("Ok", kUp);
+  const double rate = static_cast<double>(block.quantity) * d.lambda_t;
+  const bool has_spf = block.p_spf > 0.0;
+  StateIndex spf = 0;
+  if (has_spf) {
+    spf = b.add_state("SPF1", kDown);
+    b.add_transition(spf, ok, 1.0 / d.t_spf_h);
+  }
+  if (block.recovery == Transparency::kTransparent) {
+    if (has_spf) b.add_transition(ok, spf, rate * block.p_spf);
+  } else {
+    const StateIndex tf = b.add_state("TF1", kDown);
+    b.add_transition(ok, tf, rate);
+    const double boot = 1.0 / d.t_boot_h;
+    const double p_spf = has_spf ? block.p_spf : 0.0;
+    if (boot * (1.0 - p_spf) > 0.0) {
+      b.add_transition(tf, ok, boot * (1.0 - p_spf));
+    }
+    if (has_spf) b.add_transition(tf, spf, boot * p_spf);
+  }
+  GeneratedModel model;
+  model.chain = b.build();
+  model.type = classify(block);
+  model.initial = ok;
+  model.block_name = block.name;
+  return model;
+}
+
+/// Markov Model Type 0: no redundancy (paper Figure 3). A permanent fault
+/// downs the block and walks the logistic -> repair -> (service error)
+/// pipeline; a transient fault costs a reboot.
+GeneratedModel generate_type0(const BlockSpec& block, const DerivedRates& d) {
+  CtmcBuilder b;
+  const StateIndex ok = b.add_state("Ok", kUp);
+  const double n = static_cast<double>(block.quantity);
+  const bool imperfect = block.p_correct_diagnosis < 1.0;
+
+  if (d.lambda_p > 0.0) {
+    const double pcd = block.p_correct_diagnosis;
+    StateIndex se = 0;
+    if (imperfect) se = b.add_state("ServiceError", kDown);
+
+    // Stage the downtime through the positive-duration phases only.
+    StateIndex stage = ok;
+    double entry_rate = n * d.lambda_p;
+    if (d.t_resp_h > 0.0) {
+      const StateIndex wait = b.add_state("LogisticWait", kDown);
+      b.add_transition(stage, wait, entry_rate);
+      stage = wait;
+      entry_rate = 1.0 / d.t_resp_h;
+    }
+    if (d.mttr_h > 0.0) {
+      const StateIndex repair = b.add_state("Repair", kDown);
+      b.add_transition(stage, repair, entry_rate);
+      stage = repair;
+      entry_rate = 1.0 / d.mttr_h;
+    }
+    // `stage` is the last down phase; branch on diagnosis quality.
+    if (entry_rate * pcd > 0.0) {
+      b.add_transition(stage, ok, entry_rate * pcd);
+    }
+    if (imperfect) {
+      b.add_transition(stage, se, entry_rate * (1.0 - pcd));
+      b.add_transition(se, ok, 1.0 / d.mttrfid_h);
+    }
+  }
+  if (d.lambda_t > 0.0) {
+    const StateIndex tf = b.add_state("TF", kDown);
+    b.add_transition(ok, tf, n * d.lambda_t);
+    b.add_transition(tf, ok, 1.0 / d.t_boot_h);
+  }
+
+  GeneratedModel model;
+  model.chain = b.build();
+  model.type = MarkovModelType::kType0;
+  model.initial = ok;
+  model.block_name = block.name;
+  return model;
+}
+
+/// Primary/standby cluster (extension; the paper lists this architecture
+/// as work in progress). Asymmetric two-node failover chain.
+GeneratedModel generate_primary_standby(const BlockSpec& block,
+                                        const DerivedRates& d) {
+  CtmcBuilder b;
+  const double fault_rate = d.lambda_p + d.lambda_t;
+  if (!(fault_rate > 0.0)) {
+    throw std::invalid_argument(
+        "generate: primary_standby block has no failure behaviour");
+  }
+  const double pcd = block.p_correct_diagnosis;
+  const bool has_perm = d.lambda_p > 0.0;
+  const bool imperfect = has_perm && pcd < 1.0;
+  const bool transparent_repair = block.repair == Transparency::kTransparent;
+
+  const StateIndex ok = b.add_state("Ok", kUp);
+  const StateIndex degraded = b.add_state("Degraded", kUp);
+  StateIndex standby_down = 0;
+  StateIndex both_down = 0;
+  if (has_perm) {
+    standby_down = b.add_state("StandbyDown", kUp);
+    both_down = b.add_state("BothDown", kDown);
+  }
+
+  // Primary failure triggers failover.
+  if (d.failover_h > 0.0) {
+    const StateIndex failover = b.add_state("Failover", kDown);
+    b.add_transition(ok, failover, fault_rate);
+    const double out = 1.0 / d.failover_h;
+    const double p_fo = block.p_failover;
+    if (out * p_fo > 0.0) b.add_transition(failover, degraded, out * p_fo);
+    if (p_fo < 1.0) {
+      const StateIndex stuck = b.add_state("FailoverStuck", kDown);
+      b.add_transition(failover, stuck, out * (1.0 - p_fo));
+      const double dwell =
+          d.t_spf_h > 0.0 ? d.t_spf_h : std::max(d.t_boot_h, 1.0 / 60.0);
+      b.add_transition(stuck, degraded, 1.0 / dwell);
+    }
+  } else {
+    b.add_transition(ok, degraded, fault_rate);
+  }
+
+  // Standby permanent failure while healthy: no service interruption,
+  // deferred fix. (Standby transients self-clear on the standby's own
+  // reboot with no service impact, so they do not appear here.)
+  StateIndex se = 0;
+  if (imperfect) se = b.add_state("ServiceError", kDown);
+
+  if (has_perm) {
+    const double deferred = 1.0 / d.deferred_repair_h();
+    const double immediate = 1.0 / d.immediate_repair_h();
+    b.add_transition(ok, standby_down, d.lambda_p);
+    if (deferred * pcd > 0.0) {
+      b.add_transition(standby_down, ok, deferred * pcd);
+    }
+    if (imperfect) {
+      b.add_transition(standby_down, se, deferred * (1.0 - pcd));
+    }
+    // Primary permanent fault with no standby: both nodes dead.
+    b.add_transition(standby_down, both_down, d.lambda_p);
+    b.add_transition(both_down, degraded, immediate);
+
+    // Primary transient while the standby is down costs a reboot.
+    if (d.lambda_t > 0.0 && d.t_boot_h > 0.0) {
+      const StateIndex tf_exposed = b.add_state("TFExposed", kDown);
+      b.add_transition(standby_down, tf_exposed, d.lambda_t);
+      b.add_transition(tf_exposed, standby_down, 1.0 / d.t_boot_h);
+    }
+
+    // Repair of the failed primary while running on the standby.
+    StateIndex repair_target = ok;
+    if (!transparent_repair && d.reint_h > 0.0) {
+      const StateIndex failback = b.add_state("Failback", kDown);
+      b.add_transition(failback, ok, 1.0 / d.reint_h);
+      repair_target = failback;
+    }
+    if (deferred * pcd > 0.0) {
+      b.add_transition(degraded, repair_target, deferred * pcd);
+    }
+    if (imperfect) {
+      b.add_transition(degraded, se, deferred * (1.0 - pcd));
+      b.add_transition(se, ok, 1.0 / d.mttrfid_h);
+    }
+    // Permanent failure of the lone active node: both nodes dead.
+    b.add_transition(degraded, both_down, d.lambda_p);
+  } else {
+    // Transient-only cluster: the transiently-failed primary recovers with
+    // its own reboot, after which service fails back.
+    b.add_transition(degraded, ok, 1.0 / d.t_boot_h);
+  }
+
+  // Transient on the lone active node costs a reboot.
+  if (has_perm && d.lambda_t > 0.0 && d.t_boot_h > 0.0) {
+    const StateIndex tf = b.add_state("TFDegraded", kDown);
+    b.add_transition(degraded, tf, d.lambda_t);
+    b.add_transition(tf, degraded, 1.0 / d.t_boot_h);
+  }
+
+  GeneratedModel model;
+  model.chain = b.build();
+  model.type = MarkovModelType::kPrimaryStandby;
+  model.initial = ok;
+  model.block_name = block.name;
+  return model;
+}
+
+}  // namespace
+
+std::string to_string(MarkovModelType type) {
+  switch (type) {
+    case MarkovModelType::kType0:
+      return "Type 0";
+    case MarkovModelType::kType1:
+      return "Type 1 (transparent recovery, transparent repair)";
+    case MarkovModelType::kType2:
+      return "Type 2 (transparent recovery, nontransparent repair)";
+    case MarkovModelType::kType3:
+      return "Type 3 (nontransparent recovery, transparent repair)";
+    case MarkovModelType::kType4:
+      return "Type 4 (nontransparent recovery, nontransparent repair)";
+    case MarkovModelType::kPrimaryStandby:
+      return "Primary/Standby (extension)";
+  }
+  return "unknown";
+}
+
+MarkovModelType classify(const spec::BlockSpec& block) {
+  if (block.mode == RedundancyMode::kPrimaryStandby) {
+    return MarkovModelType::kPrimaryStandby;
+  }
+  if (!block.redundant()) return MarkovModelType::kType0;
+  const bool tr = block.recovery == Transparency::kTransparent;
+  const bool tp = block.repair == Transparency::kTransparent;
+  if (tr && tp) return MarkovModelType::kType1;
+  if (tr && !tp) return MarkovModelType::kType2;
+  if (!tr && tp) return MarkovModelType::kType3;
+  return MarkovModelType::kType4;
+}
+
+DerivedRates derive_rates(const spec::BlockSpec& block,
+                          const spec::GlobalParams& globals) {
+  DerivedRates d;
+  if (block.mtbf_h > 0.0) d.lambda_p = 1.0 / block.mtbf_h;
+  d.lambda_t = block.transient_fit * 1e-9;
+  d.mttr_h = block.mttr_total_h();
+  d.t_resp_h = block.service_response_h;
+  d.mttm_h = globals.mttm_h;
+  d.mttrfid_h = globals.mttrfid_h;
+  d.t_boot_h = globals.reboot_time_h;
+  d.ar_time_h = block.ar_time_min / 60.0;
+  d.t_spf_h = block.t_spf_min / 60.0;
+  d.reint_h = block.reintegration_min / 60.0;
+  d.mttdlf_h = block.mttdlf_h;
+  d.failover_h = block.failover_time_min / 60.0;
+  return d;
+}
+
+GeneratedModel generate(const spec::BlockSpec& block,
+                        const spec::GlobalParams& globals) {
+  return generate(block, globals, GenerationOptions{});
+}
+
+GeneratedModel generate(const spec::BlockSpec& block,
+                        const spec::GlobalParams& globals,
+                        const GenerationOptions& options) {
+  if (!block.has_own_failures()) {
+    throw std::invalid_argument("generate: block '" + block.name +
+                                "' has no failure parameters");
+  }
+  if (block.quantity == 0 || block.min_quantity == 0 ||
+      block.min_quantity > block.quantity) {
+    throw std::invalid_argument("generate: block '" + block.name +
+                                "' has inconsistent quantities");
+  }
+  const DerivedRates d = derive_rates(block, globals);
+  if (d.lambda_t > 0.0 && d.t_boot_h <= 0.0) {
+    throw std::invalid_argument(
+        "generate: transient faults require a positive reboot_time");
+  }
+  if (d.lambda_p > 0.0 && d.immediate_repair_h() <= 0.0) {
+    throw std::invalid_argument(
+        "generate: permanent faults require MTTR and/or service response");
+  }
+  switch (classify(block)) {
+    case MarkovModelType::kType0:
+      return generate_type0(block, d);
+    case MarkovModelType::kPrimaryStandby:
+      return generate_primary_standby(block, d);
+    default:
+      break;
+  }
+  // Redundant symmetric chain; parameter preconditions beyond validation.
+  if (block.recovery == Transparency::kNontransparent && d.lambda_p > 0.0 &&
+      d.ar_time_h <= 0.0) {
+    throw std::invalid_argument(
+        "generate: nontransparent recovery requires positive ar_time");
+  }
+  if (block.repair == Transparency::kNontransparent && d.lambda_p > 0.0 &&
+      d.reint_h <= 0.0) {
+    throw std::invalid_argument(
+        "generate: nontransparent repair requires positive "
+        "reintegration_time");
+  }
+  if (block.p_latent_fault > 0.0 && d.lambda_p > 0.0 && d.mttdlf_h <= 0.0) {
+    throw std::invalid_argument(
+        "generate: latent faults require positive mttdlf");
+  }
+  if (block.p_spf > 0.0 && d.t_spf_h <= 0.0) {
+    throw std::invalid_argument("generate: p_spf > 0 requires positive t_spf");
+  }
+  if (d.lambda_p <= 0.0) {
+    return generate_transient_only_redundant(block, d);
+  }
+  return RedundantChainBuilder(block, d, options.reward).build();
+}
+
+}  // namespace rascad::mg

@@ -1,0 +1,61 @@
+#include "mg/measures.hpp"
+
+#include <cmath>
+
+#include "markov/absorbing.hpp"
+#include "markov/transient.hpp"
+
+namespace rascad::mg {
+
+double yearly_downtime_minutes(double availability) {
+  // 365 days * 24 h * 60 min.
+  return (1.0 - availability) * 525'600.0;
+}
+
+BlockMeasures compute_measures(const GeneratedModel& model,
+                               const spec::GlobalParams& globals,
+                               const MeasureOptions& opts) {
+  BlockMeasures m;
+  const markov::Ctmc& chain = model.chain;
+  const markov::SteadyStateResult steady =
+      markov::solve_steady_state(chain, opts.steady);
+  m.availability = markov::expected_reward(chain, steady.pi);
+  m.yearly_downtime_min = yearly_downtime_minutes(m.availability);
+  m.eq_failure_rate = markov::equivalent_failure_rate(chain, steady.pi);
+  m.eq_recovery_rate = markov::equivalent_recovery_rate(chain, steady.pi);
+  m.outages_per_year = m.eq_failure_rate * m.availability * 8760.0;
+
+  const bool can_fail = !chain.down_states().empty();
+  const double mission = globals.mission_time_h;
+  const linalg::Vector pi0 = markov::point_mass(chain, model.initial);
+
+  if (opts.include_transient && can_fail && mission > 0.0) {
+    m.interval_availability =
+        markov::interval_availability(chain, pi0, mission);
+    m.interval_eq_failure_rate =
+        markov::interval_failure_rate(chain, pi0, mission);
+    m.interval_eq_recovery_rate =
+        markov::interval_recovery_rate(chain, pi0, mission);
+  }
+
+  if (opts.include_reliability && can_fail) {
+    const markov::Ctmc rel = markov::make_down_states_absorbing(chain);
+    const markov::AbsorbingAnalysis analysis(rel);
+    m.mttf_h = analysis.mean_time_to_absorption(model.initial);
+    if (mission > 0.0) {
+      m.reliability_at_mission = markov::reliability_at(rel, pi0, mission);
+      if (m.reliability_at_mission > 0.0) {
+        m.interval_failure_rate =
+            -std::log(m.reliability_at_mission) / mission;
+      } else {
+        m.interval_failure_rate =
+            m.mttf_h > 0.0 ? 1.0 / m.mttf_h : 0.0;
+      }
+      m.hazard_rate_at_mission =
+          markov::hazard_rate(rel, pi0, mission, opts.hazard_dt_h);
+    }
+  }
+  return m;
+}
+
+}  // namespace rascad::mg

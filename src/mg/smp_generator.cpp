@@ -1,0 +1,404 @@
+#include "mg/smp_generator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mg/generator.hpp"
+
+namespace rascad::mg {
+
+namespace {
+
+using semimarkov::SmpBuilder;
+using spec::BlockSpec;
+using spec::GlobalParams;
+using spec::Transparency;
+
+constexpr double kUp = 1.0;
+constexpr double kDown = 0.0;
+
+struct Branch {
+  std::size_t target;
+  double probability;
+};
+
+/// A state whose sojourn is min(deterministic D, Exp(total exponential
+/// rate)). `det_branches` fire if the deterministic event wins,
+/// `exp_branches` (probabilities proportional to their rates) otherwise.
+/// Degenerate cases (no exponential competitors, or D == 0 treated as "no
+/// deterministic event") collapse correctly. The sojourn is stored as a
+/// point mass at the exact mean — only the mean enters the steady-state
+/// ratio formula.
+void set_race(SmpBuilder& b, std::size_t state, double det_delay,
+              const std::vector<Branch>& det_branches,
+              const std::vector<std::pair<std::size_t, double>>& exp_arcs) {
+  double total_rate = 0.0;
+  for (const auto& [target, rate] : exp_arcs) total_rate += rate;
+
+  if (det_delay <= 0.0 || det_branches.empty()) {
+    if (total_rate <= 0.0) {
+      throw std::invalid_argument("generate_smp: state with no exits");
+    }
+    b.set_exponential(state, exp_arcs);
+    return;
+  }
+  if (total_rate <= 0.0) {
+    b.set_sojourn(state, dist::deterministic(det_delay));
+    for (const Branch& br : det_branches) {
+      b.add_transition(state, br.target, br.probability);
+    }
+    return;
+  }
+  const double p_det = std::exp(-total_rate * det_delay);
+  const double mean = (1.0 - p_det) / total_rate;
+  b.set_sojourn(state, dist::deterministic(mean));
+  for (const Branch& br : det_branches) {
+    if (p_det * br.probability > 0.0) {
+      b.add_transition(state, br.target, p_det * br.probability);
+    }
+  }
+  for (const auto& [target, rate] : exp_arcs) {
+    const double p = (1.0 - p_det) * rate / total_rate;
+    if (p > 0.0) b.add_transition(state, target, p);
+  }
+}
+
+/// Pure deterministic dwell with branch probabilities.
+void set_dwell(SmpBuilder& b, std::size_t state, double delay,
+               const std::vector<Branch>& branches) {
+  b.set_sojourn(state, dist::deterministic(delay));
+  for (const Branch& br : branches) {
+    if (br.probability > 0.0) {
+      b.add_transition(state, br.target, br.probability);
+    }
+  }
+}
+
+std::string level_name(const char* prefix, unsigned level) {
+  return std::string(prefix) + std::to_string(level);
+}
+
+semimarkov::SemiMarkovProcess build_type0(const BlockSpec& block,
+                                          const DerivedRates& d) {
+  SmpBuilder b;
+  const double n = static_cast<double>(block.quantity);
+  const double pcd = block.p_correct_diagnosis;
+  const bool imperfect = d.lambda_p > 0.0 && pcd < 1.0;
+
+  const std::size_t ok = b.add_state("Ok", kUp);
+  std::vector<std::pair<std::size_t, double>> ok_arcs;
+  if (d.lambda_p > 0.0) {
+    const std::size_t service = b.add_state("Service", kDown);
+    std::size_t se = 0;
+    if (imperfect) se = b.add_state("ServiceError", kDown);
+    ok_arcs.push_back({service, n * d.lambda_p});
+    std::vector<Branch> branches{{ok, pcd}};
+    if (imperfect) branches.push_back({se, 1.0 - pcd});
+    set_dwell(b, service, d.immediate_repair_h(), branches);
+    if (imperfect) b.set_exponential(se, {{ok, 1.0 / d.mttrfid_h}});
+  }
+  if (d.lambda_t > 0.0) {
+    const std::size_t tf = b.add_state("TF", kDown);
+    ok_arcs.push_back({tf, n * d.lambda_t});
+    set_dwell(b, tf, d.t_boot_h, {{ok, 1.0}});
+  }
+  b.set_exponential(ok, ok_arcs);
+  return b.build();
+}
+
+/// Symmetric redundant semi-Markov refinement, mirroring the CTMC
+/// generator's topology (see generator.cpp / DESIGN.md Section 4).
+class RedundantSmpBuilder {
+ public:
+  RedundantSmpBuilder(const BlockSpec& block, const DerivedRates& d)
+      : block_(block),
+        d_(d),
+        levels_(block.quantity - block.min_quantity),
+        transparent_recovery_(block.recovery == Transparency::kTransparent),
+        transparent_repair_(block.repair == Transparency::kTransparent),
+        has_trans_(d.lambda_t > 0.0),
+        has_latent_(block.p_latent_fault > 0.0),
+        has_spf_(block.p_spf > 0.0),
+        imperfect_(block.p_correct_diagnosis < 1.0) {}
+
+  semimarkov::SemiMarkovProcess build() {
+    create_states();
+    wire_dwell_states();
+    wire_level_states();
+    return builder_.build();
+  }
+
+ private:
+  void create_states() {
+    const unsigned m = levels_;
+    pf_.resize(m + 1);
+    pf_[0] = builder_.add_state("Ok", kUp);
+    for (unsigned i = 1; i <= m; ++i) {
+      pf_[i] = builder_.add_state(level_name("PF", i), kUp);
+    }
+    pf_down_ = builder_.add_state(level_name("PF", m + 1), kDown);
+    if (has_latent_) {
+      latent_.assign(m + 1, 0);
+      for (unsigned i = 1; i <= m; ++i) {
+        latent_[i] = builder_.add_state(level_name("Latent", i), kUp);
+      }
+    }
+    if (!transparent_recovery_) {
+      ar_.assign(m + 1, 0);
+      for (unsigned i = 1; i <= m; ++i) {
+        ar_[i] = builder_.add_state(level_name("AR", i), kDown);
+      }
+    }
+    if (has_spf_) {
+      spf_.assign(m + 1, 0);
+      for (unsigned i = 1; i <= m; ++i) {
+        spf_[i] = builder_.add_state(level_name("SPF", i), kDown);
+      }
+    }
+    if (has_trans_ && !transparent_recovery_) {
+      tf_.assign(m + 1, 0);
+      for (unsigned i = 1; i <= m; ++i) {
+        tf_[i] = builder_.add_state(level_name("TF", i), kDown);
+      }
+    }
+    if (has_trans_) {
+      tf_down_ = builder_.add_state(level_name("TF", m + 1), kDown);
+    }
+    if (imperfect_) {
+      se_.assign(m + 1, 0);
+      for (unsigned i = 1; i <= m; ++i) {
+        se_[i] = builder_.add_state(level_name("SE", i), kDown);
+      }
+      se_down_ = builder_.add_state(level_name("SE", m + 1), kDown);
+    }
+    if (!transparent_repair_) {
+      reint_.assign(m + 1, 0);
+      for (unsigned i = 1; i <= m; ++i) {
+        reint_[i] = builder_.add_state(level_name("Reint", i), kDown);
+      }
+    }
+  }
+
+  /// Deterministic dwell-only states: AR, TF, SPF, Reint, SE (exponential),
+  /// and the bottom emergency-repair state.
+  void wire_dwell_states() {
+    const unsigned m = levels_;
+    const double p_spf = has_spf_ ? block_.p_spf : 0.0;
+
+    if (!transparent_recovery_) {
+      for (unsigned i = 1; i <= m; ++i) {
+        std::vector<Branch> branches{{pf_[i], 1.0 - p_spf}};
+        if (has_spf_) branches.push_back({spf_[i], p_spf});
+        set_dwell(builder_, ar_[i], d_.ar_time_h, branches);
+      }
+    }
+    if (has_spf_) {
+      for (unsigned i = 1; i <= m; ++i) {
+        set_dwell(builder_, spf_[i], d_.t_spf_h, {{pf_[i], 1.0}});
+      }
+    }
+    if (has_trans_) {
+      if (!transparent_recovery_) {
+        for (unsigned i = 1; i <= m; ++i) {
+          std::vector<Branch> branches{{pf_[i - 1], 1.0 - p_spf}};
+          if (has_spf_) branches.push_back({spf_[i], p_spf});
+          set_dwell(builder_, tf_[i], d_.t_boot_h, branches);
+        }
+      }
+      std::vector<Branch> branches{{pf_[m], 1.0 - p_spf}};
+      if (has_spf_ && m >= 1) {
+        branches.push_back({spf_[m], p_spf});
+      } else {
+        branches[0].probability = 1.0;
+      }
+      set_dwell(builder_, tf_down_, d_.t_boot_h, branches);
+    }
+    if (imperfect_) {
+      for (unsigned i = 1; i <= m; ++i) {
+        builder_.set_exponential(se_[i], {{pf_[i - 1], 1.0 / d_.mttrfid_h}});
+      }
+      builder_.set_exponential(se_down_, {{pf_[m], 1.0 / d_.mttrfid_h}});
+    }
+    if (!transparent_repair_) {
+      for (unsigned i = 1; i <= m; ++i) {
+        set_dwell(builder_, reint_[i], d_.reint_h, {{pf_[i - 1], 1.0}});
+      }
+    }
+    // Bottom level: the emergency service action is a scheduled dwell.
+    {
+      const double pcd = block_.p_correct_diagnosis;
+      std::vector<Branch> branches{{pf_[m], pcd}};
+      if (imperfect_) branches.push_back({se_down_, 1.0 - pcd});
+      set_dwell(builder_, pf_down_, d_.immediate_repair_h(), branches);
+    }
+  }
+
+  /// Exponential fault arcs out of level i (same routing as the CTMC
+  /// generator).
+  std::vector<std::pair<std::size_t, double>> fault_arcs(unsigned i) {
+    const unsigned m = levels_;
+    const unsigned n = block_.quantity;
+    const double good = static_cast<double>(n - i);
+    const double perm = good * d_.lambda_p;
+    const double trans = good * d_.lambda_t;
+    const double plf = has_latent_ ? block_.p_latent_fault : 0.0;
+    const double p_spf = has_spf_ ? block_.p_spf : 0.0;
+    std::vector<std::pair<std::size_t, double>> arcs;
+
+    if (i == m) {
+      arcs.push_back({pf_down_, perm});
+      if (has_trans_) arcs.push_back({tf_down_, trans});
+      return arcs;
+    }
+    // Detected permanent fault.
+    const double detected = perm * (1.0 - plf);
+    if (transparent_recovery_) {
+      if (detected * (1.0 - p_spf) > 0.0) {
+        arcs.push_back({pf_[i + 1], detected * (1.0 - p_spf)});
+      }
+      if (has_spf_ && detected * p_spf > 0.0) {
+        arcs.push_back({spf_[i + 1], detected * p_spf});
+      }
+    } else if (detected > 0.0) {
+      arcs.push_back({ar_[i + 1], detected});
+    }
+    if (has_latent_ && perm * plf > 0.0) {
+      arcs.push_back({latent_[i + 1], perm * plf});
+    }
+    // Transient fault.
+    if (has_trans_) {
+      if (!transparent_recovery_) {
+        arcs.push_back({tf_[i + 1], trans});
+      } else if (has_spf_ && trans * p_spf > 0.0) {
+        arcs.push_back({spf_[i + 1], trans * p_spf});
+      }
+    }
+    return arcs;
+  }
+
+  void wire_level_states() {
+    const unsigned m = levels_;
+    const double pcd = block_.p_correct_diagnosis;
+    const double detect = has_latent_ ? 1.0 / d_.mttdlf_h : 0.0;
+    const double p_spf = has_spf_ ? block_.p_spf : 0.0;
+
+    // Ok: purely exponential.
+    builder_.set_exponential(pf_[0], fault_arcs(0));
+
+    // Degraded levels: deterministic repair completion racing the faults.
+    for (unsigned i = 1; i <= m; ++i) {
+      std::vector<Branch> repair_branches;
+      repair_branches.push_back(
+          {transparent_repair_ ? pf_[i - 1] : reint_[i], pcd});
+      if (imperfect_) repair_branches.push_back({se_[i], 1.0 - pcd});
+      set_race(builder_, pf_[i], d_.deferred_repair_h(), repair_branches,
+               fault_arcs(i));
+    }
+
+    // Latent levels: detection + faults are exponential; the repair of
+    // older detected faults (depth >= 2) is the deterministic race.
+    if (has_latent_) {
+      for (unsigned i = 1; i <= m; ++i) {
+        auto arcs = fault_arcs(i);
+        if (!transparent_recovery_) {
+          arcs.push_back({ar_[i], detect});
+        } else {
+          if (detect * (1.0 - p_spf) > 0.0) {
+            arcs.push_back({pf_[i], detect * (1.0 - p_spf)});
+          }
+          if (has_spf_ && detect * p_spf > 0.0) {
+            arcs.push_back({spf_[i], detect * p_spf});
+          }
+        }
+        if (i >= 2) {
+          std::vector<Branch> repair_branches{{latent_[i - 1], pcd}};
+          if (imperfect_) repair_branches.push_back({se_[i], 1.0 - pcd});
+          set_race(builder_, latent_[i], d_.deferred_repair_h(),
+                   repair_branches, arcs);
+        } else {
+          builder_.set_exponential(latent_[i], arcs);
+        }
+      }
+    }
+  }
+
+  const BlockSpec& block_;
+  const DerivedRates& d_;
+  const unsigned levels_;
+  const bool transparent_recovery_;
+  const bool transparent_repair_;
+  const bool has_trans_;
+  const bool has_latent_;
+  const bool has_spf_;
+  const bool imperfect_;
+
+  SmpBuilder builder_;
+  std::vector<std::size_t> pf_;
+  std::vector<std::size_t> latent_;
+  std::vector<std::size_t> ar_;
+  std::vector<std::size_t> spf_;
+  std::vector<std::size_t> tf_;
+  std::vector<std::size_t> se_;
+  std::vector<std::size_t> reint_;
+  std::size_t pf_down_ = 0;
+  std::size_t tf_down_ = 0;
+  std::size_t se_down_ = 0;
+};
+
+semimarkov::SemiMarkovProcess build_transient_only(const BlockSpec& block,
+                                                   const DerivedRates& d) {
+  SmpBuilder b;
+  const std::size_t ok = b.add_state("Ok", kUp);
+  const double rate = static_cast<double>(block.quantity) * d.lambda_t;
+  const bool has_spf = block.p_spf > 0.0;
+  std::size_t spf = 0;
+  if (has_spf) spf = b.add_state("SPF1", kDown);
+  if (block.recovery == Transparency::kTransparent) {
+    if (!has_spf) {
+      throw std::invalid_argument(
+          "generate_smp: fully masked transient-only block has a single "
+          "state; use the CTMC generator");
+    }
+    b.set_exponential(ok, {{spf, rate * block.p_spf}});
+    set_dwell(b, spf, d.t_spf_h, {{ok, 1.0}});
+    return b.build();
+  }
+  const std::size_t tf = b.add_state("TF1", kDown);
+  b.set_exponential(ok, {{tf, rate}});
+  std::vector<Branch> branches{{ok, 1.0 - block.p_spf}};
+  if (has_spf) {
+    branches.push_back({spf, block.p_spf});
+    set_dwell(b, spf, d.t_spf_h, {{ok, 1.0}});
+  } else {
+    branches[0].probability = 1.0;
+  }
+  set_dwell(b, tf, d.t_boot_h, branches);
+  return b.build();
+}
+
+}  // namespace
+
+semimarkov::SemiMarkovProcess generate_smp(const spec::BlockSpec& block,
+                                           const spec::GlobalParams& globals) {
+  if (block.mode == spec::RedundancyMode::kPrimaryStandby) {
+    throw std::invalid_argument(
+        "generate_smp: primary/standby blocks are CTMC-only");
+  }
+  if (!block.has_own_failures()) {
+    throw std::invalid_argument("generate_smp: block '" + block.name +
+                                "' has no failure parameters");
+  }
+  const DerivedRates d = derive_rates(block, globals);
+  if (!block.redundant()) return build_type0(block, d);
+  if (d.lambda_p <= 0.0) return build_transient_only(block, d);
+  return RedundantSmpBuilder(block, d).build();
+}
+
+double smp_availability(const spec::BlockSpec& block,
+                        const spec::GlobalParams& globals) {
+  return generate_smp(block, globals).steady_state_reward();
+}
+
+}  // namespace rascad::mg

@@ -1,0 +1,41 @@
+// Semi-Markov refinement of the generated block models (extension).
+//
+// The CTMC generator assumes every dwell — reboots, AR windows, logistic
+// delays, repairs — is exponential. RAScad's GMB module supports
+// semi-Markov chains, and the natural refinement is to model the
+// *scheduled* dwells as deterministic: a reboot takes Tboot, a failover
+// takes ar_time, the deferred service window is MTTM + Tresp + MTTR. This
+// generator emits that model as a SemiMarkovProcess:
+//
+//  - dwell-only down states (AR, TF, SPF, Reint, bottom repair) become
+//    deterministic sojourns with unchanged branch probabilities;
+//  - degraded up states with a *race* between the deterministic repair
+//    completion (delay D) and exponential faults (total rate L) get the
+//    exact competing-risk embedding: P(repair first) = exp(-L D), mean
+//    sojourn (1 - exp(-L D)) / L;
+//  - purely exponential states (Ok, latent detection, service error) are
+//    unchanged.
+//
+// Steady-state availability depends only on the embedded chain and the
+// mean sojourns (Markov-renewal ratio formula), so the race states are
+// where the exponential assumption actually matters; the E13 bench
+// quantifies how far the CTMC is from this refinement as L*D grows.
+#pragma once
+
+#include "semimarkov/smp.hpp"
+#include "spec/ast.hpp"
+
+namespace rascad::mg {
+
+/// Generates the deterministic-dwell semi-Markov refinement of a block
+/// model. Supports the Type 0 and symmetric redundant families; throws
+/// std::invalid_argument for primary/standby blocks (use the CTMC
+/// generator there).
+semimarkov::SemiMarkovProcess generate_smp(const spec::BlockSpec& block,
+                                           const spec::GlobalParams& globals);
+
+/// Steady-state availability of the semi-Markov refinement.
+double smp_availability(const spec::BlockSpec& block,
+                        const spec::GlobalParams& globals);
+
+}  // namespace rascad::mg

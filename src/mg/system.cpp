@@ -1,0 +1,265 @@
+#include "mg/system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "markov/absorbing.hpp"
+#include "markov/transient.hpp"
+#include "spec/validate.hpp"
+
+namespace rascad::mg {
+
+namespace {
+
+/// Piecewise-linear interpolation of a sampled curve over [0, horizon];
+/// clamps outside the range.
+rbd::TimeFunction interpolate(std::shared_ptr<const linalg::Vector> curve,
+                              double horizon) {
+  return [curve = std::move(curve), horizon](double t) {
+    const auto& c = *curve;
+    if (t <= 0.0) return c.front();
+    if (t >= horizon) return c.back();
+    const double pos =
+        t / horizon * static_cast<double>(c.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    return c[lo] * (1.0 - frac) + c[lo + 1] * frac;
+  };
+}
+
+std::string block_key(const std::string& diagram, const std::string& block) {
+  return diagram + "\x1f" + block;
+}
+
+/// Recursive tree construction shared by the steady-state build and the
+/// per-query transient/reliability rebuilds: the leaf factory decides what
+/// each block's own chain contributes.
+class TreeBuilder {
+ public:
+  using LeafFactory = std::function<rbd::RbdNodePtr(
+      const spec::DiagramSpec&, const spec::BlockSpec&)>;
+
+  TreeBuilder(const spec::ModelSpec& model, LeafFactory factory)
+      : model_(model), factory_(std::move(factory)) {}
+
+  rbd::RbdNodePtr build(const spec::DiagramSpec& diagram) {
+    std::vector<rbd::RbdNodePtr> children;
+    children.reserve(diagram.blocks.size());
+    for (const auto& block : diagram.blocks) {
+      rbd::RbdNodePtr own;
+      if (block.has_own_failures()) {
+        own = factory_(diagram, block);
+      }
+      rbd::RbdNodePtr sub;
+      if (block.subdiagram) {
+        const spec::DiagramSpec* d = model_.find_diagram(*block.subdiagram);
+        if (!d) {
+          throw std::invalid_argument("SystemModel: dangling subdiagram '" +
+                                      *block.subdiagram + "'");
+        }
+        sub = build(*d);
+      }
+      if (own && sub) {
+        children.push_back(
+            rbd::RbdNode::series(block.name, {std::move(own), std::move(sub)}));
+      } else if (own) {
+        children.push_back(std::move(own));
+      } else if (sub) {
+        children.push_back(std::move(sub));
+      } else {
+        throw std::invalid_argument("SystemModel: block '" + block.name +
+                                    "' contributes nothing");
+      }
+    }
+    return rbd::RbdNode::series(diagram.name, std::move(children));
+  }
+
+ private:
+  const spec::ModelSpec& model_;
+  LeafFactory factory_;
+};
+
+}  // namespace
+
+SystemModel SystemModel::build(const spec::ModelSpec& model,
+                               const Options& opts) {
+  spec::validate_or_throw(model);
+  SystemModel sm;
+  sm.spec_ = model;
+  sm.opts_ = opts;
+
+  TreeBuilder builder(
+      sm.spec_, [&sm](const spec::DiagramSpec& diagram,
+                      const spec::BlockSpec& block) -> rbd::RbdNodePtr {
+        GeneratedModel generated = generate(block, sm.spec_.globals);
+        const markov::SteadyStateResult steady =
+            markov::solve_steady_state(generated.chain, sm.opts_.steady);
+        BlockEntry entry;
+        entry.diagram = diagram.name;
+        entry.block = block;
+        entry.type = generated.type;
+        entry.initial = generated.initial;
+        entry.availability =
+            markov::expected_reward(generated.chain, steady.pi);
+        entry.yearly_downtime_min =
+            yearly_downtime_minutes(entry.availability);
+        entry.eq_failure_rate =
+            markov::equivalent_failure_rate(generated.chain, steady.pi);
+        entry.chain = std::make_shared<const markov::Ctmc>(
+            std::move(generated.chain));
+        sm.blocks_.push_back(entry);
+        return rbd::RbdNode::leaf(block.name, entry.availability);
+      });
+  sm.root_ = builder.build(sm.spec_.root());
+  return sm;
+}
+
+double SystemModel::eq_failure_rate() const {
+  double acc = 0.0;
+  for (const auto& b : blocks_) acc += b.eq_failure_rate;
+  return acc;
+}
+
+double SystemModel::mtbf_h() const {
+  const double rate = eq_failure_rate();
+  return rate > 0.0 ? 1.0 / rate : 0.0;
+}
+
+double SystemModel::interval_availability(double horizon) const {
+  if (!(horizon > 0.0)) {
+    throw std::invalid_argument(
+        "SystemModel::interval_availability: horizon must be positive");
+  }
+  // Precompute each block's point-availability curve on a shared grid.
+  std::unordered_map<std::string, std::shared_ptr<const linalg::Vector>>
+      curves;
+  for (const auto& b : blocks_) {
+    const linalg::Vector pi0 = markov::point_mass(*b.chain, b.initial);
+    curves.emplace(block_key(b.diagram, b.block.name),
+                   std::make_shared<const linalg::Vector>(markov::reward_curve(
+                       *b.chain, pi0, horizon, opts_.curve_steps)));
+  }
+  TreeBuilder builder(
+      spec_, [&](const spec::DiagramSpec& diagram,
+                 const spec::BlockSpec& block) -> rbd::RbdNodePtr {
+        const auto it = curves.find(block_key(diagram.name, block.name));
+        if (it == curves.end()) {
+          throw std::logic_error("SystemModel: missing curve for block '" +
+                                 block.name + "'");
+        }
+        const double steady = (*it->second).back();
+        return rbd::RbdNode::leaf(block.name, steady,
+                                  interpolate(it->second, horizon));
+      });
+  const rbd::RbdNodePtr tree = builder.build(spec_.root());
+  return tree->interval_availability(horizon, opts_.curve_steps);
+}
+
+namespace {
+
+rbd::RbdNodePtr reliability_tree(
+    const spec::ModelSpec& model,
+    const std::vector<SystemModel::BlockEntry>& blocks, double horizon,
+    std::size_t steps) {
+  std::unordered_map<std::string, std::shared_ptr<const linalg::Vector>>
+      curves;
+  for (const auto& b : blocks) {
+    const markov::Ctmc rel = markov::make_down_states_absorbing(*b.chain);
+    if (rel.down_states().empty()) {
+      // Block cannot fail; survival is identically 1.
+      curves.emplace(block_key(b.diagram, b.block.name),
+                     std::make_shared<const linalg::Vector>(
+                         linalg::Vector(steps + 1, 1.0)));
+      continue;
+    }
+    const linalg::Vector pi0 = markov::point_mass(rel, b.initial);
+    // Survival = probability mass on transient states; reward 1 on up
+    // transient states equals survival because absorbed states are down.
+    curves.emplace(
+        block_key(b.diagram, b.block.name),
+        std::make_shared<const linalg::Vector>(
+            markov::reward_curve(rel, pi0, horizon, steps)));
+  }
+  TreeBuilder builder(
+      model, [&](const spec::DiagramSpec& diagram,
+                 const spec::BlockSpec& block) -> rbd::RbdNodePtr {
+        const auto it = curves.find(block_key(diagram.name, block.name));
+        if (it == curves.end()) {
+          throw std::logic_error("SystemModel: missing reliability curve");
+        }
+        return rbd::RbdNode::leaf(block.name, 1.0, nullptr,
+                                  interpolate(it->second, horizon));
+      });
+  return builder.build(model.root());
+}
+
+}  // namespace
+
+double SystemModel::reliability(double horizon) const {
+  if (!(horizon > 0.0)) {
+    throw std::invalid_argument(
+        "SystemModel::reliability: horizon must be positive");
+  }
+  return reliability_tree(spec_, blocks_, horizon, opts_.curve_steps)
+      ->reliability(horizon);
+}
+
+double SystemModel::mttf_numeric_h(double horizon) const {
+  if (!(horizon > 0.0)) {
+    throw std::invalid_argument(
+        "SystemModel::mttf_numeric_h: horizon must be positive");
+  }
+  const std::size_t steps = std::max<std::size_t>(opts_.curve_steps, 1024);
+  return reliability_tree(spec_, blocks_, horizon, steps)
+      ->mttf_numeric(horizon, steps);
+}
+
+double SystemModel::availability_with_override(const std::string& diagram,
+                                               const std::string& block,
+                                               double value) const {
+  if (value < 0.0 || value > 1.0) {
+    throw std::invalid_argument(
+        "availability_with_override: value outside [0, 1]");
+  }
+  bool found = false;
+  for (const auto& b : blocks_) {
+    if (b.diagram == diagram && b.block.name == block) found = true;
+  }
+  if (!found) {
+    throw std::invalid_argument("availability_with_override: no block '" +
+                                block + "' in diagram '" + diagram + "'");
+  }
+  TreeBuilder builder(
+      spec_, [&](const spec::DiagramSpec& d,
+                 const spec::BlockSpec& blk) -> rbd::RbdNodePtr {
+        if (d.name == diagram && blk.name == block) {
+          return rbd::RbdNode::leaf(blk.name, value);
+        }
+        for (const auto& entry : blocks_) {
+          if (entry.diagram == d.name && entry.block.name == blk.name) {
+            return rbd::RbdNode::leaf(blk.name, entry.availability);
+          }
+        }
+        throw std::logic_error(
+            "availability_with_override: missing solved block '" + blk.name +
+            "'");
+      });
+  return builder.build(spec_.root())->availability();
+}
+
+std::size_t SystemModel::total_states() const {
+  std::size_t acc = 0;
+  for (const auto& b : blocks_) acc += b.chain->size();
+  return acc;
+}
+
+std::size_t SystemModel::total_transitions() const {
+  std::size_t acc = 0;
+  for (const auto& b : blocks_) acc += b.chain->transition_count();
+  return acc;
+}
+
+}  // namespace rascad::mg

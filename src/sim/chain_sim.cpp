@@ -1,0 +1,101 @@
+#include "sim/chain_sim.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace rascad::sim {
+
+TrajectoryResult simulate_chain(const markov::Ctmc& chain,
+                                markov::StateIndex initial, double horizon,
+                                dist::RandomSource& rng,
+                                bool record_intervals) {
+  if (initial >= chain.size()) {
+    throw std::out_of_range("simulate_chain: initial state out of range");
+  }
+  if (!(horizon > 0.0)) {
+    throw std::invalid_argument("simulate_chain: horizon must be positive");
+  }
+  TrajectoryResult result;
+  const auto& q = chain.generator();
+  markov::StateIndex state = initial;
+  double t = 0.0;
+  double down_start = chain.reward(state) > 0.0 ? -1.0 : 0.0;
+
+  auto account = [&](markov::StateIndex s, double dwell) {
+    if (chain.reward(s) > 0.0) {
+      result.up_time += dwell;
+    } else {
+      result.down_time += dwell;
+    }
+  };
+
+  while (t < horizon) {
+    const double exit = chain.exit_rate(state);
+    if (exit <= 0.0) {
+      account(state, horizon - t);
+      break;
+    }
+    const double dwell = -std::log(rng.uniform01()) / exit;
+    if (t + dwell >= horizon) {
+      account(state, horizon - t);
+      t = horizon;
+      break;
+    }
+    account(state, dwell);
+    t += dwell;
+    // Choose the target proportionally to the outgoing rates.
+    double u = rng.uniform01() * exit;
+    const auto row = q.row(state);
+    markov::StateIndex target = state;
+    for (std::size_t k = 0; k < row.size; ++k) {
+      if (row.cols[k] == state) continue;
+      u -= row.values[k];
+      if (u <= 0.0) {
+        target = row.cols[k];
+        break;
+      }
+    }
+    if (target == state) {
+      // Numeric edge: assign the last off-diagonal entry.
+      for (std::size_t k = row.size; k-- > 0;) {
+        if (row.cols[k] != state) {
+          target = row.cols[k];
+          break;
+        }
+      }
+    }
+    ++result.transitions;
+    const bool was_up = chain.reward(state) > 0.0;
+    const bool is_up = chain.reward(target) > 0.0;
+    if (was_up && !is_up) {
+      ++result.down_entries;
+      down_start = t;
+    } else if (!was_up && is_up && record_intervals && down_start >= 0.0) {
+      result.down_intervals.push_back({down_start, t});
+      down_start = -1.0;
+    }
+    state = target;
+  }
+  if (record_intervals && chain.reward(state) <= 0.0 && down_start >= 0.0) {
+    result.down_intervals.push_back({down_start, horizon});
+  }
+  return result;
+}
+
+SampleStats replicate_chain_availability(const markov::Ctmc& chain,
+                                         markov::StateIndex initial,
+                                         double horizon,
+                                         std::size_t replications,
+                                         std::uint64_t base_seed) {
+  SampleStats stats;
+  for (std::size_t r = 0; r < replications; ++r) {
+    Xoshiro256 rng(base_seed, r);
+    stats.add(
+        simulate_chain(chain, initial, horizon, rng).availability());
+  }
+  return stats;
+}
+
+}  // namespace rascad::sim

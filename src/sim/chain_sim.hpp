@@ -1,0 +1,43 @@
+// Monte-Carlo simulation of a CTMC trajectory — an independent check on
+// the analytic solvers (the simulated availability of any chain must agree
+// with its steady-state solution within sampling error).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "markov/ctmc.hpp"
+#include "sim/stats.hpp"
+
+namespace rascad::sim {
+
+struct TrajectoryResult {
+  double up_time = 0.0;
+  double down_time = 0.0;
+  std::size_t transitions = 0;
+  std::size_t down_entries = 0;  // up -> down crossings
+  std::vector<Interval> down_intervals;  // filled when requested
+
+  double availability() const {
+    const double total = up_time + down_time;
+    return total > 0.0 ? up_time / total : 1.0;
+  }
+};
+
+/// Simulates one trajectory over [0, horizon] from `initial`. Absorbing
+/// states simply accumulate the remaining horizon. Throws on bad inputs.
+TrajectoryResult simulate_chain(const markov::Ctmc& chain,
+                                markov::StateIndex initial, double horizon,
+                                dist::RandomSource& rng,
+                                bool record_intervals = false);
+
+/// Runs `replications` trajectories (seeded per replication from
+/// base_seed) and returns the availability sample statistics.
+SampleStats replicate_chain_availability(const markov::Ctmc& chain,
+                                         markov::StateIndex initial,
+                                         double horizon,
+                                         std::size_t replications,
+                                         std::uint64_t base_seed);
+
+}  // namespace rascad::sim

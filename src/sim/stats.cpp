@@ -1,0 +1,62 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rascad::sim {
+
+void SampleStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double SampleStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double SampleStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double SampleStats::std_error() const noexcept {
+  if (n_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+SampleStats::Interval SampleStats::confidence_interval(double z) const {
+  const double half = z * std_error();
+  return {mean_ - half, mean_ + half};
+}
+
+double merged_length(std::vector<Interval> intervals) {
+  if (intervals.empty()) return 0.0;
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.start < b.start;
+            });
+  double total = 0.0;
+  double cur_start = intervals.front().start;
+  double cur_end = intervals.front().end;
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    const Interval& iv = intervals[i];
+    if (iv.start <= cur_end) {
+      cur_end = std::max(cur_end, iv.end);
+    } else {
+      total += cur_end - cur_start;
+      cur_start = iv.start;
+      cur_end = iv.end;
+    }
+  }
+  total += cur_end - cur_start;
+  return total;
+}
+
+}  // namespace rascad::sim

@@ -1,0 +1,52 @@
+// Replication statistics: sample mean, variance, and normal-approximation
+// confidence intervals for Monte-Carlo availability estimates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rascad::sim {
+
+/// Running accumulator (Welford) over replication outputs.
+class SampleStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean.
+  double std_error() const noexcept;
+
+  struct Interval {
+    double lo;
+    double hi;
+    bool contains(double x) const { return lo <= x && x <= hi; }
+  };
+  /// Normal-approximation confidence interval at the given z (1.96 ~ 95%).
+  Interval confidence_interval(double z = 1.96) const;
+
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Merge a set of half-open busy intervals [start, end) into their union
+/// and return the total covered length. Used to combine independent
+/// per-block down intervals into system downtime.
+struct Interval {
+  double start;
+  double end;
+};
+
+double merged_length(std::vector<Interval> intervals);
+
+}  // namespace rascad::sim

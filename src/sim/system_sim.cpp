@@ -1,0 +1,130 @@
+#include "sim/system_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+#include "spec/validate.hpp"
+
+namespace rascad::sim {
+
+namespace {
+
+/// Depth-first collection of every failing block reachable from the root.
+void collect_blocks(const spec::ModelSpec& model,
+                    const spec::DiagramSpec& diagram,
+                    std::vector<const spec::BlockSpec*>& out) {
+  for (const auto& block : diagram.blocks) {
+    if (block.has_own_failures()) out.push_back(&block);
+    if (block.subdiagram) {
+      const spec::DiagramSpec* sub = model.find_diagram(*block.subdiagram);
+      if (!sub) {
+        throw std::invalid_argument("simulate_system: dangling subdiagram '" +
+                                    *block.subdiagram + "'");
+      }
+      collect_blocks(model, *sub, out);
+    }
+  }
+}
+
+}  // namespace
+
+SystemSimResult simulate_system_common_cause(const spec::ModelSpec& model,
+                                             double horizon,
+                                             std::uint64_t seed,
+                                             double shock_rate_per_hour,
+                                             double p_component_fault,
+                                             const BlockSimOptions& base) {
+  if (shock_rate_per_hour < 0.0 || p_component_fault < 0.0 ||
+      p_component_fault > 1.0) {
+    throw std::invalid_argument(
+        "simulate_system_common_cause: bad shock parameters");
+  }
+  // One shared schedule: the correlation channel.
+  std::vector<double> shocks;
+  if (shock_rate_per_hour > 0.0) {
+    Xoshiro256 rng(seed, 0xCCULL);
+    double t = 0.0;
+    for (;;) {
+      t += -std::log(rng.uniform01()) / shock_rate_per_hour;
+      if (t >= horizon) break;
+      shocks.push_back(t);
+    }
+  }
+  BlockSimOptions opts = base;
+  opts.common_cause_times = &shocks;
+  opts.p_common_cause = p_component_fault;
+  return simulate_system(model, horizon, seed, opts);
+}
+
+SystemSimResult simulate_system(const spec::ModelSpec& model, double horizon,
+                                std::uint64_t seed,
+                                const BlockSimOptions& opts) {
+  spec::validate_or_throw(model);
+  if (!(horizon > 0.0)) {
+    throw std::invalid_argument("simulate_system: horizon must be positive");
+  }
+  std::vector<const spec::BlockSpec*> blocks;
+  collect_blocks(model, model.root(), blocks);
+
+  SystemSimResult result;
+  result.horizon = horizon;
+  std::vector<Interval> all_down;
+  std::uint64_t stream = 0;
+  for (const spec::BlockSpec* block : blocks) {
+    // Account for block quantity at the diagram level being inside the
+    // block chain already; one process per block type.
+    Xoshiro256 rng(seed, ++stream);
+    BlockSimResult r = simulate_block(*block, model.globals, horizon, rng, opts);
+    result.permanent_faults += r.permanent_faults;
+    result.transient_faults += r.transient_faults;
+    result.service_errors += r.service_errors;
+    all_down.insert(all_down.end(), r.down_intervals.begin(),
+                    r.down_intervals.end());
+  }
+  // The union of down intervals: merged total plus the merged-window count.
+  if (!all_down.empty()) {
+    std::vector<Interval> sorted = all_down;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.start < b.start;
+              });
+    double cur_start = sorted.front().start;
+    double cur_end = sorted.front().end;
+    std::size_t windows = 1;
+    double total = 0.0;
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      if (sorted[i].start <= cur_end) {
+        cur_end = std::max(cur_end, sorted[i].end);
+      } else {
+        total += cur_end - cur_start;
+        cur_start = sorted[i].start;
+        cur_end = sorted[i].end;
+        ++windows;
+      }
+    }
+    total += cur_end - cur_start;
+    result.down_time = total;
+    result.outages = windows;
+  }
+  return result;
+}
+
+ReplicatedSystemResult replicate_system(const spec::ModelSpec& model,
+                                        double horizon,
+                                        std::size_t replications,
+                                        std::uint64_t base_seed,
+                                        const BlockSimOptions& opts) {
+  ReplicatedSystemResult out;
+  for (std::size_t r = 0; r < replications; ++r) {
+    const SystemSimResult one =
+        simulate_system(model, horizon, base_seed + 0x1000 * (r + 1), opts);
+    out.availability.add(one.availability());
+    out.downtime_minutes.add(one.downtime_minutes());
+    out.outages.add(static_cast<double>(one.outages));
+  }
+  return out;
+}
+
+}  // namespace rascad::sim

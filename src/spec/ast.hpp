@@ -1,0 +1,106 @@
+// Abstract syntax of the RAScad engineering-language model specification.
+//
+// The paper's MG GUI builds a tree of diagrams and blocks with the
+// parameter list of Section 3; this library accepts the same information as
+// a text file (`.rsc`). All durations are normalized at parse time: hours
+// for the long time scales, and the FIT unit (failures per 1e9 hours) for
+// transient fault rates, exactly as the paper's parameter list specifies.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rascad::spec {
+
+/// Global parameters (paper Section 3, Global Parameter Bar).
+struct GlobalParams {
+  double reboot_time_h = 8.0 / 60.0;  // Tboot
+  double mttm_h = 48.0;               // service restriction time
+  double mttrfid_h = 4.0;             // repair from incorrect diagnosis
+  double mission_time_h = 8760.0;     // horizon for interval measures
+};
+
+enum class Transparency {
+  kTransparent,
+  kNontransparent,
+};
+
+/// Redundancy architecture. kSymmetric is the paper's implemented case
+/// (all redundant components functionally equivalent); kPrimaryStandby is
+/// the paper's announced work-in-progress, implemented here as an
+/// extension.
+enum class RedundancyMode {
+  kSymmetric,
+  kPrimaryStandby,
+};
+
+/// One MG block — a component type with its full parameter list.
+struct BlockSpec {
+  std::string name;
+  std::string part_number;
+  std::string description;
+
+  unsigned quantity = 1;      // N
+  unsigned min_quantity = 1;  // K
+
+  double mtbf_h = 0.0;         // permanent-fault MTBF; 0 => no permanent faults
+  double transient_fit = 0.0;  // transient failure rate in FIT
+
+  // MTTR parts 1-3 (minutes in the GUI; stored in minutes here too).
+  double mttr_diagnosis_min = 0.0;
+  double mttr_corrective_min = 0.0;
+  double mttr_verification_min = 0.0;
+
+  double service_response_h = 0.0;     // Tresp
+  double p_correct_diagnosis = 1.0;    // Pcd
+
+  // Redundancy-only parameters (meaningful when quantity > min_quantity).
+  double p_latent_fault = 0.0;         // Plf
+  double mttdlf_h = 0.0;               // mean time to detect latent fault
+  Transparency recovery = Transparency::kNontransparent;
+  double ar_time_min = 0.0;            // AR/failover downtime if nontransparent
+  double p_spf = 0.0;                  // Pspf
+  double t_spf_min = 0.0;              // Tspf
+  Transparency repair = Transparency::kNontransparent;
+  double reintegration_min = 0.0;      // downtime if repair nontransparent
+
+  // Extension: primary/standby clusters.
+  RedundancyMode mode = RedundancyMode::kSymmetric;
+  double failover_time_min = 0.0;      // used when mode == kPrimaryStandby
+  double p_failover = 1.0;             // probability failover succeeds
+
+  /// Name of the subdiagram modeling this block's internals, if any.
+  std::optional<std::string> subdiagram;
+
+  double mttr_total_h() const {
+    return (mttr_diagnosis_min + mttr_corrective_min +
+            mttr_verification_min) / 60.0;
+  }
+  bool redundant() const { return quantity > min_quantity; }
+  bool has_own_failures() const { return mtbf_h > 0.0 || transient_fit > 0.0; }
+};
+
+/// One MG diagram: a named serial composition of blocks.
+struct DiagramSpec {
+  std::string name;
+  std::vector<BlockSpec> blocks;
+};
+
+/// A complete model: globals plus the diagram tree. The first diagram is
+/// the root (level 1 in the paper's numbering).
+struct ModelSpec {
+  std::string title;
+  GlobalParams globals;
+  std::vector<DiagramSpec> diagrams;
+
+  const DiagramSpec* find_diagram(const std::string& name) const {
+    for (const auto& d : diagrams) {
+      if (d.name == name) return &d;
+    }
+    return nullptr;
+  }
+  const DiagramSpec& root() const { return diagrams.front(); }
+};
+
+}  // namespace rascad::spec

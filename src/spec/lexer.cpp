@@ -1,0 +1,163 @@
+#include "spec/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+namespace rascad::spec {
+
+namespace {
+
+bool is_identifier_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_identifier_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_number_start(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+         c == '+';
+}
+
+}  // namespace
+
+ParseError::ParseError(std::size_t line, std::size_t column,
+                       const std::string& message)
+    : std::runtime_error([&] {
+        std::ostringstream os;
+        os << "line " << line << ", column " << column << ": " << message;
+        return os.str();
+      }()),
+      line_(line),
+      column_(column) {}
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t column = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == ',') {
+      advance(1);
+      continue;
+    }
+    if (c == '#' || (c == '/' && i + 1 < n && source[i + 1] == '/')) {
+      while (i < n && source[i] != '\n') advance(1);
+      continue;
+    }
+    const std::size_t tok_line = line;
+    const std::size_t tok_col = column;
+    if (c == '{') {
+      tokens.push_back({TokenKind::kLBrace, "{", 0.0, tok_line, tok_col});
+      advance(1);
+      continue;
+    }
+    if (c == '}') {
+      tokens.push_back({TokenKind::kRBrace, "}", 0.0, tok_line, tok_col});
+      advance(1);
+      continue;
+    }
+    if (c == '=') {
+      tokens.push_back({TokenKind::kEquals, "=", 0.0, tok_line, tok_col});
+      advance(1);
+      continue;
+    }
+    if (c == ';') {
+      tokens.push_back({TokenKind::kSemicolon, ";", 0.0, tok_line, tok_col});
+      advance(1);
+      continue;
+    }
+    if (c == '"') {
+      std::string value;
+      advance(1);
+      bool closed = false;
+      while (i < n) {
+        if (source[i] == '"') {
+          closed = true;
+          advance(1);
+          break;
+        }
+        if (source[i] == '\n') break;  // strings may not span lines
+        if (source[i] == '\\' && i + 1 < n &&
+            (source[i + 1] == '"' || source[i + 1] == '\\')) {
+          value.push_back(source[i + 1]);
+          advance(2);
+          continue;
+        }
+        value.push_back(source[i]);
+        advance(1);
+      }
+      if (!closed) {
+        throw ParseError(tok_line, tok_col, "unterminated string literal");
+      }
+      tokens.push_back(
+          {TokenKind::kString, std::move(value), 0.0, tok_line, tok_col});
+      continue;
+    }
+    if (is_number_start(c) &&
+        (std::isdigit(static_cast<unsigned char>(c)) ||
+         (i + 1 < n && (std::isdigit(static_cast<unsigned char>(source[i + 1])) ||
+                        source[i + 1] == '.')))) {
+      std::size_t j = i;
+      // Accept a float with optional exponent; std::from_chars validates.
+      if (source[j] == '-' || source[j] == '+') ++j;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(source[j])) ||
+                       source[j] == '.')) {
+        ++j;
+      }
+      if (j < n && (source[j] == 'e' || source[j] == 'E')) {
+        std::size_t k = j + 1;
+        if (k < n && (source[k] == '-' || source[k] == '+')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(source[k]))) {
+          ++k;
+          while (k < n && std::isdigit(static_cast<unsigned char>(source[k]))) {
+            ++k;
+          }
+          j = k;
+        }
+      }
+      double value = 0.0;
+      const auto result =
+          std::from_chars(source.data() + i, source.data() + j, value);
+      if (result.ec != std::errc{} || result.ptr != source.data() + j) {
+        throw ParseError(tok_line, tok_col, "malformed number");
+      }
+      tokens.push_back({TokenKind::kNumber,
+                        std::string(source.substr(i, j - i)), value, tok_line,
+                        tok_col});
+      advance(j - i);
+      continue;
+    }
+    if (is_identifier_start(c)) {
+      std::size_t j = i;
+      while (j < n && is_identifier_char(source[j])) ++j;
+      tokens.push_back({TokenKind::kIdentifier,
+                        std::string(source.substr(i, j - i)), 0.0, tok_line,
+                        tok_col});
+      advance(j - i);
+      continue;
+    }
+    throw ParseError(tok_line, tok_col,
+                     std::string("unexpected character '") + c + "'");
+  }
+  tokens.push_back({TokenKind::kEndOfInput, "", 0.0, line, column});
+  return tokens;
+}
+
+}  // namespace rascad::spec

@@ -1,0 +1,49 @@
+// Tokenizer for the `.rsc` model-specification language.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rascad::spec {
+
+enum class TokenKind {
+  kIdentifier,  // globals, diagram, block, quantity, transparent, ...
+  kString,      // "Server Box"
+  kNumber,      // 3, 0.98, 1e5
+  kLBrace,
+  kRBrace,
+  kEquals,
+  kSemicolon,
+  kEndOfInput,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;    // identifier/string content, or the raw number text
+  double number = 0.0; // valid when kind == kNumber
+  std::size_t line = 0;
+  std::size_t column = 0;
+};
+
+/// Raised for both lexical and syntactic errors; carries a position-tagged
+/// message ("line 12: ...").
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, std::size_t column, const std::string& message);
+  std::size_t line() const noexcept { return line_; }
+  std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// Tokenizes the whole input. `#` and `//` start line comments. Throws
+/// ParseError on malformed input (unterminated string, bad number, stray
+/// character). The result always ends with a kEndOfInput token.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace rascad::spec

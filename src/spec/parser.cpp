@@ -1,0 +1,348 @@
+#include "spec/parser.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace rascad::spec {
+
+namespace {
+
+/// Native unit of a duration parameter, mirroring the paper's GUI labels.
+enum class NativeUnit { kHours, kMinutes };
+
+/// A parsed right-hand side: exactly one of the alternatives is set.
+struct Value {
+  enum class Kind { kNumber, kString, kEnum } kind;
+  double number = 0.0;
+  std::string text;       // string content or enum identifier
+  std::string unit;       // normalized unit suffix, empty if none
+  std::size_t line = 0;
+  std::size_t column = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(tokenize(source)) {}
+
+  ModelSpec parse() {
+    ModelSpec model;
+    if (peek().kind == TokenKind::kIdentifier && peek().text == "title") {
+      next();
+      expect(TokenKind::kEquals, "'=' after title");
+      model.title = expect(TokenKind::kString, "string title").text;
+      skip_separators();
+    }
+    if (peek().kind == TokenKind::kIdentifier && peek().text == "globals") {
+      parse_globals(model.globals);
+    }
+    while (peek().kind != TokenKind::kEndOfInput) {
+      const Token& t = peek();
+      if (t.kind == TokenKind::kIdentifier && t.text == "diagram") {
+        model.diagrams.push_back(parse_diagram());
+      } else {
+        throw ParseError(t.line, t.column,
+                         "expected 'diagram', got '" + t.text + "'");
+      }
+    }
+    if (model.diagrams.empty()) {
+      throw ParseError(1, 1, "model contains no diagrams");
+    }
+    return model;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& next() { return tokens_[pos_++]; }
+
+  const Token& expect(TokenKind kind, const char* what) {
+    const Token& t = peek();
+    if (t.kind != kind) {
+      throw ParseError(t.line, t.column,
+                       std::string("expected ") + what + ", got '" + t.text +
+                           "'");
+    }
+    return next();
+  }
+
+  void skip_separators() {
+    while (peek().kind == TokenKind::kSemicolon) next();
+  }
+
+  Value parse_value() {
+    const Token& t = peek();
+    Value v;
+    v.line = t.line;
+    v.column = t.column;
+    if (t.kind == TokenKind::kNumber) {
+      v.kind = Value::Kind::kNumber;
+      v.number = t.number;
+      next();
+      // Optional unit suffix.
+      if (peek().kind == TokenKind::kIdentifier && is_unit(peek().text)) {
+        v.unit = peek().text;
+        next();
+      }
+      return v;
+    }
+    if (t.kind == TokenKind::kString) {
+      v.kind = Value::Kind::kString;
+      v.text = t.text;
+      next();
+      return v;
+    }
+    if (t.kind == TokenKind::kIdentifier) {
+      v.kind = Value::Kind::kEnum;
+      v.text = t.text;
+      next();
+      return v;
+    }
+    throw ParseError(t.line, t.column, "expected a parameter value");
+  }
+
+  static bool is_unit(const std::string& s) {
+    return s == "h" || s == "hr" || s == "hrs" || s == "hour" ||
+           s == "hours" || s == "min" || s == "mins" || s == "minute" ||
+           s == "minutes" || s == "s" || s == "sec" || s == "secs" ||
+           s == "seconds" || s == "d" || s == "day" || s == "days" ||
+           s == "y" || s == "yr" || s == "year" || s == "years" ||
+           s == "fit" || s == "per_hour";
+  }
+
+  /// Converts a numeric value to hours, honoring an explicit unit or the
+  /// parameter's native unit.
+  static double to_hours(const Value& v, NativeUnit native) {
+    if (v.unit.empty()) {
+      return native == NativeUnit::kHours ? v.number : v.number / 60.0;
+    }
+    const std::string& u = v.unit;
+    if (u == "h" || u == "hr" || u == "hrs" || u == "hour" || u == "hours") {
+      return v.number;
+    }
+    if (u == "min" || u == "mins" || u == "minute" || u == "minutes") {
+      return v.number / 60.0;
+    }
+    if (u == "s" || u == "sec" || u == "secs" || u == "seconds") {
+      return v.number / 3600.0;
+    }
+    if (u == "d" || u == "day" || u == "days") return v.number * 24.0;
+    if (u == "y" || u == "yr" || u == "year" || u == "years") {
+      return v.number * 8760.0;
+    }
+    throw ParseError(v.line, v.column, "'" + u + "' is not a time unit here");
+  }
+
+  static double duration_hours(const Value& v, NativeUnit native) {
+    if (v.kind != Value::Kind::kNumber) {
+      throw ParseError(v.line, v.column, "expected a duration");
+    }
+    const double h = to_hours(v, native);
+    if (!(h >= 0.0) || !std::isfinite(h)) {
+      throw ParseError(v.line, v.column, "duration must be non-negative");
+    }
+    return h;
+  }
+
+  static double duration_minutes(const Value& v) {
+    return duration_hours(v, NativeUnit::kMinutes) * 60.0;
+  }
+
+  static double probability(const Value& v) {
+    if (v.kind != Value::Kind::kNumber || !v.unit.empty()) {
+      throw ParseError(v.line, v.column, "expected a probability");
+    }
+    if (v.number < 0.0 || v.number > 1.0) {
+      throw ParseError(v.line, v.column, "probability must be in [0, 1]");
+    }
+    return v.number;
+  }
+
+  static unsigned count(const Value& v) {
+    if (v.kind != Value::Kind::kNumber || !v.unit.empty()) {
+      throw ParseError(v.line, v.column, "expected a count");
+    }
+    if (v.number < 0.0 || v.number != std::floor(v.number) ||
+        v.number > 1e6) {
+      throw ParseError(v.line, v.column,
+                       "expected a non-negative integer count");
+    }
+    return static_cast<unsigned>(v.number);
+  }
+
+  static double fit_rate(const Value& v) {
+    if (v.kind != Value::Kind::kNumber) {
+      throw ParseError(v.line, v.column, "expected a failure rate");
+    }
+    if (v.number < 0.0) {
+      throw ParseError(v.line, v.column, "failure rate must be non-negative");
+    }
+    if (v.unit.empty() || v.unit == "fit") return v.number;
+    if (v.unit == "per_hour") return v.number * 1e9;
+    throw ParseError(v.line, v.column,
+                     "transient rates take 'fit' or 'per_hour'");
+  }
+
+  static Transparency transparency(const Value& v) {
+    if (v.kind == Value::Kind::kEnum) {
+      if (v.text == "transparent") return Transparency::kTransparent;
+      if (v.text == "nontransparent" || v.text == "non_transparent") {
+        return Transparency::kNontransparent;
+      }
+    }
+    throw ParseError(v.line, v.column,
+                     "expected 'transparent' or 'nontransparent'");
+  }
+
+  static std::string string_value(const Value& v) {
+    if (v.kind != Value::Kind::kString) {
+      throw ParseError(v.line, v.column, "expected a quoted string");
+    }
+    return v.text;
+  }
+
+  void parse_globals(GlobalParams& g) {
+    next();  // 'globals'
+    expect(TokenKind::kLBrace, "'{' after globals");
+    while (peek().kind != TokenKind::kRBrace) {
+      const Token key = expect(TokenKind::kIdentifier, "a global parameter");
+      expect(TokenKind::kEquals, "'='");
+      const Value v = parse_value();
+      if (key.text == "reboot_time") {
+        g.reboot_time_h = duration_hours(v, NativeUnit::kMinutes);
+      } else if (key.text == "mttm") {
+        g.mttm_h = duration_hours(v, NativeUnit::kHours);
+      } else if (key.text == "mttrfid") {
+        g.mttrfid_h = duration_hours(v, NativeUnit::kHours);
+      } else if (key.text == "mission_time") {
+        g.mission_time_h = duration_hours(v, NativeUnit::kHours);
+      } else {
+        throw ParseError(key.line, key.column,
+                         "unknown global parameter '" + key.text + "'");
+      }
+      skip_separators();
+    }
+    next();  // '}'
+    skip_separators();
+  }
+
+  DiagramSpec parse_diagram() {
+    next();  // 'diagram'
+    DiagramSpec diagram;
+    diagram.name = expect(TokenKind::kString, "diagram name").text;
+    expect(TokenKind::kLBrace, "'{' after diagram name");
+    while (peek().kind != TokenKind::kRBrace) {
+      const Token& t = peek();
+      if (t.kind == TokenKind::kIdentifier && t.text == "block") {
+        diagram.blocks.push_back(parse_block());
+      } else {
+        throw ParseError(t.line, t.column,
+                         "expected 'block', got '" + t.text + "'");
+      }
+    }
+    next();  // '}'
+    skip_separators();
+    return diagram;
+  }
+
+  BlockSpec parse_block() {
+    next();  // 'block'
+    BlockSpec block;
+    block.name = expect(TokenKind::kString, "block name").text;
+    expect(TokenKind::kLBrace, "'{' after block name");
+    while (peek().kind != TokenKind::kRBrace) {
+      const Token key = expect(TokenKind::kIdentifier, "a block parameter");
+      expect(TokenKind::kEquals, "'='");
+      const Value v = parse_value();
+      apply_block_param(block, key, v);
+      skip_separators();
+    }
+    next();  // '}'
+    skip_separators();
+    return block;
+  }
+
+  static void apply_block_param(BlockSpec& b, const Token& key,
+                                const Value& v) {
+    const std::string& k = key.text;
+    if (k == "part_number") {
+      b.part_number = string_value(v);
+    } else if (k == "description") {
+      b.description = string_value(v);
+    } else if (k == "quantity") {
+      b.quantity = count(v);
+    } else if (k == "min_quantity") {
+      b.min_quantity = count(v);
+    } else if (k == "mtbf") {
+      b.mtbf_h = duration_hours(v, NativeUnit::kHours);
+    } else if (k == "transient_rate") {
+      b.transient_fit = fit_rate(v);
+    } else if (k == "mttr_diagnosis") {
+      b.mttr_diagnosis_min = duration_minutes(v);
+    } else if (k == "mttr_corrective") {
+      b.mttr_corrective_min = duration_minutes(v);
+    } else if (k == "mttr_verification") {
+      b.mttr_verification_min = duration_minutes(v);
+    } else if (k == "service_response") {
+      b.service_response_h = duration_hours(v, NativeUnit::kHours);
+    } else if (k == "p_correct_diagnosis") {
+      b.p_correct_diagnosis = probability(v);
+    } else if (k == "p_latent_fault") {
+      b.p_latent_fault = probability(v);
+    } else if (k == "mttdlf") {
+      b.mttdlf_h = duration_hours(v, NativeUnit::kHours);
+    } else if (k == "recovery") {
+      b.recovery = transparency(v);
+    } else if (k == "ar_time") {
+      b.ar_time_min = duration_minutes(v);
+    } else if (k == "p_spf") {
+      b.p_spf = probability(v);
+    } else if (k == "t_spf") {
+      b.t_spf_min = duration_minutes(v);
+    } else if (k == "repair") {
+      b.repair = transparency(v);
+    } else if (k == "reintegration_time") {
+      b.reintegration_min = duration_minutes(v);
+    } else if (k == "mode") {
+      if (v.kind == Value::Kind::kEnum && v.text == "symmetric") {
+        b.mode = RedundancyMode::kSymmetric;
+      } else if (v.kind == Value::Kind::kEnum &&
+                 v.text == "primary_standby") {
+        b.mode = RedundancyMode::kPrimaryStandby;
+      } else {
+        throw ParseError(v.line, v.column,
+                         "expected 'symmetric' or 'primary_standby'");
+      }
+    } else if (k == "failover_time") {
+      b.failover_time_min = duration_minutes(v);
+    } else if (k == "p_failover") {
+      b.p_failover = probability(v);
+    } else if (k == "subdiagram") {
+      b.subdiagram = string_value(v);
+    } else {
+      throw ParseError(key.line, key.column,
+                       "unknown block parameter '" + k + "'");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ModelSpec parse_model(std::string_view source) {
+  return Parser(source).parse();
+}
+
+ModelSpec parse_model_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open model file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_model(buffer.str());
+}
+
+}  // namespace rascad::spec

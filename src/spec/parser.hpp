@@ -1,0 +1,35 @@
+// Recursive-descent parser for the `.rsc` model-specification language.
+//
+// Grammar (comma/semicolon are interchangeable optional separators):
+//
+//   model    := ['title' '=' STRING] [globals] diagram+
+//   globals  := 'globals' '{' (IDENT '=' number-with-unit)* '}'
+//   diagram  := 'diagram' STRING '{' block* '}'
+//   block    := 'block' STRING '{' param* '}'
+//   param    := IDENT '=' (NUMBER [unit] | STRING | IDENT)
+//
+// Durations accept units h/hr/hours, min/minutes, s/sec/seconds, d/days,
+// y/years; transient rates accept `fit` (failures per 1e9 h) or `per_hour`.
+// Unitless durations default to the parameter's native unit from the
+// paper's GUI (hours for MTBF-class parameters, minutes for MTTR-class).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "spec/ast.hpp"
+#include "spec/lexer.hpp"
+
+namespace rascad::spec {
+
+/// Parses a model from source text. Throws ParseError with a line/column
+/// tag on any lexical, syntactic, or immediate semantic problem (unknown
+/// parameter, bad unit). Structural validation (dangling subdiagram
+/// references etc.) is a separate pass — see validate.hpp.
+ModelSpec parse_model(std::string_view source);
+
+/// Convenience: read and parse a file. Throws std::runtime_error if the
+/// file cannot be read, ParseError on bad content.
+ModelSpec parse_model_file(const std::string& path);
+
+}  // namespace rascad::spec

@@ -1,0 +1,237 @@
+#include "spec/validate.hpp"
+
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rascad::spec {
+
+namespace {
+
+class Checker {
+ public:
+  explicit Checker(const ModelSpec& model) : model_(model) {}
+
+  ValidationReport run() {
+    check_globals();
+    check_diagram_names();
+    for (const auto& d : model_.diagrams) {
+      check_diagram(d);
+    }
+    check_tree_structure();
+    return std::move(report_);
+  }
+
+ private:
+  void error(const std::string& where, const std::string& message) {
+    report_.issues.push_back(
+        {ValidationIssue::Severity::kError, where, message});
+  }
+  void warning(const std::string& where, const std::string& message) {
+    report_.issues.push_back(
+        {ValidationIssue::Severity::kWarning, where, message});
+  }
+
+  static std::string block_where(const DiagramSpec& d, const BlockSpec& b) {
+    return "diagram '" + d.name + "' / block '" + b.name + "'";
+  }
+
+  void check_globals() {
+    const GlobalParams& g = model_.globals;
+    if (g.mission_time_h <= 0.0) {
+      error("globals", "mission_time must be positive");
+    }
+    bool any_transient = false;
+    bool any_imperfect_diag = false;
+    for (const auto& d : model_.diagrams) {
+      for (const auto& b : d.blocks) {
+        any_transient = any_transient || b.transient_fit > 0.0;
+        any_imperfect_diag =
+            any_imperfect_diag || (b.has_own_failures() &&
+                                   b.p_correct_diagnosis < 1.0);
+      }
+    }
+    if (any_transient && g.reboot_time_h <= 0.0) {
+      error("globals",
+            "reboot_time must be positive when any block has transient "
+            "faults");
+    }
+    if (any_imperfect_diag && g.mttrfid_h <= 0.0) {
+      error("globals",
+            "mttrfid must be positive when any block has "
+            "p_correct_diagnosis < 1");
+    }
+  }
+
+  void check_diagram_names() {
+    std::unordered_set<std::string> seen;
+    for (const auto& d : model_.diagrams) {
+      if (d.name.empty()) error("model", "diagram with empty name");
+      if (!seen.insert(d.name).second) {
+        error("model", "duplicate diagram name '" + d.name + "'");
+      }
+    }
+  }
+
+  void check_diagram(const DiagramSpec& d) {
+    if (d.blocks.empty()) {
+      error("diagram '" + d.name + "'", "diagram has no blocks");
+    }
+    std::unordered_set<std::string> block_names;
+    for (const auto& b : d.blocks) {
+      if (!block_names.insert(b.name).second) {
+        error("diagram '" + d.name + "'",
+              "duplicate block name '" + b.name + "'");
+      }
+      check_block(d, b);
+    }
+  }
+
+  void check_block(const DiagramSpec& d, const BlockSpec& b) {
+    const std::string where = block_where(d, b);
+    if (b.quantity == 0) error(where, "quantity must be >= 1");
+    if (b.min_quantity == 0) error(where, "min_quantity must be >= 1");
+    if (b.min_quantity > b.quantity) {
+      error(where, "min_quantity exceeds quantity");
+    }
+    if (!b.has_own_failures() && !b.subdiagram) {
+      error(where,
+            "block has neither failure parameters (mtbf/transient_rate) nor "
+            "a subdiagram");
+    }
+    if (b.mtbf_h > 0.0 &&
+        b.mttr_total_h() + b.service_response_h <= 0.0) {
+      error(where,
+            "permanent faults require a repair path: MTTR parts and/or "
+            "service_response must be positive");
+    }
+    if (b.subdiagram && !model_.find_diagram(*b.subdiagram)) {
+      error(where, "subdiagram '" + *b.subdiagram + "' does not exist");
+    }
+
+    const bool redundant = b.redundant();
+    if (redundant) {
+      if (b.p_latent_fault > 0.0 && b.mttdlf_h <= 0.0) {
+        error(where, "p_latent_fault > 0 requires positive mttdlf");
+      }
+      if (b.recovery == Transparency::kNontransparent &&
+          b.mode == RedundancyMode::kSymmetric && b.ar_time_min <= 0.0 &&
+          b.mtbf_h > 0.0) {
+        error(where, "nontransparent recovery requires positive ar_time");
+      }
+      if (b.p_spf > 0.0 && b.t_spf_min <= 0.0) {
+        error(where, "p_spf > 0 requires positive t_spf");
+      }
+      if (b.repair == Transparency::kNontransparent &&
+          b.reintegration_min <= 0.0 && b.mtbf_h > 0.0) {
+        error(where,
+              "nontransparent repair requires positive reintegration_time");
+      }
+    } else {
+      // Redundancy-only parameters on a non-redundant block are ignored by
+      // the generator; surface that to the modeler.
+      if (b.p_latent_fault > 0.0 || b.p_spf > 0.0 ||
+          b.ar_time_min > 0.0 || b.reintegration_min > 0.0) {
+        warning(where,
+                "redundancy parameters are ignored because quantity == "
+                "min_quantity");
+      }
+    }
+
+    if (b.mode == RedundancyMode::kPrimaryStandby) {
+      if (b.quantity != 2 || b.min_quantity != 1) {
+        error(where,
+              "primary_standby mode requires quantity = 2 and "
+              "min_quantity = 1");
+      }
+      if (b.failover_time_min <= 0.0 && b.p_failover < 1.0) {
+        error(where,
+              "primary_standby with imperfect failover requires positive "
+              "failover_time");
+      }
+    }
+  }
+
+  void check_tree_structure() {
+    if (model_.diagrams.empty()) return;
+    // Count references and detect cycles by DFS from the root.
+    std::unordered_map<std::string, int> ref_count;
+    for (const auto& d : model_.diagrams) {
+      for (const auto& b : d.blocks) {
+        if (b.subdiagram) ++ref_count[*b.subdiagram];
+      }
+    }
+    const std::string& root = model_.diagrams.front().name;
+    if (ref_count.count(root)) {
+      error("model", "root diagram '" + root + "' is used as a subdiagram");
+    }
+    for (const auto& [name, count] : ref_count) {
+      if (count > 1) {
+        error("model", "diagram '" + name + "' is referenced " +
+                           std::to_string(count) +
+                           " times; the diagram/block model must be a tree");
+      }
+    }
+    // Cycle detection / reachability.
+    std::unordered_set<std::string> visiting;
+    std::unordered_set<std::string> done;
+    bool cycle_reported = false;
+    std::function<void(const DiagramSpec&)> dfs = [&](const DiagramSpec& d) {
+      if (done.count(d.name)) return;
+      if (!visiting.insert(d.name).second) return;
+      for (const auto& b : d.blocks) {
+        if (!b.subdiagram) continue;
+        const DiagramSpec* sub = model_.find_diagram(*b.subdiagram);
+        if (!sub) continue;  // already reported
+        if (visiting.count(sub->name)) {
+          if (!cycle_reported) {
+            error("model", "subdiagram cycle involving '" + sub->name + "'");
+            cycle_reported = true;
+          }
+          continue;
+        }
+        dfs(*sub);
+      }
+      visiting.erase(d.name);
+      done.insert(d.name);
+    };
+    dfs(model_.diagrams.front());
+    for (const auto& d : model_.diagrams) {
+      if (!done.count(d.name) && d.name != root) {
+        warning("model", "diagram '" + d.name +
+                             "' is not reachable from the root diagram");
+      }
+    }
+  }
+
+  const ModelSpec& model_;
+  ValidationReport report_;
+};
+
+}  // namespace
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream os;
+  for (const auto& i : issues) {
+    os << (i.severity == ValidationIssue::Severity::kError ? "error"
+                                                           : "warning")
+       << " [" << i.where << "]: " << i.message << '\n';
+  }
+  return os.str();
+}
+
+ValidationReport validate(const ModelSpec& model) {
+  return Checker(model).run();
+}
+
+void validate_or_throw(const ModelSpec& model) {
+  const ValidationReport report = validate(model);
+  if (!report.ok()) {
+    throw std::invalid_argument("model validation failed:\n" +
+                                report.to_string());
+  }
+}
+
+}  // namespace rascad::spec

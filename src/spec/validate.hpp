@@ -1,0 +1,47 @@
+// Structural and semantic validation of a parsed model, separate from the
+// parser so programmatically built ModelSpecs get the same checking.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spec/ast.hpp"
+
+namespace rascad::spec {
+
+struct ValidationIssue {
+  enum class Severity { kError, kWarning };
+  Severity severity;
+  std::string where;    // "diagram 'X' / block 'Y'"
+  std::string message;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+
+  bool ok() const {
+    for (const auto& i : issues) {
+      if (i.severity == ValidationIssue::Severity::kError) return false;
+    }
+    return true;
+  }
+  std::size_t error_count() const {
+    std::size_t n = 0;
+    for (const auto& i : issues) {
+      if (i.severity == ValidationIssue::Severity::kError) ++n;
+    }
+    return n;
+  }
+  std::string to_string() const;
+};
+
+/// Checks parameter consistency (quantities, probabilities vs. their
+/// supporting durations, redundancy-only parameters) and diagram-tree
+/// structure (subdiagram references resolve, form a tree, no cycles).
+ValidationReport validate(const ModelSpec& model);
+
+/// Throws std::invalid_argument carrying the full report if there is any
+/// error-severity issue.
+void validate_or_throw(const ModelSpec& model);
+
+}  // namespace rascad::spec

@@ -1,0 +1,115 @@
+#include "spec/writer.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace rascad::spec {
+
+namespace {
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void write_number(std::ostream& os, const char* key, double value,
+                  const char* unit) {
+  os << "  " << key << " = " << std::setprecision(15) << value;
+  if (unit && *unit) os << ' ' << unit;
+  os << '\n';
+}
+
+void write_block(std::ostream& os, const BlockSpec& b) {
+  os << " block " << quoted(b.name) << " {\n";
+  auto field = [&os](const char* key, double value, const char* unit) {
+    os << ' ';
+    write_number(os, key, value, unit);
+  };
+  if (!b.part_number.empty()) {
+    os << "   part_number = " << quoted(b.part_number) << '\n';
+  }
+  if (!b.description.empty()) {
+    os << "   description = " << quoted(b.description) << '\n';
+  }
+  field("quantity", b.quantity, "");
+  field("min_quantity", b.min_quantity, "");
+  if (b.mtbf_h > 0.0) field("mtbf", b.mtbf_h, "h");
+  if (b.transient_fit > 0.0) field("transient_rate", b.transient_fit, "fit");
+  if (b.mttr_diagnosis_min > 0.0) {
+    field("mttr_diagnosis", b.mttr_diagnosis_min, "min");
+  }
+  if (b.mttr_corrective_min > 0.0) {
+    field("mttr_corrective", b.mttr_corrective_min, "min");
+  }
+  if (b.mttr_verification_min > 0.0) {
+    field("mttr_verification", b.mttr_verification_min, "min");
+  }
+  if (b.service_response_h > 0.0) {
+    field("service_response", b.service_response_h, "h");
+  }
+  if (b.p_correct_diagnosis < 1.0) {
+    field("p_correct_diagnosis", b.p_correct_diagnosis, "");
+  }
+  if (b.redundant()) {
+    if (b.p_latent_fault > 0.0) field("p_latent_fault", b.p_latent_fault, "");
+    if (b.mttdlf_h > 0.0) field("mttdlf", b.mttdlf_h, "h");
+    os << "   recovery = "
+       << (b.recovery == Transparency::kTransparent ? "transparent"
+                                                    : "nontransparent")
+       << '\n';
+    if (b.ar_time_min > 0.0) field("ar_time", b.ar_time_min, "min");
+    if (b.p_spf > 0.0) field("p_spf", b.p_spf, "");
+    if (b.t_spf_min > 0.0) field("t_spf", b.t_spf_min, "min");
+    os << "   repair = "
+       << (b.repair == Transparency::kTransparent ? "transparent"
+                                                  : "nontransparent")
+       << '\n';
+    if (b.reintegration_min > 0.0) {
+      field("reintegration_time", b.reintegration_min, "min");
+    }
+  }
+  if (b.mode == RedundancyMode::kPrimaryStandby) {
+    os << "   mode = primary_standby\n";
+    if (b.failover_time_min > 0.0) {
+      field("failover_time", b.failover_time_min, "min");
+    }
+    if (b.p_failover < 1.0) field("p_failover", b.p_failover, "");
+  }
+  if (b.subdiagram) {
+    os << "   subdiagram = " << quoted(*b.subdiagram) << '\n';
+  }
+  os << " }\n";
+}
+
+}  // namespace
+
+void write_model(std::ostream& os, const ModelSpec& model) {
+  if (!model.title.empty()) {
+    os << "title = " << quoted(model.title) << "\n\n";
+  }
+  os << "globals {\n";
+  write_number(os, "reboot_time", model.globals.reboot_time_h, "h");
+  write_number(os, "mttm", model.globals.mttm_h, "h");
+  write_number(os, "mttrfid", model.globals.mttrfid_h, "h");
+  write_number(os, "mission_time", model.globals.mission_time_h, "h");
+  os << "}\n";
+  for (const auto& d : model.diagrams) {
+    os << "\ndiagram " << quoted(d.name) << " {\n";
+    for (const auto& b : d.blocks) write_block(os, b);
+    os << "}\n";
+  }
+}
+
+std::string to_rsc_string(const ModelSpec& model) {
+  std::ostringstream os;
+  write_model(os, model);
+  return os.str();
+}
+
+}  // namespace rascad::spec

@@ -1,0 +1,19 @@
+// Canonical serialization of a ModelSpec back to `.rsc` text — the file
+// sharing / documentation half of the tool (models are saved, shared, and
+// re-opened across the network in RAScad).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "spec/ast.hpp"
+
+namespace rascad::spec {
+
+/// Writes the model in canonical `.rsc` form. Parsing the output yields an
+/// equivalent ModelSpec (round-trip property, covered by tests).
+void write_model(std::ostream& os, const ModelSpec& model);
+
+std::string to_rsc_string(const ModelSpec& model);
+
+}  // namespace rascad::spec

@@ -1,0 +1,122 @@
+// Tests for first-passage analysis on DTMCs and semi-Markov processes —
+// the GMB engine's reliability-model counterpart.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/baselines.hpp"
+#include "markov/dtmc.hpp"
+#include "semimarkov/smp.hpp"
+
+namespace {
+
+TEST(DtmcAbsorption, GamblersRuinStepCount) {
+  // States 0..3; 3 absorbing; from i move to i+1 w.p. 1 (a pure counter):
+  // expected steps from 0 = 3.
+  rascad::markov::DtmcBuilder b;
+  for (int i = 0; i < 4; ++i) b.add_state("s" + std::to_string(i));
+  b.add_transition(0, 1, 1.0);
+  b.add_transition(1, 2, 1.0);
+  b.add_transition(2, 3, 1.0);
+  b.add_transition(3, 3, 1.0);
+  const auto chain = b.build();
+  EXPECT_TRUE(chain.is_absorbing(3));
+  EXPECT_FALSE(chain.is_absorbing(0));
+  EXPECT_NEAR(chain.expected_steps_to_absorption(0), 3.0, 1e-12);
+  EXPECT_NEAR(chain.expected_steps_to_absorption(2), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(chain.expected_steps_to_absorption(3), 0.0);
+}
+
+TEST(DtmcAbsorption, GeometricRetries) {
+  // Succeed w.p. p each step, else retry: expected steps = 1/p.
+  rascad::markov::DtmcBuilder b;
+  b.add_state("try");
+  b.add_state("done");
+  const double p = 0.2;
+  b.add_transition(0, 0, 1.0 - p);
+  b.add_transition(0, 1, p);
+  b.add_transition(1, 1, 1.0);
+  EXPECT_NEAR(b.build().expected_steps_to_absorption(0), 1.0 / p, 1e-12);
+}
+
+TEST(DtmcAbsorption, NoAbsorbingThrows) {
+  rascad::markov::DtmcBuilder b;
+  b.add_state("a");
+  b.add_state("b");
+  b.add_transition(0, 1, 1.0);
+  b.add_transition(1, 0, 1.0);
+  EXPECT_THROW(b.build().expected_steps_to_absorption(0),
+               std::invalid_argument);
+}
+
+TEST(SmpAbsorption, MatchesCtmcMttfForExponentialSojourns) {
+  // 1-of-2 with repair: the SMP first passage must equal the CTMC MTTF.
+  const double lambda = 0.01;
+  const double mu = 0.5;
+  rascad::semimarkov::SmpBuilder sb;
+  const auto s0 = sb.add_state("2good", 1.0);
+  const auto s1 = sb.add_state("1good", 1.0);
+  const auto fail = sb.add_state("failed", 0.0);
+  sb.set_exponential(s0, {{s1, 2 * lambda}});
+  sb.set_exponential(s1, {{s0, mu}, {fail, lambda}});
+  const auto smp = sb.build_with_absorbing();
+  EXPECT_TRUE(smp.is_absorbing(fail));
+  EXPECT_FALSE(smp.is_absorbing(s0));
+  const double expected =
+      rascad::baselines::k_of_n_mttf_with_repair(2, 1, lambda, mu, 0);
+  EXPECT_NEAR(smp.mean_time_to_absorption(s0), expected, 1e-9);
+  EXPECT_DOUBLE_EQ(smp.mean_time_to_absorption(fail), 0.0);
+  EXPECT_THROW(smp.steady_state(), std::domain_error);
+}
+
+TEST(SmpAbsorption, DeterministicStagesAddUp) {
+  // A pipeline of deterministic stages: MTTF is just their sum.
+  rascad::semimarkov::SmpBuilder sb;
+  const auto a = sb.add_state("a", 1.0, rascad::dist::deterministic(2.0));
+  const auto b = sb.add_state("b", 1.0, rascad::dist::deterministic(3.5));
+  const auto end = sb.add_state("end", 0.0);
+  sb.add_transition(a, b, 1.0);
+  sb.add_transition(b, end, 1.0);
+  const auto smp = sb.build_with_absorbing();
+  EXPECT_NEAR(smp.mean_time_to_absorption(a), 5.5, 1e-12);
+}
+
+TEST(SmpAbsorption, BranchingWeibullPipeline) {
+  // From Start: 60% to a Weibull stage, 40% straight to absorption; the
+  // first passage is h_start + 0.6 * h_stage.
+  rascad::semimarkov::SmpBuilder sb;
+  const auto start =
+      sb.add_state("start", 1.0, rascad::dist::exponential_mean(10.0));
+  const auto stage =
+      sb.add_state("stage", 1.0, rascad::dist::weibull(2.0, 100.0));
+  const auto done = sb.add_state("done", 0.0);
+  sb.add_transition(start, stage, 0.6);
+  sb.add_transition(start, done, 0.4);
+  sb.add_transition(stage, done, 1.0);
+  const auto smp = sb.build_with_absorbing();
+  const double stage_mean = rascad::dist::weibull(2.0, 100.0)->mean();
+  EXPECT_NEAR(smp.mean_time_to_absorption(start), 10.0 + 0.6 * stage_mean,
+              1e-9);
+}
+
+TEST(SmpAbsorption, TransientWithoutSojournRejected) {
+  rascad::semimarkov::SmpBuilder sb;
+  sb.add_state("a", 1.0);  // no sojourn, but has an exit: invalid
+  sb.add_state("end", 0.0);
+  sb.add_transition(0, 1, 1.0);
+  EXPECT_THROW(sb.build_with_absorbing(), std::invalid_argument);
+}
+
+TEST(SmpAbsorption, RegularBuildHasNoAbsorbingStates) {
+  rascad::semimarkov::SmpBuilder sb;
+  const auto up = sb.add_state("Up", 1.0);
+  const auto down = sb.add_state("Down", 0.0);
+  sb.set_exponential(up, {{down, 1.0}});
+  sb.set_exponential(down, {{up, 2.0}});
+  const auto smp = sb.build();
+  EXPECT_FALSE(smp.is_absorbing(up));
+  EXPECT_FALSE(smp.is_absorbing(down));
+  EXPECT_THROW(smp.mean_time_to_absorption(up), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Tests for the closed-form baselines themselves (they must be right to
+// serve as the validation oracle).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/baselines.hpp"
+
+namespace {
+
+namespace bl = rascad::baselines;
+
+TEST(SingleUnit, Basics) {
+  EXPECT_DOUBLE_EQ(bl::single_unit_availability(99.0, 1.0), 0.99);
+  EXPECT_DOUBLE_EQ(bl::single_unit_availability(10.0, 0.0), 1.0);
+  EXPECT_THROW(bl::single_unit_availability(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(bl::single_unit_availability(1.0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(TwoState, ConsistencyBetweenForms) {
+  const double lambda = 0.002;
+  const double mu = 0.8;
+  EXPECT_NEAR(bl::two_state_availability(lambda, mu),
+              bl::single_unit_availability(1.0 / lambda, 1.0 / mu), 1e-12);
+  // Point availability at t=0 is 1, and tends to the steady value.
+  EXPECT_DOUBLE_EQ(bl::two_state_point_availability(lambda, mu, 0.0), 1.0);
+  EXPECT_NEAR(bl::two_state_point_availability(lambda, mu, 1e7),
+              bl::two_state_availability(lambda, mu), 1e-12);
+  // Interval availability lies between steady-state and 1.
+  const double ia = bl::two_state_interval_availability(lambda, mu, 10.0);
+  EXPECT_GT(ia, bl::two_state_availability(lambda, mu));
+  EXPECT_LT(ia, 1.0);
+}
+
+TEST(TwoState, IntervalIsIntegralOfPoint) {
+  const double lambda = 0.1;
+  const double mu = 1.0;
+  const double t = 5.0;
+  // Numerically integrate the point availability.
+  const int n = 20'000;
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = (i + 0.5) * t / n;
+    acc += bl::two_state_point_availability(lambda, mu, u);
+  }
+  acc /= n;
+  EXPECT_NEAR(bl::two_state_interval_availability(lambda, mu, t), acc, 1e-6);
+}
+
+TEST(BirthDeath, StationaryIsDetailedBalance) {
+  const auto pi = bl::birth_death_stationary({2.0, 1.0}, {3.0, 4.0});
+  ASSERT_EQ(pi.size(), 3u);
+  double sum = 0.0;
+  for (double p : pi) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(pi[0] * 2.0, pi[1] * 3.0, 1e-12);
+  EXPECT_NEAR(pi[1] * 1.0, pi[2] * 4.0, 1e-12);
+  EXPECT_THROW(bl::birth_death_stationary({1.0}, {}), std::invalid_argument);
+  EXPECT_THROW(bl::birth_death_stationary({0.0}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(KofN, AvailabilityLimits) {
+  const double lambda = 0.001;
+  const double mu = 0.5;
+  // 1-of-1 equals the two-state availability.
+  EXPECT_NEAR(bl::k_of_n_availability(1, 1, lambda, mu),
+              bl::two_state_availability(lambda, mu), 1e-12);
+  // More spares help; tighter K hurts.
+  const double a21 = bl::k_of_n_availability(2, 1, lambda, mu);
+  const double a22 = bl::k_of_n_availability(2, 2, lambda, mu);
+  const double a31 = bl::k_of_n_availability(3, 1, lambda, mu);
+  EXPECT_GT(a21, a22);
+  EXPECT_GT(a31, a21);
+  EXPECT_THROW(bl::k_of_n_availability(2, 0, lambda, mu),
+               std::invalid_argument);
+  EXPECT_THROW(bl::k_of_n_availability(2, 3, lambda, mu),
+               std::invalid_argument);
+}
+
+TEST(KofN, SingleRepairmanIsWorse) {
+  const double lambda = 0.05;
+  const double mu = 0.2;
+  const double unlimited = bl::k_of_n_availability(4, 2, lambda, mu, 0);
+  const double one = bl::k_of_n_availability(4, 2, lambda, mu, 1);
+  EXPECT_GT(unlimited, one);
+}
+
+TEST(Mttf, NoRepairHarmonicSum) {
+  const double lambda = 0.01;
+  EXPECT_NEAR(bl::k_of_n_mttf_no_repair(1, 1, lambda), 100.0, 1e-9);
+  EXPECT_NEAR(bl::k_of_n_mttf_no_repair(2, 1, lambda),
+              100.0 / 2.0 + 100.0, 1e-9);
+  EXPECT_NEAR(bl::k_of_n_mttf_no_repair(3, 2, lambda),
+              100.0 / 3.0 + 100.0 / 2.0, 1e-9);
+}
+
+TEST(Mttf, RepairExtendsLife) {
+  const double lambda = 0.01;
+  const double mu = 1.0;
+  const double without = bl::k_of_n_mttf_no_repair(2, 1, lambda);
+  const double with = bl::k_of_n_mttf_with_repair(2, 1, lambda, mu);
+  EXPECT_GT(with, without);
+  // Known closed form for 1-of-2: (3 lambda + mu) / (2 lambda^2).
+  EXPECT_NEAR(with, (3 * lambda + mu) / (2 * lambda * lambda), 1e-6);
+}
+
+TEST(Mttf, BirthDeathLadder) {
+  // Single step: 1/b0.
+  EXPECT_DOUBLE_EQ(bl::birth_death_mttf({0.5}, {1.0}), 2.0);
+  // Two steps, no backward rate contribution from state 0.
+  const double t = bl::birth_death_mttf({1.0, 2.0}, {3.0, 1.0});
+  // h0 = 1; h1 = 1/2 + (3/2)*1 = 2; total 3.
+  EXPECT_NEAR(t, 3.0, 1e-12);
+}
+
+TEST(SeriesParallel, Algebra) {
+  EXPECT_NEAR(bl::series_availability({0.9, 0.8}), 0.72, 1e-12);
+  EXPECT_NEAR(bl::parallel_availability({0.9, 0.8}), 0.98, 1e-12);
+  EXPECT_DOUBLE_EQ(bl::series_availability({}), 1.0);
+  EXPECT_DOUBLE_EQ(bl::parallel_availability({}), 0.0);
+  EXPECT_THROW(bl::series_availability({1.2}), std::invalid_argument);
+  EXPECT_THROW(bl::parallel_availability({-0.1}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Tests for the architecture-comparison and generation-explanation
+// features.
+#include <gtest/gtest.h>
+
+#include "core/compare.hpp"
+#include "core/library.hpp"
+#include "mg/explain.hpp"
+#include "mg/system.hpp"
+#include "spec/parser.hpp"
+
+namespace {
+
+using rascad::mg::SystemModel;
+
+TEST(Compare, EntryVsMidrange) {
+  const auto a = SystemModel::build(rascad::core::library::entry_server());
+  const auto b = SystemModel::build(rascad::core::library::midrange_server());
+  const auto report = rascad::core::compare_systems(a, b);
+  EXPECT_EQ(report.name_a, "Entry Server");
+  EXPECT_EQ(report.name_b, "Midrange Server");
+  // The midrange design has less downtime.
+  EXPECT_LT(report.downtime_delta_min(), 0.0);
+  EXPECT_GT(report.availability_b, report.availability_a);
+  EXPECT_FALSE(report.blocks.empty());
+  // Deltas are sorted by magnitude.
+  for (std::size_t i = 1; i < report.blocks.size(); ++i) {
+    EXPECT_GE(std::abs(report.blocks[i - 1].delta_min()),
+              std::abs(report.blocks[i].delta_min()));
+  }
+  // Blocks unique to one side appear with a one-sided entry.
+  bool saw_one_sided = false;
+  for (const auto& d : report.blocks) {
+    if (!d.downtime_a_min || !d.downtime_b_min) saw_one_sided = true;
+  }
+  EXPECT_TRUE(saw_one_sided);
+}
+
+TEST(Compare, IdenticalModelsHaveZeroDelta) {
+  const auto a = SystemModel::build(rascad::core::library::entry_server());
+  const auto b = SystemModel::build(rascad::core::library::entry_server());
+  const auto report = rascad::core::compare_systems(a, b);
+  EXPECT_NEAR(report.downtime_delta_min(), 0.0, 1e-9);
+  for (const auto& d : report.blocks) {
+    EXPECT_NEAR(d.delta_min(), 0.0, 1e-9);
+  }
+}
+
+TEST(Compare, TextRendering) {
+  const auto a = SystemModel::build(rascad::core::library::entry_server());
+  const auto b = SystemModel::build(rascad::core::library::midrange_server());
+  const std::string text =
+      rascad::core::comparison_text(rascad::core::compare_systems(a, b));
+  EXPECT_NE(text.find("architecture comparison"), std::string::npos);
+  EXPECT_NE(text.find("yearly downtime"), std::string::npos);
+  EXPECT_NE(text.find("B - A"), std::string::npos);
+  EXPECT_NE(text.find("-"), std::string::npos);  // one-sided marker
+}
+
+TEST(Explain, CoversKeyDecisions) {
+  const auto model = rascad::spec::parse_model(R"(
+diagram "D" {
+  block "CPU" {
+    quantity = 4 min_quantity = 3
+    mtbf = 500000 transient_rate = 2000 fit
+    mttr_corrective = 30 service_response = 4
+    p_correct_diagnosis = 0.95
+    p_latent_fault = 0.05 mttdlf = 48
+    recovery = nontransparent ar_time = 5
+    p_spf = 0.01 t_spf = 30
+    repair = transparent
+  }
+}
+)");
+  const std::string text =
+      rascad::mg::explain(model.root().blocks[0], model.globals);
+  EXPECT_NE(text.find("Type 3"), std::string::npos);
+  EXPECT_NE(text.find("1 redundancy level"), std::string::npos);
+  EXPECT_NE(text.find("nontransparent: each detected fault"),
+            std::string::npos);
+  EXPECT_NE(text.find("transparent: hot-plug"), std::string::npos);
+  EXPECT_NE(text.find("latent faults: 5%"), std::string::npos);
+  EXPECT_NE(text.find("single-point-of-failure risk"), std::string::npos);
+  EXPECT_NE(text.find("wrong part"), std::string::npos);
+  EXPECT_NE(text.find("generated chain:"), std::string::npos);
+}
+
+TEST(Explain, Type0AndCluster) {
+  rascad::spec::GlobalParams g;
+  rascad::spec::BlockSpec simple;
+  simple.name = "Board";
+  simple.quantity = 1;
+  simple.min_quantity = 1;
+  simple.mtbf_h = 100'000.0;
+  simple.mttr_corrective_min = 60.0;
+  simple.service_response_h = 4.0;
+  const std::string t0 = rascad::mg::explain(simple, g);
+  EXPECT_NE(t0.find("Type 0"), std::string::npos);
+  EXPECT_NE(t0.find("no redundancy"), std::string::npos);
+
+  rascad::spec::BlockSpec ps = simple;
+  ps.name = "Pair";
+  ps.quantity = 2;
+  ps.mode = rascad::spec::RedundancyMode::kPrimaryStandby;
+  ps.failover_time_min = 3.0;
+  ps.p_failover = 0.95;
+  ps.t_spf_min = 30.0;
+  const std::string cluster = rascad::mg::explain(ps, g);
+  EXPECT_NE(cluster.find("Primary/Standby"), std::string::npos);
+  EXPECT_NE(cluster.find("failover"), std::string::npos);
+}
+
+TEST(Explain, RejectsBadBlocks) {
+  rascad::spec::GlobalParams g;
+  rascad::spec::BlockSpec empty;
+  empty.name = "x";
+  EXPECT_THROW(rascad::mg::explain(empty, g), std::invalid_argument);
+}
+
+}  // namespace

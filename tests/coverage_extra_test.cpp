@@ -1,0 +1,215 @@
+// Additional coverage: Type 2/4 structural checks, the long-horizon
+// steady-state-detection path in the transient engine, cache behavior,
+// and whole-library invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/baselines.hpp"
+#include "core/library.hpp"
+#include "core/partsdb.hpp"
+#include "gmb/workspace.hpp"
+#include "markov/steady_state.hpp"
+#include "markov/transient.hpp"
+#include "mg/generator.hpp"
+#include "mg/system.hpp"
+#include "spec/parser.hpp"
+#include "spec/writer.hpp"
+
+namespace {
+
+using rascad::mg::generate;
+using rascad::spec::BlockSpec;
+using rascad::spec::GlobalParams;
+using rascad::spec::Transparency;
+
+GlobalParams globals() {
+  GlobalParams g;
+  g.reboot_time_h = 8.0 / 60.0;
+  g.mttm_h = 48.0;
+  g.mttrfid_h = 4.0;
+  g.mission_time_h = 8760.0;
+  return g;
+}
+
+BlockSpec full_block(Transparency rec, Transparency rep) {
+  BlockSpec b;
+  b.name = "blk";
+  b.quantity = 2;
+  b.min_quantity = 1;
+  b.mtbf_h = 100'000.0;
+  b.transient_fit = 2'000.0;
+  b.mttr_corrective_min = 45.0;
+  b.service_response_h = 4.0;
+  b.p_correct_diagnosis = 0.95;
+  b.p_latent_fault = 0.05;
+  b.mttdlf_h = 48.0;
+  b.recovery = rec;
+  b.ar_time_min = 6.0;
+  b.p_spf = 0.01;
+  b.t_spf_min = 30.0;
+  b.repair = rep;
+  b.reintegration_min = 8.0;
+  return b;
+}
+
+TEST(Type2Structure, ReintWithoutAr) {
+  // Transparent recovery, nontransparent repair: Reint states exist, AR
+  // and TF dwell states do not (transients are masked).
+  const auto m = generate(
+      full_block(Transparency::kTransparent, Transparency::kNontransparent),
+      globals());
+  EXPECT_TRUE(m.chain.find_state("Reint1").has_value());
+  EXPECT_FALSE(m.chain.find_state("AR1").has_value());
+  EXPECT_FALSE(m.chain.find_state("TF1").has_value());
+  // The bottom transient state still exists (a required component's
+  // transient downs the block regardless of the recovery scenario).
+  EXPECT_TRUE(m.chain.find_state("TF2").has_value());
+  // Repair success routes through reintegration.
+  const auto& q = m.chain.generator();
+  const auto pf1 = *m.chain.find_state("PF1");
+  const auto reint = *m.chain.find_state("Reint1");
+  const auto ok = *m.chain.find_state("Ok");
+  EXPECT_GT(q.at(pf1, reint), 0.0);
+  EXPECT_DOUBLE_EQ(q.at(pf1, ok), 0.0);  // no direct PF1 -> Ok in Type 2
+  EXPECT_GT(q.at(reint, ok), 0.0);
+}
+
+TEST(Type4Structure, HasEveryDownFamily) {
+  const auto m = generate(full_block(Transparency::kNontransparent,
+                                     Transparency::kNontransparent),
+                          globals());
+  for (const char* name :
+       {"Ok", "PF1", "PF2", "Latent1", "AR1", "SPF1", "TF1", "TF2", "SE1",
+        "SE2", "Reint1"}) {
+    EXPECT_TRUE(m.chain.find_state(name).has_value()) << name;
+  }
+  EXPECT_EQ(m.chain.size(), 11u);
+  // Transparent branch must NOT exist: Ok routes through AR1, never
+  // directly to PF1.
+  const auto& q = m.chain.generator();
+  EXPECT_DOUBLE_EQ(
+      q.at(*m.chain.find_state("Ok"), *m.chain.find_state("PF1")), 0.0);
+}
+
+TEST(LongHorizon, SteadyStateDetectionMatchesClosedForm) {
+  // Stiff two-state chain over a horizon far beyond the Poisson budget —
+  // exercises the steady-state-detection split and must still match the
+  // closed form.
+  rascad::markov::CtmcBuilder cb;
+  const auto up = cb.add_state("Up", 1.0);
+  const auto down = cb.add_state("Down", 0.0);
+  const double lambda = 1e-4;
+  const double mu = 60.0;
+  cb.add_transition(up, down, lambda);
+  cb.add_transition(down, up, mu);
+  const auto chain = cb.build();
+  const auto pi0 = rascad::markov::point_mass(chain, up);
+  const double t = 5e6;  // q*t ~ 3e8 >> max_terms
+  const double got = rascad::markov::interval_availability(chain, pi0, t);
+  const double expected =
+      rascad::baselines::two_state_interval_availability(lambda, mu, t);
+  EXPECT_NEAR(got, expected, 1e-12);
+  // Point availability through the same path.
+  EXPECT_NEAR(rascad::markov::point_availability(chain, pi0, t),
+              rascad::baselines::two_state_point_availability(lambda, mu, t),
+              1e-10);
+  // Crossing rates through the same path.
+  EXPECT_NEAR(rascad::markov::interval_failure_rate(chain, pi0, t), lambda,
+              1e-8);
+}
+
+TEST(LongHorizon, SystemIntervalAvailability) {
+  const auto system = rascad::mg::SystemModel::build(
+      rascad::core::library::entry_server());
+  const double a10y = system.interval_availability(87'600.0);
+  const double steady = system.availability();
+  EXPECT_GT(a10y, steady - 1e-12);
+  EXPECT_LT(a10y - steady, 1e-5);
+}
+
+TEST(Crossings, NoDownStatesMeansZero) {
+  rascad::markov::CtmcBuilder cb;
+  const auto a = cb.add_state("A", 1.0);
+  const auto b = cb.add_state("B", 1.0);
+  cb.add_transition(a, b, 1.0);
+  cb.add_transition(b, a, 1.0);
+  const auto chain = cb.build();
+  const auto pi0 = rascad::markov::point_mass(chain, a);
+  EXPECT_DOUBLE_EQ(
+      rascad::markov::expected_crossings(chain, pi0, 100.0, true), 0.0);
+  EXPECT_DOUBLE_EQ(
+      rascad::markov::interval_recovery_rate(chain, pi0, 100.0), 0.0);
+}
+
+TEST(Workspace, AvailabilityIsMemoized) {
+  rascad::gmb::Workspace ws;
+  rascad::markov::CtmcBuilder cb;
+  const auto up = cb.add_state("Up", 1.0);
+  const auto down = cb.add_state("Down", 0.0);
+  cb.add_transition(up, down, 0.001);
+  cb.add_transition(down, up, 1.0);
+  ws.add_markov("m", cb.build());
+  const double first = ws.availability("m");
+  const double second = ws.availability("m");
+  EXPECT_DOUBLE_EQ(first, second);
+}
+
+TEST(Library, EveryChainIsIrreducible) {
+  for (const auto& entry : rascad::core::library::all_models()) {
+    const auto system =
+        rascad::mg::SystemModel::build(entry.factory());
+    for (const auto& blk : system.blocks()) {
+      const auto r = rascad::markov::solve_steady_state(*blk.chain);
+      for (std::size_t i = 0; i < blk.chain->size(); ++i) {
+        EXPECT_GT(r.pi[i], 0.0)
+            << entry.name << " / " << blk.block.name << " state "
+            << blk.chain->state_name(i);
+      }
+    }
+  }
+}
+
+TEST(Library, SerializedModelsReparseAndValidate) {
+  for (const auto& entry : rascad::core::library::all_models()) {
+    const auto original = entry.factory();
+    const auto text = rascad::spec::to_rsc_string(original);
+    const auto reparsed = rascad::spec::parse_model(text);
+    const auto a1 =
+        rascad::mg::SystemModel::build(original).availability();
+    const auto a2 =
+        rascad::mg::SystemModel::build(reparsed).availability();
+    EXPECT_NEAR(a1, a2, 1e-12) << entry.name;
+  }
+}
+
+TEST(PartsDb, QuotedDescriptionsRoundTrip) {
+  rascad::core::PartsDatabase db;
+  rascad::core::PartRecord r;
+  r.part_number = "X-1";
+  r.description = "board, with comma";
+  r.mtbf_h = 1000.0;
+  db.insert(std::move(r));
+  const auto again = rascad::core::PartsDatabase::from_csv(db.to_csv());
+  ASSERT_NE(again.find("X-1"), nullptr);
+  EXPECT_EQ(again.find("X-1")->description, "board, with comma");
+}
+
+TEST(Measures, IntervalRatesConsistentAcrossTypes) {
+  for (auto rec : {Transparency::kTransparent, Transparency::kNontransparent}) {
+    for (auto rep :
+         {Transparency::kTransparent, Transparency::kNontransparent}) {
+      const auto m = generate(full_block(rec, rep), globals());
+      const auto meas = rascad::mg::compute_measures(m, globals());
+      // Flow balance approximately holds for the interval quantities over
+      // a long mission: A * ifr ~ (1 - A) * irr.
+      const double lhs = meas.interval_availability *
+                         meas.interval_eq_failure_rate;
+      const double rhs = (1.0 - meas.interval_availability) *
+                         meas.interval_eq_recovery_rate;
+      EXPECT_NEAR(lhs, rhs, 0.05 * lhs);
+    }
+  }
+}
+
+}  // namespace

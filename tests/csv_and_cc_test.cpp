@@ -1,0 +1,146 @@
+// Tests for the CSV exporters and the common-cause shock injection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/csv.hpp"
+#include "core/importance.hpp"
+#include "core/library.hpp"
+#include "core/sweep.hpp"
+#include "mg/system.hpp"
+#include "sim/block_sim.hpp"
+#include "sim/rng.hpp"
+#include "sim/system_sim.hpp"
+#include "spec/parser.hpp"
+
+namespace {
+
+using rascad::mg::SystemModel;
+
+std::size_t count_lines(const std::string& s) {
+  std::size_t n = 0;
+  for (char c : s) n += c == '\n' ? 1 : 0;
+  return n;
+}
+
+TEST(Csv, SweepSeries) {
+  const auto base = rascad::core::library::entry_server();
+  const auto points = rascad::core::sweep_block_parameter(
+      base, "Entry Server", "Boot Disk",
+      [](rascad::spec::BlockSpec& b, double v) { b.mtbf_h = v; },
+      {1e5, 2e5, 4e5});
+  const std::string csv = rascad::core::sweep_csv(points);
+  EXPECT_EQ(count_lines(csv), 4u);  // header + 3 rows
+  EXPECT_NE(csv.find("value,availability"), std::string::npos);
+  EXPECT_NE(csv.find("100000,"), std::string::npos);
+}
+
+TEST(Csv, CurveSeries) {
+  const rascad::linalg::Vector curve{1.0, 0.9, 0.8};
+  const std::string csv = rascad::core::curve_csv(curve, 10.0);
+  EXPECT_NE(csv.find("t,value"), std::string::npos);
+  EXPECT_NE(csv.find("\n5,"), std::string::npos);   // midpoint at t = 5
+  EXPECT_NE(csv.find("\n10,"), std::string::npos);  // endpoint
+  EXPECT_EQ(count_lines(csv), 4u);
+  EXPECT_EQ(count_lines(rascad::core::curve_csv({}, 10.0)), 1u);
+}
+
+TEST(Csv, BlockTableQuotesNames) {
+  const auto system = SystemModel::build(
+      rascad::core::library::datacenter_system());
+  const std::string csv = rascad::core::blocks_csv(system);
+  EXPECT_EQ(count_lines(csv), 1u + system.blocks().size());
+  // "Boot Drives, RAID1" contains a comma and must be quoted.
+  EXPECT_NE(csv.find("\"Boot Drives, RAID1\""), std::string::npos);
+}
+
+TEST(Csv, ImportanceTable) {
+  const auto system = SystemModel::build(
+      rascad::core::library::entry_server());
+  const auto imps = rascad::core::block_importance(system);
+  const std::string csv = rascad::core::importance_csv(imps);
+  EXPECT_EQ(count_lines(csv), 1u + imps.size());
+  EXPECT_NE(csv.find("criticality"), std::string::npos);
+}
+
+// ---- Common-cause shocks ----------------------------------------------------
+
+rascad::spec::BlockSpec redundant_pair() {
+  rascad::spec::BlockSpec b;
+  b.name = "pair";
+  b.quantity = 2;
+  b.min_quantity = 1;
+  b.mtbf_h = 50'000.0;
+  b.mttr_corrective_min = 60.0;
+  b.service_response_h = 4.0;
+  b.recovery = rascad::spec::Transparency::kTransparent;
+  b.repair = rascad::spec::Transparency::kTransparent;
+  return b;
+}
+
+TEST(CommonCause, ShocksInjectFaults) {
+  const auto b = redundant_pair();
+  rascad::spec::GlobalParams g;
+  const std::vector<double> shocks{100.0, 200.0, 300.0, 400.0};
+  rascad::sim::BlockSimOptions opts;
+  opts.common_cause_times = &shocks;
+  opts.p_common_cause = 1.0;
+  rascad::sim::Xoshiro256 rng(5);
+  const auto r = rascad::sim::simulate_block(b, g, 500.0, rng, opts);
+  // Every shock fires: at least 4 permanent faults.
+  EXPECT_GE(r.permanent_faults, 4u);
+}
+
+TEST(CommonCause, ZeroProbabilityIsInert) {
+  // Natural faults suppressed (enormous MTBF): any fault would have to
+  // come from a shock, and with p = 0 none may.
+  auto b = redundant_pair();
+  b.mtbf_h = 1e15;
+  rascad::spec::GlobalParams g;
+  const std::vector<double> shocks{10.0, 20.0, 30.0};
+  rascad::sim::BlockSimOptions opts;
+  opts.common_cause_times = &shocks;
+  opts.p_common_cause = 0.0;
+  rascad::sim::Xoshiro256 rng(9);
+  const auto r = rascad::sim::simulate_block(b, g, 1'000.0, rng, opts);
+  EXPECT_EQ(r.permanent_faults, 0u);
+  EXPECT_DOUBLE_EQ(r.down_time, 0.0);
+}
+
+TEST(CommonCause, CorrelatedShocksIncreaseSystemDowntime) {
+  const auto model = rascad::spec::parse_model(R"(
+globals { reboot_time = 10 min mttm = 24 h mttrfid = 4 h mission_time = 8760 h }
+diagram "Sys" {
+  block "A" { quantity = 2 min_quantity = 1 mtbf = 50000
+              mttr_corrective = 60 service_response = 4
+              recovery = transparent repair = transparent }
+  block "B" { quantity = 2 min_quantity = 1 mtbf = 50000
+              mttr_corrective = 60 service_response = 4
+              recovery = transparent repair = transparent }
+}
+)");
+  rascad::sim::SampleStats baseline;
+  rascad::sim::SampleStats shocked;
+  for (int r = 0; r < 40; ++r) {
+    baseline.add(rascad::sim::simulate_system_common_cause(
+                     model, 80'000.0, 100 + r, 0.0, 0.0)
+                     .down_time);
+    shocked.add(rascad::sim::simulate_system_common_cause(
+                    model, 80'000.0, 100 + r, 4.0 / 8760.0, 0.5)
+                    .down_time);
+  }
+  EXPECT_GT(shocked.mean(), baseline.mean());
+}
+
+TEST(CommonCause, ParameterValidation) {
+  const auto model = rascad::spec::parse_model(
+      R"(diagram "D" { block "B" { mtbf = 1000 mttr_corrective = 30 } })");
+  EXPECT_THROW(rascad::sim::simulate_system_common_cause(model, 100.0, 1,
+                                                         -1.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(rascad::sim::simulate_system_common_cause(model, 100.0, 1,
+                                                         1.0, 1.5),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Unit tests for the distribution substrate: analytic moments, CDFs, and
+// sampling moments against the analytic values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/distribution.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using rascad::dist::DistributionPtr;
+using rascad::sim::Xoshiro256;
+
+void expect_sampling_matches_moments(const DistributionPtr& d,
+                                     double mean_tol, double var_tol) {
+  Xoshiro256 rng(42);
+  const int n = 200'000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = d->sample(rng);
+    ASSERT_GE(x, 0.0) << d->describe();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, d->mean(), mean_tol) << d->describe();
+  EXPECT_NEAR(var, d->variance(), var_tol) << d->describe();
+}
+
+TEST(Exponential, Moments) {
+  const auto d = rascad::dist::exponential(0.5);
+  EXPECT_DOUBLE_EQ(d->mean(), 2.0);
+  EXPECT_DOUBLE_EQ(d->variance(), 4.0);
+  EXPECT_NEAR(d->cdf(2.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(d->cdf(-1.0), 0.0);
+}
+
+TEST(Exponential, MeanConstructor) {
+  const auto d = rascad::dist::exponential_mean(4.0);
+  EXPECT_DOUBLE_EQ(d->mean(), 4.0);
+}
+
+TEST(Exponential, RejectsBadRate) {
+  EXPECT_THROW(rascad::dist::exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rascad::dist::exponential(-1.0), std::invalid_argument);
+  EXPECT_THROW(rascad::dist::exponential_mean(0.0), std::invalid_argument);
+}
+
+TEST(Exponential, Sampling) {
+  expect_sampling_matches_moments(rascad::dist::exponential(0.25), 0.05,
+                                  0.5);
+}
+
+TEST(Deterministic, PointMass) {
+  const auto d = rascad::dist::deterministic(3.5);
+  EXPECT_DOUBLE_EQ(d->mean(), 3.5);
+  EXPECT_DOUBLE_EQ(d->variance(), 0.0);
+  EXPECT_DOUBLE_EQ(d->cdf(3.4), 0.0);
+  EXPECT_DOUBLE_EQ(d->cdf(3.5), 1.0);
+  Xoshiro256 rng(1);
+  EXPECT_DOUBLE_EQ(d->sample(rng), 3.5);
+  EXPECT_THROW(rascad::dist::deterministic(-1.0), std::invalid_argument);
+}
+
+TEST(Uniform, Moments) {
+  const auto d = rascad::dist::uniform(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(d->mean(), 4.0);
+  EXPECT_NEAR(d->variance(), 16.0 / 12.0, 1e-12);
+  EXPECT_DOUBLE_EQ(d->cdf(4.0), 0.5);
+  EXPECT_THROW(rascad::dist::uniform(3.0, 2.0), std::invalid_argument);
+}
+
+TEST(Uniform, Sampling) {
+  expect_sampling_matches_moments(rascad::dist::uniform(1.0, 3.0), 0.01,
+                                  0.02);
+}
+
+TEST(Weibull, MomentsAndCdf) {
+  // shape 1 reduces to exponential with mean = scale.
+  const auto d = rascad::dist::weibull(1.0, 5.0);
+  EXPECT_NEAR(d->mean(), 5.0, 1e-12);
+  EXPECT_NEAR(d->cdf(5.0), 1.0 - std::exp(-1.0), 1e-12);
+  const auto d2 = rascad::dist::weibull(2.0, 1.0);
+  EXPECT_NEAR(d2->mean(), std::sqrt(3.14159265358979323846) / 2.0, 1e-9);
+}
+
+TEST(Weibull, Sampling) {
+  expect_sampling_matches_moments(rascad::dist::weibull(1.5, 2.0), 0.02,
+                                  0.05);
+}
+
+TEST(Lognormal, Moments) {
+  const auto d = rascad::dist::lognormal(0.0, 0.5);
+  EXPECT_NEAR(d->mean(), std::exp(0.125), 1e-12);
+  EXPECT_NEAR(d->cdf(1.0), 0.5, 1e-12);  // median = exp(mu)
+}
+
+TEST(Lognormal, MeanCvConstructor) {
+  const auto d = rascad::dist::lognormal_mean_cv(6.0, 0.8);
+  EXPECT_NEAR(d->mean(), 6.0, 1e-9);
+  const double cv = std::sqrt(d->variance()) / d->mean();
+  EXPECT_NEAR(cv, 0.8, 1e-9);
+}
+
+TEST(Lognormal, Sampling) {
+  expect_sampling_matches_moments(rascad::dist::lognormal_mean_cv(2.0, 0.5),
+                                  0.02, 0.05);
+}
+
+TEST(Erlang, Moments) {
+  const auto d = rascad::dist::erlang(3, 1.5);
+  EXPECT_DOUBLE_EQ(d->mean(), 2.0);
+  EXPECT_NEAR(d->variance(), 3.0 / 2.25, 1e-12);
+  EXPECT_THROW(rascad::dist::erlang(0, 1.0), std::invalid_argument);
+}
+
+TEST(Erlang, CdfMatchesGammaSeries) {
+  const auto e = rascad::dist::erlang(3, 2.0);
+  const auto g = rascad::dist::gamma(3.0, 2.0);
+  for (double t : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(e->cdf(t), g->cdf(t), 1e-9) << t;
+  }
+}
+
+TEST(Erlang, Sampling) {
+  expect_sampling_matches_moments(rascad::dist::erlang(4, 2.0), 0.02, 0.05);
+}
+
+TEST(Gamma, MomentsAndCdf) {
+  const auto d = rascad::dist::gamma(2.0, 0.5);
+  EXPECT_DOUBLE_EQ(d->mean(), 4.0);
+  EXPECT_DOUBLE_EQ(d->variance(), 8.0);
+  // Gamma(1, rate) is exponential.
+  const auto e = rascad::dist::gamma(1.0, 2.0);
+  EXPECT_NEAR(e->cdf(1.0), 1.0 - std::exp(-2.0), 1e-9);
+}
+
+TEST(Gamma, SamplingIncludingSmallShape) {
+  expect_sampling_matches_moments(rascad::dist::gamma(2.5, 1.0), 0.03, 0.1);
+  expect_sampling_matches_moments(rascad::dist::gamma(0.5, 1.0), 0.02, 0.1);
+}
+
+TEST(AllDistributions, CdfIsMonotone) {
+  const std::vector<DistributionPtr> dists = {
+      rascad::dist::exponential(1.0),
+      rascad::dist::uniform(0.5, 2.0),
+      rascad::dist::weibull(2.0, 1.0),
+      rascad::dist::lognormal(0.0, 1.0),
+      rascad::dist::erlang(2, 1.0),
+      rascad::dist::gamma(3.0, 2.0),
+  };
+  for (const auto& d : dists) {
+    double prev = -1.0;
+    for (double t = 0.0; t <= 10.0; t += 0.25) {
+      const double c = d->cdf(t);
+      EXPECT_GE(c, prev) << d->describe() << " at " << t;
+      EXPECT_GE(c, 0.0);
+      EXPECT_LE(c, 1.0);
+      prev = c;
+    }
+  }
+}
+
+}  // namespace

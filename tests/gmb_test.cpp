@@ -1,0 +1,217 @@
+// Tests for the GMB engine: workspace dispatch across the three model
+// types, hierarchical refs, the `.gmb` text format, and semi-Markov
+// solutions against CTMC equivalents.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/baselines.hpp"
+#include "gmb/parser.hpp"
+#include "gmb/workspace.hpp"
+#include "markov/ctmc.hpp"
+#include "semimarkov/smp.hpp"
+#include "spec/lexer.hpp"
+
+namespace {
+
+using rascad::gmb::Workspace;
+using rascad::markov::CtmcBuilder;
+
+rascad::markov::Ctmc up_down_chain(double lambda, double mu) {
+  CtmcBuilder b;
+  const auto up = b.add_state("Up", 1.0);
+  const auto down = b.add_state("Down", 0.0);
+  b.add_transition(up, down, lambda);
+  b.add_transition(down, up, mu);
+  return b.build();
+}
+
+TEST(Workspace, MarkovAvailability) {
+  Workspace ws;
+  ws.add_markov("cpu", up_down_chain(0.001, 0.5));
+  EXPECT_NEAR(ws.availability("cpu"),
+              rascad::baselines::two_state_availability(0.001, 0.5), 1e-12);
+  EXPECT_NEAR(ws.yearly_downtime_min("cpu"),
+              (1.0 - ws.availability("cpu")) * 525'600.0, 1e-9);
+  EXPECT_NEAR(ws.mttf_h("cpu"), 1000.0, 1e-9);
+}
+
+TEST(Workspace, DuplicateAndMissingNames) {
+  Workspace ws;
+  ws.add_markov("m", up_down_chain(0.1, 1.0));
+  EXPECT_THROW(ws.add_markov("m", up_down_chain(0.1, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(ws.availability("nope"), std::invalid_argument);
+  EXPECT_THROW(ws.add_rbd("r", nullptr), std::invalid_argument);
+}
+
+TEST(Workspace, SemiMarkovExponentialMatchesCtmc) {
+  // An SMP with exponential sojourns must agree with the CTMC solution.
+  rascad::semimarkov::SmpBuilder sb;
+  const auto up = sb.add_state("Up", 1.0);
+  const auto down = sb.add_state("Down", 0.0);
+  sb.set_exponential(up, {{down, 0.002}});
+  sb.set_exponential(down, {{up, 0.4}});
+  Workspace ws;
+  ws.add_semi_markov("smp", sb.build());
+  EXPECT_NEAR(ws.availability("smp"),
+              rascad::baselines::two_state_availability(0.002, 0.4), 1e-12);
+}
+
+TEST(Workspace, SemiMarkovDeterministicRepair) {
+  // Deterministic repair with the same mean gives the same long-run
+  // availability (ratio formula depends only on means).
+  rascad::semimarkov::SmpBuilder sb;
+  const auto up = sb.add_state("Up", 1.0, rascad::dist::exponential(0.002));
+  const auto down = sb.add_state("Down", 0.0, rascad::dist::deterministic(2.5));
+  sb.add_transition(up, down, 1.0);
+  sb.add_transition(down, up, 1.0);
+  Workspace ws;
+  ws.add_semi_markov("smp", sb.build());
+  EXPECT_NEAR(ws.availability("smp"), 500.0 / 502.5, 1e-12);
+}
+
+TEST(SemiMarkov, ThreeStateWithWeibull) {
+  // Up -> Repair (p 0.7) or Reboot (p 0.3); both return to Up.
+  rascad::semimarkov::SmpBuilder sb;
+  const auto up = sb.add_state("Up", 1.0, rascad::dist::weibull(1.5, 1000.0));
+  const auto repair =
+      sb.add_state("Repair", 0.0, rascad::dist::lognormal_mean_cv(6.0, 0.5));
+  const auto reboot =
+      sb.add_state("Reboot", 0.0, rascad::dist::deterministic(0.2));
+  sb.add_transition(up, repair, 0.7);
+  sb.add_transition(up, reboot, 0.3);
+  sb.add_transition(repair, up, 1.0);
+  sb.add_transition(reboot, up, 1.0);
+  const auto smp = sb.build();
+  const auto pi = smp.steady_state();
+  // nu = (1/2, 0.35, 0.15); weights by mean sojourns.
+  const double up_mean = rascad::dist::weibull(1.5, 1000.0)->mean();
+  const double denom = 0.5 * up_mean + 0.35 * 6.0 + 0.15 * 0.2;
+  EXPECT_NEAR(pi[0], 0.5 * up_mean / denom, 1e-9);
+  EXPECT_NEAR(smp.steady_state_reward(), pi[0], 1e-12);
+}
+
+TEST(SemiMarkov, BuildValidation) {
+  rascad::semimarkov::SmpBuilder sb;
+  const auto a = sb.add_state("A", 1.0);  // no sojourn yet
+  const auto b = sb.add_state("B", 0.0, rascad::dist::exponential(1.0));
+  sb.add_transition(b, a, 1.0);
+  EXPECT_THROW(sb.build(), std::invalid_argument);  // A lacks sojourn
+  sb.set_exponential(a, {{b, 2.0}});
+  EXPECT_NO_THROW(sb.build());
+}
+
+TEST(Workspace, HierarchicalRbdWithRefs) {
+  Workspace ws;
+  ws.add_markov("cpu", up_down_chain(0.001, 0.5));
+  ws.add_markov("disk", up_down_chain(0.0005, 0.25));
+  const auto tree = rascad::rbd::RbdNode::series(
+      "sys", {ws.ref_leaf("cpu"), ws.ref_leaf("disk")});
+  ws.add_rbd("sys", tree);
+  const double expected =
+      rascad::baselines::two_state_availability(0.001, 0.5) *
+      rascad::baselines::two_state_availability(0.0005, 0.25);
+  EXPECT_NEAR(ws.availability("sys"), expected, 1e-12);
+  EXPECT_EQ(ws.model_names().size(), 3u);
+}
+
+TEST(Workspace, MttfRequiresMarkov) {
+  Workspace ws;
+  ws.add_rbd("r", rascad::rbd::RbdNode::leaf("x", 0.9));
+  EXPECT_THROW(ws.mttf_h("r"), std::invalid_argument);
+}
+
+TEST(GmbParser, ParsesAllThreeModelKinds) {
+  Workspace ws;
+  rascad::gmb::parse_into(R"(
+markov "cpu" {
+  initial = "Ok"
+  state "Ok"   reward = 1
+  state "Down" reward = 0
+  arc "Ok" "Down" rate = 0.001
+  arc "Down" "Ok" rate = 0.5
+}
+
+semi_markov "disk" {
+  state "Up"     reward = 1 sojourn = exponential 0.0005
+  state "Repair" reward = 0 sojourn = lognormal_mean_cv 4 0.8
+  arc "Up" "Repair" p = 1
+  arc "Repair" "Up" p = 1
+}
+
+rbd "system" {
+  series {
+    ref "cpu"
+    ref "disk"
+    parallel { leaf "psu-a" availability = 0.999
+               leaf "psu-b" availability = 0.999 }
+    kofn 2 { leaf "fan1" availability = 0.99
+             leaf "fan2" availability = 0.99
+             leaf "fan3" availability = 0.99 }
+  }
+}
+)",
+                          ws);
+  EXPECT_TRUE(ws.contains("cpu"));
+  EXPECT_TRUE(ws.contains("disk"));
+  EXPECT_TRUE(ws.contains("system"));
+
+  const double cpu = rascad::baselines::two_state_availability(0.001, 0.5);
+  EXPECT_NEAR(ws.availability("cpu"), cpu, 1e-12);
+  const double disk = 2000.0 / 2004.0;
+  EXPECT_NEAR(ws.availability("disk"), disk, 1e-12);
+  const double psu = rascad::baselines::parallel_availability({0.999, 0.999});
+  const double fans = rascad::rbd::at_least_k_of({0.99, 0.99, 0.99}, 2);
+  EXPECT_NEAR(ws.availability("system"), cpu * disk * psu * fans, 1e-12);
+}
+
+TEST(GmbParser, ErrorsHavePositions) {
+  Workspace ws;
+  EXPECT_THROW(rascad::gmb::parse_into("markov \"m\" { state }", ws),
+               rascad::spec::ParseError);
+  EXPECT_THROW(rascad::gmb::parse_into(
+                   R"(markov "m" { arc "A" "B" rate = 1 })", ws),
+               rascad::spec::ParseError);
+  EXPECT_THROW(
+      rascad::gmb::parse_into(R"(rbd "r" { series { ref "ghost" } })", ws),
+      rascad::spec::ParseError);
+  EXPECT_THROW(rascad::gmb::parse_into("widget \"w\" {}", ws),
+               rascad::spec::ParseError);
+}
+
+TEST(GmbParser, InitialStateResolution) {
+  Workspace ws;
+  EXPECT_THROW(rascad::gmb::parse_into(R"(
+markov "m" {
+  initial = "Ghost"
+  state "Ok" reward = 1
+  state "Down" reward = 0
+  arc "Ok" "Down" rate = 1
+  arc "Down" "Ok" rate = 1
+}
+)",
+                                       ws),
+               std::invalid_argument);
+}
+
+TEST(GmbParser, DistributionVariants) {
+  Workspace ws;
+  rascad::gmb::parse_into(R"(
+semi_markov "s" {
+  state "A" reward = 1 sojourn = weibull 2 100
+  state "B" reward = 0 sojourn = erlang 3 0.5
+  state "C" reward = 0.5 sojourn = uniform 1 3
+  arc "A" "B" p = 0.5
+  arc "A" "C" p = 0.5
+  arc "B" "A" p = 1
+  arc "C" "A" p = 1
+}
+)",
+                          ws);
+  const double a = ws.availability("s");
+  EXPECT_GT(a, 0.9);  // up time dominates
+  EXPECT_LT(a, 1.0);
+}
+
+}  // namespace

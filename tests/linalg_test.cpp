@@ -1,0 +1,264 @@
+// Unit tests for the dense/sparse linear algebra substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/csr.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/iterative.hpp"
+#include "linalg/lu.hpp"
+
+namespace {
+
+using rascad::linalg::CsrBuilder;
+using rascad::linalg::CsrMatrix;
+using rascad::linalg::DenseMatrix;
+using rascad::linalg::IterativeOptions;
+using rascad::linalg::LuFactorization;
+using rascad::linalg::Vector;
+
+TEST(DenseMatrix, ConstructionAndAccess) {
+  DenseMatrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -2.0);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 3), std::out_of_range);
+}
+
+TEST(DenseMatrix, InitializerListRejectsRagged) {
+  EXPECT_THROW((DenseMatrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(DenseMatrix, Identity) {
+  const DenseMatrix id = DenseMatrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(DenseMatrix, ArithmeticAndTranspose) {
+  const DenseMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const DenseMatrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const DenseMatrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(sum(1, 1), 12.0);
+  const DenseMatrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 1), 4.0);
+  const DenseMatrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+  const DenseMatrix t = a.transposed();
+  EXPECT_DOUBLE_EQ(t(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(t(1, 0), 2.0);
+}
+
+TEST(DenseMatrix, MatrixProduct) {
+  const DenseMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const DenseMatrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const DenseMatrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+  const DenseMatrix bad(3, 2);
+  EXPECT_THROW(a * bad, std::invalid_argument);
+}
+
+TEST(DenseVectorOps, NormsAndDot) {
+  const Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(rascad::linalg::norm1(v), 7.0);
+  EXPECT_DOUBLE_EQ(rascad::linalg::norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(rascad::linalg::norm_inf(v), 4.0);
+  EXPECT_DOUBLE_EQ(rascad::linalg::dot(v, v), 25.0);
+  EXPECT_THROW(rascad::linalg::dot(v, Vector{1.0}), std::invalid_argument);
+}
+
+TEST(DenseVectorOps, NormalizeSum) {
+  Vector v{1.0, 3.0};
+  rascad::linalg::normalize_sum(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+  Vector zero{0.0, 0.0};
+  EXPECT_THROW(rascad::linalg::normalize_sum(zero), std::domain_error);
+}
+
+TEST(DenseVectorOps, MatVec) {
+  const DenseMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector x{1.0, 1.0};
+  const Vector y = rascad::linalg::mat_vec(a, x);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  const Vector yt = rascad::linalg::mat_transpose_vec(a, x);
+  EXPECT_DOUBLE_EQ(yt[0], 4.0);
+  EXPECT_DOUBLE_EQ(yt[1], 6.0);
+}
+
+TEST(CsrMatrix, BuildMergesDuplicates) {
+  CsrBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  b.add(0, 1, 2.0);
+  b.add(1, 0, 4.0);
+  const CsrMatrix m = b.build();
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(CsrMatrix, DropsExplicitZeros) {
+  CsrBuilder b(2, 2);
+  b.add(0, 0, 0.0);
+  b.add(0, 1, 1.0);
+  b.add(0, 1, -1.0);  // cancels to zero
+  const CsrMatrix m = b.build();
+  EXPECT_EQ(m.nnz(), 0u);
+}
+
+TEST(CsrMatrix, MulAndTranspose) {
+  CsrBuilder b(2, 3);
+  b.add(0, 0, 1.0);
+  b.add(0, 2, 2.0);
+  b.add(1, 1, 3.0);
+  const CsrMatrix m = b.build();
+  const Vector y = m.mul({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+  const Vector yt = m.mul_transpose({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(yt[0], 1.0);
+  EXPECT_DOUBLE_EQ(yt[1], 3.0);
+  EXPECT_DOUBLE_EQ(yt[2], 2.0);
+  const CsrMatrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(2, 0), 2.0);
+}
+
+TEST(CsrMatrix, RowSumsAndDense) {
+  CsrBuilder b(2, 2);
+  b.add(0, 0, -1.0);
+  b.add(0, 1, 1.0);
+  const CsrMatrix m = b.build();
+  const Vector s = m.row_sums();
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+  EXPECT_DOUBLE_EQ(s[1], 0.0);
+  const DenseMatrix d = m.to_dense();
+  EXPECT_DOUBLE_EQ(d(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 1.0);
+}
+
+TEST(CsrMatrix, OutOfRangeAdd) {
+  CsrBuilder b(2, 2);
+  EXPECT_THROW(b.add(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(b.add(0, 2, 1.0), std::out_of_range);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  // A = [[2,1],[1,3]], b = [3,5] -> x = [0.8, 1.4]
+  const DenseMatrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Vector x = rascad::linalg::lu_solve(a, {3.0, 5.0});
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, SolveTransposeMatchesExplicitTranspose) {
+  const DenseMatrix a{{2.0, 1.0, 0.0}, {0.5, 3.0, 1.0}, {0.0, 1.0, 4.0}};
+  const Vector b{1.0, 2.0, 3.0};
+  const LuFactorization lu(a);
+  const Vector x1 = lu.solve_transpose(b);
+  const Vector x2 = rascad::linalg::lu_solve(a.transposed(), b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-12);
+}
+
+TEST(Lu, Determinant) {
+  const DenseMatrix a{{2.0, 0.0}, {0.0, 3.0}};
+  EXPECT_NEAR(LuFactorization(a).determinant(), 6.0, 1e-12);
+  // Row-swapped version flips nothing in |det|.
+  const DenseMatrix b{{0.0, 3.0}, {2.0, 0.0}};
+  EXPECT_NEAR(LuFactorization(b).determinant(), -6.0, 1e-12);
+}
+
+TEST(Lu, SingularThrows) {
+  const DenseMatrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(LuFactorization{a}, std::domain_error);
+}
+
+TEST(Lu, RequiresSquare) {
+  const DenseMatrix a(2, 3);
+  EXPECT_THROW(LuFactorization{a}, std::invalid_argument);
+}
+
+CsrMatrix diagonally_dominant_test_matrix() {
+  CsrBuilder b(4, 4);
+  const double diag[4] = {10.0, 12.0, 9.0, 11.0};
+  for (std::size_t i = 0; i < 4; ++i) b.add(i, i, diag[i]);
+  b.add(0, 1, 2.0);
+  b.add(1, 0, 1.0);
+  b.add(1, 2, 3.0);
+  b.add(2, 3, 2.0);
+  b.add(3, 0, 1.5);
+  return b.build();
+}
+
+TEST(Iterative, JacobiMatchesLu) {
+  const CsrMatrix a = diagonally_dominant_test_matrix();
+  const Vector b{1.0, 2.0, 3.0, 4.0};
+  const auto result = rascad::linalg::jacobi_solve(a, b);
+  ASSERT_TRUE(result.converged);
+  const Vector exact = rascad::linalg::lu_solve(a.to_dense(), b);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(result.solution[i], exact[i], 1e-9);
+  }
+}
+
+TEST(Iterative, SorMatchesLu) {
+  const CsrMatrix a = diagonally_dominant_test_matrix();
+  const Vector b{1.0, 2.0, 3.0, 4.0};
+  IterativeOptions opts;
+  opts.relaxation = 1.1;
+  const auto result = rascad::linalg::sor_solve(a, b, opts);
+  ASSERT_TRUE(result.converged);
+  const Vector exact = rascad::linalg::lu_solve(a.to_dense(), b);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(result.solution[i], exact[i], 1e-9);
+  }
+}
+
+TEST(Iterative, BiCgStabMatchesLu) {
+  const CsrMatrix a = diagonally_dominant_test_matrix();
+  const Vector b{1.0, 2.0, 3.0, 4.0};
+  const auto result = rascad::linalg::bicgstab_solve(a, b);
+  ASSERT_TRUE(result.converged);
+  const Vector exact = rascad::linalg::lu_solve(a.to_dense(), b);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(result.solution[i], exact[i], 1e-8);
+  }
+}
+
+TEST(Iterative, ZeroDiagonalThrows) {
+  CsrBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  b.add(1, 1, 1.0);
+  const CsrMatrix a = b.build();
+  EXPECT_THROW(rascad::linalg::jacobi_solve(a, {1.0, 1.0}),
+               std::domain_error);
+  EXPECT_THROW(rascad::linalg::sor_solve(a, {1.0, 1.0}), std::domain_error);
+}
+
+TEST(Iterative, PowerStationaryTwoState) {
+  // P = [[0.9, 0.1], [0.5, 0.5]] -> pi = (5/6, 1/6)
+  CsrBuilder b(2, 2);
+  b.add(0, 0, 0.9);
+  b.add(0, 1, 0.1);
+  b.add(1, 0, 0.5);
+  b.add(1, 1, 0.5);
+  const auto result = rascad::linalg::power_stationary(b.build());
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.solution[0], 5.0 / 6.0, 1e-9);
+  EXPECT_NEAR(result.solution[1], 1.0 / 6.0, 1e-9);
+}
+
+}  // namespace

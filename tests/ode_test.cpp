@@ -1,0 +1,120 @@
+// Tests for the explicit ODE transient solver and its agreement with
+// uniformization (the two families compared by the paper's reference [6]).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/baselines.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/ode.hpp"
+#include "markov/steady_state.hpp"
+#include "markov/transient.hpp"
+#include "mg/generator.hpp"
+
+namespace {
+
+using rascad::markov::Ctmc;
+using rascad::markov::CtmcBuilder;
+
+Ctmc two_state(double lambda, double mu) {
+  CtmcBuilder b;
+  const auto up = b.add_state("Up", 1.0);
+  const auto down = b.add_state("Down", 0.0);
+  b.add_transition(up, down, lambda);
+  b.add_transition(down, up, mu);
+  return b.build();
+}
+
+TEST(Ode, MatchesTwoStateClosedForm) {
+  const double lambda = 0.05;
+  const double mu = 2.0;
+  const Ctmc chain = two_state(lambda, mu);
+  const auto pi0 = rascad::markov::point_mass(chain, 0);
+  for (double t : {0.1, 1.0, 10.0}) {
+    const auto r = rascad::markov::transient_distribution_ode(chain, pi0, t);
+    const double expected =
+        rascad::baselines::two_state_point_availability(lambda, mu, t);
+    EXPECT_NEAR(r.distribution[0], expected, 1e-7) << t;
+    EXPECT_GT(r.steps, 0u);
+  }
+}
+
+TEST(Ode, AgreesWithUniformizationOnGeneratedChain) {
+  rascad::spec::BlockSpec b;
+  b.name = "cpu";
+  b.quantity = 2;
+  b.min_quantity = 1;
+  b.mtbf_h = 50'000.0;
+  b.transient_fit = 2'000.0;
+  b.mttr_corrective_min = 45.0;
+  b.service_response_h = 4.0;
+  b.recovery = rascad::spec::Transparency::kNontransparent;
+  b.ar_time_min = 6.0;
+  b.repair = rascad::spec::Transparency::kTransparent;
+  rascad::spec::GlobalParams g;
+  const auto model = rascad::mg::generate(b, g);
+  const auto pi0 = rascad::markov::point_mass(model.chain, model.initial);
+  for (double t : {1.0, 24.0, 168.0}) {
+    const auto ode =
+        rascad::markov::transient_distribution_ode(model.chain, pi0, t);
+    const auto uni =
+        rascad::markov::transient_distribution(model.chain, pi0, t);
+    for (std::size_t i = 0; i < model.chain.size(); ++i) {
+      EXPECT_NEAR(ode.distribution[i], uni[i], 1e-6)
+          << "t=" << t << " state " << i;
+    }
+  }
+}
+
+TEST(Ode, ZeroHorizonReturnsInitial) {
+  const Ctmc chain = two_state(0.1, 1.0);
+  const auto pi0 = rascad::markov::point_mass(chain, 1);
+  const auto r = rascad::markov::transient_distribution_ode(chain, pi0, 0.0);
+  EXPECT_DOUBLE_EQ(r.distribution[1], 1.0);
+  EXPECT_EQ(r.steps, 0u);
+}
+
+TEST(Ode, InputValidation) {
+  const Ctmc chain = two_state(0.1, 1.0);
+  EXPECT_THROW(
+      rascad::markov::transient_distribution_ode(chain, {1.0}, 1.0),
+      std::invalid_argument);
+  EXPECT_THROW(rascad::markov::transient_distribution_ode(
+                   chain, rascad::markov::point_mass(chain, 0), -1.0),
+               std::invalid_argument);
+}
+
+TEST(Ode, StepBudgetGuard) {
+  // A stiff chain with a tiny step budget must fail loudly, not hang.
+  const Ctmc chain = two_state(1e-6, 1e4);
+  rascad::markov::OdeOptions opts;
+  opts.max_steps = 10;
+  EXPECT_THROW(rascad::markov::transient_distribution_ode(
+                   chain, rascad::markov::point_mass(chain, 0), 1e3, opts),
+               std::runtime_error);
+}
+
+TEST(Ode, LongHorizonReachesSteadyState) {
+  const Ctmc chain = two_state(0.5, 1.5);
+  const auto r = rascad::markov::transient_distribution_ode(
+      chain, rascad::markov::point_mass(chain, 0), 100.0);
+  const auto steady = rascad::markov::solve_steady_state(chain);
+  EXPECT_NEAR(r.distribution[0], steady.pi[0], 1e-7);
+}
+
+TEST(Ode, StiffChainCostsMoreStepsThanMildChain) {
+  // The ablation story: step counts scale with stiffness for the explicit
+  // integrator.
+  const auto pi0 = [](const Ctmc& c) {
+    return rascad::markov::point_mass(c, 0);
+  };
+  const Ctmc mild = two_state(0.1, 1.0);
+  const Ctmc stiff = two_state(0.1, 1000.0);
+  const auto r_mild =
+      rascad::markov::transient_distribution_ode(mild, pi0(mild), 50.0);
+  const auto r_stiff =
+      rascad::markov::transient_distribution_ode(stiff, pi0(stiff), 50.0);
+  EXPECT_GT(r_stiff.steps, 5 * r_mild.steps);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+// Tests for the capacity-reward (performability) generation option.
+#include <gtest/gtest.h>
+
+#include "markov/steady_state.hpp"
+#include "mg/generator.hpp"
+
+namespace {
+
+using rascad::mg::generate;
+using rascad::mg::GenerationOptions;
+using rascad::mg::RewardKind;
+using rascad::spec::BlockSpec;
+using rascad::spec::GlobalParams;
+using rascad::spec::Transparency;
+
+BlockSpec cpu_block(unsigned n, unsigned k) {
+  BlockSpec b;
+  b.name = "CPU";
+  b.quantity = n;
+  b.min_quantity = k;
+  b.mtbf_h = 50'000.0;
+  b.mttr_corrective_min = 45.0;
+  b.service_response_h = 4.0;
+  b.recovery = Transparency::kTransparent;
+  b.repair = Transparency::kTransparent;
+  return b;
+}
+
+double solve_reward(const BlockSpec& b, RewardKind kind) {
+  GlobalParams g;
+  GenerationOptions opts;
+  opts.reward = kind;
+  const auto model = generate(b, g, opts);
+  const auto r = rascad::markov::solve_steady_state(model.chain);
+  return rascad::markov::expected_reward(model.chain, r.pi);
+}
+
+TEST(Performability, CapacityRewardsOnLevels) {
+  GlobalParams g;
+  GenerationOptions opts;
+  opts.reward = RewardKind::kCapacity;
+  const auto model = generate(cpu_block(4, 1), g, opts);
+  const auto idx = [&](const char* name) {
+    return *model.chain.find_state(name);
+  };
+  EXPECT_DOUBLE_EQ(model.chain.reward(idx("Ok")), 1.0);
+  EXPECT_DOUBLE_EQ(model.chain.reward(idx("PF1")), 0.75);
+  EXPECT_DOUBLE_EQ(model.chain.reward(idx("PF2")), 0.5);
+  EXPECT_DOUBLE_EQ(model.chain.reward(idx("PF3")), 0.25);
+  EXPECT_DOUBLE_EQ(model.chain.reward(idx("PF4")), 0.0);  // below K: down
+}
+
+TEST(Performability, CapacityBelowAvailability) {
+  // Degraded levels deliver less than full capacity, so expected capacity
+  // is strictly below availability whenever degradation has mass.
+  const BlockSpec b = cpu_block(4, 1);
+  const double availability = solve_reward(b, RewardKind::kAvailability);
+  const double capacity = solve_reward(b, RewardKind::kCapacity);
+  EXPECT_LT(capacity, availability);
+  EXPECT_GT(capacity, 0.99);
+}
+
+TEST(Performability, EqualForNonRedundantBlocks) {
+  // Type 0 has only the full-up state: the measures coincide.
+  const BlockSpec b = cpu_block(1, 1);
+  EXPECT_DOUBLE_EQ(solve_reward(b, RewardKind::kAvailability),
+                   solve_reward(b, RewardKind::kCapacity));
+}
+
+TEST(Performability, AvailabilityAndCapacityDivergeWithSpares) {
+  // The two measures answer different questions: with K = 1 fixed, more
+  // spares push AVAILABILITY up (harder to drop below K) but expected
+  // CAPACITY slightly down (the failed-component fraction is
+  // N-independent to first order, and the one-at-a-time service queue
+  // grows) — a distinction only the reward structure exposes.
+  double prev_avail = 0.0;
+  double prev_cap = 2.0;
+  for (unsigned n : {2u, 4u, 8u}) {
+    const double a = solve_reward(cpu_block(n, 1), RewardKind::kAvailability);
+    const double c = solve_reward(cpu_block(n, 1), RewardKind::kCapacity);
+    EXPECT_GT(a, prev_avail) << n;
+    EXPECT_LT(c, prev_cap) << n;
+    EXPECT_LE(c, a) << n;
+    prev_avail = a;
+    prev_cap = c;
+  }
+}
+
+TEST(Performability, UpDownClassesUnchanged) {
+  // Capacity rewards must not change which states count as up/down (the
+  // equivalent-rate and reliability machinery keys off reward > 0).
+  GlobalParams g;
+  GenerationOptions cap;
+  cap.reward = RewardKind::kCapacity;
+  const auto a = generate(cpu_block(3, 2), g);
+  const auto c = generate(cpu_block(3, 2), g, cap);
+  ASSERT_EQ(a.chain.size(), c.chain.size());
+  EXPECT_EQ(a.chain.up_states(), c.chain.up_states());
+  EXPECT_EQ(a.chain.down_states(), c.chain.down_states());
+}
+
+}  // namespace

@@ -1,0 +1,299 @@
+// Property-based tests: invariants of the generator and solvers over a
+// parameter grid (parameterized gtest sweeps), plus monotonicity laws the
+// physics of the model dictates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "markov/steady_state.hpp"
+#include "markov/transient.hpp"
+#include "mg/generator.hpp"
+#include "spec/ast.hpp"
+
+namespace {
+
+using rascad::mg::generate;
+using rascad::spec::BlockSpec;
+using rascad::spec::GlobalParams;
+using rascad::spec::Transparency;
+
+GlobalParams globals() {
+  GlobalParams g;
+  g.reboot_time_h = 8.0 / 60.0;
+  g.mttm_h = 48.0;
+  g.mttrfid_h = 4.0;
+  g.mission_time_h = 8760.0;
+  return g;
+}
+
+// Grid: (N, K, recovery, repair, plf, pspf, pcd, transient_fit)
+using GridPoint =
+    std::tuple<unsigned, unsigned, Transparency, Transparency, double, double,
+               double, double>;
+
+BlockSpec block_from(const GridPoint& p) {
+  BlockSpec b;
+  b.name = "grid";
+  b.quantity = std::get<0>(p);
+  b.min_quantity = std::get<1>(p);
+  b.mtbf_h = 80'000.0;
+  b.transient_fit = std::get<7>(p);
+  b.mttr_diagnosis_min = 10.0;
+  b.mttr_corrective_min = 30.0;
+  b.mttr_verification_min = 5.0;
+  b.service_response_h = 4.0;
+  b.p_correct_diagnosis = std::get<6>(p);
+  b.p_latent_fault = std::get<4>(p);
+  b.mttdlf_h = 48.0;
+  b.recovery = std::get<2>(p);
+  b.ar_time_min = 6.0;
+  b.p_spf = std::get<5>(p);
+  b.t_spf_min = 30.0;
+  b.repair = std::get<3>(p);
+  b.reintegration_min = 10.0;
+  return b;
+}
+
+class GeneratorGridTest : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(GeneratorGridTest, ChainInvariantsHold) {
+  const BlockSpec b = block_from(GetParam());
+  const auto model = generate(b, globals());
+  const auto& chain = model.chain;
+
+  // 1. Generator rows sum to zero (conservation).
+  for (double s : chain.generator().row_sums()) {
+    ASSERT_NEAR(s, 0.0, 1e-12);
+  }
+  // 2. Initial state is the fully-up state named "Ok".
+  EXPECT_EQ(chain.state_name(model.initial), "Ok");
+  EXPECT_GT(chain.reward(model.initial), 0.0);
+  // 3. Off-diagonal rates are positive; diagonal non-positive.
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const auto row = chain.generator().row(i);
+    for (std::size_t k = 0; k < row.size; ++k) {
+      if (row.cols[k] == i) {
+        EXPECT_LE(row.values[k], 0.0);
+      } else {
+        EXPECT_GT(row.values[k], 0.0);
+      }
+    }
+  }
+  // 4. The chain is irreducible enough to solve: a proper distribution
+  //    comes back and it matches the flow-balance identity.
+  const auto r = rascad::markov::solve_steady_state(chain);
+  double sum = 0.0;
+  for (double x : r.pi) {
+    EXPECT_GE(x, -1e-12);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_LT(r.residual, 1e-8);
+
+  const double a = rascad::markov::expected_reward(chain, r.pi);
+  EXPECT_GT(a, 0.9);
+  EXPECT_LE(a, 1.0);
+  const double efr = rascad::markov::equivalent_failure_rate(chain, r.pi);
+  const double err = rascad::markov::equivalent_recovery_rate(chain, r.pi);
+  if (!chain.down_states().empty()) {
+    EXPECT_NEAR(a * efr, (1.0 - a) * err, 1e-10);
+  }
+  // 5. Every state is reachable from Ok (positive steady probability for
+  //    an irreducible availability chain).
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    EXPECT_GT(r.pi[i], 0.0) << "unreachable state " << chain.state_name(i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RedundancyGrid, GeneratorGridTest,
+    ::testing::Combine(
+        ::testing::Values(2u, 3u, 5u),                      // N
+        ::testing::Values(1u, 2u),                          // K
+        ::testing::Values(Transparency::kTransparent,
+                          Transparency::kNontransparent),   // recovery
+        ::testing::Values(Transparency::kTransparent,
+                          Transparency::kNontransparent),   // repair
+        ::testing::Values(0.0, 0.05),                       // Plf
+        ::testing::Values(0.0, 0.01),                       // Pspf
+        ::testing::Values(1.0, 0.95),                       // Pcd
+        ::testing::Values(0.0, 2'000.0)),                   // transient FIT
+    [](const ::testing::TestParamInfo<GridPoint>& info) {
+      const auto& p = info.param;
+      std::string name = "N" + std::to_string(std::get<0>(p)) + "K" +
+                         std::to_string(std::get<1>(p));
+      name += std::get<2>(p) == Transparency::kTransparent ? "_trec" : "_ntrec";
+      name += std::get<3>(p) == Transparency::kTransparent ? "_trep" : "_ntrep";
+      name += std::get<4>(p) > 0 ? "_lat" : "_nolat";
+      name += std::get<5>(p) > 0 ? "_spf" : "_nospf";
+      name += std::get<6>(p) < 1 ? "_imp" : "_perf";
+      name += std::get<7>(p) > 0 ? "_tf" : "_notf";
+      return name;
+    });
+
+// ---- Monotonicity laws ----------------------------------------------------
+
+double availability_of(const BlockSpec& b) {
+  const auto model = generate(b, globals());
+  const auto r = rascad::markov::solve_steady_state(model.chain);
+  return rascad::markov::expected_reward(model.chain, r.pi);
+}
+
+class MonotonicityTest
+    : public ::testing::TestWithParam<std::tuple<Transparency, Transparency>> {
+ protected:
+  BlockSpec base() const {
+    BlockSpec b;
+    b.name = "mono";
+    b.quantity = 2;
+    b.min_quantity = 1;
+    b.mtbf_h = 50'000.0;
+    b.mttr_corrective_min = 60.0;
+    b.service_response_h = 4.0;
+    b.recovery = std::get<0>(GetParam());
+    b.ar_time_min = 6.0;
+    b.repair = std::get<1>(GetParam());
+    b.reintegration_min = 10.0;
+    return b;
+  }
+};
+
+TEST_P(MonotonicityTest, HigherMtbfNeverHurts) {
+  BlockSpec b = base();
+  double prev = 0.0;
+  for (double mtbf : {20'000.0, 50'000.0, 200'000.0, 1e6}) {
+    b.mtbf_h = mtbf;
+    const double a = availability_of(b);
+    EXPECT_GE(a, prev) << mtbf;
+    prev = a;
+  }
+}
+
+TEST_P(MonotonicityTest, LongerRepairNeverHelps) {
+  BlockSpec b = base();
+  double prev = 1.1;
+  for (double mttr : {15.0, 60.0, 240.0, 960.0}) {
+    b.mttr_corrective_min = mttr;
+    const double a = availability_of(b);
+    EXPECT_LE(a, prev) << mttr;
+    prev = a;
+  }
+}
+
+TEST_P(MonotonicityTest, MoreSparesNeverHurtUnderTransparentRecovery) {
+  BlockSpec b = base();
+  if (b.recovery == Transparency::kNontransparent ||
+      b.repair == Transparency::kNontransparent) {
+    // With a nontransparent scenario every fault (recovery) or repair
+    // (reintegration) costs a reboot, so extra spares ADD downtime —
+    // checked by the inverse property below.
+    GTEST_SKIP();
+  }
+  double prev = 0.0;
+  for (unsigned n : {2u, 3u, 4u, 6u}) {
+    b.quantity = n;
+    const double a = availability_of(b);
+    EXPECT_GE(a, prev - 1e-12) << n;
+    prev = a;
+  }
+}
+
+TEST_P(MonotonicityTest, SparesUnderNontransparentRecoveryTradeOff) {
+  // The flip side of the paper's transparency distinction: when recovery
+  // is a reboot, each spare's faults buy reboot downtime, so availability
+  // decreases in N once the catastrophic term is negligible.
+  BlockSpec b = base();
+  if (b.recovery == Transparency::kTransparent &&
+      b.repair == Transparency::kTransparent) {
+    GTEST_SKIP();
+  }
+  b.quantity = 3;
+  const double a3 = availability_of(b);
+  b.quantity = 8;
+  const double a8 = availability_of(b);
+  EXPECT_LT(a8, a3);
+}
+
+TEST_P(MonotonicityTest, WorseDiagnosisNeverHelps) {
+  BlockSpec b = base();
+  double prev = 1.1;
+  for (double pcd : {1.0, 0.95, 0.8, 0.5}) {
+    b.p_correct_diagnosis = pcd;
+    const double a = availability_of(b);
+    EXPECT_LE(a, prev) << pcd;
+    prev = a;
+  }
+}
+
+TEST_P(MonotonicityTest, MoreLatencyNeverHelps) {
+  BlockSpec b = base();
+  b.mttdlf_h = 48.0;
+  double prev = 1.1;
+  for (double plf : {0.0, 0.05, 0.2, 0.5}) {
+    b.p_latent_fault = plf;
+    const double a = availability_of(b);
+    EXPECT_LE(a, prev + 1e-12) << plf;
+    prev = a;
+  }
+}
+
+TEST_P(MonotonicityTest, SpfRiskNeverHelps) {
+  BlockSpec b = base();
+  b.t_spf_min = 30.0;
+  double prev = 1.1;
+  for (double pspf : {0.0, 0.01, 0.1, 0.3}) {
+    b.p_spf = pspf;
+    const double a = availability_of(b);
+    EXPECT_LE(a, prev + 1e-12) << pspf;
+    prev = a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, MonotonicityTest,
+    ::testing::Combine(::testing::Values(Transparency::kTransparent,
+                                         Transparency::kNontransparent),
+                       ::testing::Values(Transparency::kTransparent,
+                                         Transparency::kNontransparent)),
+    [](const ::testing::TestParamInfo<std::tuple<Transparency, Transparency>>&
+           info) {
+      std::string name;
+      name += std::get<0>(info.param) == Transparency::kTransparent ? "trec"
+                                                                    : "ntrec";
+      name += std::get<1>(info.param) == Transparency::kTransparent ? "_trep"
+                                                                    : "_ntrep";
+      return name;
+    });
+
+// ---- Transient-vs-steady consistency over the grid ------------------------
+
+class TransientConsistencyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TransientConsistencyTest, IntervalAvailabilityBetweenPointExtremes) {
+  BlockSpec b;
+  b.name = "tc";
+  b.quantity = 2;
+  b.min_quantity = 1;
+  b.mtbf_h = 30'000.0;
+  b.mttr_corrective_min = 60.0;
+  b.service_response_h = 4.0;
+  b.recovery = Transparency::kTransparent;
+  b.repair = Transparency::kTransparent;
+  const auto model = generate(b, globals());
+  const auto pi0 = rascad::markov::point_mass(model.chain, model.initial);
+  const double t = GetParam();
+  const double interval =
+      rascad::markov::interval_availability(model.chain, pi0, t);
+  const double at_t =
+      rascad::markov::point_availability(model.chain, pi0, t);
+  // Starting fully up, A(u) decays from 1: the time average lies between
+  // the endpoint value and 1.
+  EXPECT_GE(interval, at_t - 1e-12);
+  EXPECT_LE(interval, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Horizons, TransientConsistencyTest,
+                         ::testing::Values(1.0, 24.0, 720.0, 8760.0));
+
+}  // namespace

@@ -1,0 +1,350 @@
+// Tests for the `.rsc` engineering-language pipeline: lexer, parser (unit
+// handling, defaults, errors with positions), structural validation, and
+// the writer round-trip property.
+#include <gtest/gtest.h>
+
+#include "spec/lexer.hpp"
+#include "spec/parser.hpp"
+#include "spec/validate.hpp"
+#include "spec/writer.hpp"
+
+namespace {
+
+using rascad::spec::ModelSpec;
+using rascad::spec::ParseError;
+using rascad::spec::parse_model;
+using rascad::spec::RedundancyMode;
+using rascad::spec::Token;
+using rascad::spec::TokenKind;
+using rascad::spec::tokenize;
+using rascad::spec::Transparency;
+
+constexpr const char* kMinimalModel = R"(
+# A minimal but complete model.
+title = "Tiny Box"
+globals {
+  reboot_time = 10 min
+  mttm = 48 h
+  mttrfid = 4 h
+  mission_time = 1 y
+}
+diagram "Tiny Box" {
+  block "Board" {
+    quantity = 1; min_quantity = 1
+    mtbf = 200000 h
+    mttr_diagnosis = 15 min
+    mttr_corrective = 30 min
+    mttr_verification = 15 min
+    service_response = 4 h
+    p_correct_diagnosis = 0.95
+  }
+}
+)";
+
+TEST(Lexer, TokenizesBasics) {
+  const auto tokens = tokenize("diagram \"X\" { a = 1.5 min; }");
+  ASSERT_GE(tokens.size(), 9u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "diagram");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[1].text, "X");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kLBrace);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kEquals);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ(tokens[5].number, 1.5);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEndOfInput);
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  const auto tokens = tokenize("a\nb\n  c");
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[1].line, 2u);
+  EXPECT_EQ(tokens[2].line, 3u);
+  EXPECT_EQ(tokens[2].column, 3u);
+}
+
+TEST(Lexer, CommentsAndCommasIgnored) {
+  const auto tokens = tokenize("a = 1, b = 2 # trailing\n// line\nc");
+  std::size_t identifiers = 0;
+  for (const auto& t : tokens) {
+    if (t.kind == TokenKind::kIdentifier) ++identifiers;
+  }
+  EXPECT_EQ(identifiers, 3u);
+}
+
+TEST(Lexer, StringEscapes) {
+  const auto tokens = tokenize(R"("a \"quoted\" name")");
+  EXPECT_EQ(tokens[0].text, "a \"quoted\" name");
+}
+
+TEST(Lexer, ScientificNotation) {
+  const auto tokens = tokenize("x = 1.5e6");
+  EXPECT_DOUBLE_EQ(tokens[2].number, 1.5e6);
+}
+
+TEST(Lexer, ErrorsCarryPosition) {
+  try {
+    tokenize("ok\n  \"unterminated");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.column(), 3u);
+  }
+  EXPECT_THROW(tokenize("@"), ParseError);
+}
+
+TEST(Parser, ParsesMinimalModel) {
+  const ModelSpec m = parse_model(kMinimalModel);
+  EXPECT_EQ(m.title, "Tiny Box");
+  EXPECT_NEAR(m.globals.reboot_time_h, 10.0 / 60.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.globals.mission_time_h, 8760.0);
+  ASSERT_EQ(m.diagrams.size(), 1u);
+  ASSERT_EQ(m.root().blocks.size(), 1u);
+  const auto& b = m.root().blocks[0];
+  EXPECT_EQ(b.name, "Board");
+  EXPECT_DOUBLE_EQ(b.mtbf_h, 200'000.0);
+  EXPECT_DOUBLE_EQ(b.mttr_total_h(), 1.0);
+  EXPECT_DOUBLE_EQ(b.p_correct_diagnosis, 0.95);
+}
+
+TEST(Parser, UnitConversions) {
+  const ModelSpec m = parse_model(R"(
+diagram "D" {
+  block "B" {
+    mtbf = 2 y
+    transient_rate = 500 fit
+    mttr_corrective = 0.5 h
+    service_response = 30 min
+  }
+}
+)");
+  const auto& b = m.root().blocks[0];
+  EXPECT_DOUBLE_EQ(b.mtbf_h, 2 * 8760.0);
+  EXPECT_DOUBLE_EQ(b.transient_fit, 500.0);
+  EXPECT_DOUBLE_EQ(b.mttr_corrective_min, 30.0);
+  EXPECT_DOUBLE_EQ(b.service_response_h, 0.5);
+}
+
+TEST(Parser, TransientPerHourUnit) {
+  const ModelSpec m = parse_model(R"(
+diagram "D" { block "B" { transient_rate = 1e-6 per_hour } }
+)");
+  EXPECT_DOUBLE_EQ(m.root().blocks[0].transient_fit, 1000.0);
+}
+
+TEST(Parser, NativeUnitDefaults) {
+  // mtbf is hours-native, ar_time is minutes-native.
+  const ModelSpec m = parse_model(R"(
+diagram "D" {
+  block "B" {
+    quantity = 2 min_quantity = 1
+    mtbf = 1000
+    recovery = nontransparent
+    ar_time = 6
+    mttr_corrective = 30
+    service_response = 4
+  }
+}
+)");
+  const auto& b = m.root().blocks[0];
+  EXPECT_DOUBLE_EQ(b.mtbf_h, 1000.0);
+  EXPECT_DOUBLE_EQ(b.ar_time_min, 6.0);
+  EXPECT_EQ(b.recovery, Transparency::kNontransparent);
+}
+
+TEST(Parser, SubdiagramAndMode) {
+  const ModelSpec m = parse_model(R"(
+diagram "Root" {
+  block "Wrapped" { subdiagram = "Sub" }
+  block "Pair" {
+    quantity = 2 min_quantity = 1 mtbf = 30000
+    mttr_corrective = 60 service_response = 4
+    mode = primary_standby failover_time = 2 p_failover = 0.99
+  }
+}
+diagram "Sub" {
+  block "Inner" { mtbf = 100000 mttr_corrective = 30 service_response = 4 }
+}
+)");
+  EXPECT_EQ(*m.root().blocks[0].subdiagram, "Sub");
+  EXPECT_EQ(m.root().blocks[1].mode, RedundancyMode::kPrimaryStandby);
+  EXPECT_DOUBLE_EQ(m.root().blocks[1].failover_time_min, 2.0);
+  ASSERT_NE(m.find_diagram("Sub"), nullptr);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse_model(""), ParseError);
+  EXPECT_THROW(parse_model("diagram \"D\" { junk }"), ParseError);
+  EXPECT_THROW(parse_model("diagram \"D\" { block \"B\" { nope = 3 } }"),
+               ParseError);
+  EXPECT_THROW(
+      parse_model("diagram \"D\" { block \"B\" { mtbf = \"x\" } }"),
+      ParseError);
+  EXPECT_THROW(
+      parse_model("diagram \"D\" { block \"B\" { p_spf = 1.5 } }"),
+      ParseError);
+  EXPECT_THROW(
+      parse_model("diagram \"D\" { block \"B\" { quantity = 1.5 } }"),
+      ParseError);
+  EXPECT_THROW(
+      parse_model("diagram \"D\" { block \"B\" { recovery = sideways } }"),
+      ParseError);
+  EXPECT_THROW(
+      parse_model("diagram \"D\" { block \"B\" { mtbf = 100 fit } }"),
+      ParseError);
+}
+
+TEST(Validate, AcceptsMinimalModel) {
+  const ModelSpec m = parse_model(kMinimalModel);
+  const auto report = rascad::spec::validate(m);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+ModelSpec base_for_validation() {
+  return parse_model(R"(
+diagram "D" {
+  block "B" {
+    quantity = 2 min_quantity = 1 mtbf = 100000
+    mttr_corrective = 30 service_response = 4
+    recovery = nontransparent ar_time = 5
+    repair = transparent
+  }
+}
+)");
+}
+
+TEST(Validate, QuantityRules) {
+  ModelSpec m = base_for_validation();
+  m.diagrams[0].blocks[0].min_quantity = 3;
+  EXPECT_FALSE(rascad::spec::validate(m).ok());
+  EXPECT_THROW(rascad::spec::validate_or_throw(m), std::invalid_argument);
+}
+
+TEST(Validate, LatentNeedsMttdlf) {
+  ModelSpec m = base_for_validation();
+  m.diagrams[0].blocks[0].p_latent_fault = 0.1;
+  EXPECT_FALSE(rascad::spec::validate(m).ok());
+  m.diagrams[0].blocks[0].mttdlf_h = 48.0;
+  EXPECT_TRUE(rascad::spec::validate(m).ok());
+}
+
+TEST(Validate, SpfNeedsDwell) {
+  ModelSpec m = base_for_validation();
+  m.diagrams[0].blocks[0].p_spf = 0.01;
+  EXPECT_FALSE(rascad::spec::validate(m).ok());
+  m.diagrams[0].blocks[0].t_spf_min = 30.0;
+  EXPECT_TRUE(rascad::spec::validate(m).ok());
+}
+
+TEST(Validate, NontransparentNeedsDurations) {
+  ModelSpec m = base_for_validation();
+  m.diagrams[0].blocks[0].ar_time_min = 0.0;
+  EXPECT_FALSE(rascad::spec::validate(m).ok());
+}
+
+TEST(Validate, PermanentFaultsNeedRepairPath) {
+  ModelSpec m = base_for_validation();
+  m.diagrams[0].blocks[0].mttr_corrective_min = 0.0;
+  m.diagrams[0].blocks[0].service_response_h = 0.0;
+  EXPECT_FALSE(rascad::spec::validate(m).ok());
+}
+
+TEST(Validate, EmptyBlockRejected) {
+  EXPECT_THROW(rascad::spec::validate_or_throw(
+                   parse_model("diagram \"D\" { block \"B\" { } }")),
+               std::invalid_argument);
+}
+
+TEST(Validate, DanglingSubdiagram) {
+  const ModelSpec m =
+      parse_model(R"(diagram "D" { block "B" { subdiagram = "Nope" } })");
+  EXPECT_FALSE(rascad::spec::validate(m).ok());
+}
+
+TEST(Validate, SubdiagramMustBeTree) {
+  const ModelSpec m = parse_model(R"(
+diagram "Root" {
+  block "A" { subdiagram = "Sub" }
+  block "B" { subdiagram = "Sub" }
+}
+diagram "Sub" { block "X" { mtbf = 1000 mttr_corrective = 30 } }
+)");
+  EXPECT_FALSE(rascad::spec::validate(m).ok());
+}
+
+TEST(Validate, CycleDetected) {
+  const ModelSpec m = parse_model(R"(
+diagram "Root" { block "A" { subdiagram = "Mid" } }
+diagram "Mid" { block "B" { subdiagram = "Root" } }
+)");
+  EXPECT_FALSE(rascad::spec::validate(m).ok());
+}
+
+TEST(Validate, UnreachableDiagramIsWarningOnly) {
+  const ModelSpec m = parse_model(R"(
+diagram "Root" { block "A" { mtbf = 1000 mttr_corrective = 30 } }
+diagram "Orphan" { block "B" { mtbf = 1000 mttr_corrective = 30 } }
+)");
+  const auto report = rascad::spec::validate(m);
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report.issues.empty());
+}
+
+TEST(Validate, TransientsNeedRebootTime) {
+  ModelSpec m = parse_model(
+      R"(diagram "D" { block "B" { transient_rate = 1000 fit } })");
+  m.globals.reboot_time_h = 0.0;
+  EXPECT_FALSE(rascad::spec::validate(m).ok());
+}
+
+TEST(Validate, ImperfectDiagnosisNeedsMttrfid) {
+  ModelSpec m = base_for_validation();
+  m.diagrams[0].blocks[0].p_correct_diagnosis = 0.9;
+  m.globals.mttrfid_h = 0.0;
+  EXPECT_FALSE(rascad::spec::validate(m).ok());
+}
+
+TEST(Writer, RoundTripsEquivalentModel) {
+  const ModelSpec original = parse_model(R"(
+title = "Round Trip"
+globals { reboot_time = 12 min mttm = 24 h mttrfid = 6 h mission_time = 4380 h }
+diagram "Top" {
+  block "Wrapper" { subdiagram = "Inner" }
+  block "Redundant" {
+    part_number = "501-1234"
+    quantity = 3 min_quantity = 2 mtbf = 150000 transient_rate = 800 fit
+    mttr_diagnosis = 10 mttr_corrective = 25 mttr_verification = 5
+    service_response = 2 p_correct_diagnosis = 0.97
+    p_latent_fault = 0.04 mttdlf = 72
+    recovery = nontransparent ar_time = 4 p_spf = 0.003 t_spf = 20
+    repair = nontransparent reintegration_time = 9
+  }
+}
+diagram "Inner" {
+  block "Part" { mtbf = 90000 mttr_corrective = 45 service_response = 4 }
+}
+)");
+  const std::string text = rascad::spec::to_rsc_string(original);
+  const ModelSpec reparsed = parse_model(text);
+
+  EXPECT_EQ(reparsed.title, original.title);
+  EXPECT_DOUBLE_EQ(reparsed.globals.reboot_time_h,
+                   original.globals.reboot_time_h);
+  EXPECT_DOUBLE_EQ(reparsed.globals.mttm_h, original.globals.mttm_h);
+  ASSERT_EQ(reparsed.diagrams.size(), original.diagrams.size());
+  const auto& ob = original.diagrams[0].blocks[1];
+  const auto& rb = reparsed.diagrams[0].blocks[1];
+  EXPECT_EQ(rb.part_number, ob.part_number);
+  EXPECT_EQ(rb.quantity, ob.quantity);
+  EXPECT_DOUBLE_EQ(rb.mtbf_h, ob.mtbf_h);
+  EXPECT_DOUBLE_EQ(rb.transient_fit, ob.transient_fit);
+  EXPECT_DOUBLE_EQ(rb.mttr_total_h(), ob.mttr_total_h());
+  EXPECT_DOUBLE_EQ(rb.p_latent_fault, ob.p_latent_fault);
+  EXPECT_EQ(rb.recovery, ob.recovery);
+  EXPECT_EQ(rb.repair, ob.repair);
+  EXPECT_DOUBLE_EQ(rb.reintegration_min, ob.reintegration_min);
+  EXPECT_EQ(reparsed.diagrams[0].blocks[0].subdiagram,
+            original.diagrams[0].blocks[0].subdiagram);
+}
+
+}  // namespace
