@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datacenter.dir/bench_datacenter.cpp.o"
+  "CMakeFiles/bench_datacenter.dir/bench_datacenter.cpp.o.d"
+  "bench_datacenter"
+  "bench_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_field_e10000.dir/bench_field_e10000.cpp.o"
+  "CMakeFiles/bench_field_e10000.dir/bench_field_e10000.cpp.o.d"
+  "bench_field_e10000"
+  "bench_field_e10000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_field_e10000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_type0.dir/bench_fig3_type0.cpp.o"
+  "CMakeFiles/bench_fig3_type0.dir/bench_fig3_type0.cpp.o.d"
+  "bench_fig3_type0"
+  "bench_fig3_type0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_type0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_independence.dir/bench_independence.cpp.o"
+  "CMakeFiles/bench_independence.dir/bench_independence.cpp.o.d"
+  "bench_independence"
+  "bench_independence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_independence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_types.dir/bench_model_types.cpp.o"
+  "CMakeFiles/bench_model_types.dir/bench_model_types.cpp.o.d"
+  "bench_model_types"
+  "bench_model_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

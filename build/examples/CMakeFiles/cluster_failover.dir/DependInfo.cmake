@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cluster_failover.cpp" "examples/CMakeFiles/cluster_failover.dir/cluster_failover.cpp.o" "gcc" "examples/CMakeFiles/cluster_failover.dir/cluster_failover.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rascad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmb/CMakeFiles/rascad_gmb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rascad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mg/CMakeFiles/rascad_mg.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/rascad_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rascad_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbd/CMakeFiles/rascad_rbd.dir/DependInfo.cmake"
+  "/root/repo/build/src/semimarkov/CMakeFiles/rascad_semimarkov.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/rascad_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/rascad_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rascad_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

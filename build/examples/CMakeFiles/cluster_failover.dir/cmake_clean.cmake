@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_failover.dir/cluster_failover.cpp.o"
+  "CMakeFiles/cluster_failover.dir/cluster_failover.cpp.o.d"
+  "cluster_failover"
+  "cluster_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

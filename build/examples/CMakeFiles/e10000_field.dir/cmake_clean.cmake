@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10000_field.dir/e10000_field.cpp.o"
+  "CMakeFiles/e10000_field.dir/e10000_field.cpp.o.d"
+  "e10000_field"
+  "e10000_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10000_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

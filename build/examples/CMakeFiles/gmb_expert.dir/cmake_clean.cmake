@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmb_expert.dir/gmb_expert.cpp.o"
+  "CMakeFiles/gmb_expert.dir/gmb_expert.cpp.o.d"
+  "gmb_expert"
+  "gmb_expert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmb_expert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parametric_study.dir/parametric_study.cpp.o"
+  "CMakeFiles/parametric_study.dir/parametric_study.cpp.o.d"
+  "parametric_study"
+  "parametric_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parametric_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

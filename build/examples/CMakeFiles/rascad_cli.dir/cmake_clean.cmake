@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascad_cli.dir/rascad_cli.cpp.o"
+  "CMakeFiles/rascad_cli.dir/rascad_cli.cpp.o.d"
+  "rascad_cli"
+  "rascad_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascad_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("linalg")
+subdirs("dist")
+subdirs("markov")
+subdirs("semimarkov")
+subdirs("rbd")
+subdirs("spec")
+subdirs("gmb")
+subdirs("mg")
+subdirs("baselines")
+subdirs("sim")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascad_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/rascad_baselines.dir/baselines.cpp.o.d"
+  "librascad_baselines.a"
+  "librascad_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascad_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

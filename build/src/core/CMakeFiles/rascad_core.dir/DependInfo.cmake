@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compare.cpp" "src/core/CMakeFiles/rascad_core.dir/compare.cpp.o" "gcc" "src/core/CMakeFiles/rascad_core.dir/compare.cpp.o.d"
+  "/root/repo/src/core/csv.cpp" "src/core/CMakeFiles/rascad_core.dir/csv.cpp.o" "gcc" "src/core/CMakeFiles/rascad_core.dir/csv.cpp.o.d"
+  "/root/repo/src/core/export_dot.cpp" "src/core/CMakeFiles/rascad_core.dir/export_dot.cpp.o" "gcc" "src/core/CMakeFiles/rascad_core.dir/export_dot.cpp.o.d"
+  "/root/repo/src/core/importance.cpp" "src/core/CMakeFiles/rascad_core.dir/importance.cpp.o" "gcc" "src/core/CMakeFiles/rascad_core.dir/importance.cpp.o.d"
+  "/root/repo/src/core/library.cpp" "src/core/CMakeFiles/rascad_core.dir/library.cpp.o" "gcc" "src/core/CMakeFiles/rascad_core.dir/library.cpp.o.d"
+  "/root/repo/src/core/partsdb.cpp" "src/core/CMakeFiles/rascad_core.dir/partsdb.cpp.o" "gcc" "src/core/CMakeFiles/rascad_core.dir/partsdb.cpp.o.d"
+  "/root/repo/src/core/project.cpp" "src/core/CMakeFiles/rascad_core.dir/project.cpp.o" "gcc" "src/core/CMakeFiles/rascad_core.dir/project.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/rascad_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/rascad_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/core/CMakeFiles/rascad_core.dir/sweep.cpp.o" "gcc" "src/core/CMakeFiles/rascad_core.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mg/CMakeFiles/rascad_mg.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/rascad_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbd/CMakeFiles/rascad_rbd.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/rascad_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rascad_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascad_core.dir/compare.cpp.o"
+  "CMakeFiles/rascad_core.dir/compare.cpp.o.d"
+  "CMakeFiles/rascad_core.dir/csv.cpp.o"
+  "CMakeFiles/rascad_core.dir/csv.cpp.o.d"
+  "CMakeFiles/rascad_core.dir/export_dot.cpp.o"
+  "CMakeFiles/rascad_core.dir/export_dot.cpp.o.d"
+  "CMakeFiles/rascad_core.dir/importance.cpp.o"
+  "CMakeFiles/rascad_core.dir/importance.cpp.o.d"
+  "CMakeFiles/rascad_core.dir/library.cpp.o"
+  "CMakeFiles/rascad_core.dir/library.cpp.o.d"
+  "CMakeFiles/rascad_core.dir/partsdb.cpp.o"
+  "CMakeFiles/rascad_core.dir/partsdb.cpp.o.d"
+  "CMakeFiles/rascad_core.dir/project.cpp.o"
+  "CMakeFiles/rascad_core.dir/project.cpp.o.d"
+  "CMakeFiles/rascad_core.dir/report.cpp.o"
+  "CMakeFiles/rascad_core.dir/report.cpp.o.d"
+  "CMakeFiles/rascad_core.dir/sweep.cpp.o"
+  "CMakeFiles/rascad_core.dir/sweep.cpp.o.d"
+  "librascad_core.a"
+  "librascad_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascad_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

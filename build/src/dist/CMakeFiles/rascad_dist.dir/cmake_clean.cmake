@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascad_dist.dir/distribution.cpp.o"
+  "CMakeFiles/rascad_dist.dir/distribution.cpp.o.d"
+  "librascad_dist.a"
+  "librascad_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascad_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascad_gmb.dir/parser.cpp.o"
+  "CMakeFiles/rascad_gmb.dir/parser.cpp.o.d"
+  "CMakeFiles/rascad_gmb.dir/workspace.cpp.o"
+  "CMakeFiles/rascad_gmb.dir/workspace.cpp.o.d"
+  "librascad_gmb.a"
+  "librascad_gmb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascad_gmb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

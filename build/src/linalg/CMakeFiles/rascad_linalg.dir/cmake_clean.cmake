@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascad_linalg.dir/csr.cpp.o"
+  "CMakeFiles/rascad_linalg.dir/csr.cpp.o.d"
+  "CMakeFiles/rascad_linalg.dir/dense.cpp.o"
+  "CMakeFiles/rascad_linalg.dir/dense.cpp.o.d"
+  "CMakeFiles/rascad_linalg.dir/iterative.cpp.o"
+  "CMakeFiles/rascad_linalg.dir/iterative.cpp.o.d"
+  "CMakeFiles/rascad_linalg.dir/lu.cpp.o"
+  "CMakeFiles/rascad_linalg.dir/lu.cpp.o.d"
+  "librascad_linalg.a"
+  "librascad_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascad_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

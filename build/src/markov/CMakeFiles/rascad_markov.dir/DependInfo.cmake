@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/absorbing.cpp" "src/markov/CMakeFiles/rascad_markov.dir/absorbing.cpp.o" "gcc" "src/markov/CMakeFiles/rascad_markov.dir/absorbing.cpp.o.d"
+  "/root/repo/src/markov/ctmc.cpp" "src/markov/CMakeFiles/rascad_markov.dir/ctmc.cpp.o" "gcc" "src/markov/CMakeFiles/rascad_markov.dir/ctmc.cpp.o.d"
+  "/root/repo/src/markov/dtmc.cpp" "src/markov/CMakeFiles/rascad_markov.dir/dtmc.cpp.o" "gcc" "src/markov/CMakeFiles/rascad_markov.dir/dtmc.cpp.o.d"
+  "/root/repo/src/markov/ode.cpp" "src/markov/CMakeFiles/rascad_markov.dir/ode.cpp.o" "gcc" "src/markov/CMakeFiles/rascad_markov.dir/ode.cpp.o.d"
+  "/root/repo/src/markov/steady_state.cpp" "src/markov/CMakeFiles/rascad_markov.dir/steady_state.cpp.o" "gcc" "src/markov/CMakeFiles/rascad_markov.dir/steady_state.cpp.o.d"
+  "/root/repo/src/markov/transient.cpp" "src/markov/CMakeFiles/rascad_markov.dir/transient.cpp.o" "gcc" "src/markov/CMakeFiles/rascad_markov.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/rascad_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascad_markov.dir/absorbing.cpp.o"
+  "CMakeFiles/rascad_markov.dir/absorbing.cpp.o.d"
+  "CMakeFiles/rascad_markov.dir/ctmc.cpp.o"
+  "CMakeFiles/rascad_markov.dir/ctmc.cpp.o.d"
+  "CMakeFiles/rascad_markov.dir/dtmc.cpp.o"
+  "CMakeFiles/rascad_markov.dir/dtmc.cpp.o.d"
+  "CMakeFiles/rascad_markov.dir/ode.cpp.o"
+  "CMakeFiles/rascad_markov.dir/ode.cpp.o.d"
+  "CMakeFiles/rascad_markov.dir/steady_state.cpp.o"
+  "CMakeFiles/rascad_markov.dir/steady_state.cpp.o.d"
+  "CMakeFiles/rascad_markov.dir/transient.cpp.o"
+  "CMakeFiles/rascad_markov.dir/transient.cpp.o.d"
+  "librascad_markov.a"
+  "librascad_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascad_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

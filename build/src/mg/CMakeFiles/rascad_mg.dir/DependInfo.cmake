@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mg/explain.cpp" "src/mg/CMakeFiles/rascad_mg.dir/explain.cpp.o" "gcc" "src/mg/CMakeFiles/rascad_mg.dir/explain.cpp.o.d"
+  "/root/repo/src/mg/generator.cpp" "src/mg/CMakeFiles/rascad_mg.dir/generator.cpp.o" "gcc" "src/mg/CMakeFiles/rascad_mg.dir/generator.cpp.o.d"
+  "/root/repo/src/mg/measures.cpp" "src/mg/CMakeFiles/rascad_mg.dir/measures.cpp.o" "gcc" "src/mg/CMakeFiles/rascad_mg.dir/measures.cpp.o.d"
+  "/root/repo/src/mg/smp_generator.cpp" "src/mg/CMakeFiles/rascad_mg.dir/smp_generator.cpp.o" "gcc" "src/mg/CMakeFiles/rascad_mg.dir/smp_generator.cpp.o.d"
+  "/root/repo/src/mg/system.cpp" "src/mg/CMakeFiles/rascad_mg.dir/system.cpp.o" "gcc" "src/mg/CMakeFiles/rascad_mg.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/rascad_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/rascad_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbd/CMakeFiles/rascad_rbd.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rascad_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascad_mg.dir/explain.cpp.o"
+  "CMakeFiles/rascad_mg.dir/explain.cpp.o.d"
+  "CMakeFiles/rascad_mg.dir/generator.cpp.o"
+  "CMakeFiles/rascad_mg.dir/generator.cpp.o.d"
+  "CMakeFiles/rascad_mg.dir/measures.cpp.o"
+  "CMakeFiles/rascad_mg.dir/measures.cpp.o.d"
+  "CMakeFiles/rascad_mg.dir/smp_generator.cpp.o"
+  "CMakeFiles/rascad_mg.dir/smp_generator.cpp.o.d"
+  "CMakeFiles/rascad_mg.dir/system.cpp.o"
+  "CMakeFiles/rascad_mg.dir/system.cpp.o.d"
+  "librascad_mg.a"
+  "librascad_mg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascad_mg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librascad_mg.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascad_rbd.dir/rbd.cpp.o"
+  "CMakeFiles/rascad_rbd.dir/rbd.cpp.o.d"
+  "librascad_rbd.a"
+  "librascad_rbd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascad_rbd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semimarkov/smp.cpp" "src/semimarkov/CMakeFiles/rascad_semimarkov.dir/smp.cpp.o" "gcc" "src/semimarkov/CMakeFiles/rascad_semimarkov.dir/smp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/markov/CMakeFiles/rascad_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/rascad_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rascad_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

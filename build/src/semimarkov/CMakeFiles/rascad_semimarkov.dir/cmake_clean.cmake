@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascad_semimarkov.dir/smp.cpp.o"
+  "CMakeFiles/rascad_semimarkov.dir/smp.cpp.o.d"
+  "librascad_semimarkov.a"
+  "librascad_semimarkov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascad_semimarkov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/block_sim.cpp" "src/sim/CMakeFiles/rascad_sim.dir/block_sim.cpp.o" "gcc" "src/sim/CMakeFiles/rascad_sim.dir/block_sim.cpp.o.d"
+  "/root/repo/src/sim/chain_sim.cpp" "src/sim/CMakeFiles/rascad_sim.dir/chain_sim.cpp.o" "gcc" "src/sim/CMakeFiles/rascad_sim.dir/chain_sim.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/sim/CMakeFiles/rascad_sim.dir/rng.cpp.o" "gcc" "src/sim/CMakeFiles/rascad_sim.dir/rng.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/rascad_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/rascad_sim.dir/stats.cpp.o.d"
+  "/root/repo/src/sim/system_sim.cpp" "src/sim/CMakeFiles/rascad_sim.dir/system_sim.cpp.o" "gcc" "src/sim/CMakeFiles/rascad_sim.dir/system_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/rascad_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/rascad_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/mg/CMakeFiles/rascad_mg.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/rascad_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rascad_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbd/CMakeFiles/rascad_rbd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

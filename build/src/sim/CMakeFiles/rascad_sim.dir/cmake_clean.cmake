@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascad_sim.dir/block_sim.cpp.o"
+  "CMakeFiles/rascad_sim.dir/block_sim.cpp.o.d"
+  "CMakeFiles/rascad_sim.dir/chain_sim.cpp.o"
+  "CMakeFiles/rascad_sim.dir/chain_sim.cpp.o.d"
+  "CMakeFiles/rascad_sim.dir/rng.cpp.o"
+  "CMakeFiles/rascad_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/rascad_sim.dir/stats.cpp.o"
+  "CMakeFiles/rascad_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/rascad_sim.dir/system_sim.cpp.o"
+  "CMakeFiles/rascad_sim.dir/system_sim.cpp.o.d"
+  "librascad_sim.a"
+  "librascad_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascad_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascad_spec.dir/lexer.cpp.o"
+  "CMakeFiles/rascad_spec.dir/lexer.cpp.o.d"
+  "CMakeFiles/rascad_spec.dir/parser.cpp.o"
+  "CMakeFiles/rascad_spec.dir/parser.cpp.o.d"
+  "CMakeFiles/rascad_spec.dir/validate.cpp.o"
+  "CMakeFiles/rascad_spec.dir/validate.cpp.o.d"
+  "CMakeFiles/rascad_spec.dir/writer.cpp.o"
+  "CMakeFiles/rascad_spec.dir/writer.cpp.o.d"
+  "librascad_spec.a"
+  "librascad_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascad_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

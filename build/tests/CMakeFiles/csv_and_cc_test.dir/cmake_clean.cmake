@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_and_cc_test.dir/csv_and_cc_test.cpp.o"
+  "CMakeFiles/csv_and_cc_test.dir/csv_and_cc_test.cpp.o.d"
+  "csv_and_cc_test"
+  "csv_and_cc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_and_cc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmb_test.dir/gmb_test.cpp.o"
+  "CMakeFiles/gmb_test.dir/gmb_test.cpp.o.d"
+  "gmb_test"
+  "gmb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_generator_test.dir/mg_generator_test.cpp.o"
+  "CMakeFiles/mg_generator_test.dir/mg_generator_test.cpp.o.d"
+  "mg_generator_test"
+  "mg_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

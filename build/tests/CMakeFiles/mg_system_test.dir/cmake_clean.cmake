@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_system_test.dir/mg_system_test.cpp.o"
+  "CMakeFiles/mg_system_test.dir/mg_system_test.cpp.o.d"
+  "mg_system_test"
+  "mg_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

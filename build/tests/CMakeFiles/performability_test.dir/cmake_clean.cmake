@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performability_test.dir/performability_test.cpp.o"
+  "CMakeFiles/performability_test.dir/performability_test.cpp.o.d"
+  "performability_test"
+  "performability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbd_test.dir/rbd_test.cpp.o"
+  "CMakeFiles/rbd_test.dir/rbd_test.cpp.o.d"
+  "rbd_test"
+  "rbd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smp_generator_test.dir/smp_generator_test.cpp.o"
+  "CMakeFiles/smp_generator_test.dir/smp_generator_test.cpp.o.d"
+  "smp_generator_test"
+  "smp_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smp_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
