@@ -81,6 +81,25 @@ void write_report(std::ostream& os, const mg::SystemModel& system,
     }
   }
 
+  if (opts.include_solver_trace) {
+    heading(os, "Solver resilience");
+    os << "| diagram | block | rung | attempts | residual check | episode "
+          "|\n|---|---|---|---|---|---|\n";
+    for (const auto& b : system.blocks()) {
+      const resilience::SolveTrace& t = b.solve_trace;
+      const std::string rung =
+          t.success ? resilience::to_string(t.final_rung) : "(failed)";
+      std::ostringstream residual;
+      if (!t.attempts.empty()) {
+        residual << std::scientific << std::setprecision(2)
+                 << t.attempts.back().residual_check;
+      }
+      os << "| " << b.diagram << " | " << b.block.name << " | " << rung
+         << " | " << t.attempts.size() << " | " << residual.str() << " | "
+         << t.summary() << " |\n";
+    }
+  }
+
   if (opts.include_chain_dumps) {
     heading(os, "Chain listings");
     for (const auto& b : system.blocks()) {

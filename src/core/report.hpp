@@ -15,6 +15,9 @@ struct ReportOptions {
   bool include_block_table = true;
   bool include_chain_dumps = false;  // full state/transition listings
   bool include_transient = true;     // interval availability / reliability
+  /// Per-block solver resilience section: which ladder rung produced each
+  /// block's stationary solution and why earlier rungs were rejected.
+  bool include_solver_trace = true;
   /// Horizon for the interval/reliability section; 0 uses the model's
   /// mission time.
   double horizon_h = 0.0;

@@ -1,8 +1,8 @@
 #include "gmb/workspace.hpp"
 
 #include <stdexcept>
+#include <utility>
 
-#include "markov/absorbing.hpp"
 #include "mg/measures.hpp"
 
 namespace rascad::gmb {
@@ -58,18 +58,34 @@ double Workspace::availability(const std::string& name) const {
   const auto cached = availability_cache_.find(name);
   if (cached != availability_cache_.end()) return cached->second;
   const ModelEntry& e = entry(name);
+  const resilience::ResilienceConfig config =
+      resilience_config ? *resilience_config
+                        : resilience::config_from(steady_options);
   double a = 1.0;
   if (const auto* m = std::get_if<MarkovEntry>(&e)) {
-    const markov::SteadyStateResult r =
-        markov::solve_steady_state(m->chain, steady_options);
-    a = markov::expected_reward(m->chain, r.pi);
+    resilience::ResilientResult solved =
+        resilience::solve_steady_state_resilient(m->chain, config);
+    a = markov::expected_reward(m->chain, solved.result.pi);
+    trace_cache_[name] = std::move(solved.trace);
   } else if (const auto* s = std::get_if<SemiMarkovEntry>(&e)) {
-    a = s->process.steady_state_reward();
+    resilience::ResilientResult solved =
+        resilience::smp_steady_state_resilient(s->process, config);
+    a = 0.0;
+    for (std::size_t i = 0; i < solved.result.pi.size(); ++i) {
+      a += solved.result.pi[i] * s->process.reward(i);
+    }
+    trace_cache_[name] = std::move(solved.trace);
   } else if (const auto* r = std::get_if<RbdEntry>(&e)) {
     a = r->tree->availability();
   }
   availability_cache_.emplace(name, a);
   return a;
+}
+
+const resilience::SolveTrace* Workspace::solve_trace(
+    const std::string& name) const {
+  const auto it = trace_cache_.find(name);
+  return it == trace_cache_.end() ? nullptr : &it->second;
 }
 
 double Workspace::yearly_downtime_min(const std::string& name) const {
@@ -84,9 +100,10 @@ double Workspace::mttf_h(const std::string& name) const {
         "Workspace::mttf_h: '" + name + "' is not a Markov model");
   }
   if (m->chain.down_states().empty()) return 0.0;
-  const markov::Ctmc rel = markov::make_down_states_absorbing(m->chain);
-  const markov::AbsorbingAnalysis analysis(rel);
-  return analysis.mean_time_to_absorption(m->initial);
+  const resilience::ResilienceConfig config =
+      resilience_config ? *resilience_config
+                        : resilience::config_from(steady_options);
+  return resilience::mttf_resilient(m->chain, m->initial, config);
 }
 
 rbd::RbdNodePtr Workspace::ref_leaf(const std::string& referenced_model) const {

@@ -20,6 +20,7 @@
 #include "markov/ctmc.hpp"
 #include "markov/steady_state.hpp"
 #include "rbd/rbd.hpp"
+#include "resilience/resilience.hpp"
 #include "semimarkov/smp.hpp"
 
 namespace rascad::gmb {
@@ -58,8 +59,15 @@ class Workspace {
   const ModelEntry& entry(const std::string& name) const;
 
   /// Steady-state availability of the named model (solves on demand,
-  /// memoizes). RBD leaves created via `ref_leaf` resolve recursively.
+  /// memoizes). Markov and semi-Markov entries are solved through the
+  /// resilience ladder; the episode is recorded and retrievable via
+  /// `solve_trace`. RBD leaves created via `ref_leaf` resolve recursively.
   double availability(const std::string& name) const;
+
+  /// Ladder episode of the last `availability` solve for `name`, or
+  /// nullptr if the model has not been solved (or is an RBD, which needs
+  /// no numerical solve of its own).
+  const resilience::SolveTrace* solve_trace(const std::string& name) const;
 
   /// Yearly downtime in minutes of the named model.
   double yearly_downtime_min(const std::string& name) const;
@@ -73,10 +81,14 @@ class Workspace {
   rbd::RbdNodePtr ref_leaf(const std::string& referenced_model) const;
 
   markov::SteadyStateOptions steady_options;
+  /// Resilience-ladder override for on-demand solves. When unset, a config
+  /// derived from `steady_options` is used.
+  std::optional<resilience::ResilienceConfig> resilience_config;
 
  private:
   std::map<std::string, ModelEntry> models_;
   mutable std::map<std::string, double> availability_cache_;
+  mutable std::map<std::string, resilience::SolveTrace> trace_cache_;
 };
 
 }  // namespace rascad::gmb

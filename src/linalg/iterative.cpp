@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "resilience/solve_error.hpp"
+
 namespace rascad::linalg {
 
 namespace {
@@ -15,7 +17,9 @@ Vector checked_diagonal(const CsrMatrix& a, const char* who) {
   Vector d = a.diagonal();
   for (double x : d) {
     if (x == 0.0) {
-      throw std::domain_error(std::string(who) + ": zero diagonal entry");
+      // The diagonal splitting is singular: the sweep cannot even start.
+      throw resilience::SolveError(resilience::SolveCause::kSingular, who,
+                                   "zero diagonal entry");
     }
   }
   return d;
@@ -137,6 +141,13 @@ IterativeResult bicgstab_solve(const CsrMatrix& a, const Vector& b,
     axpy(-omega, t, r);
     result.iterations = it;
     result.residual = norm2(r) / b_norm;
+    if (!std::isfinite(result.residual)) {
+      // A NaN/Inf residual never recovers; bail out as non-converged so
+      // the resilience ladder can escalate instead of burning the full
+      // iteration budget on poisoned arithmetic.
+      result.converged = false;
+      break;
+    }
     if (result.residual < opts.tolerance) {
       result.converged = true;
       break;

@@ -29,12 +29,14 @@ struct IterativeResult {
 };
 
 /// Solves A x = b with Jacobi iteration. Requires a nonzero diagonal;
-/// throws std::domain_error otherwise.
+/// throws resilience::SolveError(kSingular) otherwise (historically
+/// std::domain_error).
 IterativeResult jacobi_solve(const CsrMatrix& a, const Vector& b,
                              const IterativeOptions& opts = {});
 
 /// Solves A x = b with Gauss-Seidel / SOR (opts.relaxation = omega).
-/// Requires a nonzero diagonal; throws std::domain_error otherwise.
+/// Requires a nonzero diagonal; throws resilience::SolveError(kSingular)
+/// otherwise (historically std::domain_error).
 IterativeResult sor_solve(const CsrMatrix& a, const Vector& b,
                           const IterativeOptions& opts = {});
 

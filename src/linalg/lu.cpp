@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "resilience/solve_error.hpp"
+
 namespace rascad::linalg {
 
 LuFactorization::LuFactorization(DenseMatrix a, double pivot_tolerance)
@@ -28,7 +30,12 @@ LuFactorization::LuFactorization(DenseMatrix a, double pivot_tolerance)
       }
     }
     if (pivot_mag < pivot_tolerance) {
-      throw std::domain_error("LuFactorization: matrix is singular");
+      throw resilience::SolveError(resilience::SolveCause::kSingular,
+                                   "LuFactorization",
+                                   "matrix is singular (pivot " +
+                                       std::to_string(pivot_mag) +
+                                       " at column " + std::to_string(k) +
+                                       ")");
     }
     if (pivot_row != k) {
       for (std::size_t c = 0; c < n; ++c) {
@@ -99,6 +106,17 @@ double LuFactorization::determinant() const noexcept {
   double det = (swaps_ % 2 == 0) ? 1.0 : -1.0;
   for (std::size_t i = 0; i < size(); ++i) det *= lu_(i, i);
   return det;
+}
+
+std::pair<double, double> LuFactorization::pivot_extremes() const noexcept {
+  double lo = 0.0;
+  double hi = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    const double mag = std::abs(lu_(i, i));
+    if (i == 0 || mag < lo) lo = mag;
+    if (mag > hi) hi = mag;
+  }
+  return {lo, hi};
 }
 
 Vector lu_solve(DenseMatrix a, const Vector& b) {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "linalg/dense.hpp"
@@ -11,8 +12,10 @@ namespace rascad::linalg {
 
 /// PA = LU factorization with partial (row) pivoting.
 ///
-/// Throws std::domain_error if the matrix is numerically singular (a pivot
-/// below the singularity threshold is encountered).
+/// Throws resilience::SolveError with cause kSingular (an is-a
+/// std::runtime_error; historically this was a std::domain_error) if the
+/// matrix is numerically singular, i.e. a pivot below the singularity
+/// threshold is encountered.
 class LuFactorization {
  public:
   explicit LuFactorization(DenseMatrix a, double pivot_tolerance = 1e-13);
@@ -31,14 +34,18 @@ class LuFactorization {
   /// Number of row exchanges performed during factorization.
   std::size_t swap_count() const noexcept { return swaps_; }
 
+  /// (min, max) of |U(k,k)| over the pivots. Their ratio is a free O(n)
+  /// lower-bound proxy for the condition number of A.
+  std::pair<double, double> pivot_extremes() const noexcept;
+
  private:
   DenseMatrix lu_;               // L (unit lower, below diag) and U (upper)
   std::vector<std::size_t> perm_;  // row permutation: row i of PA is perm_[i] of A
   std::size_t swaps_ = 0;
 };
 
-/// One-shot convenience: solve A x = b via LU. Throws std::domain_error on a
-/// singular matrix.
+/// One-shot convenience: solve A x = b via LU. Throws
+/// resilience::SolveError(kSingular) on a singular matrix.
 Vector lu_solve(DenseMatrix a, const Vector& b);
 
 }  // namespace rascad::linalg

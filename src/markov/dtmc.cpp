@@ -1,5 +1,7 @@
 #include "markov/dtmc.hpp"
 
+#include "resilience/solve_error.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -80,7 +82,10 @@ linalg::Vector Dtmc::stationary(bool direct) const {
   linalg::IterativeOptions opts;
   const linalg::IterativeResult r = linalg::power_stationary(p_, opts);
   if (!r.converged) {
-    throw std::runtime_error("Dtmc::stationary: power iteration diverged");
+    throw resilience::SolveError(resilience::SolveCause::kNonConverged,
+                                 "Dtmc::stationary",
+                                 "power iteration diverged", r.iterations,
+                                 r.residual);
   }
   return r.solution;
 }

@@ -47,7 +47,9 @@ class Dtmc {
 
   /// Stationary distribution pi = pi P.
   /// `direct` solves the replaced-row linear system (exact); otherwise
-  /// power iteration is used. Throws on reducible/periodic non-convergence.
+  /// power iteration is used. Throws resilience::SolveError on
+  /// reducible/periodic non-convergence (kNonConverged) or a singular
+  /// replaced-row system (kSingular).
   linalg::Vector stationary(bool direct = true) const;
 
   /// n-step distribution from `start`.

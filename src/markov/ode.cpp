@@ -1,5 +1,7 @@
 #include "markov/ode.hpp"
 
+#include "resilience/solve_error.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -55,9 +57,11 @@ OdeResult transient_distribution_ode(const Ctmc& chain,
   linalg::Vector k1, k2, k3, k4, k5, k6, y5(n), y4(n), stage(n);
   while (time < t) {
     if (result.steps + result.rejected_steps >= opts.max_steps) {
-      throw std::runtime_error(
-          "transient_distribution_ode: step budget exhausted (stiff chain; "
-          "use uniformization)");
+      throw resilience::SolveError(
+          resilience::SolveCause::kBudgetExceeded,
+          "transient_distribution_ode",
+          "step budget exhausted (stiff chain; use uniformization)",
+          result.steps);
     }
     h = std::min(h, t - time);
 

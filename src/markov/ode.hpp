@@ -26,8 +26,9 @@ struct OdeResult {
 };
 
 /// Integrates d pi/dt = pi Q from pi0 over [0, t] with the adaptive
-/// Runge-Kutta-Fehlberg 4(5) pair. Throws std::runtime_error if max_steps
-/// is exhausted, std::invalid_argument on bad inputs.
+/// Runge-Kutta-Fehlberg 4(5) pair. Throws
+/// resilience::SolveError(kBudgetExceeded) if max_steps is exhausted,
+/// std::invalid_argument on bad inputs.
 OdeResult transient_distribution_ode(const Ctmc& chain,
                                      const linalg::Vector& pi0, double t,
                                      const OdeOptions& opts = {});

@@ -5,8 +5,12 @@
 
 #include "linalg/iterative.hpp"
 #include "linalg/lu.hpp"
+#include "resilience/solve_error.hpp"
 
 namespace rascad::markov {
+
+using resilience::SolveCause;
+using resilience::SolveError;
 
 namespace {
 
@@ -45,8 +49,8 @@ SteadyStateResult solve_sor(const Ctmc& chain, const SteadyStateOptions& opts) {
   for (std::size_t i = 0; i < n; ++i) {
     diag[i] = chain.exit_rate(i);
     if (!(diag[i] > 0.0)) {
-      throw std::domain_error(
-          "solve_steady_state(SOR): absorbing state in chain");
+      throw SolveError(SolveCause::kInvalidInput, "solve_steady_state(SOR)",
+                       "absorbing state in chain");
     }
   }
   linalg::Vector pi(n, 1.0 / static_cast<double>(n));
@@ -72,7 +76,8 @@ SteadyStateResult solve_sor(const Ctmc& chain, const SteadyStateOptions& opts) {
   result.residual = stationarity_residual(chain, result.pi);
   if (result.iterations >= opts.max_iterations &&
       result.residual > 1e3 * opts.tolerance) {
-    throw std::runtime_error("solve_steady_state(SOR): did not converge");
+    throw SolveError(SolveCause::kNonConverged, "solve_steady_state(SOR)",
+                     "did not converge", result.iterations, result.residual);
   }
   return result;
 }
@@ -86,7 +91,8 @@ SteadyStateResult solve_power(const Ctmc& chain,
   iopts.max_iterations = opts.max_iterations;
   const linalg::IterativeResult r = linalg::power_stationary(p, iopts);
   if (!r.converged) {
-    throw std::runtime_error("solve_steady_state(power): did not converge");
+    throw SolveError(SolveCause::kNonConverged, "solve_steady_state(power)",
+                     "did not converge", r.iterations, r.residual);
   }
   SteadyStateResult result;
   result.pi = r.solution;
@@ -111,8 +117,9 @@ SteadyStateResult solve_bicgstab(const Ctmc& chain,
       if (row.cols[k] == r) diag = row.values[k];
     }
     if (diag == 0.0) {
-      throw std::domain_error(
-          "solve_steady_state(bicgstab): absorbing state in chain");
+      throw SolveError(SolveCause::kInvalidInput,
+                       "solve_steady_state(bicgstab)",
+                       "absorbing state in chain");
     }
     for (std::size_t k = 0; k < row.size; ++k) {
       ab.add(r, row.cols[k], row.values[k] / diag);
@@ -126,7 +133,9 @@ SteadyStateResult solve_bicgstab(const Ctmc& chain,
   iopts.max_iterations = opts.max_iterations;
   const linalg::IterativeResult r = linalg::bicgstab_solve(ab.build(), b, iopts);
   if (!r.converged) {
-    throw std::runtime_error("solve_steady_state(bicgstab): did not converge");
+    throw SolveError(SolveCause::kNonConverged,
+                     "solve_steady_state(bicgstab)", "did not converge",
+                     r.iterations, r.residual);
   }
   SteadyStateResult result;
   result.pi = r.solution;

@@ -33,9 +33,24 @@ struct SteadyStateResult {
 };
 
 /// Computes the stationary distribution. The chain must be irreducible
-/// (availability chains from the generator always are); a singular direct
-/// solve or non-converged iteration raises std::domain_error /
-/// std::runtime_error respectively.
+/// (availability chains from the generator always are). Failures raise
+/// resilience::SolveError (is-a std::runtime_error) with a cause code,
+/// per method:
+///
+///   kDirect    kSingular       singular replaced-row system (reducible /
+///                              numerically degenerate chain); thrown by
+///                              the underlying LU factorization
+///   kSor       kInvalidInput   absorbing state (no exit rate)
+///              kNonConverged   iteration budget exhausted
+///   kPower     kNonConverged   iteration budget exhausted
+///   kBiCgStab  kInvalidInput   absorbing state (zero diagonal)
+///              kNonConverged   iteration budget exhausted or breakdown
+///
+/// (Before the taxonomy these were bare std::domain_error for the
+/// structural cases and std::runtime_error for non-convergence; SolveError
+/// keeps catch-compatibility with the latter.) Callers who want automatic
+/// escalation instead of an exception should use
+/// resilience::solve_steady_state_resilient.
 SteadyStateResult solve_steady_state(const Ctmc& chain,
                                      const SteadyStateOptions& opts = {});
 

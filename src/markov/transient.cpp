@@ -1,5 +1,7 @@
 #include "markov/transient.hpp"
 
+#include "resilience/solve_error.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -83,9 +85,10 @@ linalg::Vector transient_distribution(const Ctmc& chain,
     }
     v = p.mul_transpose(v);
   }
-  throw std::runtime_error(
-      "transient_distribution: Poisson truncation did not converge "
-      "(increase max_terms or reduce the horizon)");
+  throw resilience::SolveError(
+      resilience::SolveCause::kBudgetExceeded, "transient_distribution",
+      "Poisson truncation did not converge (increase max_terms or reduce "
+      "the horizon)");
 }
 
 namespace {
@@ -150,9 +153,10 @@ double integrate_rate(const Ctmc& chain, const linalg::Vector& pi0, double t,
     }
     v = p.mul_transpose(v);
   }
-  throw std::runtime_error(
-      "accumulated_reward: Poisson truncation did not converge "
-      "(increase max_terms or reduce the horizon)");
+  throw resilience::SolveError(
+      resilience::SolveCause::kBudgetExceeded, "accumulated_reward",
+      "Poisson truncation did not converge (increase max_terms or reduce "
+      "the horizon)");
 }
 
 }  // namespace

@@ -18,7 +18,8 @@ struct TransientOptions {
 
 /// State-probability vector at time t, starting from distribution pi0.
 /// Throws std::invalid_argument for negative t / bad pi0, and
-/// std::runtime_error if max_terms is exceeded before the tolerance.
+/// resilience::SolveError(kBudgetExceeded) — an is-a std::runtime_error —
+/// if max_terms is exceeded before the tolerance.
 linalg::Vector transient_distribution(const Ctmc& chain,
                                       const linalg::Vector& pi0, double t,
                                       const TransientOptions& opts = {});

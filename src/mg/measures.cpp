@@ -1,6 +1,7 @@
 #include "mg/measures.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "markov/absorbing.hpp"
 #include "markov/transient.hpp"
@@ -17,8 +18,13 @@ BlockMeasures compute_measures(const GeneratedModel& model,
                                const MeasureOptions& opts) {
   BlockMeasures m;
   const markov::Ctmc& chain = model.chain;
-  const markov::SteadyStateResult steady =
-      markov::solve_steady_state(chain, opts.steady);
+  const resilience::ResilienceConfig config =
+      opts.resilience ? *opts.resilience
+                      : resilience::config_from(opts.steady);
+  resilience::ResilientResult solved =
+      resilience::solve_steady_state_resilient(chain, config);
+  m.solve_trace = std::move(solved.trace);
+  const markov::SteadyStateResult& steady = solved.result;
   m.availability = markov::expected_reward(chain, steady.pi);
   m.yearly_downtime_min = yearly_downtime_minutes(m.availability);
   m.eq_failure_rate = markov::equivalent_failure_rate(chain, steady.pi);
@@ -40,8 +46,7 @@ BlockMeasures compute_measures(const GeneratedModel& model,
 
   if (opts.include_reliability && can_fail) {
     const markov::Ctmc rel = markov::make_down_states_absorbing(chain);
-    const markov::AbsorbingAnalysis analysis(rel);
-    m.mttf_h = analysis.mean_time_to_absorption(model.initial);
+    m.mttf_h = resilience::mttf_resilient(chain, model.initial, config);
     if (mission > 0.0) {
       m.reliability_at_mission = markov::reliability_at(rel, pi0, mission);
       if (m.reliability_at_mission > 0.0) {

@@ -4,8 +4,11 @@
 // hazard rate over a time increment).
 #pragma once
 
+#include <optional>
+
 #include "markov/steady_state.hpp"
 #include "mg/generator.hpp"
+#include "resilience/resilience.hpp"
 #include "spec/ast.hpp"
 
 namespace rascad::mg {
@@ -18,6 +21,9 @@ struct MeasureOptions {
   bool include_transient = true;  // interval availability at mission time
   bool include_reliability = true;  // MTTF, R(T), hazard
   double hazard_dt_h = 1.0;         // increment for the hazard estimate
+  /// Resilience-ladder override. When unset, a config derived from
+  /// `steady` is used (requested method first, remaining rungs appended).
+  std::optional<resilience::ResilienceConfig> resilience;
 };
 
 struct BlockMeasures {
@@ -38,10 +44,15 @@ struct BlockMeasures {
   double reliability_at_mission = 1.0;
   double interval_failure_rate = 0.0;  // -ln R(T) / T
   double hazard_rate_at_mission = 0.0;
+
+  /// Which steady-state ladder rung produced the numbers and why earlier
+  /// rungs (if any) were rejected.
+  resilience::SolveTrace solve_trace;
 };
 
-/// Solves the chain and assembles the measure set. Throws on solver
-/// failure (propagated from the markov layer).
+/// Solves the chain through the resilience ladder and assembles the
+/// measure set. Throws resilience::SolveError only when every ladder rung
+/// fails (structurally unusable chain or exhausted budget).
 BlockMeasures compute_measures(const GeneratedModel& model,
                                const spec::GlobalParams& globals,
                                const MeasureOptions& opts = {});

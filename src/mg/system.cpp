@@ -91,13 +91,20 @@ SystemModel SystemModel::build(const spec::ModelSpec& model,
   sm.spec_ = model;
   sm.opts_ = opts;
 
+  const resilience::ResilienceConfig solve_config =
+      opts.resilience ? *opts.resilience
+                      : resilience::config_from(opts.steady);
   TreeBuilder builder(
-      sm.spec_, [&sm](const spec::DiagramSpec& diagram,
-                      const spec::BlockSpec& block) -> rbd::RbdNodePtr {
+      sm.spec_, [&sm, &solve_config](
+                    const spec::DiagramSpec& diagram,
+                    const spec::BlockSpec& block) -> rbd::RbdNodePtr {
         GeneratedModel generated = generate(block, sm.spec_.globals);
-        const markov::SteadyStateResult steady =
-            markov::solve_steady_state(generated.chain, sm.opts_.steady);
+        resilience::ResilientResult solved =
+            resilience::solve_steady_state_resilient(generated.chain,
+                                                     solve_config);
+        const markov::SteadyStateResult& steady = solved.result;
         BlockEntry entry;
+        entry.solve_trace = std::move(solved.trace);
         entry.diagram = diagram.name;
         entry.block = block;
         entry.type = generated.type;

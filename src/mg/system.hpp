@@ -10,10 +10,13 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "markov/steady_state.hpp"
 #include "mg/generator.hpp"
 #include "mg/measures.hpp"
 #include "rbd/rbd.hpp"
+#include "resilience/resilience.hpp"
 #include "spec/ast.hpp"
 
 namespace rascad::mg {
@@ -27,6 +30,9 @@ class SystemModel {
     /// reliability): per-block reward curves are sampled on this many
     /// segments over the queried horizon, then composed through the RBD.
     std::size_t curve_steps = 256;
+    /// Resilience-ladder override for the per-block steady-state solves.
+    /// When unset, a config derived from `steady` is used.
+    std::optional<resilience::ResilienceConfig> resilience;
   };
 
   /// One generated block chain with its solved measures.
@@ -39,6 +45,8 @@ class SystemModel {
     double availability = 1.0;
     double yearly_downtime_min = 0.0;
     double eq_failure_rate = 0.0;
+    /// Ladder episode that produced this block's stationary solution.
+    resilience::SolveTrace solve_trace;
   };
 
   /// Validates the spec (throws std::invalid_argument on errors), then

@@ -1,0 +1,84 @@
+#include "resilience/gth.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "resilience/solve_error.hpp"
+
+namespace rascad::resilience {
+
+namespace {
+
+linalg::DenseMatrix off_diagonal_weights(const linalg::CsrMatrix& m) {
+  const std::size_t n = m.rows();
+  linalg::DenseMatrix w(n, n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = m.row(r);
+    for (std::size_t k = 0; k < row.size; ++k) {
+      if (row.cols[k] != r) w(r, row.cols[k]) = row.values[k];
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+linalg::Vector gth_stationary_dense(linalg::DenseMatrix w) {
+  const std::size_t n = w.rows();
+  if (n == 0) {
+    throw SolveError(SolveCause::kInvalidInput, "gth_stationary",
+                     "empty chain");
+  }
+  if (n == 1) return {1.0};
+
+  // Forward elimination of states n-1 .. 1 (state 0 is kept). Eliminating
+  // state m censors the chain to the surviving states: the new weight from
+  // i to j is w(i, j) + w(i, m) * w(m, j) / out(m), where out(m) is m's
+  // total outflow to the survivors. The division is folded into column m
+  // (w(i, m) /= out) so the back-substitution identity
+  //   pi(m) = sum_{i < m} pi(i) * w(i, m)
+  // holds directly. Only additions of non-negative terms occur, which is
+  // the whole point of GTH.
+  for (std::size_t m = n - 1; m >= 1; --m) {
+    double out = 0.0;
+    for (std::size_t j = 0; j < m; ++j) out += w(m, j);
+    if (!(out > 0.0) || !std::isfinite(out)) {
+      throw SolveError(
+          SolveCause::kInvalidInput, "gth_stationary",
+          "state " + std::to_string(m) +
+              " has no outflow to surviving states (reducible chain)");
+    }
+    for (std::size_t i = 0; i < m; ++i) w(i, m) /= out;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double into_m = w(i, m);
+      if (into_m == 0.0) continue;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (j != i) w(i, j) += into_m * w(m, j);
+      }
+    }
+  }
+
+  // Back-substitution: unnormalized pi[0] = 1, each later state's mass is
+  // the inflow-weighted sum over already-computed states.
+  linalg::Vector pi(n, 0.0);
+  pi[0] = 1.0;
+  double total = 1.0;
+  for (std::size_t m = 1; m < n; ++m) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) acc += pi[i] * w(i, m);
+    pi[m] = acc;
+    total += acc;
+  }
+  for (double& x : pi) x /= total;
+  return pi;
+}
+
+linalg::Vector gth_stationary(const markov::Ctmc& chain) {
+  return gth_stationary_dense(off_diagonal_weights(chain.generator()));
+}
+
+linalg::Vector gth_stationary(const markov::Dtmc& dtmc) {
+  return gth_stationary_dense(off_diagonal_weights(dtmc.transition_matrix()));
+}
+
+}  // namespace rascad::resilience

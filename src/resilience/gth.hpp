@@ -1,0 +1,37 @@
+// Grassmann-Taksar-Heyman (GTH) elimination — the numerically exact
+// last-resort rung of the steady-state ladder.
+//
+// GTH computes the stationary distribution of an irreducible chain by a
+// state-elimination recurrence that involves only additions, multiplications
+// and divisions of non-negative quantities: no subtractions means no
+// catastrophic cancellation, so the result carries componentwise relative
+// accuracy even on generators whose rates span many orders of magnitude
+// (exactly the ill-conditioned chains where the direct and iterative rungs
+// go wrong; see O'Cinneide 1993 for the error analysis). The price is a
+// dense O(n^3) elimination, which is why it sits at the bottom of the
+// ladder rather than the top.
+#pragma once
+
+#include "linalg/dense.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/dtmc.hpp"
+
+namespace rascad::resilience {
+
+/// Stationary distribution of an irreducible CTMC by GTH elimination on the
+/// off-diagonal rates of its generator. Throws SolveError(kInvalidInput) if
+/// elimination encounters a state with no remaining outflow (the chain is
+/// reducible, so no unique stationary distribution exists).
+linalg::Vector gth_stationary(const markov::Ctmc& chain);
+
+/// Stationary distribution of an irreducible DTMC (pi = pi P). Self-loop
+/// probabilities are ignored — the stationary vector of P equals that of
+/// the generator P - I, whose off-diagonal entries GTH consumes.
+linalg::Vector gth_stationary(const markov::Dtmc& dtmc);
+
+/// Core elimination on a dense matrix of non-negative off-diagonal
+/// transition weights (rates or probabilities; the diagonal is ignored).
+/// Exposed for tests and for callers that already hold a dense workspace.
+linalg::Vector gth_stationary_dense(linalg::DenseMatrix weights);
+
+}  // namespace rascad::resilience

@@ -1,0 +1,139 @@
+#include "resilience/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace rascad::resilience {
+
+bool all_finite(const linalg::Vector& v) noexcept {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+HealthReport check_distribution(linalg::Vector& pi,
+                                const HealthCheckConfig& config) {
+  HealthReport report;
+  if (!all_finite(pi)) {
+    report.ok = false;
+    report.failure = SolveCause::kNanOrInf;
+    report.detail = "non-finite entries in probability vector";
+    return report;
+  }
+
+  // Clamp negative entries, accounting for how much mass was discarded.
+  double negative_mass = 0.0;
+  for (double& x : pi) {
+    if (x < 0.0) {
+      negative_mass -= x;
+      x = 0.0;
+    }
+  }
+  report.clamped_mass = negative_mass;
+  if (negative_mass > config.clamp_tolerance) {
+    report.ok = false;
+    report.failure = SolveCause::kNanOrInf;
+    std::ostringstream os;
+    os << "negative probability mass " << negative_mass
+       << " exceeds clamp tolerance " << config.clamp_tolerance;
+    report.detail = os.str();
+    return report;
+  }
+  const double total = linalg::sum(pi);
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    report.ok = false;
+    report.failure = SolveCause::kNanOrInf;
+    report.detail = "probability vector has no positive mass";
+    return report;
+  }
+  linalg::scale(pi, 1.0 / total);
+  return report;
+}
+
+HealthReport check_stationary(const markov::Ctmc& chain, linalg::Vector& pi,
+                              const HealthCheckConfig& config,
+                              double tolerance) {
+  if (pi.size() != chain.size()) {
+    HealthReport report;
+    report.ok = false;
+    report.failure = SolveCause::kInvalidInput;
+    report.detail = "stationary vector size mismatch";
+    return report;
+  }
+  HealthReport report = check_distribution(pi, config);
+  if (!report.ok) return report;
+
+  // Independent residual re-check: recompute pi Q from the generator and
+  // measure it in both the infinity and 1 norms, regardless of whatever
+  // convergence metric the solver used internally.
+  const linalg::Vector r = chain.generator().mul_transpose(pi);
+  report.residual_inf = linalg::norm_inf(r);
+  report.residual_l1 = linalg::norm1(r);
+  const double scale = std::max(1.0, chain.generator().max_abs_diagonal());
+  const double bound = config.residual_factor * tolerance * scale;
+  if (!(report.residual_inf <= bound)) {
+    report.ok = false;
+    report.failure = SolveCause::kNonConverged;
+    std::ostringstream os;
+    os << "independent residual " << report.residual_inf
+       << " exceeds bound " << bound;
+    report.detail = os.str();
+    return report;
+  }
+  return report;
+}
+
+double dense_norm_1(const linalg::DenseMatrix& a) {
+  // Row-major traversal with per-column accumulators (a column-by-column
+  // walk strides the whole matrix and thrashes the cache).
+  std::vector<double> col_sums(a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      col_sums[c] += std::abs(a(r, c));
+    }
+  }
+  double best = 0.0;
+  for (const double s : col_sums) best = std::max(best, s);
+  return best;
+}
+
+double condition_estimate_1(const linalg::LuFactorization& lu,
+                            double a_norm_1) {
+  // Hager's algorithm: maximize ||A^{-1} x||_1 over ||x||_1 = 1 by a few
+  // steps of a subgradient ascent that alternates solves with A and A^T.
+  const std::size_t n = lu.size();
+  if (n == 0) return 0.0;
+  linalg::Vector x(n, 1.0 / static_cast<double>(n));
+  double estimate = 0.0;
+  for (int iter = 0; iter < 5; ++iter) {
+    const linalg::Vector y = lu.solve(x);
+    const double y_norm = linalg::norm1(y);
+    if (!std::isfinite(y_norm)) {
+      return std::numeric_limits<double>::infinity();
+    }
+    estimate = std::max(estimate, y_norm);
+    // xi = sign(y)
+    linalg::Vector xi(n);
+    for (std::size_t i = 0; i < n; ++i) xi[i] = y[i] >= 0.0 ? 1.0 : -1.0;
+    const linalg::Vector z = lu.solve_transpose(xi);
+    // Next ascent direction: the unit vector of the largest |z| component.
+    std::size_t j = 0;
+    double z_max = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::abs(z[i]) > z_max) {
+        z_max = std::abs(z[i]);
+        j = i;
+      }
+    }
+    // Converged when no component beats the current functional value.
+    if (z_max <= std::abs(linalg::dot(z, x))) break;
+    std::fill(x.begin(), x.end(), 0.0);
+    x[j] = 1.0;
+  }
+  return estimate * a_norm_1;
+}
+
+}  // namespace rascad::resilience

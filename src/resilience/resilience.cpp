@@ -1,0 +1,554 @@
+#include "resilience/resilience.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "linalg/iterative.hpp"
+#include "linalg/lu.hpp"
+#include "markov/absorbing.hpp"
+#include "markov/ode.hpp"
+#include "resilience/gth.hpp"
+
+namespace rascad::resilience {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Stationarity residual ||pi Q||_inf (the solver-independent metric).
+double stationarity_residual(const markov::Ctmc& chain,
+                             const linalg::Vector& pi) {
+  return linalg::norm_inf(chain.generator().mul_transpose(pi));
+}
+
+/// Applies a FaultPlan entry to a rung that produced `pi`. Throw-kind
+/// faults are raised here in the rung's name; corrupt-kind faults poison
+/// the vector so the *health checks* must catch them.
+void apply_fault(const FaultPlan& plan, Rung rung, linalg::Vector& pi) {
+  switch (plan.fault_for(rung)) {
+    case FaultKind::kNone:
+      return;
+    case FaultKind::kThrowSingular:
+      throw SolveError(SolveCause::kSingular, to_string(rung),
+                       "injected singular-system failure");
+    case FaultKind::kThrowNonConverged:
+      throw SolveError(SolveCause::kNonConverged, to_string(rung),
+                       "injected convergence failure");
+    case FaultKind::kNanResult:
+    case FaultKind::kNegativeResult:
+      corrupt_result(pi, plan.fault_for(rung));
+      return;
+  }
+}
+
+/// Classifies an escape from a rung into a (cause, message) pair.
+std::pair<SolveCause, std::string> classify(const std::exception& e) {
+  if (const auto* se = dynamic_cast<const SolveError*>(&e)) {
+    return {se->cause(), se->what()};
+  }
+  return {SolveCause::kInvalidInput, e.what()};
+}
+
+/// Shared ladder driver: runs `attempt_rung` over config.rungs, applying
+/// deadline checks, fault injection hooks and trace bookkeeping. The rung
+/// callback fills in the attempt's solver fields and returns the candidate
+/// result; `verify` post-processes/checks it (returning failure info via
+/// HealthReport). Throws SolveError when every rung fails.
+template <typename Result, typename AttemptFn, typename VerifyFn>
+Result run_ladder(const std::vector<Rung>& rungs,
+                  const ResilienceConfig& config, const char* episode_name,
+                  SolveTrace& trace, AttemptFn&& attempt_rung,
+                  VerifyFn&& verify) {
+  const auto start = Clock::now();
+  if (rungs.empty()) {
+    throw SolveError(SolveCause::kInvalidInput, episode_name,
+                     "no rungs configured");
+  }
+  // Per-rung durations come from one clock read at the end of each rung
+  // (elapsed-so-far differences), keeping the healthy path at two clock
+  // reads total.
+  double elapsed_ms = 0.0;
+  for (Rung rung : rungs) {
+    if (config.deadline_ms > 0.0 && !trace.attempts.empty() &&
+        elapsed_ms > config.deadline_ms) {
+      trace.total_ms = elapsed_ms;
+      throw SolveError(SolveCause::kDeadlineExceeded, episode_name,
+                       "deadline of " + std::to_string(config.deadline_ms) +
+                           " ms exceeded after " + trace.summary());
+    }
+    RungAttempt attempt;
+    attempt.rung = rung;
+    const double rung_start_ms = elapsed_ms;
+    try {
+      Result candidate = attempt_rung(rung, attempt);
+      apply_fault(config.fault_plan, rung, candidate.pi);
+      const HealthReport health = verify(rung, candidate, attempt);
+      attempt.clamped_mass = health.clamped_mass;
+      attempt.residual_check = health.residual_inf;
+      if (!health.ok) {
+        throw SolveError(health.failure.value_or(SolveCause::kNanOrInf),
+                         to_string(rung), health.detail,
+                         attempt.iterations, attempt.residual);
+      }
+      attempt.success = true;
+      elapsed_ms = ms_since(start);
+      attempt.duration_ms = elapsed_ms - rung_start_ms;
+      trace.attempts.push_back(attempt);
+      trace.success = true;
+      trace.final_rung = rung;
+      trace.total_ms = elapsed_ms;
+      return candidate;
+    } catch (const std::exception& e) {
+      const auto [cause, message] = classify(e);
+      attempt.success = false;
+      attempt.cause = cause;
+      attempt.message = message;
+      elapsed_ms = ms_since(start);
+      attempt.duration_ms = elapsed_ms - rung_start_ms;
+      trace.attempts.push_back(attempt);
+    }
+  }
+  trace.total_ms = ms_since(start);
+  const SolveCause last_cause = trace.attempts.back().cause;
+  throw SolveError(last_cause, episode_name,
+                   "all rungs failed: " + trace.summary());
+}
+
+/// Candidate carried through the ladder: a distribution plus solver stats.
+struct Candidate {
+  linalg::Vector pi;
+  std::size_t iterations = 0;
+  double residual = 0.0;
+};
+
+/// ||A||_1 of the replaced-row system, computed off the sparse generator
+/// in O(nnz): column j of A = (Q^T with a ones row) holds Q(j, i) for
+/// i < n-1 plus the 1 contributed by the normalization row.
+double replaced_row_norm_1(const markov::Ctmc& chain) {
+  const linalg::CsrMatrix& q = chain.generator();
+  const std::size_t n = chain.size();
+  double best = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    double col = 1.0;
+    const auto row = q.row(j);
+    for (std::size_t k = 0; k < row.size; ++k) {
+      if (row.cols[k] != n - 1) col += std::abs(row.values[k]);
+    }
+    best = std::max(best, col);
+  }
+  return best;
+}
+
+/// The direct rung, re-implemented from the markov layer so the LU factors
+/// can feed the condition estimate (markov::solve_steady_state discards
+/// them). Fails with kBadConditioning when the estimate crosses the
+/// configured threshold — a silently inaccurate answer is treated exactly
+/// like an error.
+Candidate direct_rung(const markov::Ctmc& chain,
+                      const ResilienceConfig& config, RungAttempt& attempt) {
+  const std::size_t n = chain.size();
+  linalg::DenseMatrix a = chain.generator().transposed().to_dense();
+  for (std::size_t c = 0; c < n; ++c) a(n - 1, c) = 1.0;
+  const linalg::LuFactorization lu(std::move(a));
+  linalg::Vector b(n, 0.0);
+  b[n - 1] = 1.0;
+  Candidate candidate;
+  candidate.pi = lu.solve(b);
+  // Two-tier conditioning check. The pivot-ratio scan is O(n) and free on
+  // the healthy path; the Hager estimate costs a handful of O(n^2)
+  // triangular solves and runs only when the scan puts the factors within
+  // reach of the threshold (the ratio underestimates cond_1, hence the
+  // four-orders-of-magnitude margin).
+  const auto [pivot_min, pivot_max] = lu.pivot_extremes();
+  double estimate = pivot_min > 0.0
+                        ? pivot_max / pivot_min
+                        : std::numeric_limits<double>::infinity();
+  if (estimate > config.health.max_condition * 1e-4) {
+    estimate = condition_estimate_1(lu, replaced_row_norm_1(chain));
+  }
+  attempt.condition_estimate = estimate;
+  if (estimate > config.health.max_condition) {
+    std::ostringstream os;
+    os << "condition estimate " << estimate << " exceeds threshold "
+       << config.health.max_condition;
+    throw SolveError(SolveCause::kBadConditioning, "direct", os.str());
+  }
+  return candidate;
+}
+
+Candidate iterative_rung(const markov::Ctmc& chain, Rung rung,
+                         const ResilienceConfig& config) {
+  markov::SteadyStateOptions opts = config.base;
+  switch (rung) {
+    case Rung::kBiCgStab:
+      opts.method = markov::SteadyStateMethod::kBiCgStab;
+      break;
+    case Rung::kSor:
+      opts.method = markov::SteadyStateMethod::kSor;
+      break;
+    case Rung::kPower:
+      opts.method = markov::SteadyStateMethod::kPower;
+      break;
+    default:
+      throw SolveError(SolveCause::kInvalidInput, "ladder",
+                       "rung has no steady-state meaning");
+  }
+  const markov::SteadyStateResult r = markov::solve_steady_state(chain, opts);
+  return {r.pi, r.iterations, r.residual};
+}
+
+std::vector<Rung> filter_rungs(const std::vector<Rung>& rungs,
+                               std::initializer_list<Rung> allowed) {
+  std::vector<Rung> out;
+  for (Rung r : rungs) {
+    if (std::find(allowed.begin(), allowed.end(), r) != allowed.end()) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ResilienceConfig config_from(const markov::SteadyStateOptions& opts) {
+  ResilienceConfig config;
+  config.base = opts;
+  Rung first = Rung::kDirect;
+  switch (opts.method) {
+    case markov::SteadyStateMethod::kDirect: first = Rung::kDirect; break;
+    case markov::SteadyStateMethod::kSor: first = Rung::kSor; break;
+    case markov::SteadyStateMethod::kPower: first = Rung::kPower; break;
+    case markov::SteadyStateMethod::kBiCgStab: first = Rung::kBiCgStab; break;
+  }
+  std::vector<Rung> rungs = {first};
+  for (Rung r : ResilienceConfig{}.rungs) {
+    if (r != first) rungs.push_back(r);
+  }
+  config.rungs = std::move(rungs);
+  return config;
+}
+
+std::string SolveTrace::summary() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& a : attempts) {
+    if (!first) os << " -> ";
+    first = false;
+    os << to_string(a.rung);
+    if (a.success) {
+      os << " ok";
+    } else {
+      os << " failed (" << to_string(a.cause) << ")";
+    }
+  }
+  os << " [" << attempts.size() << (attempts.size() == 1 ? " attempt, "
+                                                         : " attempts, ");
+  os.precision(3);
+  os << total_ms << " ms]";
+  return os.str();
+}
+
+ResilientResult solve_steady_state_resilient(const markov::Ctmc& chain,
+                                             const ResilienceConfig& config) {
+  ResilientResult out;
+  if (chain.size() > config.max_states) {
+    throw SolveError(SolveCause::kBudgetExceeded,
+                     "solve_steady_state_resilient",
+                     "chain has " + std::to_string(chain.size()) +
+                         " states, budget is " +
+                         std::to_string(config.max_states));
+  }
+  if (chain.size() == 1) {
+    out.result.pi = {1.0};
+    out.trace.success = true;
+    out.trace.final_rung = config.rungs.empty() ? Rung::kDirect
+                                                : config.rungs.front();
+    RungAttempt trivial;
+    trivial.rung = out.trace.final_rung;
+    trivial.success = true;
+    out.trace.attempts.push_back(trivial);
+    return out;
+  }
+
+  const std::vector<Rung> rungs =
+      filter_rungs(config.rungs, {Rung::kDirect, Rung::kBiCgStab, Rung::kSor,
+                                  Rung::kPower, Rung::kGth});
+  const Candidate solved = run_ladder<Candidate>(
+      rungs, config, "solve_steady_state_resilient", out.trace,
+      [&](Rung rung, RungAttempt& attempt) -> Candidate {
+        switch (rung) {
+          case Rung::kDirect:
+            return direct_rung(chain, config, attempt);
+          case Rung::kGth:
+            return {gth_stationary(chain), 0, 0.0};
+          default:
+            return iterative_rung(chain, rung, config);
+        }
+      },
+      [&](Rung, Candidate& candidate, RungAttempt& attempt) -> HealthReport {
+        attempt.iterations = candidate.iterations;
+        attempt.residual = candidate.residual;
+        return check_stationary(chain, candidate.pi, config.health,
+                                config.base.tolerance);
+      });
+  out.result.pi = std::move(solved.pi);
+  out.result.iterations = solved.iterations;
+  out.result.residual = stationarity_residual(chain, out.result.pi);
+  return out;
+}
+
+ResilientResult stationary_resilient(const markov::Dtmc& dtmc,
+                                     const ResilienceConfig& config) {
+  ResilientResult out;
+  if (dtmc.size() > config.max_states) {
+    throw SolveError(SolveCause::kBudgetExceeded, "stationary_resilient",
+                     "chain has " + std::to_string(dtmc.size()) +
+                         " states, budget is " +
+                         std::to_string(config.max_states));
+  }
+  std::vector<Rung> rungs =
+      filter_rungs(config.rungs, {Rung::kDirect, Rung::kPower, Rung::kGth});
+  if (rungs.empty()) rungs = {Rung::kDirect, Rung::kPower, Rung::kGth};
+  const Candidate solved = run_ladder<Candidate>(
+      rungs, config, "stationary_resilient", out.trace,
+      [&](Rung rung, RungAttempt&) -> Candidate {
+        switch (rung) {
+          case Rung::kDirect:
+            return {dtmc.stationary(/*direct=*/true), 0, 0.0};
+          case Rung::kGth:
+            return {gth_stationary(dtmc), 0, 0.0};
+          default:
+            return {dtmc.stationary(/*direct=*/false), 0, 0.0};
+        }
+      },
+      [&](Rung, Candidate& candidate, RungAttempt& attempt) -> HealthReport {
+        HealthReport report = check_distribution(candidate.pi, config.health);
+        if (!report.ok) return report;
+        // Independent fixed-point residual ||pi P - pi||_inf; P is
+        // row-stochastic so no rate scaling is needed.
+        linalg::Vector r =
+            dtmc.transition_matrix().mul_transpose(candidate.pi);
+        for (std::size_t i = 0; i < r.size(); ++i) r[i] -= candidate.pi[i];
+        report.residual_inf = linalg::norm_inf(r);
+        report.residual_l1 = linalg::norm1(r);
+        attempt.residual = report.residual_inf;
+        const double bound =
+            config.health.residual_factor * config.base.tolerance;
+        if (!(report.residual_inf <= bound)) {
+          report.ok = false;
+          report.failure = SolveCause::kNonConverged;
+          std::ostringstream os;
+          os << "independent residual " << report.residual_inf
+             << " exceeds bound " << bound;
+          report.detail = os.str();
+        }
+        return report;
+      });
+  out.result.pi = std::move(solved.pi);
+  return out;
+}
+
+ResilientResult smp_steady_state_resilient(
+    const semimarkov::SemiMarkovProcess& process,
+    const ResilienceConfig& config) {
+  for (std::size_t i = 0; i < process.size(); ++i) {
+    if (process.is_absorbing(i)) {
+      throw SolveError(SolveCause::kInvalidInput,
+                       "smp_steady_state_resilient",
+                       "process has absorbing states; steady state is not "
+                       "defined");
+    }
+  }
+  ResilientResult out = stationary_resilient(process.embedded(), config);
+  linalg::Vector& pi = out.result.pi;
+  for (std::size_t i = 0; i < process.size(); ++i) {
+    pi[i] *= process.mean_sojourn(i);
+  }
+  const HealthReport report = check_distribution(pi, config.health);
+  if (!report.ok) {
+    throw SolveError(report.failure.value_or(SolveCause::kNanOrInf),
+                     "smp_steady_state_resilient", report.detail);
+  }
+  return out;
+}
+
+ResilientTransientResult transient_distribution_resilient(
+    const markov::Ctmc& chain, const linalg::Vector& pi0, double t,
+    const markov::TransientOptions& opts, const ResilienceConfig& config) {
+  ResilientTransientResult out;
+  if (chain.size() > config.max_states) {
+    throw SolveError(SolveCause::kBudgetExceeded,
+                     "transient_distribution_resilient",
+                     "chain has " + std::to_string(chain.size()) +
+                         " states, budget is " +
+                         std::to_string(config.max_states));
+  }
+  std::vector<Rung> rungs = filter_rungs(
+      config.rungs,
+      {Rung::kUniformization, Rung::kUniformizationRelaxed, Rung::kOde});
+  if (rungs.empty()) {
+    rungs = {Rung::kUniformization, Rung::kUniformizationRelaxed, Rung::kOde};
+  }
+  const Candidate solved = run_ladder<Candidate>(
+      rungs, config, "transient_distribution_resilient", out.trace,
+      [&](Rung rung, RungAttempt& attempt) -> Candidate {
+        switch (rung) {
+          case Rung::kUniformization:
+            return {markov::transient_distribution(chain, pi0, t, opts), 0,
+                    0.0};
+          case Rung::kUniformizationRelaxed: {
+            // Loosen the truncation tolerance and raise the term budget:
+            // a slightly coarser answer beats no answer.
+            markov::TransientOptions relaxed = opts;
+            relaxed.tolerance = std::max(opts.tolerance * 1e3, 1e-9);
+            relaxed.max_terms = opts.max_terms * 8;
+            return {markov::transient_distribution(chain, pi0, t, relaxed),
+                    0, 0.0};
+          }
+          default: {
+            markov::OdeOptions ode;
+            const markov::OdeResult r =
+                markov::transient_distribution_ode(chain, pi0, t, ode);
+            attempt.iterations = r.steps;
+            return {r.distribution, r.steps, 0.0};
+          }
+        }
+      },
+      [&](Rung, Candidate& candidate, RungAttempt&) -> HealthReport {
+        return check_distribution(candidate.pi, config.health);
+      });
+  out.distribution = std::move(solved.pi);
+  return out;
+}
+
+double mttf_resilient(const markov::Ctmc& chain, markov::StateIndex initial,
+                      const ResilienceConfig& config, SolveTrace* trace) {
+  if (chain.down_states().empty()) return 0.0;
+  const markov::Ctmc rel = markov::make_down_states_absorbing(chain);
+
+  // Transient states of the reliability chain and their local indices.
+  std::vector<markov::StateIndex> transient;
+  std::vector<std::ptrdiff_t> pos(rel.size(), -1);
+  for (markov::StateIndex i = 0; i < rel.size(); ++i) {
+    if (rel.exit_rate(i) > 0.0) {
+      pos[i] = static_cast<std::ptrdiff_t>(transient.size());
+      transient.push_back(i);
+    }
+  }
+  if (transient.empty() || pos[initial] < 0) return 0.0;
+  const std::size_t m = transient.size();
+
+  // (-Q_TT) tau = 1, assembled once in sparse form (densified on demand by
+  // the direct rung).
+  linalg::CsrBuilder builder(m, m);
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto row = rel.generator().row(transient[r]);
+    for (std::size_t k = 0; k < row.size; ++k) {
+      const std::ptrdiff_t c = pos[row.cols[k]];
+      if (c >= 0) builder.add(r, static_cast<std::size_t>(c),
+                              -row.values[k]);
+    }
+  }
+  const linalg::CsrMatrix a = builder.build();
+  const linalg::Vector ones(m, 1.0);
+
+  std::vector<Rung> rungs = filter_rungs(
+      config.rungs, {Rung::kDirect, Rung::kBiCgStab, Rung::kSor});
+  if (rungs.empty()) rungs = {Rung::kDirect, Rung::kBiCgStab, Rung::kSor};
+  SolveTrace local_trace;
+  SolveTrace& tr = trace ? *trace : local_trace;
+  const Candidate solved = run_ladder<Candidate>(
+      rungs, config, "mttf_resilient", tr,
+      [&](Rung rung, RungAttempt& attempt) -> Candidate {
+        switch (rung) {
+          case Rung::kDirect: {
+            linalg::DenseMatrix dense = a.to_dense();
+            const double a_norm_1 = dense_norm_1(dense);
+            const linalg::LuFactorization lu(std::move(dense));
+            Candidate candidate{lu.solve(ones), 0, 0.0};
+            attempt.condition_estimate = condition_estimate_1(lu, a_norm_1);
+            if (attempt.condition_estimate > config.health.max_condition) {
+              std::ostringstream os;
+              os << "condition estimate " << attempt.condition_estimate
+                 << " exceeds threshold " << config.health.max_condition;
+              throw SolveError(SolveCause::kBadConditioning, "direct",
+                               os.str());
+            }
+            return candidate;
+          }
+          case Rung::kBiCgStab: {
+            linalg::IterativeOptions iopts;
+            iopts.tolerance = config.base.tolerance;
+            iopts.max_iterations = config.base.max_iterations;
+            const linalg::IterativeResult r =
+                linalg::bicgstab_solve(a, ones, iopts);
+            if (!r.converged) {
+              throw SolveError(SolveCause::kNonConverged, "bicgstab",
+                               "did not converge", r.iterations, r.residual);
+            }
+            return {r.solution, r.iterations, r.residual};
+          }
+          default: {
+            linalg::IterativeOptions iopts;
+            iopts.tolerance = config.base.tolerance;
+            iopts.max_iterations = config.base.max_iterations;
+            iopts.relaxation = config.base.relaxation;
+            const linalg::IterativeResult r = linalg::sor_solve(a, ones, iopts);
+            if (!r.converged) {
+              throw SolveError(SolveCause::kNonConverged, "sor",
+                               "did not converge", r.iterations, r.residual);
+            }
+            return {r.solution, r.iterations, r.residual};
+          }
+        }
+      },
+      [&](Rung, Candidate& candidate, RungAttempt& attempt) -> HealthReport {
+        attempt.iterations = candidate.iterations;
+        attempt.residual = candidate.residual;
+        HealthReport report;
+        if (!all_finite(candidate.pi)) {
+          report.ok = false;
+          report.failure = SolveCause::kNanOrInf;
+          report.detail = "non-finite mean times to absorption";
+          return report;
+        }
+        for (double x : candidate.pi) {
+          if (x < 0.0) {
+            report.ok = false;
+            report.failure = SolveCause::kNanOrInf;
+            report.detail = "negative mean time to absorption";
+            return report;
+          }
+        }
+        // Independent residual: ||A tau - 1||_inf against the rate scale.
+        linalg::Vector r = a.mul(candidate.pi);
+        for (double& x : r) x -= 1.0;
+        report.residual_inf = linalg::norm_inf(r);
+        attempt.residual_check = report.residual_inf;
+        const double scale =
+            std::max(1.0, rel.generator().max_abs_diagonal());
+        const double bound =
+            config.health.residual_factor * config.base.tolerance * scale;
+        if (!(report.residual_inf <= bound)) {
+          report.ok = false;
+          report.failure = SolveCause::kNonConverged;
+          std::ostringstream os;
+          os << "independent residual " << report.residual_inf
+             << " exceeds bound " << bound;
+          report.detail = os.str();
+        }
+        return report;
+      });
+  return solved.pi[static_cast<std::size_t>(pos[initial])];
+}
+
+}  // namespace rascad::resilience

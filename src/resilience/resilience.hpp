@@ -1,0 +1,128 @@
+// The solver resilience layer: fallback ladders with health checks.
+//
+// Every numerical entry point of the analysis stack gets a resilient
+// wrapper here. The flagship is the steady-state ladder
+//
+//   Direct -> BiCGStab -> SOR -> Power -> GTH
+//
+// where each rung's output passes the health checks of health.hpp (NaN/Inf
+// scan, negative-mass clamping, independent residual re-check, condition
+// estimate on the direct path) before it is accepted; a rung that throws or
+// fails verification escalates to the next one, and the whole episode is
+// recorded in a SolveTrace that callers and reports can inspect. The final
+// GTH rung is subtraction-free and numerically exact, so the ladder only
+// fails outright on structurally unusable input or an exhausted budget.
+//
+// Budgets (state count, iterations, wall-clock deadline) live in
+// ResilienceConfig; the FaultPlan member is the test hook that forces rung
+// failures (fault_injection.hpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "markov/ctmc.hpp"
+#include "markov/dtmc.hpp"
+#include "markov/steady_state.hpp"
+#include "markov/transient.hpp"
+#include "resilience/fault_injection.hpp"
+#include "resilience/health.hpp"
+#include "resilience/solve_error.hpp"
+#include "semimarkov/smp.hpp"
+
+namespace rascad::resilience {
+
+struct ResilienceConfig {
+  /// Rungs tried in order. The default ladder starts with the cheap exact
+  /// method and ends with the subtraction-free exact one.
+  std::vector<Rung> rungs = {Rung::kDirect, Rung::kBiCgStab, Rung::kSor,
+                             Rung::kPower, Rung::kGth};
+  /// Tolerance / iteration budget / relaxation shared by the rungs.
+  markov::SteadyStateOptions base;
+  /// State-space budget: chains larger than this are refused up front with
+  /// SolveError(kBudgetExceeded) instead of attempting an O(n^3) rung.
+  std::size_t max_states = 200'000;
+  /// Wall-clock deadline over the whole ladder in milliseconds; checked
+  /// between rungs (a running rung is never interrupted). 0 disables.
+  double deadline_ms = 0.0;
+  HealthCheckConfig health;
+  /// Test-only deterministic fault injection; inert when empty.
+  FaultPlan fault_plan;
+};
+
+/// Builds a config whose ladder starts at the rung matching
+/// `opts.method` (callers that explicitly ask for, say, SOR still get their
+/// method first) and continues with the remaining default rungs.
+ResilienceConfig config_from(const markov::SteadyStateOptions& opts);
+
+/// One rung's attempt, successful or not.
+struct RungAttempt {
+  Rung rung = Rung::kDirect;
+  bool success = false;
+  SolveCause cause = SolveCause::kNonConverged;  // valid when !success
+  std::string message;                           // failure detail
+  std::size_t iterations = 0;
+  double residual = 0.0;            // solver-reported metric
+  double residual_check = 0.0;      // independent ||pi Q||_inf re-check
+  double condition_estimate = 0.0;  // direct rung only; 0 = not computed
+  double clamped_mass = 0.0;        // negative mass clamped by health layer
+  double duration_ms = 0.0;
+};
+
+/// Full record of a ladder episode.
+struct SolveTrace {
+  std::vector<RungAttempt> attempts;
+  bool success = false;
+  Rung final_rung = Rung::kDirect;  // valid when success
+  double total_ms = 0.0;
+
+  std::size_t escalations() const noexcept {
+    return attempts.empty() ? 0 : attempts.size() - 1;
+  }
+  /// One-line human-readable summary, e.g.
+  /// "direct failed (bad-conditioning) -> bicgstab ok [2 attempts, 0.41 ms]".
+  std::string summary() const;
+};
+
+struct ResilientResult {
+  markov::SteadyStateResult result;
+  SolveTrace trace;
+};
+
+/// Steady-state distribution through the fallback ladder. Throws SolveError
+/// (carrying the last rung's cause; the trace is embedded in the message)
+/// only if every configured rung fails.
+ResilientResult solve_steady_state_resilient(
+    const markov::Ctmc& chain, const ResilienceConfig& config = {});
+
+/// DTMC stationary distribution through a Direct -> Power -> GTH ladder
+/// (rungs without a DTMC meaning are skipped from config.rungs).
+ResilientResult stationary_resilient(const markov::Dtmc& dtmc,
+                                     const ResilienceConfig& config = {});
+
+/// Semi-Markov steady state: the embedded DTMC goes through the ladder,
+/// then the sojourn-time ratio formula is applied and health-checked.
+ResilientResult smp_steady_state_resilient(
+    const semimarkov::SemiMarkovProcess& process,
+    const ResilienceConfig& config = {});
+
+/// Transient distribution with a uniformization -> relaxed-budget
+/// uniformization -> RKF45 ODE ladder, NaN/Inf-scanned at every rung.
+struct ResilientTransientResult {
+  linalg::Vector distribution;
+  SolveTrace trace;
+};
+ResilientTransientResult transient_distribution_resilient(
+    const markov::Ctmc& chain, const linalg::Vector& pi0, double t,
+    const markov::TransientOptions& opts = {},
+    const ResilienceConfig& config = {});
+
+/// Mean time to failure (down states absorbing) with a Direct -> BiCGStab
+/// -> SOR ladder on the fundamental system (-Q_TT) tau = 1. Returns 0 for
+/// chains that cannot fail. `trace` (optional) receives the episode.
+double mttf_resilient(const markov::Ctmc& chain, markov::StateIndex initial,
+                      const ResilienceConfig& config = {},
+                      SolveTrace* trace = nullptr);
+
+}  // namespace rascad::resilience

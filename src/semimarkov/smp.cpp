@@ -1,5 +1,7 @@
 #include "semimarkov/smp.hpp"
 
+#include "resilience/solve_error.hpp"
+
 #include <stdexcept>
 #include <utility>
 
@@ -186,8 +188,10 @@ linalg::Vector SemiMarkovProcess::steady_state() const {
   if (!absorbing_.empty()) {
     for (std::size_t i = 0; i < absorbing_.size(); ++i) {
       if (absorbing_[i]) {
-        throw std::domain_error(
-            "SemiMarkovProcess::steady_state: process has absorbing states");
+        throw resilience::SolveError(
+            resilience::SolveCause::kInvalidInput,
+            "SemiMarkovProcess::steady_state",
+            "process has absorbing states");
       }
     }
   }

@@ -89,7 +89,8 @@ class SemiMarkovProcess {
   bool is_absorbing(std::size_t i) const;
 
   /// Steady-state (long-run fraction of time) probabilities. Throws
-  /// std::domain_error if the process has absorbing states.
+  /// resilience::SolveError(kInvalidInput) if the process has absorbing
+  /// states (historically std::domain_error).
   linalg::Vector steady_state() const;
 
   /// Expected long-run reward rate (steady-state availability for 0/1

@@ -6,6 +6,7 @@
 
 #include "baselines/baselines.hpp"
 #include "markov/dtmc.hpp"
+#include "resilience/solve_error.hpp"
 #include "semimarkov/smp.hpp"
 
 namespace {
@@ -66,7 +67,7 @@ TEST(SmpAbsorption, MatchesCtmcMttfForExponentialSojourns) {
       rascad::baselines::k_of_n_mttf_with_repair(2, 1, lambda, mu, 0);
   EXPECT_NEAR(smp.mean_time_to_absorption(s0), expected, 1e-9);
   EXPECT_DOUBLE_EQ(smp.mean_time_to_absorption(fail), 0.0);
-  EXPECT_THROW(smp.steady_state(), std::domain_error);
+  EXPECT_THROW(smp.steady_state(), rascad::resilience::SolveError);
 }
 
 TEST(SmpAbsorption, DeterministicStagesAddUp) {

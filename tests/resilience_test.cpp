@@ -1,0 +1,453 @@
+// Solver resilience layer: GTH correctness, health checks, ladder
+// behaviour (budgets, deadlines, escalation on genuinely sick inputs),
+// and the documented per-method SolveError causes.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "markov/absorbing.hpp"
+#include "markov/dtmc.hpp"
+#include "markov/steady_state.hpp"
+#include "markov/transient.hpp"
+#include "resilience/fault_injection.hpp"
+#include "resilience/gth.hpp"
+#include "resilience/health.hpp"
+#include "resilience/resilience.hpp"
+#include "semimarkov/smp.hpp"
+
+namespace {
+
+using rascad::linalg::Vector;
+using rascad::markov::Ctmc;
+using rascad::markov::CtmcBuilder;
+using rascad::markov::SteadyStateMethod;
+using rascad::markov::SteadyStateOptions;
+using namespace rascad::resilience;
+
+/// Two-state up/down availability chain: pi = (mu, lambda) / (lambda + mu).
+Ctmc up_down_chain(double lambda, double mu) {
+  CtmcBuilder b;
+  const auto up = b.add_state("up", 1.0);
+  const auto down = b.add_state("down", 0.0);
+  b.add_transition(up, down, lambda);
+  b.add_transition(down, up, mu);
+  return b.build();
+}
+
+/// Irreducible 3-state repair chain with a known nontrivial stationary
+/// distribution.
+Ctmc repair_chain() {
+  CtmcBuilder b;
+  const auto ok = b.add_state("ok", 1.0);
+  const auto deg = b.add_state("degraded", 1.0);
+  const auto down = b.add_state("down", 0.0);
+  b.add_transition(ok, deg, 2.0);
+  b.add_transition(deg, ok, 5.0);
+  b.add_transition(deg, down, 1.0);
+  b.add_transition(down, ok, 10.0);
+  return b.build();
+}
+
+/// Two disconnected 2-cycles: no unique stationary distribution, so the
+/// replaced-row direct system is singular.
+Ctmc disconnected_chain() {
+  CtmcBuilder b;
+  const auto a0 = b.add_state("a0", 1.0);
+  const auto a1 = b.add_state("a1", 0.0);
+  const auto b0 = b.add_state("b0", 1.0);
+  const auto b1 = b.add_state("b1", 0.0);
+  b.add_transition(a0, a1, 1.0);
+  b.add_transition(a1, a0, 2.0);
+  b.add_transition(b0, b1, 3.0);
+  b.add_transition(b1, b0, 4.0);
+  return b.build();
+}
+
+/// Chain with an absorbing state (no exit from "dead").
+Ctmc absorbing_chain() {
+  CtmcBuilder b;
+  const auto up = b.add_state("up", 1.0);
+  b.add_state("dead", 0.0);
+  b.add_transition(up, 1, 1.0);
+  return b.build();
+}
+
+double max_rel_err(const Vector& got, const Vector& want) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    worst = std::max(worst, std::abs(got[i] - want[i]) /
+                                std::max(std::abs(want[i]), 1e-300));
+  }
+  return worst;
+}
+
+// ---------------------------------------------------------------- GTH ----
+
+TEST(Gth, MatchesAnalyticTwoState) {
+  const Vector pi = gth_stationary(up_down_chain(1.0, 9.0));
+  ASSERT_EQ(pi.size(), 2u);
+  EXPECT_NEAR(pi[0], 0.9, 1e-14);
+  EXPECT_NEAR(pi[1], 0.1, 1e-14);
+}
+
+TEST(Gth, MatchesDirectOnRepairChain) {
+  const Ctmc chain = repair_chain();
+  const Vector direct = rascad::markov::solve_steady_state(chain).pi;
+  const Vector gth = gth_stationary(chain);
+  EXPECT_LT(max_rel_err(gth, direct), 1e-12);
+}
+
+TEST(Gth, DtmcStationaryMatchesDirect) {
+  rascad::markov::DtmcBuilder b;
+  b.add_state("a");
+  b.add_state("b");
+  b.add_state("c");
+  b.add_transition(0, 1, 0.7);
+  b.add_transition(0, 2, 0.3);
+  b.add_transition(1, 0, 0.4);
+  b.add_transition(1, 2, 0.6);
+  b.add_transition(2, 0, 1.0);
+  const rascad::markov::Dtmc dtmc = b.build();
+  EXPECT_LT(max_rel_err(gth_stationary(dtmc), dtmc.stationary()), 1e-12);
+}
+
+TEST(Gth, ReducibleChainThrowsInvalidInput) {
+  try {
+    gth_stationary(absorbing_chain());
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.cause(), SolveCause::kInvalidInput);
+  }
+}
+
+// The acceptance chain: componentwise-accurate on a stiff birth-death
+// chain whose stationary masses span `spread` orders of magnitude. The
+// analytic reference comes from detailed balance.
+TEST(Gth, ComponentwiseAccurateOnIllConditionedChain) {
+  const double spread = 1e6;
+  const Ctmc chain = ill_conditioned_chain(3, spread);
+  Vector exact(chain.size(), 0.0);
+  // Detailed balance: pi_{i+1} = pi_i * rate(i->i+1) / rate(i+1->i).
+  long double mass = 1.0L;
+  std::vector<long double> raw(chain.size());
+  raw[0] = 1.0L;
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    const long double ratio = (i % 2 == 0) ? spread : 1.0L / spread;
+    raw[i + 1] = raw[i] * ratio;
+    mass += raw[i + 1];
+  }
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    exact[i] = static_cast<double>(raw[i] / mass);
+  }
+  const Vector gth = gth_stationary(chain);
+  EXPECT_LT(max_rel_err(gth, exact), 1e-12);
+
+  const Vector direct = rascad::markov::solve_steady_state(chain).pi;
+  EXPECT_LT(max_rel_err(gth, direct), 1e-10);
+}
+
+// ------------------------------------------------------- health checks ----
+
+TEST(Health, AllFinite) {
+  EXPECT_TRUE(all_finite(Vector{0.5, 0.5}));
+  EXPECT_FALSE(all_finite(Vector{0.5, std::nan("")}));
+  EXPECT_FALSE(all_finite(Vector{0.5, HUGE_VAL}));
+}
+
+TEST(Health, ClampsRoundoffNegativesAndRenormalizes) {
+  Vector pi{0.6, 0.4 + 1e-12, -1e-12};
+  const HealthReport r = check_distribution(pi, HealthCheckConfig{});
+  EXPECT_TRUE(r.ok);
+  EXPECT_NEAR(r.clamped_mass, 1e-12, 1e-15);
+  EXPECT_DOUBLE_EQ(pi[2], 0.0);
+  EXPECT_NEAR(pi[0] + pi[1] + pi[2], 1.0, 1e-14);
+}
+
+TEST(Health, RejectsLargeNegativeMass) {
+  Vector pi{0.9, 0.6, -0.5};
+  const HealthReport r = check_distribution(pi, HealthCheckConfig{});
+  EXPECT_FALSE(r.ok);
+  ASSERT_TRUE(r.failure.has_value());
+  EXPECT_EQ(*r.failure, SolveCause::kNanOrInf);
+}
+
+TEST(Health, RejectsNan) {
+  Vector pi{0.5, std::nan("")};
+  const HealthReport r = check_distribution(pi, HealthCheckConfig{});
+  EXPECT_FALSE(r.ok);
+  ASSERT_TRUE(r.failure.has_value());
+  EXPECT_EQ(*r.failure, SolveCause::kNanOrInf);
+}
+
+TEST(Health, ResidualRecheckCatchesWrongDistribution) {
+  const Ctmc chain = up_down_chain(1.0, 9.0);
+  Vector wrong{0.5, 0.5};  // valid distribution, not stationary
+  const HealthReport r =
+      check_stationary(chain, wrong, HealthCheckConfig{}, 1e-13);
+  EXPECT_FALSE(r.ok);
+  ASSERT_TRUE(r.failure.has_value());
+  EXPECT_EQ(*r.failure, SolveCause::kNonConverged);
+  EXPECT_GT(r.residual_inf, 0.1);
+}
+
+TEST(Health, ResidualRecheckAcceptsTrueStationary) {
+  const Ctmc chain = up_down_chain(1.0, 9.0);
+  Vector pi{0.9, 0.1};
+  const HealthReport r =
+      check_stationary(chain, pi, HealthCheckConfig{}, 1e-13);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(Health, ConditionEstimateNearOneForIdentity) {
+  rascad::linalg::DenseMatrix eye(3, 3, 0.0);
+  for (std::size_t i = 0; i < 3; ++i) eye(i, i) = 1.0;
+  const double norm = dense_norm_1(eye);
+  const rascad::linalg::LuFactorization lu(eye);
+  const double cond = condition_estimate_1(lu, norm);
+  EXPECT_NEAR(cond, 1.0, 1e-12);
+}
+
+// --------------------------------------------------------------- ladder ----
+
+TEST(Ladder, HealthyPathIsSingleDirectAttempt) {
+  const ResilientResult r =
+      solve_steady_state_resilient(up_down_chain(1.0, 9.0));
+  EXPECT_TRUE(r.trace.success);
+  EXPECT_EQ(r.trace.final_rung, Rung::kDirect);
+  ASSERT_EQ(r.trace.attempts.size(), 1u);
+  EXPECT_EQ(r.trace.escalations(), 0u);
+  EXPECT_GT(r.trace.attempts[0].condition_estimate, 0.0);
+  EXPECT_NEAR(r.result.pi[0], 0.9, 1e-12);
+  EXPECT_NE(r.trace.summary().find("direct ok"), std::string::npos);
+}
+
+// The tentpole acceptance scenario: under a capped iteration budget both
+// SOR (needs ~590 sweeps on this 17-state chain) and Power (step size
+// ~1/spread on the uniformized DTMC) genuinely fail to converge; GTH
+// recovers with the exact answer.
+TEST(Ladder, IterativeRungsFailOnStiffChainGthRecovers) {
+  const Ctmc chain = ill_conditioned_chain(8, 1e9);
+  ResilienceConfig config;
+  config.rungs = {Rung::kSor, Rung::kPower, Rung::kGth};
+  config.base.max_iterations = 300;
+  const ResilientResult r = solve_steady_state_resilient(chain, config);
+  EXPECT_TRUE(r.trace.success);
+  EXPECT_EQ(r.trace.final_rung, Rung::kGth);
+  ASSERT_EQ(r.trace.attempts.size(), 3u);
+  EXPECT_FALSE(r.trace.attempts[0].success);
+  EXPECT_FALSE(r.trace.attempts[1].success);
+  EXPECT_TRUE(r.trace.attempts[2].success);
+  EXPECT_EQ(r.trace.attempts[0].cause, SolveCause::kNonConverged);
+  EXPECT_EQ(r.trace.attempts[1].cause, SolveCause::kNonConverged);
+
+  const Vector direct = rascad::markov::solve_steady_state(chain).pi;
+  EXPECT_LT(max_rel_err(r.result.pi, direct), 1e-10);
+}
+
+TEST(Ladder, StructurallyUnusableInputFailsAllRungs) {
+  // A chain with an absorbing state has no unique stationary distribution;
+  // GTH detects the missing outflow, so a GTH-only ladder fails outright
+  // with a structured error that embeds the episode.
+  ResilienceConfig config;
+  config.rungs = {Rung::kGth};
+  try {
+    solve_steady_state_resilient(absorbing_chain(), config);
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.cause(), SolveCause::kInvalidInput);
+    EXPECT_NE(std::string(e.what()).find("all rungs failed"),
+              std::string::npos);
+  }
+}
+
+TEST(Ladder, StateBudgetRefusedUpFront) {
+  ResilienceConfig config;
+  config.max_states = 2;
+  try {
+    solve_steady_state_resilient(repair_chain(), config);
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.cause(), SolveCause::kBudgetExceeded);
+  }
+}
+
+TEST(Ladder, DeadlineCheckedBetweenRungs) {
+  ResilienceConfig config;
+  config.deadline_ms = 1e-9;  // expires during the first rung
+  config.fault_plan.fail(Rung::kDirect, FaultKind::kThrowNonConverged);
+  try {
+    solve_steady_state_resilient(repair_chain(), config);
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.cause(), SolveCause::kDeadlineExceeded);
+  }
+}
+
+TEST(Ladder, ConfigFromPutsRequestedMethodFirst) {
+  SteadyStateOptions opts;
+  opts.method = SteadyStateMethod::kSor;
+  const ResilienceConfig config = config_from(opts);
+  ASSERT_FALSE(config.rungs.empty());
+  EXPECT_EQ(config.rungs.front(), Rung::kSor);
+  // The remaining default rungs are still behind it, ending in GTH.
+  EXPECT_EQ(config.rungs.back(), Rung::kGth);
+  EXPECT_EQ(config.rungs.size(), 5u);
+}
+
+TEST(Ladder, SingleStateChainTrivialEpisode) {
+  CtmcBuilder b;
+  b.add_state("only", 1.0);
+  const ResilientResult r = solve_steady_state_resilient(b.build());
+  EXPECT_TRUE(r.trace.success);
+  ASSERT_EQ(r.result.pi.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.result.pi[0], 1.0);
+}
+
+// ------------------------------------------- documented method causes ----
+
+TEST(SteadyStateCauses, DirectSingularOnDisconnectedChain) {
+  try {
+    rascad::markov::solve_steady_state(disconnected_chain());
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.cause(), SolveCause::kSingular);
+  }
+}
+
+TEST(SteadyStateCauses, SorInvalidInputOnAbsorbingState) {
+  SteadyStateOptions opts;
+  opts.method = SteadyStateMethod::kSor;
+  try {
+    rascad::markov::solve_steady_state(absorbing_chain(), opts);
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.cause(), SolveCause::kInvalidInput);
+  }
+}
+
+TEST(SteadyStateCauses, SorNonConvergedWhenBudgetTiny) {
+  SteadyStateOptions opts;
+  opts.method = SteadyStateMethod::kSor;
+  opts.max_iterations = 2;
+  try {
+    rascad::markov::solve_steady_state(ill_conditioned_chain(3, 1e8), opts);
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.cause(), SolveCause::kNonConverged);
+    EXPECT_EQ(e.iterations(), 2u);
+  }
+}
+
+TEST(SteadyStateCauses, PowerNonConvergedWhenBudgetTiny) {
+  SteadyStateOptions opts;
+  opts.method = SteadyStateMethod::kPower;
+  opts.max_iterations = 1;
+  try {
+    rascad::markov::solve_steady_state(repair_chain(), opts);
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.cause(), SolveCause::kNonConverged);
+  }
+}
+
+TEST(SteadyStateCauses, BiCgStabInvalidInputOnAbsorbingState) {
+  // The absorbing state must not be the last one: the replaced
+  // normalization row would otherwise hide its zero diagonal.
+  CtmcBuilder b;
+  const auto up = b.add_state("up", 1.0);
+  const auto dead = b.add_state("dead", 0.0);
+  const auto spare = b.add_state("spare", 1.0);
+  b.add_transition(up, dead, 1.0);
+  b.add_transition(spare, up, 1.0);
+  SteadyStateOptions opts;
+  opts.method = SteadyStateMethod::kBiCgStab;
+  try {
+    rascad::markov::solve_steady_state(b.build(), opts);
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.cause(), SolveCause::kInvalidInput);
+  }
+}
+
+TEST(SteadyStateCauses, BiCgStabNonConvergedWhenBudgetTiny) {
+  SteadyStateOptions opts;
+  opts.method = SteadyStateMethod::kBiCgStab;
+  opts.max_iterations = 1;
+  try {
+    rascad::markov::solve_steady_state(ill_conditioned_chain(4, 1e8), opts);
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.cause(), SolveCause::kNonConverged);
+  }
+}
+
+// ------------------------------------------------------ other wrappers ----
+
+TEST(Wrappers, DtmcStationaryResilient) {
+  rascad::markov::DtmcBuilder b;
+  b.add_state("a");
+  b.add_state("b");
+  b.add_transition(0, 1, 1.0);
+  b.add_transition(1, 0, 0.5);
+  b.add_transition(1, 1, 0.5);
+  const rascad::markov::Dtmc dtmc = b.build();
+  const ResilientResult r = stationary_resilient(dtmc);
+  EXPECT_TRUE(r.trace.success);
+  EXPECT_LT(max_rel_err(r.result.pi, dtmc.stationary()), 1e-12);
+}
+
+TEST(Wrappers, SmpSteadyStateResilient) {
+  rascad::semimarkov::SmpBuilder b;
+  b.add_state("up", 1.0);
+  b.add_state("down", 0.0);
+  b.set_exponential(0, {{1, 1.0}});
+  b.set_exponential(1, {{0, 9.0}});
+  const rascad::semimarkov::SemiMarkovProcess smp = b.build();
+  const ResilientResult r = smp_steady_state_resilient(smp);
+  EXPECT_TRUE(r.trace.success);
+  EXPECT_NEAR(r.result.pi[0], smp.steady_state_reward(), 1e-12);
+  EXPECT_NEAR(r.result.pi[0] + r.result.pi[1], 1.0, 1e-12);
+}
+
+TEST(Wrappers, TransientResilientMatchesUniformization) {
+  const Ctmc chain = repair_chain();
+  const Vector pi0 = rascad::markov::point_mass(chain, 0);
+  const Vector plain =
+      rascad::markov::transient_distribution(chain, pi0, 0.7);
+  const ResilientTransientResult r =
+      transient_distribution_resilient(chain, pi0, 0.7);
+  EXPECT_TRUE(r.trace.success);
+  EXPECT_EQ(r.trace.final_rung, Rung::kUniformization);
+  EXPECT_LT(max_rel_err(r.distribution, plain), 1e-10);
+}
+
+TEST(Wrappers, MttfResilientMatchesAnalytic) {
+  // Up -> down at rate lambda: MTTF = 1 / lambda from "up".
+  const double lambda = 0.25;
+  const Ctmc chain = up_down_chain(lambda, 100.0);
+  SolveTrace trace;
+  const double mttf = mttf_resilient(chain, 0, ResilienceConfig{}, &trace);
+  EXPECT_TRUE(trace.success);
+  EXPECT_NEAR(mttf, 1.0 / lambda, 1e-9);
+}
+
+TEST(Wrappers, MttfResilientMatchesAbsorbingAnalysis) {
+  const Ctmc chain = repair_chain();
+  const rascad::markov::Ctmc rel =
+      rascad::markov::make_down_states_absorbing(chain);
+  const rascad::markov::AbsorbingAnalysis analysis(rel);
+  const double want = analysis.mean_time_to_absorption(0);
+  EXPECT_NEAR(mttf_resilient(chain, 0), want, 1e-9 * want);
+}
+
+TEST(Wrappers, MttfZeroWhenChainCannotFail) {
+  CtmcBuilder b;
+  b.add_state("a", 1.0);
+  b.add_state("b", 1.0);
+  b.add_transition(0, 1, 1.0);
+  b.add_transition(1, 0, 1.0);
+  EXPECT_DOUBLE_EQ(mttf_resilient(b.build(), 0), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// Robustness of the spec front end: warning-severity validation paths and
+// the line/column accuracy of ParseError on malformed `.rsc` input.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "spec/lexer.hpp"
+#include "spec/parser.hpp"
+#include "spec/validate.hpp"
+
+namespace {
+
+using rascad::spec::ModelSpec;
+using rascad::spec::ParseError;
+using rascad::spec::parse_model;
+using rascad::spec::ValidationIssue;
+using rascad::spec::ValidationReport;
+using rascad::spec::validate;
+
+std::size_t warning_count(const ValidationReport& report) {
+  std::size_t n = 0;
+  for (const auto& i : report.issues) {
+    if (i.severity == ValidationIssue::Severity::kWarning) ++n;
+  }
+  return n;
+}
+
+// ------------------------------------------------- validation warnings ----
+
+TEST(ValidateWarnings, RedundancyParamsIgnoredWhenNotRedundant) {
+  const ModelSpec m = parse_model(R"(
+diagram "D" {
+  block "B" {
+    quantity = 1; min_quantity = 1
+    mtbf = 10000 h
+    mttr_corrective = 30 min
+    ar_time = 5 min
+  }
+}
+)");
+  const ValidationReport report = validate(m);
+  EXPECT_TRUE(report.ok());  // warnings never fail validation
+  EXPECT_EQ(report.error_count(), 0u);
+  ASSERT_EQ(warning_count(report), 1u);
+  const ValidationIssue& w = report.issues.front();
+  EXPECT_EQ(w.severity, ValidationIssue::Severity::kWarning);
+  EXPECT_NE(w.message.find("ignored"), std::string::npos);
+  EXPECT_NE(w.where.find("'B'"), std::string::npos);
+  // The rendered report labels the issue as a warning.
+  EXPECT_NE(report.to_string().find("warning"), std::string::npos);
+}
+
+TEST(ValidateWarnings, UnreachableDiagramIsWarned) {
+  const ModelSpec m = parse_model(R"(
+diagram "Root" {
+  block "B" { mtbf = 10000 h; mttr_corrective = 30 min }
+}
+diagram "Orphan" {
+  block "C" { mtbf = 10000 h; mttr_corrective = 30 min }
+}
+)");
+  const ValidationReport report = validate(m);
+  EXPECT_TRUE(report.ok());
+  ASSERT_GE(warning_count(report), 1u);
+  bool found = false;
+  for (const auto& i : report.issues) {
+    if (i.message.find("not reachable") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ValidateWarnings, CleanModelHasNoIssues) {
+  const ModelSpec m = parse_model(R"(
+diagram "D" {
+  block "B" { mtbf = 10000 h; mttr_corrective = 30 min }
+}
+)");
+  EXPECT_TRUE(validate(m).issues.empty());
+}
+
+TEST(ValidateWarnings, ValidateOrThrowToleratesWarnings) {
+  const ModelSpec m = parse_model(R"(
+diagram "D" {
+  block "B" {
+    quantity = 2; min_quantity = 2
+    mtbf = 10000 h
+    mttr_corrective = 30 min
+    p_latent_fault = 0.01
+  }
+}
+)");
+  EXPECT_FALSE(validate(m).issues.empty());
+  EXPECT_NO_THROW(rascad::spec::validate_or_throw(m));
+}
+
+// --------------------------------------------- ParseError line/column ----
+
+TEST(ParseErrorPosition, UnterminatedStringPointsAtOpeningQuote) {
+  try {
+    parse_model("title = \"oops");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_EQ(e.column(), 9u);
+    EXPECT_NE(std::string(e.what()).find("unterminated"), std::string::npos);
+  }
+}
+
+TEST(ParseErrorPosition, StrayCharacterExactPosition) {
+  try {
+    rascad::spec::tokenize("a = 1\n  @");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.column(), 3u);
+  }
+}
+
+TEST(ParseErrorPosition, TruncatedBlockReportsEndOfInput) {
+  // Input ends mid-block (line 3); the parser reports the point where it
+  // needed more tokens.
+  try {
+    parse_model("diagram \"D\" {\nblock \"B\" {\nmtbf = 100 h\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 4u);  // EOF is after the final newline
+  }
+}
+
+TEST(ParseErrorPosition, BadUnitPointsAtValue) {
+  // `fit` is a rate unit, never a duration unit; the error is tagged at the
+  // value it qualifies (line 3, column of "100").
+  try {
+    parse_model("diagram \"D\" {\n  block \"B\" {\n    mtbf = 100 fit\n  }\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_EQ(e.column(), 12u);
+    EXPECT_NE(std::string(e.what()).find("not a time unit"),
+              std::string::npos);
+  }
+}
+
+TEST(ParseErrorPosition, UnbalancedBraceReported) {
+  // Extra closing brace at top level (line 4, column 1).
+  try {
+    parse_model("diagram \"D\" {\n  block \"B\" { mtbf = 100 h }\n}\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 4u);
+    EXPECT_EQ(e.column(), 1u);
+    EXPECT_NE(std::string(e.what()).find("expected 'diagram'"),
+              std::string::npos);
+  }
+}
+
+TEST(ParseErrorPosition, MissingBraceAfterDiagramName) {
+  try {
+    parse_model("diagram \"D\"\nblock");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.column(), 1u);
+  }
+}
+
+TEST(ParseErrorPosition, MessageEmbedsPosition) {
+  try {
+    parse_model("diagram \"D\" { block \"B\" { quantity = 1.5 } }");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 1"), std::string::npos);
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_GT(e.column(), 1u);
+  }
+}
+
+}  // namespace
