@@ -8,6 +8,26 @@ namespace rascad::core {
 
 namespace {
 
+/// Restores a caller-supplied stream's formatting state on scope exit: the
+/// writers raise the precision for round-trippable doubles, which must not
+/// leak into whatever the caller prints next.
+class StreamStateGuard {
+ public:
+  explicit StreamStateGuard(std::ostream& os)
+      : os_(os), flags_(os.flags()), precision_(os.precision()) {}
+  ~StreamStateGuard() {
+    os_.flags(flags_);
+    os_.precision(precision_);
+  }
+  StreamStateGuard(const StreamStateGuard&) = delete;
+  StreamStateGuard& operator=(const StreamStateGuard&) = delete;
+
+ private:
+  std::ostream& os_;
+  std::ios_base::fmtflags flags_;
+  std::streamsize precision_;
+};
+
 /// Quotes a field if it contains CSV-active characters.
 std::string csv_field(const std::string& s) {
   if (s.find_first_of(",\"\n") == std::string::npos) return s;
@@ -23,6 +43,7 @@ std::string csv_field(const std::string& s) {
 }  // namespace
 
 void write_sweep_csv(std::ostream& os, const std::vector<SweepPoint>& points) {
+  StreamStateGuard guard(os);
   os << "value,availability,yearly_downtime_min,eq_failure_rate\n";
   os << std::setprecision(12);
   for (const auto& p : points) {
@@ -39,6 +60,7 @@ std::string sweep_csv(const std::vector<SweepPoint>& points) {
 
 void write_curve_csv(std::ostream& os, const linalg::Vector& curve,
                      double horizon) {
+  StreamStateGuard guard(os);
   os << "t,value\n";
   os << std::setprecision(12);
   if (curve.empty()) return;
@@ -56,6 +78,7 @@ std::string curve_csv(const linalg::Vector& curve, double horizon) {
 }
 
 void write_blocks_csv(std::ostream& os, const mg::SystemModel& system) {
+  StreamStateGuard guard(os);
   os << "diagram,block,quantity,min_quantity,model_type,states,availability,"
         "yearly_downtime_min\n";
   os << std::setprecision(12);
@@ -75,6 +98,7 @@ std::string blocks_csv(const mg::SystemModel& system) {
 
 void write_importance_csv(std::ostream& os,
                           const std::vector<BlockImportance>& imps) {
+  StreamStateGuard guard(os);
   os << "diagram,block,availability,birnbaum,criticality,raw,rrw\n";
   os << std::setprecision(12);
   for (const auto& i : imps) {

@@ -20,29 +20,34 @@ double block_availability(const spec::BlockSpec& block,
 
 }  // namespace
 
-std::vector<BlockImportance> block_importance(const mg::SystemModel& system) {
+std::vector<BlockImportance> block_importance(const mg::SystemModel& system,
+                                              const exec::ParallelOptions& par) {
   const double a_sys = system.availability();
   const double u_sys = std::max(1.0 - a_sys, 1e-300);
-  std::vector<BlockImportance> out;
-  out.reserve(system.blocks().size());
-  for (const auto& entry : system.blocks()) {
-    BlockImportance imp;
-    imp.diagram = entry.diagram;
-    imp.block = entry.block.name;
-    imp.availability = entry.availability;
-    imp.yearly_downtime_min = entry.yearly_downtime_min;
-    const double a_perfect = system.availability_with_override(
-        entry.diagram, entry.block.name, 1.0);
-    const double a_failed = system.availability_with_override(
-        entry.diagram, entry.block.name, 0.0);
-    imp.birnbaum = a_perfect - a_failed;
-    imp.criticality = imp.birnbaum * (1.0 - entry.availability) / u_sys;
-    imp.raw = (1.0 - a_failed) / u_sys;
-    const double u_perfect = 1.0 - a_perfect;
-    imp.rrw = u_perfect > 0.0 ? u_sys / u_perfect
-                              : std::numeric_limits<double>::infinity();
-    out.push_back(imp);
-  }
+  const auto& blocks = system.blocks();
+  std::vector<BlockImportance> out(blocks.size());
+  exec::parallel_for(
+      blocks.size(),
+      [&](std::size_t i) {
+        const auto& entry = blocks[i];
+        BlockImportance imp;
+        imp.diagram = entry.diagram;
+        imp.block = entry.block.name;
+        imp.availability = entry.availability;
+        imp.yearly_downtime_min = entry.yearly_downtime_min;
+        const double a_perfect = system.availability_with_override(
+            entry.diagram, entry.block.name, 1.0);
+        const double a_failed = system.availability_with_override(
+            entry.diagram, entry.block.name, 0.0);
+        imp.birnbaum = a_perfect - a_failed;
+        imp.criticality = imp.birnbaum * (1.0 - entry.availability) / u_sys;
+        imp.raw = (1.0 - a_failed) / u_sys;
+        const double u_perfect = 1.0 - a_perfect;
+        imp.rrw = u_perfect > 0.0 ? u_sys / u_perfect
+                                  : std::numeric_limits<double>::infinity();
+        out[i] = imp;
+      },
+      par);
   std::sort(out.begin(), out.end(),
             [](const BlockImportance& a, const BlockImportance& b) {
               return a.criticality > b.criticality;
@@ -51,7 +56,8 @@ std::vector<BlockImportance> block_importance(const mg::SystemModel& system) {
 }
 
 std::vector<ParameterSensitivity> parameter_sensitivity(
-    const mg::SystemModel& system, double relative_step) {
+    const mg::SystemModel& system, double relative_step,
+    const exec::ParallelOptions& par) {
   if (!(relative_step > 0.0) || relative_step >= 1.0) {
     throw std::invalid_argument(
         "parameter_sensitivity: relative_step must be in (0, 1)");
@@ -66,8 +72,7 @@ std::vector<ParameterSensitivity> parameter_sensitivity(
     return std::log(std::max(1.0 - a, 1e-300));
   };
 
-  std::vector<ParameterSensitivity> out;
-  for (const auto& entry : system.blocks()) {
+  const auto sensitivity_for = [&](const mg::SystemModel::BlockEntry& entry) {
     ParameterSensitivity s;
     s.diagram = entry.diagram;
     s.block = entry.block.name;
@@ -102,8 +107,14 @@ std::vector<ParameterSensitivity> parameter_sensitivity(
     s.tresp_elasticity = elasticity(
         [](spec::BlockSpec& b, double v) { b.service_response_h = v; },
         entry.block.service_response_h);
-    out.push_back(s);
-  }
+    return s;
+  };
+
+  const auto& blocks = system.blocks();
+  std::vector<ParameterSensitivity> out(blocks.size());
+  exec::parallel_for(
+      blocks.size(),
+      [&](std::size_t i) { out[i] = sensitivity_for(blocks[i]); }, par);
   return out;
 }
 

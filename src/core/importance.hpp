@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/parallel.hpp"
 #include "mg/system.hpp"
 
 namespace rascad::core {
@@ -34,8 +35,10 @@ struct BlockImportance {
 };
 
 /// Importance of every chain-bearing block, sorted by descending
-/// criticality.
-std::vector<BlockImportance> block_importance(const mg::SystemModel& system);
+/// criticality. The per-block what-if solves run in parallel (`par`); the
+/// ranking is bit-identical for every thread count.
+std::vector<BlockImportance> block_importance(
+    const mg::SystemModel& system, const exec::ParallelOptions& par = {});
 
 struct ParameterSensitivity {
   std::string diagram;
@@ -51,7 +54,9 @@ struct ParameterSensitivity {
 
 /// Central-difference elasticities for every chain-bearing block with
 /// permanent faults. `relative_step` is the multiplicative perturbation.
+/// Blocks are processed in parallel (`par`) with index-ordered results.
 std::vector<ParameterSensitivity> parameter_sensitivity(
-    const mg::SystemModel& system, double relative_step = 0.05);
+    const mg::SystemModel& system, double relative_step = 0.05,
+    const exec::ParallelOptions& par = {});
 
 }  // namespace rascad::core

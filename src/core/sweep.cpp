@@ -33,7 +33,7 @@ spec::BlockSpec* find_block(spec::ModelSpec& model, const std::string& diagram,
 std::vector<SweepPoint> sweep_block_parameter(
     const spec::ModelSpec& base, const std::string& diagram,
     const std::string& block, const BlockMutator& mutate,
-    const std::vector<double>& values) {
+    const std::vector<double>& values, const exec::ParallelOptions& par) {
   if (!mutate) {
     throw std::invalid_argument("sweep_block_parameter: null mutator");
   }
@@ -44,29 +44,33 @@ std::vector<SweepPoint> sweep_block_parameter(
                                   "' in diagram '" + diagram + "'");
     }
   }
-  std::vector<SweepPoint> points;
-  points.reserve(values.size());
-  for (double v : values) {
-    spec::ModelSpec model = base;
-    mutate(*find_block(model, diagram, block), v);
-    points.push_back(solve_point(model, v));
-  }
+  std::vector<SweepPoint> points(values.size());
+  exec::parallel_for(
+      values.size(),
+      [&](std::size_t i) {
+        spec::ModelSpec model = base;
+        mutate(*find_block(model, diagram, block), values[i]);
+        points[i] = solve_point(model, values[i]);
+      },
+      par);
   return points;
 }
 
 std::vector<SweepPoint> sweep_global_parameter(
     const spec::ModelSpec& base, const GlobalMutator& mutate,
-    const std::vector<double>& values) {
+    const std::vector<double>& values, const exec::ParallelOptions& par) {
   if (!mutate) {
     throw std::invalid_argument("sweep_global_parameter: null mutator");
   }
-  std::vector<SweepPoint> points;
-  points.reserve(values.size());
-  for (double v : values) {
-    spec::ModelSpec model = base;
-    mutate(model.globals, v);
-    points.push_back(solve_point(model, v));
-  }
+  std::vector<SweepPoint> points(values.size());
+  exec::parallel_for(
+      values.size(),
+      [&](std::size_t i) {
+        spec::ModelSpec model = base;
+        mutate(model.globals, values[i]);
+        points[i] = solve_point(model, values[i]);
+      },
+      par);
   return points;
 }
 
@@ -93,6 +97,8 @@ std::vector<double> logspace(double lo, double hi, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     v[i] = std::exp(llo + step * static_cast<double>(i));
   }
+  // exp(log(x)) need not round-trip; callers expect exact bounds.
+  v.front() = lo;
   v.back() = hi;
   return v;
 }

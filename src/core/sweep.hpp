@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/parallel.hpp"
 #include "mg/system.hpp"
 #include "spec/ast.hpp"
 
@@ -27,15 +28,21 @@ using GlobalMutator = std::function<void(spec::GlobalParams&, double)>;
 /// Sweeps a block parameter: for each value, copies the model, applies the
 /// mutator to the named block (in the named diagram), re-generates, and
 /// solves. Throws std::invalid_argument if the block does not exist.
+///
+/// The points are solved in parallel (`par` controls the thread count; the
+/// mutator must therefore be reentrant — it is invoked concurrently on
+/// distinct model copies). Results are written by index, so the series is
+/// bit-identical for every thread count.
 std::vector<SweepPoint> sweep_block_parameter(
     const spec::ModelSpec& base, const std::string& diagram,
     const std::string& block, const BlockMutator& mutate,
-    const std::vector<double>& values);
+    const std::vector<double>& values, const exec::ParallelOptions& par = {});
 
-/// Sweeps a global parameter over all values.
+/// Sweeps a global parameter over all values. Same parallelism and
+/// determinism contract as sweep_block_parameter.
 std::vector<SweepPoint> sweep_global_parameter(
     const spec::ModelSpec& base, const GlobalMutator& mutate,
-    const std::vector<double>& values);
+    const std::vector<double>& values, const exec::ParallelOptions& par = {});
 
 /// Evenly spaced values in [lo, hi] (n >= 2 points).
 std::vector<double> linspace(double lo, double hi, std::size_t n);

@@ -32,11 +32,23 @@ double sample_normal(RandomSource& rng) {
   return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
 }
 
+/// glibc's lgamma writes the global `signgam`, which races when CDFs are
+/// evaluated on parallel replication threads; lgamma_r keeps the sign
+/// local.
+double log_gamma(double x) {
+#if defined(__GLIBC__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 /// Regularized lower incomplete gamma P(a, x), by series (x < a + 1) or
 /// continued fraction (x >= a + 1). Standard Numerical-Recipes scheme.
 double regularized_gamma_p(double a, double x) {
   if (x <= 0.0) return 0.0;
-  const double gln = std::lgamma(a);
+  const double gln = log_gamma(a);
   if (x < a + 1.0) {
     double ap = a;
     double sum = 1.0 / a;

@@ -1,0 +1,148 @@
+#include "exec/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace rascad::exec {
+
+namespace {
+
+/// A few chunks per worker: heterogeneous bodies (sweep points with
+/// different chain sizes) balance better than one chunk per thread.
+constexpr std::size_t kChunksPerThread = 4;
+
+/// One parallel_for episode. Heap-allocated and shared with the helper
+/// tasks because a helper may wake up after the loop already finished; a
+/// late helper only reads the atomics, never the caller's stack.
+struct Batch {
+  std::size_t n = 0;
+  std::size_t chunks = 0;
+  std::size_t chunk_size = 0;
+  /// Valid until `pending` reaches zero (the caller's wait keeps the
+  /// std::function alive until every chunk body has returned).
+  const std::function<void(std::size_t)>* fn = nullptr;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> pending{0};
+  std::mutex mu;
+  std::condition_variable done;
+  std::exception_ptr error;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+
+  void run_chunk(std::size_t c) {
+    const std::size_t lo = c * chunk_size;
+    const std::size_t hi = std::min(n, lo + chunk_size);
+    for (std::size_t i = lo; i < hi; ++i) {
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        // Lowest index wins so the rethrown error does not depend on
+        // timing, and the remaining indices still run.
+        if (i < error_index) {
+          error_index = i;
+          error = std::current_exception();
+        }
+      }
+    }
+    if (pending.fetch_sub(1) == 1) {
+      // Taking the lock pairs with the caller's predicate check: the
+      // notification cannot fire between its check and its wait.
+      std::lock_guard<std::mutex> lock(mu);
+      done.notify_all();
+    }
+  }
+
+  /// Claims chunks in index order until none are left.
+  void drain() {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1);
+      if (c >= chunks) return;
+      run_chunk(c);
+    }
+  }
+};
+
+std::size_t env_thread_override() noexcept {
+  const char* s = std::getenv("RASCAD_THREADS");
+  if (!s || !*s) return 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s, &end, 10);
+  if (end == s || *end != '\0' || v == 0) return 0;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+std::size_t hardware_thread_count() noexcept {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+std::size_t default_thread_count() noexcept {
+  const std::size_t env = env_thread_override();
+  return env != 0 ? env : hardware_thread_count();
+}
+
+ThreadPool& global_pool() {
+  // Workers = helpers for at least an 8-way loop; the caller is the
+  // final participant, hence the -1.
+  static ThreadPool pool(std::max<std::size_t>(default_thread_count(), 8) - 1);
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  const ParallelOptions& opts) {
+  if (n == 0) return;
+  if (!fn) throw std::invalid_argument("parallel_for: null function");
+  const std::size_t grain = std::max<std::size_t>(opts.grain, 1);
+  const std::size_t max_chunks = (n + grain - 1) / grain;
+  std::size_t threads =
+      opts.threads != 0 ? opts.threads : default_thread_count();
+  threads = std::min(threads, max_chunks);
+  if (threads <= 1) {
+    // Same contract as the parallel path: every index runs, and the
+    // exception from the lowest index is the one that propagates.
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->chunk_size =
+      (n + threads * kChunksPerThread - 1) / (threads * kChunksPerThread);
+  batch->chunk_size = std::max(batch->chunk_size, grain);
+  batch->chunks = (n + batch->chunk_size - 1) / batch->chunk_size;
+  batch->fn = &fn;
+  batch->pending.store(batch->chunks);
+
+  ThreadPool& pool = global_pool();
+  const std::size_t helpers = std::min(threads - 1, pool.worker_count());
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.submit([batch] { batch->drain(); });
+  }
+  batch->drain();
+
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->done.wait(lock, [&] { return batch->pending.load() == 0; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace rascad::exec

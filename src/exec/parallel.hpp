@@ -1,0 +1,65 @@
+// Chunked data-parallel loops over a shared fixed-size worker pool.
+//
+// Determinism contract: parallel_for(n, fn) calls fn(i) exactly once for
+// every i in [0, n), and callers write results into pre-sized containers
+// by index — never accumulate in completion order. Under that discipline
+// the outcome is bit-identical for every thread count, including the
+// serial threads == 1 fallback, which runs fn inline on the calling
+// thread without touching the pool.
+//
+// Thread-count resolution, in priority order: ParallelOptions::threads,
+// then the RASCAD_THREADS environment variable, then
+// std::thread::hardware_concurrency(). The calling thread always
+// participates in the work, so nested parallel loops cannot deadlock
+// even when every pool worker is busy.
+//
+// Exceptions thrown by fn are captured per index and the one from the
+// lowest index is rethrown on the calling thread after the loop
+// completes (every index still runs), so error reporting is
+// deterministic too.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace rascad::exec {
+
+struct ParallelOptions {
+  /// Worker threads to aim for; 0 means default_thread_count(). 1 forces
+  /// the serial inline path.
+  std::size_t threads = 0;
+  /// Minimum indices per chunk — a load-balancing knob for very cheap
+  /// bodies. Never affects results, only scheduling.
+  std::size_t grain = 1;
+};
+
+/// std::thread::hardware_concurrency(), never 0.
+std::size_t hardware_thread_count() noexcept;
+
+/// RASCAD_THREADS environment override (positive integer), else
+/// hardware_thread_count(). Malformed values are ignored.
+std::size_t default_thread_count() noexcept;
+
+/// The process-wide pool used by parallel_for. Created on first use with
+/// enough workers for an 8-way loop even on small machines (idle workers
+/// just sleep on the queue).
+ThreadPool& global_pool();
+
+/// Runs fn(i) for every i in [0, n), chunked across the pool.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  const ParallelOptions& opts = {});
+
+/// parallel_for writing fn(i) into slot i of a pre-sized vector.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, Fn&& fn,
+                            const ParallelOptions& opts = {}) {
+  std::vector<T> out(n);
+  parallel_for(
+      n, [&](std::size_t i) { out[i] = fn(i); }, opts);
+  return out;
+}
+
+}  // namespace rascad::exec

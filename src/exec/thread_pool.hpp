@@ -1,0 +1,50 @@
+// Fixed-size worker pool behind the exec parallel loops.
+//
+// Deliberately minimal: a FIFO queue drained by a fixed set of worker
+// threads. The pool never owns the completion of a parallel loop — the
+// *calling* thread of parallel_for always participates in the work, and the
+// tasks submitted here are droppable "helper" drain loops. That is what
+// makes nested parallelism deadlock-free: a loop finishes even when every
+// worker is busy (or when the pool has zero workers), because the caller
+// drains the remaining chunks itself.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rascad::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. Zero is allowed; submit() then queues tasks
+  /// nobody will run, which is fine for droppable helpers.
+  explicit ThreadPool(std::size_t workers);
+
+  /// Stops the workers. Tasks still queued are discarded, not run —
+  /// submitters must not rely on execution for correctness.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task (FIFO). No-op after shutdown has begun.
+  void submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rascad::exec

@@ -22,10 +22,21 @@ void check_inputs(const Ctmc& chain, const linalg::Vector& pi0, double t) {
   }
 }
 
+/// glibc's lgamma writes the global `signgam`, which races when reward
+/// curves are sampled on the thread pool; lgamma_r keeps the sign local.
+double log_gamma(double x) {
+#if defined(__GLIBC__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 /// Poisson(a) pmf at k, computed in log space so that large a is safe.
 double poisson_pmf(double a, std::size_t k) {
   return std::exp(-a + static_cast<double>(k) * std::log(a) -
-                  std::lgamma(static_cast<double>(k) + 1.0));
+                  log_gamma(static_cast<double>(k) + 1.0));
 }
 
 /// Hard truncation point: the Poisson(a) mass beyond a + 12 sqrt(a) + 64

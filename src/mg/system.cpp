@@ -82,6 +82,26 @@ class TreeBuilder {
   LeafFactory factory_;
 };
 
+/// Collects the chain-bearing blocks in the exact order TreeBuilder's leaf
+/// factory visits them (own chain first, then the subdiagram's blocks), so
+/// a pre-solved vector can be consumed by a running cursor.
+void collect_chain_blocks(
+    const spec::ModelSpec& model, const spec::DiagramSpec& diagram,
+    std::vector<std::pair<const spec::DiagramSpec*, const spec::BlockSpec*>>&
+        out) {
+  for (const auto& block : diagram.blocks) {
+    if (block.has_own_failures()) out.emplace_back(&diagram, &block);
+    if (block.subdiagram) {
+      const spec::DiagramSpec* sub = model.find_diagram(*block.subdiagram);
+      if (!sub) {
+        throw std::invalid_argument("SystemModel: dangling subdiagram '" +
+                                    *block.subdiagram + "'");
+      }
+      collect_chain_blocks(model, *sub, out);
+    }
+  }
+}
+
 }  // namespace
 
 SystemModel SystemModel::build(const spec::ModelSpec& model,
@@ -94,16 +114,25 @@ SystemModel SystemModel::build(const spec::ModelSpec& model,
   const resilience::ResilienceConfig solve_config =
       opts.resilience ? *opts.resilience
                       : resilience::config_from(opts.steady);
-  TreeBuilder builder(
-      sm.spec_, [&sm, &solve_config](
-                    const spec::DiagramSpec& diagram,
-                    const spec::BlockSpec& block) -> rbd::RbdNodePtr {
+
+  // Generate and solve every block chain in parallel. Entries are written
+  // by visit index, so the block table — and each entry's SolveTrace —
+  // is identical to the serial build's.
+  std::vector<std::pair<const spec::DiagramSpec*, const spec::BlockSpec*>>
+      pending;
+  collect_chain_blocks(sm.spec_, sm.spec_.root(), pending);
+  sm.blocks_.resize(pending.size());
+  exec::parallel_for(
+      pending.size(),
+      [&](std::size_t i) {
+        const spec::DiagramSpec& diagram = *pending[i].first;
+        const spec::BlockSpec& block = *pending[i].second;
         GeneratedModel generated = generate(block, sm.spec_.globals);
         resilience::ResilientResult solved =
             resilience::solve_steady_state_resilient(generated.chain,
                                                      solve_config);
         const markov::SteadyStateResult& steady = solved.result;
-        BlockEntry entry;
+        BlockEntry& entry = sm.blocks_[i];
         entry.solve_trace = std::move(solved.trace);
         entry.diagram = diagram.name;
         entry.block = block;
@@ -117,7 +146,15 @@ SystemModel SystemModel::build(const spec::ModelSpec& model,
             markov::equivalent_failure_rate(generated.chain, steady.pi);
         entry.chain = std::make_shared<const markov::Ctmc>(
             std::move(generated.chain));
-        sm.blocks_.push_back(entry);
+      },
+      opts.parallel);
+
+  // Serial tree construction consuming the solved entries in visit order.
+  std::size_t cursor = 0;
+  TreeBuilder builder(
+      sm.spec_, [&sm, &cursor](const spec::DiagramSpec&,
+                               const spec::BlockSpec& block) -> rbd::RbdNodePtr {
+        const BlockEntry& entry = sm.blocks_.at(cursor++);
         return rbd::RbdNode::leaf(block.name, entry.availability);
       });
   sm.root_ = builder.build(sm.spec_.root());
@@ -140,14 +177,24 @@ double SystemModel::interval_availability(double horizon) const {
     throw std::invalid_argument(
         "SystemModel::interval_availability: horizon must be positive");
   }
-  // Precompute each block's point-availability curve on a shared grid.
+  // Precompute each block's point-availability curve on a shared grid; the
+  // transient solves are independent, so they run in parallel by index.
+  std::vector<std::shared_ptr<const linalg::Vector>> sampled(blocks_.size());
+  exec::parallel_for(
+      blocks_.size(),
+      [&](std::size_t i) {
+        const auto& b = blocks_[i];
+        const linalg::Vector pi0 = markov::point_mass(*b.chain, b.initial);
+        sampled[i] =
+            std::make_shared<const linalg::Vector>(markov::reward_curve(
+                *b.chain, pi0, horizon, opts_.curve_steps));
+      },
+      opts_.parallel);
   std::unordered_map<std::string, std::shared_ptr<const linalg::Vector>>
       curves;
-  for (const auto& b : blocks_) {
-    const linalg::Vector pi0 = markov::point_mass(*b.chain, b.initial);
-    curves.emplace(block_key(b.diagram, b.block.name),
-                   std::make_shared<const linalg::Vector>(markov::reward_curve(
-                       *b.chain, pi0, horizon, opts_.curve_steps)));
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    curves.emplace(block_key(blocks_[i].diagram, blocks_[i].block.name),
+                   sampled[i]);
   }
   TreeBuilder builder(
       spec_, [&](const spec::DiagramSpec& diagram,
@@ -170,25 +217,31 @@ namespace {
 rbd::RbdNodePtr reliability_tree(
     const spec::ModelSpec& model,
     const std::vector<SystemModel::BlockEntry>& blocks, double horizon,
-    std::size_t steps) {
+    std::size_t steps, const exec::ParallelOptions& par) {
+  std::vector<std::shared_ptr<const linalg::Vector>> sampled(blocks.size());
+  exec::parallel_for(
+      blocks.size(),
+      [&](std::size_t i) {
+        const auto& b = blocks[i];
+        const markov::Ctmc rel = markov::make_down_states_absorbing(*b.chain);
+        if (rel.down_states().empty()) {
+          // Block cannot fail; survival is identically 1.
+          sampled[i] = std::make_shared<const linalg::Vector>(
+              linalg::Vector(steps + 1, 1.0));
+          return;
+        }
+        const linalg::Vector pi0 = markov::point_mass(rel, b.initial);
+        // Survival = probability mass on transient states; reward 1 on up
+        // transient states equals survival because absorbed states are down.
+        sampled[i] = std::make_shared<const linalg::Vector>(
+            markov::reward_curve(rel, pi0, horizon, steps));
+      },
+      par);
   std::unordered_map<std::string, std::shared_ptr<const linalg::Vector>>
       curves;
-  for (const auto& b : blocks) {
-    const markov::Ctmc rel = markov::make_down_states_absorbing(*b.chain);
-    if (rel.down_states().empty()) {
-      // Block cannot fail; survival is identically 1.
-      curves.emplace(block_key(b.diagram, b.block.name),
-                     std::make_shared<const linalg::Vector>(
-                         linalg::Vector(steps + 1, 1.0)));
-      continue;
-    }
-    const linalg::Vector pi0 = markov::point_mass(rel, b.initial);
-    // Survival = probability mass on transient states; reward 1 on up
-    // transient states equals survival because absorbed states are down.
-    curves.emplace(
-        block_key(b.diagram, b.block.name),
-        std::make_shared<const linalg::Vector>(
-            markov::reward_curve(rel, pi0, horizon, steps)));
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    curves.emplace(block_key(blocks[i].diagram, blocks[i].block.name),
+                   sampled[i]);
   }
   TreeBuilder builder(
       model, [&](const spec::DiagramSpec& diagram,
@@ -210,7 +263,8 @@ double SystemModel::reliability(double horizon) const {
     throw std::invalid_argument(
         "SystemModel::reliability: horizon must be positive");
   }
-  return reliability_tree(spec_, blocks_, horizon, opts_.curve_steps)
+  return reliability_tree(spec_, blocks_, horizon, opts_.curve_steps,
+                          opts_.parallel)
       ->reliability(horizon);
 }
 
@@ -220,7 +274,7 @@ double SystemModel::mttf_numeric_h(double horizon) const {
         "SystemModel::mttf_numeric_h: horizon must be positive");
   }
   const std::size_t steps = std::max<std::size_t>(opts_.curve_steps, 1024);
-  return reliability_tree(spec_, blocks_, horizon, steps)
+  return reliability_tree(spec_, blocks_, horizon, steps, opts_.parallel)
       ->mttf_numeric(horizon, steps);
 }
 

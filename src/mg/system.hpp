@@ -12,6 +12,7 @@
 
 #include <optional>
 
+#include "exec/parallel.hpp"
 #include "markov/steady_state.hpp"
 #include "mg/generator.hpp"
 #include "mg/measures.hpp"
@@ -33,6 +34,10 @@ class SystemModel {
     /// Resilience-ladder override for the per-block steady-state solves.
     /// When unset, a config derived from `steady` is used.
     std::optional<resilience::ResilienceConfig> resilience;
+    /// Thread-count / chunking control for the per-block solves and curve
+    /// sampling. Block order, measures, and every SolveTrace are
+    /// bit-identical for any thread count.
+    exec::ParallelOptions parallel;
   };
 
   /// One generated block chain with its solved measures.

@@ -441,13 +441,19 @@ SampleStats replicate_block_availability(const spec::BlockSpec& block,
                                          double horizon,
                                          std::size_t replications,
                                          std::uint64_t base_seed,
-                                         const BlockSimOptions& opts) {
+                                         const BlockSimOptions& opts,
+                                         const exec::ParallelOptions& par) {
+  std::vector<double> availability(replications);
+  exec::parallel_for(
+      replications,
+      [&](std::size_t r) {
+        Xoshiro256 rng(base_seed, r);
+        availability[r] =
+            simulate_block(block, globals, horizon, rng, opts).availability();
+      },
+      par);
   SampleStats stats;
-  for (std::size_t r = 0; r < replications; ++r) {
-    Xoshiro256 rng(base_seed, r);
-    stats.add(
-        simulate_block(block, globals, horizon, rng, opts).availability());
-  }
+  for (double a : availability) stats.add(a);
   return stats;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "dist/distribution.hpp"
+#include "exec/parallel.hpp"
 #include "sim/stats.hpp"
 #include "spec/ast.hpp"
 
@@ -62,12 +63,16 @@ BlockSimResult simulate_block(const spec::BlockSpec& block,
                               double horizon, dist::RandomSource& rng,
                               const BlockSimOptions& opts = {});
 
-/// Replicated availability estimate for one block.
+/// Replicated availability estimate for one block. Replications run in
+/// parallel (`par`) with deterministic (base_seed, replication_index)
+/// seeding and index-ordered accumulation: the statistics are
+/// bit-identical for every thread count.
 SampleStats replicate_block_availability(const spec::BlockSpec& block,
                                          const spec::GlobalParams& globals,
                                          double horizon,
                                          std::size_t replications,
                                          std::uint64_t base_seed,
-                                         const BlockSimOptions& opts = {});
+                                         const BlockSimOptions& opts = {},
+                                         const exec::ParallelOptions& par = {});
 
 }  // namespace rascad::sim

@@ -21,7 +21,13 @@ TrajectoryResult simulate_chain(const markov::Ctmc& chain,
   const auto& q = chain.generator();
   markov::StateIndex state = initial;
   double t = 0.0;
-  double down_start = chain.reward(state) > 0.0 ? -1.0 : 0.0;
+  double down_start = -1.0;
+  if (chain.reward(state) <= 0.0) {
+    // Starting down is an entry into the down set at t = 0; counting it
+    // keeps down_entries consistent with the recorded intervals.
+    down_start = 0.0;
+    ++result.down_entries;
+  }
 
   auto account = [&](markov::StateIndex s, double dwell) {
     if (chain.reward(s) > 0.0) {
@@ -88,13 +94,22 @@ SampleStats replicate_chain_availability(const markov::Ctmc& chain,
                                          markov::StateIndex initial,
                                          double horizon,
                                          std::size_t replications,
-                                         std::uint64_t base_seed) {
+                                         std::uint64_t base_seed,
+                                         const exec::ParallelOptions& par) {
+  // Replications are independent: solve into a pre-sized vector by index,
+  // then fold into the running statistics in index order so the Welford
+  // accumulation is bit-identical to the serial path.
+  std::vector<double> availability(replications);
+  exec::parallel_for(
+      replications,
+      [&](std::size_t r) {
+        Xoshiro256 rng(base_seed, r);
+        availability[r] =
+            simulate_chain(chain, initial, horizon, rng).availability();
+      },
+      par);
   SampleStats stats;
-  for (std::size_t r = 0; r < replications; ++r) {
-    Xoshiro256 rng(base_seed, r);
-    stats.add(
-        simulate_chain(chain, initial, horizon, rng).availability());
-  }
+  for (double a : availability) stats.add(a);
   return stats;
 }
 

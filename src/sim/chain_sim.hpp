@@ -4,9 +4,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "dist/distribution.hpp"
+#include "exec/parallel.hpp"
 #include "markov/ctmc.hpp"
 #include "sim/stats.hpp"
 
@@ -16,7 +18,8 @@ struct TrajectoryResult {
   double up_time = 0.0;
   double down_time = 0.0;
   std::size_t transitions = 0;
-  std::size_t down_entries = 0;  // up -> down crossings
+  std::size_t down_entries = 0;  // entries into the down set (a trajectory
+                                 // that *starts* down counts as one entry)
   std::vector<Interval> down_intervals;  // filled when requested
 
   double availability() const {
@@ -32,12 +35,16 @@ TrajectoryResult simulate_chain(const markov::Ctmc& chain,
                                 dist::RandomSource& rng,
                                 bool record_intervals = false);
 
-/// Runs `replications` trajectories (seeded per replication from
-/// base_seed) and returns the availability sample statistics.
+/// Runs `replications` trajectories (each seeded deterministically as
+/// (base_seed, replication_index)) and returns the availability sample
+/// statistics. Replications run in parallel (`par`) but the per-index
+/// seeding and the index-ordered accumulation make the statistics
+/// bit-identical for every thread count.
 SampleStats replicate_chain_availability(const markov::Ctmc& chain,
                                          markov::StateIndex initial,
                                          double horizon,
                                          std::size_t replications,
-                                         std::uint64_t base_seed);
+                                         std::uint64_t base_seed,
+                                         const exec::ParallelOptions& par = {});
 
 }  // namespace rascad::sim

@@ -18,6 +18,18 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+Xoshiro256::Xoshiro256(std::uint64_t seed, std::uint64_t stream) {
+  // Hash (seed, stream) into one well-mixed 64-bit value: scramble the
+  // seed, fold the stream into the splitmix state, scramble again. Both
+  // words pass through the full avalanche, so flipping any single bit of
+  // either input decorrelates the derived state.
+  std::uint64_t x = seed;
+  std::uint64_t derived = splitmix64(x);
+  x += stream;
+  derived ^= splitmix64(x);
+  reseed(derived);
+}
+
 void Xoshiro256::reseed(std::uint64_t seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) word = splitmix64(s);

@@ -15,9 +15,10 @@ namespace rascad::sim {
 class Xoshiro256 final : public dist::RandomSource {
  public:
   explicit Xoshiro256(std::uint64_t seed) { reseed(seed); }
-  Xoshiro256(std::uint64_t seed, std::uint64_t stream) {
-    reseed(seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
-  }
+  /// Stream constructor: (seed, stream) are hashed through splitmix64 so
+  /// nearby streams land in unrelated states (a plain linear mix such as
+  /// seed ^ (k * stream) leaves adjacent streams correlated).
+  Xoshiro256(std::uint64_t seed, std::uint64_t stream);
 
   void reseed(std::uint64_t seed);
 

@@ -115,11 +115,18 @@ ReplicatedSystemResult replicate_system(const spec::ModelSpec& model,
                                         double horizon,
                                         std::size_t replications,
                                         std::uint64_t base_seed,
-                                        const BlockSimOptions& opts) {
+                                        const BlockSimOptions& opts,
+                                        const exec::ParallelOptions& par) {
+  std::vector<SystemSimResult> results(replications);
+  exec::parallel_for(
+      replications,
+      [&](std::size_t r) {
+        results[r] =
+            simulate_system(model, horizon, base_seed + 0x1000 * (r + 1), opts);
+      },
+      par);
   ReplicatedSystemResult out;
-  for (std::size_t r = 0; r < replications; ++r) {
-    const SystemSimResult one =
-        simulate_system(model, horizon, base_seed + 0x1000 * (r + 1), opts);
+  for (const SystemSimResult& one : results) {
     out.availability.add(one.availability());
     out.downtime_minutes.add(one.downtime_minutes());
     out.outages.add(static_cast<double>(one.outages));

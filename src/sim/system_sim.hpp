@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/parallel.hpp"
 #include "sim/block_sim.hpp"
 #include "sim/stats.hpp"
 #include "spec/ast.hpp"
@@ -55,10 +56,14 @@ struct ReplicatedSystemResult {
   SampleStats outages;
 };
 
+/// Replications run in parallel (`par`) with deterministic per-replication
+/// seeding and index-ordered accumulation: bit-identical statistics for
+/// every thread count.
 ReplicatedSystemResult replicate_system(const spec::ModelSpec& model,
                                         double horizon,
                                         std::size_t replications,
                                         std::uint64_t base_seed,
-                                        const BlockSimOptions& opts = {});
+                                        const BlockSimOptions& opts = {},
+                                        const exec::ParallelOptions& par = {});
 
 }  // namespace rascad::sim

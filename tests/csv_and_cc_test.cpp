@@ -1,6 +1,7 @@
 // Tests for the CSV exporters and the common-cause shock injection.
 #include <gtest/gtest.h>
 
+#include <iomanip>
 #include <sstream>
 
 #include "core/csv.hpp"
@@ -61,6 +62,41 @@ TEST(Csv, ImportanceTable) {
   const std::string csv = rascad::core::importance_csv(imps);
   EXPECT_EQ(count_lines(csv), 1u + imps.size());
   EXPECT_NE(csv.find("criticality"), std::string::npos);
+}
+
+TEST(Csv, WritersRestoreStreamState) {
+  // Regression: the writers raise the stream precision to 12 and used to
+  // leave it that way, corrupting whatever the caller printed next.
+  const auto system = SystemModel::build(
+      rascad::core::library::entry_server());
+  const auto points = rascad::core::sweep_block_parameter(
+      system.spec(), "Entry Server", "Boot Disk",
+      [](rascad::spec::BlockSpec& b, double v) { b.mtbf_h = v; }, {1e5, 2e5});
+  const auto imps = rascad::core::block_importance(system);
+  const rascad::linalg::Vector curve{1.0, 0.9, 0.8};
+
+  const auto expect_state_preserved = [](auto&& write) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(3);
+    const auto flags_before = os.flags();
+    const auto precision_before = os.precision();
+    write(os);
+    EXPECT_EQ(os.flags(), flags_before);
+    EXPECT_EQ(os.precision(), precision_before);
+    // The caller's formatting still applies after the writer returns.
+    os.str("");
+    os << 1.23456789;
+    EXPECT_EQ(os.str(), "1.235");
+  };
+
+  expect_state_preserved(
+      [&](std::ostream& os) { rascad::core::write_sweep_csv(os, points); });
+  expect_state_preserved(
+      [&](std::ostream& os) { rascad::core::write_curve_csv(os, curve, 10.0); });
+  expect_state_preserved(
+      [&](std::ostream& os) { rascad::core::write_blocks_csv(os, system); });
+  expect_state_preserved(
+      [&](std::ostream& os) { rascad::core::write_importance_csv(os, imps); });
 }
 
 // ---- Common-cause shocks ----------------------------------------------------

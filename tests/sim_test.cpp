@@ -42,6 +42,45 @@ TEST(Rng, DeterministicAndUniform) {
   EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
 }
 
+TEST(Rng, StreamSeedsAreDecorrelated) {
+  // Regression: the stream constructor used to derive seeds with a linear
+  // mix (seed ^ GOLDEN*(stream+1)), leaving nearby streams correlated. The
+  // splitmix64 hash must give adjacent streams unrelated first outputs.
+  Xoshiro256 reference(123, 0);
+  Xoshiro256 replay(123, 0);
+  EXPECT_EQ(reference.next_u64(), replay.next_u64());  // reproducible
+
+  std::vector<std::uint64_t> firsts;
+  for (std::uint64_t s = 0; s < 64; ++s) {
+    Xoshiro256 rng(123, s);
+    firsts.push_back(rng.next_u64());
+  }
+  for (std::size_t i = 0; i < firsts.size(); ++i) {
+    for (std::size_t j = i + 1; j < firsts.size(); ++j) {
+      ASSERT_NE(firsts[i], firsts[j]) << "streams " << i << " and " << j;
+    }
+  }
+
+  // Avalanche: flipping the stream index by one should flip roughly half
+  // of the first output's bits on average.
+  double popcount_sum = 0.0;
+  for (std::uint64_t s = 0; s < 256; ++s) {
+    Xoshiro256 a(99, s);
+    Xoshiro256 b(99, s + 1);
+    popcount_sum +=
+        static_cast<double>(__builtin_popcountll(a.next_u64() ^ b.next_u64()));
+  }
+  const double mean_flips = popcount_sum / 256.0;
+  EXPECT_GT(mean_flips, 24.0);
+  EXPECT_LT(mean_flips, 40.0);
+}
+
+TEST(Rng, StreamZeroDiffersFromPlainSeed) {
+  Xoshiro256 plain(123);
+  Xoshiro256 stream0(123, 0);
+  EXPECT_NE(plain.next_u64(), stream0.next_u64());
+}
+
 TEST(Rng, UniformBelowIsInRange) {
   Xoshiro256 rng(9);
   for (int i = 0; i < 1000; ++i) {
@@ -109,6 +148,45 @@ TEST(ChainSim, RecordsDownIntervals) {
     total += iv.end - iv.start;
   }
   EXPECT_NEAR(total, result.down_time, 1e-9);
+}
+
+TEST(ChainSim, StartingDownCountsAsDownEntry) {
+  // Regression: a trajectory that starts in a down state used to record
+  // the initial down interval without counting it in down_entries, so the
+  // two bookkeeping views disagreed.
+  rascad::markov::CtmcBuilder b;
+  const auto up = b.add_state("Up", 1.0);
+  const auto down = b.add_state("Down", 0.0);
+  b.add_transition(up, down, 0.1);
+  b.add_transition(down, up, 2.0);
+  Xoshiro256 rng(11);
+  const auto result =
+      rascad::sim::simulate_chain(b.build(), down, 10'000.0, rng, true);
+  EXPECT_GE(result.down_entries, 1u);
+  EXPECT_EQ(result.down_intervals.size(), result.down_entries);
+  ASSERT_FALSE(result.down_intervals.empty());
+  EXPECT_EQ(result.down_intervals.front().start, 0.0);
+  double total = 0.0;
+  for (const auto& iv : result.down_intervals) total += iv.end - iv.start;
+  EXPECT_NEAR(total, result.down_time, 1e-9);
+}
+
+TEST(ChainSim, AbsorbingStartInDownStateIsOneEntry) {
+  // A chain that starts (and stays) down: exactly one down entry and one
+  // interval covering the whole horizon.
+  rascad::markov::CtmcBuilder b;
+  b.add_state("Up", 1.0);
+  const auto dead = b.add_state("Dead", 0.0);
+  b.add_transition(0, dead, 1.0);
+  Xoshiro256 rng(12);
+  const auto result =
+      rascad::sim::simulate_chain(b.build(), dead, 50.0, rng, true);
+  EXPECT_EQ(result.down_entries, 1u);
+  ASSERT_EQ(result.down_intervals.size(), 1u);
+  EXPECT_EQ(result.down_intervals.front().start, 0.0);
+  EXPECT_EQ(result.down_intervals.front().end, 50.0);
+  EXPECT_EQ(result.up_time, 0.0);
+  EXPECT_NEAR(result.down_time, 50.0, 1e-12);
 }
 
 TEST(ChainSim, AbsorbingChainStopsAccumulating) {
