@@ -1,0 +1,33 @@
+#include "cache/signature.hpp"
+
+#include <bit>
+
+namespace rascad::cache {
+
+namespace {
+
+/// splitmix64 finalizer: a cheap full-avalanche mix so sequential words
+/// land in different shards/buckets even when they differ in one bit.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void Signature::append_word(std::uint64_t w) {
+  words_.push_back(w);
+  hash_ = mix(hash_ ^ w) + 0x100000001b3ull * words_.size();
+}
+
+void Signature::append_double(double v) {
+  append_word(v == 0.0 ? 0 : std::bit_cast<std::uint64_t>(v));
+}
+
+void Signature::append(const Signature& other) {
+  for (std::uint64_t w : other.words_) append_word(w);
+}
+
+}  // namespace rascad::cache

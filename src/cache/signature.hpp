@@ -1,0 +1,47 @@
+// Canonical bit-exact cache keys for memoized block solves.
+//
+// A Signature is an append-only sequence of 64-bit words plus an
+// incrementally maintained mixing hash. Producers append every quantity
+// that reaches a computation (doubles by IEEE-754 bit pattern, so keys are
+// bit-exact: two parameter sets hash equal only if the downstream
+// arithmetic is identical). Equality compares the full word sequence, so
+// two distinct keys can never alias a cache entry — the hash only selects
+// shards and hash-table buckets, and a hash collision degrades to a
+// compare, never to a wrong answer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rascad::cache {
+
+class Signature {
+ public:
+  void append_word(std::uint64_t w);
+  /// Raw IEEE-754 bits; +0.0 and -0.0 are unified (they are numerically
+  /// interchangeable in every rate expression the generator evaluates).
+  void append_double(double v);
+  void append_flag(bool b) { append_word(b ? 1u : 0u); }
+  /// Appends another signature's words (used to extend a chain signature
+  /// with solver-configuration words).
+  void append(const Signature& other);
+
+  std::uint64_t hash() const noexcept { return hash_; }
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+  std::size_t size() const noexcept { return words_.size(); }
+
+  bool operator==(const Signature&) const = default;
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::uint64_t hash_ = 0x9e3779b97f4a7c15ull;
+};
+
+struct SignatureHash {
+  std::size_t operator()(const Signature& s) const noexcept {
+    return static_cast<std::size_t>(s.hash());
+  }
+};
+
+}  // namespace rascad::cache

@@ -1,0 +1,109 @@
+#include "cache/solve_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rascad::cache {
+
+template <typename Value>
+std::optional<Value> SolveCache::Table<Value>::find(const Signature& key) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    ++s.misses;
+    return std::nullopt;
+  }
+  ++s.hits;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);
+  return it->second->value;
+}
+
+template <typename Value>
+void SolveCache::Table<Value>::put(const Signature& key, Value value) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    // Concurrent miss on the same key: the late writer's value is
+    // bit-identical, so overwriting just refreshes recency.
+    it->second->value = std::move(value);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  s.lru.push_front(Node{key, std::move(value)});
+  s.index.emplace(key, s.lru.begin());
+  ++s.insertions;
+  while (s.lru.size() > per_shard_) {
+    s.index.erase(s.lru.back().key);
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+}
+
+template <typename Value>
+CacheCounters SolveCache::Table<Value>::counters() const {
+  CacheCounters out;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.insertions += s.insertions;
+    out.evictions += s.evictions;
+    out.entries += s.lru.size();
+  }
+  return out;
+}
+
+template <typename Value>
+void SolveCache::Table<Value>::clear() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.lru.clear();
+    s.index.clear();
+    s.hits = s.misses = s.insertions = s.evictions = 0;
+  }
+}
+
+SolveCache::SolveCache(std::size_t block_capacity, std::size_t curve_capacity)
+    : block_capacity_(std::max<std::size_t>(block_capacity, 1)),
+      curve_capacity_(std::max<std::size_t>(curve_capacity, 1)) {
+  blocks_.set_capacity(std::max<std::size_t>(1, block_capacity_ / kShards));
+  curves_.set_capacity(std::max<std::size_t>(1, curve_capacity_ / kShards));
+}
+
+std::optional<CachedBlockSolve> SolveCache::find_block(const Signature& key) {
+  return blocks_.find(key);
+}
+
+void SolveCache::put_block(const Signature& key,
+                           const CachedBlockSolve& value) {
+  blocks_.put(key, value);
+}
+
+std::shared_ptr<const linalg::Vector> SolveCache::find_curve(
+    const Signature& key) {
+  auto found = curves_.find(key);
+  return found ? std::move(*found) : nullptr;
+}
+
+void SolveCache::put_curve(const Signature& key,
+                           std::shared_ptr<const linalg::Vector> curve) {
+  curves_.put(key, std::move(curve));
+}
+
+CacheCounters SolveCache::block_counters() const { return blocks_.counters(); }
+
+CacheCounters SolveCache::curve_counters() const { return curves_.counters(); }
+
+void SolveCache::clear() {
+  blocks_.clear();
+  curves_.clear();
+}
+
+SolveCache& SolveCache::global() {
+  static SolveCache* cache = new SolveCache();  // leaked: outlives all users
+  return *cache;
+}
+
+}  // namespace rascad::cache

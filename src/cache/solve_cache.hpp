@@ -1,0 +1,135 @@
+// Memoized block solves: a thread-safe, sharded, bounded-LRU table from
+// canonical chain signatures (signature.hpp) to solved block results.
+//
+// The table exists because real models repeat themselves: hierarchies
+// contain parameter-identical blocks, sweeps re-solve a model in which all
+// but one block is unchanged, and sensitivity probes perturb one parameter
+// at a time. A hit returns the exact chain, stationary vector, and
+// measures the producing solve computed — results are bit-identical with
+// and without the cache because a signature match guarantees the generator
+// and solver would have performed the identical arithmetic.
+//
+// Concurrency: keys are striped over fixed shards by hash, each shard a
+// mutex + LRU list + hash map. Lookups and inserts from exec::parallel_for
+// workers contend only within a shard. Concurrent misses on one key may
+// both compute; whoever inserts second simply overwrites with bit-identical
+// content, so determinism is unaffected (only the hit/miss counters are
+// scheduling-dependent).
+//
+// Interaction with the resilience ladder: a cached entry stores the
+// SolveTrace of the ladder episode that produced it, so resilience
+// reporting stays honest — consumers re-label the trace's provenance
+// (SolveSource::kCacheHit) without discarding the original attempts.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "cache/signature.hpp"
+#include "linalg/dense.hpp"
+#include "markov/ctmc.hpp"
+#include "resilience/resilience.hpp"
+
+namespace rascad::cache {
+
+/// One memoized block solve: everything SystemModel needs to assemble a
+/// BlockEntry without generating or solving anything.
+struct CachedBlockSolve {
+  std::shared_ptr<const markov::Ctmc> chain;
+  markov::StateIndex initial = 0;
+  std::shared_ptr<const linalg::Vector> pi;  // stationary vector
+  double availability = 1.0;
+  double eq_failure_rate = 0.0;
+  /// Ladder episode of the solve that filled this entry.
+  resilience::SolveTrace trace;
+};
+
+/// Aggregate counters for one table (blocks or curves).
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+
+  double hit_rate() const noexcept {
+    const double total = static_cast<double>(hits + misses);
+    return total > 0.0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+class SolveCache {
+ public:
+  static constexpr std::size_t kShards = 16;
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// Capacities are totals across shards (floored at one entry per shard).
+  explicit SolveCache(std::size_t block_capacity = kDefaultCapacity,
+                      std::size_t curve_capacity = kDefaultCapacity);
+
+  /// Block-solve table. find_block marks the entry most-recently-used.
+  std::optional<CachedBlockSolve> find_block(const Signature& key);
+  void put_block(const Signature& key, const CachedBlockSolve& value);
+
+  /// Sampled-curve table (reward / survival curves keyed by chain
+  /// signature + curve kind + horizon + step count).
+  std::shared_ptr<const linalg::Vector> find_curve(const Signature& key);
+  void put_curve(const Signature& key,
+                 std::shared_ptr<const linalg::Vector> curve);
+
+  CacheCounters block_counters() const;
+  CacheCounters curve_counters() const;
+
+  /// Drops every entry; counters are reset too.
+  void clear();
+
+  std::size_t block_capacity() const noexcept { return block_capacity_; }
+  std::size_t curve_capacity() const noexcept { return curve_capacity_; }
+
+  /// Process-global instance used by default SystemModel options.
+  static SolveCache& global();
+
+ private:
+  template <typename Value>
+  class Table {
+   public:
+    void set_capacity(std::size_t per_shard) { per_shard_ = per_shard; }
+    std::optional<Value> find(const Signature& key);
+    void put(const Signature& key, Value value);
+    CacheCounters counters() const;
+    void clear();
+
+   private:
+    struct Node {
+      Signature key;
+      Value value;
+    };
+    struct Shard {
+      mutable std::mutex mutex;
+      std::list<Node> lru;  // front = most recently used
+      std::unordered_map<Signature, typename std::list<Node>::iterator,
+                         SignatureHash>
+          index;
+      std::uint64_t hits = 0;
+      std::uint64_t misses = 0;
+      std::uint64_t insertions = 0;
+      std::uint64_t evictions = 0;
+    };
+    Shard& shard_for(const Signature& key) {
+      return shards_[key.hash() % kShards];
+    }
+    std::size_t per_shard_ = 1;
+    Shard shards_[kShards];
+  };
+
+  std::size_t block_capacity_;
+  std::size_t curve_capacity_;
+  Table<CachedBlockSolve> blocks_;
+  Table<std::shared_ptr<const linalg::Vector>> curves_;
+};
+
+}  // namespace rascad::cache

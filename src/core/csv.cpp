@@ -44,11 +44,15 @@ std::string csv_field(const std::string& s) {
 
 void write_sweep_csv(std::ostream& os, const std::vector<SweepPoint>& points) {
   StreamStateGuard guard(os);
-  os << "value,availability,yearly_downtime_min,eq_failure_rate\n";
+  os << "value,availability,yearly_downtime_min,eq_failure_rate,"
+        "solve_source,fresh_blocks,cached_blocks,reused_blocks,"
+        "solve_iterations\n";
   os << std::setprecision(12);
   for (const auto& p : points) {
     os << p.value << ',' << p.availability << ',' << p.yearly_downtime_min
-       << ',' << p.eq_failure_rate << '\n';
+       << ',' << p.eq_failure_rate << ',' << csv_field(p.solve_source) << ','
+       << p.fresh_blocks << ',' << p.cached_blocks << ',' << p.reused_blocks
+       << ',' << p.solve_iterations << '\n';
   }
 }
 
@@ -80,13 +84,15 @@ std::string curve_csv(const linalg::Vector& curve, double horizon) {
 void write_blocks_csv(std::ostream& os, const mg::SystemModel& system) {
   StreamStateGuard guard(os);
   os << "diagram,block,quantity,min_quantity,model_type,states,availability,"
-        "yearly_downtime_min\n";
+        "yearly_downtime_min,solve_source,solve_iterations\n";
   os << std::setprecision(12);
   for (const auto& b : system.blocks()) {
     os << csv_field(b.diagram) << ',' << csv_field(b.block.name) << ','
        << b.block.quantity << ',' << b.block.min_quantity << ','
        << csv_field(mg::to_string(b.type)) << ',' << b.chain->size() << ','
-       << b.availability << ',' << b.yearly_downtime_min << '\n';
+       << b.availability << ',' << b.yearly_downtime_min << ','
+       << csv_field(resilience::to_string(b.solve_trace.source)) << ','
+       << b.solve_trace.total_iterations() << '\n';
   }
 }
 
@@ -99,12 +105,13 @@ std::string blocks_csv(const mg::SystemModel& system) {
 void write_importance_csv(std::ostream& os,
                           const std::vector<BlockImportance>& imps) {
   StreamStateGuard guard(os);
-  os << "diagram,block,availability,birnbaum,criticality,raw,rrw\n";
+  os << "diagram,block,availability,birnbaum,criticality,raw,rrw,"
+        "solve_source\n";
   os << std::setprecision(12);
   for (const auto& i : imps) {
     os << csv_field(i.diagram) << ',' << csv_field(i.block) << ','
        << i.availability << ',' << i.birnbaum << ',' << i.criticality << ','
-       << i.raw << ',' << i.rrw << '\n';
+       << i.raw << ',' << i.rrw << ',' << csv_field(i.solve_source) << '\n';
   }
 }
 

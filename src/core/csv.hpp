@@ -13,7 +13,8 @@
 
 namespace rascad::core {
 
-/// Sweep series: value,availability,yearly_downtime_min,eq_failure_rate.
+/// Sweep series: value,availability,yearly_downtime_min,eq_failure_rate,
+/// solve_source,fresh_blocks,cached_blocks,reused_blocks,solve_iterations.
 void write_sweep_csv(std::ostream& os, const std::vector<SweepPoint>& points);
 std::string sweep_csv(const std::vector<SweepPoint>& points);
 
@@ -24,12 +25,12 @@ std::string curve_csv(const linalg::Vector& curve, double horizon);
 
 /// Per-block summary of a solved system:
 /// diagram,block,quantity,min_quantity,model_type,states,availability,
-/// yearly_downtime_min.
+/// yearly_downtime_min,solve_source,solve_iterations.
 void write_blocks_csv(std::ostream& os, const mg::SystemModel& system);
 std::string blocks_csv(const mg::SystemModel& system);
 
 /// Importance table:
-/// diagram,block,availability,birnbaum,criticality,raw,rrw.
+/// diagram,block,availability,birnbaum,criticality,raw,rrw,solve_source.
 void write_importance_csv(std::ostream& os,
                           const std::vector<BlockImportance>& imps);
 std::string importance_csv(const std::vector<BlockImportance>& imps);

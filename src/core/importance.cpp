@@ -9,17 +9,6 @@
 
 namespace rascad::core {
 
-namespace {
-
-double block_availability(const spec::BlockSpec& block,
-                          const spec::GlobalParams& globals) {
-  const auto model = mg::generate(block, globals);
-  const auto r = markov::solve_steady_state(model.chain);
-  return markov::expected_reward(model.chain, r.pi);
-}
-
-}  // namespace
-
 std::vector<BlockImportance> block_importance(const mg::SystemModel& system,
                                               const exec::ParallelOptions& par) {
   const double a_sys = system.availability();
@@ -35,6 +24,8 @@ std::vector<BlockImportance> block_importance(const mg::SystemModel& system,
         imp.block = entry.block.name;
         imp.availability = entry.availability;
         imp.yearly_downtime_min = entry.yearly_downtime_min;
+        imp.solve_source = resilience::to_string(entry.solve_trace.source);
+        imp.solve_iterations = entry.solve_trace.total_iterations();
         const double a_perfect = system.availability_with_override(
             entry.diagram, entry.block.name, 1.0);
         const double a_failed = system.availability_with_override(
@@ -64,6 +55,23 @@ std::vector<ParameterSensitivity> parameter_sensitivity(
   }
   const spec::GlobalParams& globals = system.spec().globals;
 
+  // Perturbed probes go through the same memoized block solver the system
+  // build used: symmetric perturbations shared across blocks (and repeat
+  // sensitivity runs) hit the memo table instead of re-solving, and every
+  // probe is solved by the identical resilience ladder, so elasticities
+  // are bit-identical with and without the cache.
+  const mg::SystemModel::Options& mopts = system.options();
+  const resilience::ResilienceConfig probe_config =
+      mopts.resilience ? *mopts.resilience
+                       : resilience::config_from(mopts.steady);
+  const cache::Signature probe_solver_sig = mg::solver_signature(probe_config);
+  const auto block_availability = [&](const std::string& diagram,
+                                      const spec::BlockSpec& block) {
+    return mg::solve_block_cached(diagram, block, globals, probe_config,
+                                  probe_solver_sig, mopts.cache)
+        .availability;
+  };
+
   // ln U_sys with one block's availability replaced.
   const auto log_u_with = [&](const mg::SystemModel::BlockEntry& entry,
                               double block_availability_value) {
@@ -83,8 +91,10 @@ std::vector<ParameterSensitivity> parameter_sensitivity(
       spec::BlockSpec hi = entry.block;
       set_param(lo, base * (1.0 - relative_step));
       set_param(hi, base * (1.0 + relative_step));
-      const double u_lo = log_u_with(entry, block_availability(lo, globals));
-      const double u_hi = log_u_with(entry, block_availability(hi, globals));
+      const double u_lo =
+          log_u_with(entry, block_availability(entry.diagram, lo));
+      const double u_hi =
+          log_u_with(entry, block_availability(entry.diagram, hi));
       return (u_hi - u_lo) / (std::log(1.0 + relative_step) -
                               std::log(1.0 - relative_step));
     };

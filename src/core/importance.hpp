@@ -32,6 +32,11 @@ struct BlockImportance {
   double rrw = 0.0;
   /// The block's own yearly downtime contribution (minutes).
   double yearly_downtime_min = 0.0;
+  /// Provenance of the block's steady-state solve in the analysed system
+  /// ("fresh", "cache-hit", or "baseline-reuse") — see resilience::SolveSource.
+  std::string solve_source = "fresh";
+  /// Solver iterations the producing ladder episode spent on this block.
+  std::size_t solve_iterations = 0;
 };
 
 /// Importance of every chain-bearing block, sorted by descending

@@ -2,30 +2,80 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace rascad::core {
 
 namespace {
 
-SweepPoint solve_point(const spec::ModelSpec& model, double value) {
-  const mg::SystemModel system = mg::SystemModel::build(model);
+/// Tallies a solved system into a SweepPoint, including the per-block
+/// solve provenance recorded on each SolveTrace.
+SweepPoint summarize(const mg::SystemModel& system, double value) {
   SweepPoint p;
   p.value = value;
   p.availability = system.availability();
   p.yearly_downtime_min = system.yearly_downtime_min();
   p.eq_failure_rate = system.eq_failure_rate();
+  for (const auto& entry : system.blocks()) {
+    switch (entry.solve_trace.source) {
+      case resilience::SolveSource::kFresh:
+        ++p.fresh_blocks;
+        p.solve_iterations += entry.solve_trace.total_iterations();
+        break;
+      case resilience::SolveSource::kCacheHit:
+        ++p.cached_blocks;
+        break;
+      case resilience::SolveSource::kBaselineReuse:
+        ++p.reused_blocks;
+        break;
+    }
+  }
+  if (p.fresh_blocks == 0 && p.cached_blocks == 0) {
+    p.solve_source = "baseline";
+  } else if (p.fresh_blocks == 0) {
+    p.solve_source = "cache";
+  } else {
+    p.solve_source = "fresh";
+  }
   return p;
 }
 
-spec::BlockSpec* find_block(spec::ModelSpec& model, const std::string& diagram,
-                            const std::string& block) {
-  for (auto& d : model.diagrams) {
-    if (d.name != diagram) continue;
-    for (auto& b : d.blocks) {
-      if (b.name == block) return &b;
-    }
+/// Shared driver: `mutate_model` applies one sweep value to a spec copy.
+std::vector<SweepPoint> run_sweep(
+    const spec::ModelSpec& base,
+    const std::function<void(spec::ModelSpec&, double)>& mutate_model,
+    const std::vector<double>& values, const SweepOptions& opts) {
+  std::vector<SweepPoint> points(values.size());
+  if (opts.incremental) {
+    // One full solve of the base spec; every point then re-solves only the
+    // blocks its mutation dirties (signature diff inside rebuild). The
+    // baseline is read-only here, so points still run in parallel.
+    const mg::SystemModel baseline =
+        mg::SystemModel::build(base, opts.model);
+    exec::parallel_for(
+        values.size(),
+        [&](std::size_t i) {
+          spec::ModelSpec model = base;
+          mutate_model(model, values[i]);
+          points[i] = summarize(
+              mg::SystemModel::rebuild(baseline, std::move(model),
+                                       opts.model),
+              values[i]);
+        },
+        opts.parallel);
+  } else {
+    exec::parallel_for(
+        values.size(),
+        [&](std::size_t i) {
+          spec::ModelSpec model = base;
+          mutate_model(model, values[i]);
+          points[i] = summarize(
+              mg::SystemModel::build(std::move(model), opts.model),
+              values[i]);
+        },
+        opts.parallel);
   }
-  return nullptr;
+  return points;
 }
 
 }  // namespace
@@ -33,45 +83,51 @@ spec::BlockSpec* find_block(spec::ModelSpec& model, const std::string& diagram,
 std::vector<SweepPoint> sweep_block_parameter(
     const spec::ModelSpec& base, const std::string& diagram,
     const std::string& block, const BlockMutator& mutate,
-    const std::vector<double>& values, const exec::ParallelOptions& par) {
+    const std::vector<double>& values, const SweepOptions& opts) {
   if (!mutate) {
     throw std::invalid_argument("sweep_block_parameter: null mutator");
   }
-  {
-    spec::ModelSpec probe = base;
-    if (!find_block(probe, diagram, block)) {
-      throw std::invalid_argument("sweep_block_parameter: no block '" + block +
-                                  "' in diagram '" + diagram + "'");
-    }
+  if (!base.find_block(diagram, block)) {
+    throw std::invalid_argument("sweep_block_parameter: no block '" + block +
+                                "' in diagram '" + diagram + "'");
   }
-  std::vector<SweepPoint> points(values.size());
-  exec::parallel_for(
-      values.size(),
-      [&](std::size_t i) {
-        spec::ModelSpec model = base;
-        mutate(*find_block(model, diagram, block), values[i]);
-        points[i] = solve_point(model, values[i]);
+  return run_sweep(
+      base,
+      [&](spec::ModelSpec& model, double value) {
+        mutate(*model.find_block(diagram, block), value);
       },
-      par);
-  return points;
+      values, opts);
+}
+
+std::vector<SweepPoint> sweep_block_parameter(
+    const spec::ModelSpec& base, const std::string& diagram,
+    const std::string& block, const BlockMutator& mutate,
+    const std::vector<double>& values, const exec::ParallelOptions& par) {
+  SweepOptions opts;
+  opts.parallel = par;
+  return sweep_block_parameter(base, diagram, block, mutate, values, opts);
+}
+
+std::vector<SweepPoint> sweep_global_parameter(
+    const spec::ModelSpec& base, const GlobalMutator& mutate,
+    const std::vector<double>& values, const SweepOptions& opts) {
+  if (!mutate) {
+    throw std::invalid_argument("sweep_global_parameter: null mutator");
+  }
+  return run_sweep(
+      base,
+      [&](spec::ModelSpec& model, double value) {
+        mutate(model.globals, value);
+      },
+      values, opts);
 }
 
 std::vector<SweepPoint> sweep_global_parameter(
     const spec::ModelSpec& base, const GlobalMutator& mutate,
     const std::vector<double>& values, const exec::ParallelOptions& par) {
-  if (!mutate) {
-    throw std::invalid_argument("sweep_global_parameter: null mutator");
-  }
-  std::vector<SweepPoint> points(values.size());
-  exec::parallel_for(
-      values.size(),
-      [&](std::size_t i) {
-        spec::ModelSpec model = base;
-        mutate(model.globals, values[i]);
-        points[i] = solve_point(model, values[i]);
-      },
-      par);
-  return points;
+  SweepOptions opts;
+  opts.parallel = par;
+  return sweep_global_parameter(base, mutate, values, opts);
 }
 
 std::vector<double> linspace(double lo, double hi, std::size_t n) {

@@ -18,6 +18,29 @@ struct SweepPoint {
   double availability = 1.0;
   double yearly_downtime_min = 0.0;
   double eq_failure_rate = 0.0;
+  /// Dominant provenance of this point's block solves: "baseline" when
+  /// every block was reused from the incremental baseline, "cache" when
+  /// everything else came from the memo table, "fresh" when at least one
+  /// chain was generated and solved from scratch. Informational — the
+  /// numeric series above is bit-identical regardless of provenance.
+  std::string solve_source = "fresh";
+  std::size_t fresh_blocks = 0;   // generated + solved this point
+  std::size_t cached_blocks = 0;  // served from the memo table
+  std::size_t reused_blocks = 0;  // carried over from the baseline model
+  /// Total solver iterations actually spent on this point (sum over the
+  /// fresh solves' ladder attempts; 0 for a fully reused point).
+  std::size_t solve_iterations = 0;
+};
+
+/// Knobs for the sweep drivers. `model` flows into every SystemModel
+/// build/rebuild (solver ladder, curve steps, memo cache); `incremental`
+/// selects the rebuild path: solve the base spec once, then re-solve only
+/// the blocks each sweep value actually dirties. Both paths produce
+/// bit-identical series — incremental only changes how much work is done.
+struct SweepOptions {
+  exec::ParallelOptions parallel;
+  mg::SystemModel::Options model;
+  bool incremental = true;
 };
 
 /// Mutator applied to the targeted block for each sweep value.
@@ -36,10 +59,19 @@ using GlobalMutator = std::function<void(spec::GlobalParams&, double)>;
 std::vector<SweepPoint> sweep_block_parameter(
     const spec::ModelSpec& base, const std::string& diagram,
     const std::string& block, const BlockMutator& mutate,
+    const std::vector<double>& values, const SweepOptions& opts);
+std::vector<SweepPoint> sweep_block_parameter(
+    const spec::ModelSpec& base, const std::string& diagram,
+    const std::string& block, const BlockMutator& mutate,
     const std::vector<double>& values, const exec::ParallelOptions& par = {});
 
 /// Sweeps a global parameter over all values. Same parallelism and
-/// determinism contract as sweep_block_parameter.
+/// determinism contract as sweep_block_parameter. On the incremental path
+/// a global edit re-solves only the blocks whose derived rates it reaches
+/// (signature masking); blocks it cannot affect are baseline reuses.
+std::vector<SweepPoint> sweep_global_parameter(
+    const spec::ModelSpec& base, const GlobalMutator& mutate,
+    const std::vector<double>& values, const SweepOptions& opts);
 std::vector<SweepPoint> sweep_global_parameter(
     const spec::ModelSpec& base, const GlobalMutator& mutate,
     const std::vector<double>& values, const exec::ParallelOptions& par = {});

@@ -660,4 +660,126 @@ GeneratedModel generate(const spec::BlockSpec& block,
   return RedundantChainBuilder(block, d, options.reward).build();
 }
 
+cache::Signature chain_signature(const spec::BlockSpec& block,
+                                 const spec::GlobalParams& globals,
+                                 const GenerationOptions& options) {
+  const MarkovModelType type = classify(block);
+  DerivedRates d = derive_rates(block, globals);
+  const bool has_perm = d.lambda_p > 0.0;
+  const bool has_trans = d.lambda_t > 0.0;
+
+  double pcd = block.p_correct_diagnosis;
+  double plf = block.p_latent_fault;
+  double pspf = block.p_spf;
+  double pfo = block.p_failover;
+  bool recovery_nt = block.recovery == Transparency::kNontransparent;
+  bool repair_nt = block.repair == Transparency::kNontransparent;
+
+  // Mask every input the generator provably ignores for this chain family
+  // to a canonical value, mirroring the guards in the generate_* paths
+  // above. Masking an input the family *does* read would alias two
+  // different chains, so each rule here corresponds to an explicit gate in
+  // the generator. Keeping an unused input costs only a missed reuse.
+  switch (type) {
+    case MarkovModelType::kType0:
+      // generate_type0 has no redundancy structure at all.
+      plf = 0.0;
+      pspf = 0.0;
+      pfo = 1.0;
+      recovery_nt = false;
+      repair_nt = false;
+      d.mttm_h = 0.0;
+      d.ar_time_h = 0.0;
+      d.t_spf_h = 0.0;
+      d.reint_h = 0.0;
+      d.mttdlf_h = 0.0;
+      d.failover_h = 0.0;
+      if (!has_perm) {
+        pcd = 1.0;
+        d.mttr_h = 0.0;
+        d.t_resp_h = 0.0;
+      }
+      if (!has_perm || pcd >= 1.0) d.mttrfid_h = 0.0;
+      if (!has_trans) d.t_boot_h = 0.0;
+      break;
+    case MarkovModelType::kPrimaryStandby: {
+      plf = 0.0;
+      pspf = 0.0;
+      recovery_nt = false;
+      d.ar_time_h = 0.0;
+      d.mttdlf_h = 0.0;
+      // Tspf / Tboot feed the stuck-failover dwell only when failover can
+      // get stuck; Tboot additionally feeds every transient reboot.
+      const bool stuck = d.failover_h > 0.0 && pfo < 1.0;
+      const bool stuck_uses_boot = stuck && d.t_spf_h <= 0.0;
+      if (!stuck) d.t_spf_h = 0.0;
+      if (!has_trans && !stuck_uses_boot) d.t_boot_h = 0.0;
+      if (!(d.failover_h > 0.0)) pfo = 1.0;
+      if (!has_perm) {
+        pcd = 1.0;
+        repair_nt = false;
+        d.mttr_h = 0.0;
+        d.t_resp_h = 0.0;
+        d.mttm_h = 0.0;
+        d.reint_h = 0.0;
+      } else if (!repair_nt) {
+        d.reint_h = 0.0;
+      }
+      if (!has_perm || pcd >= 1.0) d.mttrfid_h = 0.0;
+      break;
+    }
+    default:  // symmetric redundant, Types 1-4
+      pfo = 1.0;
+      d.failover_h = 0.0;
+      if (!has_perm) {
+        // generate_transient_only_redundant: Ok / SPF / TF only.
+        pcd = 1.0;
+        plf = 0.0;
+        repair_nt = false;
+        d.mttr_h = 0.0;
+        d.t_resp_h = 0.0;
+        d.mttm_h = 0.0;
+        d.mttrfid_h = 0.0;
+        d.ar_time_h = 0.0;
+        d.reint_h = 0.0;
+        d.mttdlf_h = 0.0;
+        if (pspf <= 0.0) d.t_spf_h = 0.0;
+        if (!recovery_nt) d.t_boot_h = 0.0;  // transparent masks reboots
+      } else {
+        if (plf <= 0.0) d.mttdlf_h = 0.0;
+        if (!recovery_nt) d.ar_time_h = 0.0;
+        if (!repair_nt) d.reint_h = 0.0;
+        if (pspf <= 0.0) d.t_spf_h = 0.0;
+        if (pcd >= 1.0) d.mttrfid_h = 0.0;
+        if (!has_trans) d.t_boot_h = 0.0;
+      }
+      break;
+  }
+
+  cache::Signature s;
+  s.append_word(static_cast<std::uint64_t>(type));
+  s.append_word(block.quantity);
+  s.append_word(block.min_quantity);
+  s.append_double(d.lambda_p);
+  s.append_double(d.lambda_t);
+  s.append_double(d.mttr_h);
+  s.append_double(d.t_resp_h);
+  s.append_double(d.mttm_h);
+  s.append_double(d.mttrfid_h);
+  s.append_double(d.t_boot_h);
+  s.append_double(d.ar_time_h);
+  s.append_double(d.t_spf_h);
+  s.append_double(d.reint_h);
+  s.append_double(d.mttdlf_h);
+  s.append_double(d.failover_h);
+  s.append_double(pcd);
+  s.append_double(plf);
+  s.append_double(pspf);
+  s.append_double(pfo);
+  s.append_flag(recovery_nt);
+  s.append_flag(repair_nt);
+  s.append_word(static_cast<std::uint64_t>(options.reward));
+  return s;
+}
+
 }  // namespace rascad::mg

@@ -19,6 +19,7 @@
 
 #include <string>
 
+#include "cache/signature.hpp"
 #include "markov/ctmc.hpp"
 #include "spec/ast.hpp"
 
@@ -98,5 +99,19 @@ GeneratedModel generate(const spec::BlockSpec& block,
                         const GenerationOptions& options);
 GeneratedModel generate(const spec::BlockSpec& block,
                         const spec::GlobalParams& globals);
+
+/// Canonical bit-exact signature of the chain `generate` would emit:
+/// model family, (N, K), the DerivedRates, and the branching
+/// probabilities / transparencies — with every field the generator
+/// provably ignores for this family masked to a canonical value. Two
+/// blocks with equal signatures generate bit-identical chains (same
+/// states, rewards, and transition rates); editing a parameter — or a
+/// global — that does not reach a block's rates leaves its signature
+/// unchanged, which is what makes incremental rebuilds and global-sweep
+/// reuse precise. The masking rules are documented in docs/caching.md
+/// and asserted by cache_test.cpp.
+cache::Signature chain_signature(const spec::BlockSpec& block,
+                                 const spec::GlobalParams& globals,
+                                 const GenerationOptions& options = {});
 
 }  // namespace rascad::mg

@@ -102,22 +102,151 @@ void collect_chain_blocks(
   }
 }
 
+/// Composes the serial RBD from the solved block table in visit order.
+rbd::RbdNodePtr compose_tree(const spec::ModelSpec& spec,
+                             const std::vector<SystemModel::BlockEntry>& blocks) {
+  std::size_t cursor = 0;
+  TreeBuilder builder(
+      spec, [&blocks, &cursor](const spec::DiagramSpec&,
+                               const spec::BlockSpec& block) -> rbd::RbdNodePtr {
+        const SystemModel::BlockEntry& entry = blocks.at(cursor++);
+        return rbd::RbdNode::leaf(block.name, entry.availability);
+      });
+  return builder.build(spec.root());
+}
+
+resilience::ResilienceConfig resolve_config(const SystemModel::Options& opts) {
+  return opts.resilience ? *opts.resilience
+                         : resilience::config_from(opts.steady);
+}
+
+// Curve-kind discriminants for the sampled-curve memo key. A curve is a
+// pure function of the generated chain, so the chain signature (without
+// the solver words) plus these fully determines the sampled values.
+constexpr std::uint64_t kCurveAvailability = 1;
+constexpr std::uint64_t kCurveReliability = 2;
+
+cache::Signature curve_key(const cache::Signature& block_sig,
+                           std::uint64_t kind, double horizon,
+                           std::size_t steps) {
+  cache::Signature key = block_sig;
+  key.append_word(kind);
+  key.append_double(horizon);
+  key.append_word(steps);
+  return key;
+}
+
+/// Memoized sampling of one block curve: consult `cache` (may be null),
+/// otherwise run `sample` and insert the result.
+template <typename SampleFn>
+std::shared_ptr<const linalg::Vector> sample_curve_cached(
+    const SystemModel::BlockEntry& block, std::uint64_t kind, double horizon,
+    std::size_t steps, cache::SolveCache* cache, SampleFn&& sample) {
+  cache::Signature key;
+  if (cache) {
+    key = curve_key(block.signature, kind, horizon, steps);
+    if (std::shared_ptr<const linalg::Vector> hit = cache->find_curve(key)) {
+      return hit;
+    }
+  }
+  auto curve = std::make_shared<const linalg::Vector>(sample());
+  if (cache) cache->put_curve(key, curve);
+  return curve;
+}
+
 }  // namespace
 
-SystemModel SystemModel::build(const spec::ModelSpec& model,
-                               const Options& opts) {
+cache::Signature solver_signature(const resilience::ResilienceConfig& config) {
+  cache::Signature s;
+  s.append_word(config.rungs.size());
+  for (resilience::Rung r : config.rungs) {
+    s.append_word(static_cast<std::uint64_t>(r));
+  }
+  s.append_word(static_cast<std::uint64_t>(config.base.method));
+  s.append_double(config.base.tolerance);
+  s.append_word(config.base.max_iterations);
+  s.append_double(config.base.relaxation);
+  s.append_word(config.max_states);
+  s.append_double(config.deadline_ms);
+  s.append_double(config.health.clamp_tolerance);
+  s.append_double(config.health.residual_factor);
+  s.append_double(config.health.max_condition);
+  // Injected faults change results by design; keying on the plan keeps
+  // fault-injection runs from contaminating (or consuming) healthy entries.
+  for (const auto& [rung, kind] : config.fault_plan.faults) {
+    s.append_word(static_cast<std::uint64_t>(rung));
+    s.append_word(static_cast<std::uint64_t>(kind));
+  }
+  return s;
+}
+
+SystemModel::BlockEntry solve_block_cached(
+    const std::string& diagram, const spec::BlockSpec& block,
+    const spec::GlobalParams& globals,
+    const resilience::ResilienceConfig& config,
+    const cache::Signature& solver_sig, cache::SolveCache* cache) {
+  SystemModel::BlockEntry entry;
+  entry.diagram = diagram;
+  entry.block = block;
+  entry.signature = chain_signature(block, globals);
+  cache::Signature key = entry.signature;
+  key.append(solver_sig);
+
+  if (cache) {
+    if (std::optional<cache::CachedBlockSolve> hit = cache->find_block(key)) {
+      entry.chain = std::move(hit->chain);
+      entry.type = classify(block);
+      entry.initial = hit->initial;
+      entry.availability = hit->availability;
+      entry.yearly_downtime_min = yearly_downtime_minutes(hit->availability);
+      entry.eq_failure_rate = hit->eq_failure_rate;
+      entry.solve_trace = std::move(hit->trace);
+      entry.solve_trace.source = resilience::SolveSource::kCacheHit;
+      return entry;
+    }
+  }
+
+  GeneratedModel generated = generate(block, globals);
+  resilience::ResilientResult solved =
+      resilience::solve_steady_state_resilient(generated.chain, config);
+  const markov::SteadyStateResult& steady = solved.result;
+  entry.solve_trace = std::move(solved.trace);
+  entry.solve_trace.source = resilience::SolveSource::kFresh;
+  entry.type = generated.type;
+  entry.initial = generated.initial;
+  entry.availability = markov::expected_reward(generated.chain, steady.pi);
+  entry.yearly_downtime_min = yearly_downtime_minutes(entry.availability);
+  entry.eq_failure_rate =
+      markov::equivalent_failure_rate(generated.chain, steady.pi);
+  entry.chain =
+      std::make_shared<const markov::Ctmc>(std::move(generated.chain));
+
+  if (cache) {
+    cache::CachedBlockSolve value;
+    value.chain = entry.chain;
+    value.initial = entry.initial;
+    value.pi = std::make_shared<const linalg::Vector>(steady.pi);
+    value.availability = entry.availability;
+    value.eq_failure_rate = entry.eq_failure_rate;
+    value.trace = entry.solve_trace;  // source == kFresh: the producer
+    cache->put_block(key, value);
+  }
+  return entry;
+}
+
+SystemModel SystemModel::build(spec::ModelSpec model, const Options& opts) {
   spec::validate_or_throw(model);
   SystemModel sm;
-  sm.spec_ = model;
+  sm.spec_ = std::move(model);
   sm.opts_ = opts;
 
-  const resilience::ResilienceConfig solve_config =
-      opts.resilience ? *opts.resilience
-                      : resilience::config_from(opts.steady);
+  const resilience::ResilienceConfig solve_config = resolve_config(opts);
+  sm.solver_sig_ = solver_signature(solve_config);
 
   // Generate and solve every block chain in parallel. Entries are written
   // by visit index, so the block table — and each entry's SolveTrace —
-  // is identical to the serial build's.
+  // is identical to the serial build's. Parameter-identical blocks share
+  // one memo entry (and one Ctmc) through opts.cache.
   std::vector<std::pair<const spec::DiagramSpec*, const spec::BlockSpec*>>
       pending;
   collect_chain_blocks(sm.spec_, sm.spec_.root(), pending);
@@ -125,39 +254,78 @@ SystemModel SystemModel::build(const spec::ModelSpec& model,
   exec::parallel_for(
       pending.size(),
       [&](std::size_t i) {
-        const spec::DiagramSpec& diagram = *pending[i].first;
-        const spec::BlockSpec& block = *pending[i].second;
-        GeneratedModel generated = generate(block, sm.spec_.globals);
-        resilience::ResilientResult solved =
-            resilience::solve_steady_state_resilient(generated.chain,
-                                                     solve_config);
-        const markov::SteadyStateResult& steady = solved.result;
-        BlockEntry& entry = sm.blocks_[i];
-        entry.solve_trace = std::move(solved.trace);
-        entry.diagram = diagram.name;
-        entry.block = block;
-        entry.type = generated.type;
-        entry.initial = generated.initial;
-        entry.availability =
-            markov::expected_reward(generated.chain, steady.pi);
-        entry.yearly_downtime_min =
-            yearly_downtime_minutes(entry.availability);
-        entry.eq_failure_rate =
-            markov::equivalent_failure_rate(generated.chain, steady.pi);
-        entry.chain = std::make_shared<const markov::Ctmc>(
-            std::move(generated.chain));
+        sm.blocks_[i] = solve_block_cached(
+            pending[i].first->name, *pending[i].second, sm.spec_.globals,
+            solve_config, sm.solver_sig_, opts.cache);
       },
       opts.parallel);
 
-  // Serial tree construction consuming the solved entries in visit order.
-  std::size_t cursor = 0;
-  TreeBuilder builder(
-      sm.spec_, [&sm, &cursor](const spec::DiagramSpec&,
-                               const spec::BlockSpec& block) -> rbd::RbdNodePtr {
-        const BlockEntry& entry = sm.blocks_.at(cursor++);
-        return rbd::RbdNode::leaf(block.name, entry.availability);
-      });
-  sm.root_ = builder.build(sm.spec_.root());
+  sm.root_ = compose_tree(sm.spec_, sm.blocks_);
+  return sm;
+}
+
+SystemModel SystemModel::rebuild(const SystemModel& base,
+                                 spec::ModelSpec changed,
+                                 const Options& opts) {
+  spec::validate_or_throw(changed);
+  const resilience::ResilienceConfig solve_config = resolve_config(opts);
+  cache::Signature solver_sig = solver_signature(solve_config);
+
+  SystemModel sm;
+  sm.spec_ = std::move(changed);  // pending points into sm.spec_ below
+  sm.opts_ = opts;
+
+  // The diff pairs blocks by visit index, so the hierarchy must match the
+  // baseline block-for-block (and the solver settings must match, or the
+  // baseline's numbers would vouch for a different configuration).
+  std::vector<std::pair<const spec::DiagramSpec*, const spec::BlockSpec*>>
+      pending;
+  collect_chain_blocks(sm.spec_, sm.spec_.root(), pending);
+  bool compatible = pending.size() == base.blocks_.size() &&
+                    solver_sig == base.solver_sig_;
+  for (std::size_t i = 0; compatible && i < pending.size(); ++i) {
+    compatible = pending[i].first->name == base.blocks_[i].diagram &&
+                 pending[i].second->name == base.blocks_[i].block.name;
+  }
+  if (!compatible) return build(std::move(sm.spec_), opts);
+
+  sm.solver_sig_ = std::move(solver_sig);
+  sm.blocks_.resize(pending.size());
+
+  // Serial diff (cheap), then only the dirty blocks re-solve — in
+  // parallel, written by index, so the result is bit-identical to a full
+  // build for every thread count. Field-equal specs under unchanged
+  // globals are provably clean without recomputing their signature; only
+  // edited blocks (or every block, after a global edit) fall through to
+  // the canonical-signature comparison, which is what applies the
+  // per-family masking rules.
+  const bool globals_same = sm.spec_.globals == base.spec_.globals;
+  std::vector<std::size_t> dirty;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const bool clean =
+        (globals_same && *pending[i].second == base.blocks_[i].block) ||
+        chain_signature(*pending[i].second, sm.spec_.globals) ==
+            base.blocks_[i].signature;
+    if (clean) {
+      BlockEntry entry = base.blocks_[i];
+      entry.block = *pending[i].second;  // carry spec-only edits (names ok)
+      entry.solve_trace.source = resilience::SolveSource::kBaselineReuse;
+      sm.blocks_[i] = std::move(entry);
+    } else {
+      dirty.push_back(i);
+    }
+  }
+  exec::parallel_for(
+      dirty.size(),
+      [&](std::size_t j) {
+        const std::size_t i = dirty[j];
+        sm.blocks_[i] = solve_block_cached(
+            pending[i].first->name, *pending[i].second, sm.spec_.globals,
+            solve_config, sm.solver_sig_, opts.cache);
+      },
+      opts.parallel);
+
+  sm.root_ = compose_tree(sm.spec_, sm.blocks_);
   return sm;
 }
 
@@ -184,10 +352,14 @@ double SystemModel::interval_availability(double horizon) const {
       blocks_.size(),
       [&](std::size_t i) {
         const auto& b = blocks_[i];
-        const linalg::Vector pi0 = markov::point_mass(*b.chain, b.initial);
-        sampled[i] =
-            std::make_shared<const linalg::Vector>(markov::reward_curve(
-                *b.chain, pi0, horizon, opts_.curve_steps));
+        sampled[i] = sample_curve_cached(
+            b, kCurveAvailability, horizon, opts_.curve_steps, opts_.cache,
+            [&] {
+              const linalg::Vector pi0 =
+                  markov::point_mass(*b.chain, b.initial);
+              return markov::reward_curve(*b.chain, pi0, horizon,
+                                          opts_.curve_steps);
+            });
       },
       opts_.parallel);
   std::unordered_map<std::string, std::shared_ptr<const linalg::Vector>>
@@ -217,24 +389,27 @@ namespace {
 rbd::RbdNodePtr reliability_tree(
     const spec::ModelSpec& model,
     const std::vector<SystemModel::BlockEntry>& blocks, double horizon,
-    std::size_t steps, const exec::ParallelOptions& par) {
+    std::size_t steps, const exec::ParallelOptions& par,
+    cache::SolveCache* cache) {
   std::vector<std::shared_ptr<const linalg::Vector>> sampled(blocks.size());
   exec::parallel_for(
       blocks.size(),
       [&](std::size_t i) {
         const auto& b = blocks[i];
-        const markov::Ctmc rel = markov::make_down_states_absorbing(*b.chain);
-        if (rel.down_states().empty()) {
-          // Block cannot fail; survival is identically 1.
-          sampled[i] = std::make_shared<const linalg::Vector>(
-              linalg::Vector(steps + 1, 1.0));
-          return;
-        }
-        const linalg::Vector pi0 = markov::point_mass(rel, b.initial);
-        // Survival = probability mass on transient states; reward 1 on up
-        // transient states equals survival because absorbed states are down.
-        sampled[i] = std::make_shared<const linalg::Vector>(
-            markov::reward_curve(rel, pi0, horizon, steps));
+        sampled[i] = sample_curve_cached(
+            b, kCurveReliability, horizon, steps, cache, [&] {
+              const markov::Ctmc rel =
+                  markov::make_down_states_absorbing(*b.chain);
+              if (rel.down_states().empty()) {
+                // Block cannot fail; survival is identically 1.
+                return linalg::Vector(steps + 1, 1.0);
+              }
+              const linalg::Vector pi0 = markov::point_mass(rel, b.initial);
+              // Survival = probability mass on transient states; reward 1 on
+              // up transient states equals survival because absorbed states
+              // are down.
+              return markov::reward_curve(rel, pi0, horizon, steps);
+            });
       },
       par);
   std::unordered_map<std::string, std::shared_ptr<const linalg::Vector>>
@@ -264,7 +439,7 @@ double SystemModel::reliability(double horizon) const {
         "SystemModel::reliability: horizon must be positive");
   }
   return reliability_tree(spec_, blocks_, horizon, opts_.curve_steps,
-                          opts_.parallel)
+                          opts_.parallel, opts_.cache)
       ->reliability(horizon);
 }
 
@@ -274,7 +449,8 @@ double SystemModel::mttf_numeric_h(double horizon) const {
         "SystemModel::mttf_numeric_h: horizon must be positive");
   }
   const std::size_t steps = std::max<std::size_t>(opts_.curve_steps, 1024);
-  return reliability_tree(spec_, blocks_, horizon, steps, opts_.parallel)
+  return reliability_tree(spec_, blocks_, horizon, steps, opts_.parallel,
+                          opts_.cache)
       ->mttf_numeric(horizon, steps);
 }
 

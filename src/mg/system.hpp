@@ -8,10 +8,13 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <optional>
 
+#include "cache/signature.hpp"
+#include "cache/solve_cache.hpp"
 #include "exec/parallel.hpp"
 #include "markov/steady_state.hpp"
 #include "mg/generator.hpp"
@@ -38,6 +41,11 @@ class SystemModel {
     /// sampling. Block order, measures, and every SolveTrace are
     /// bit-identical for any thread count.
     exec::ParallelOptions parallel;
+    /// Memo table consulted for block solves and sampled curves; nullptr
+    /// disables memoization (every chain generated and solved fresh).
+    /// Results are bit-identical either way — a signature match guarantees
+    /// the cached solve performed the identical arithmetic.
+    cache::SolveCache* cache = &cache::SolveCache::global();
   };
 
   /// One generated block chain with its solved measures.
@@ -50,15 +58,37 @@ class SystemModel {
     double availability = 1.0;
     double yearly_downtime_min = 0.0;
     double eq_failure_rate = 0.0;
-    /// Ladder episode that produced this block's stationary solution.
+    /// Ladder episode that produced this block's stationary solution; its
+    /// `source` records whether the numbers came from a fresh solve, the
+    /// memo cache, or baseline reuse during an incremental rebuild.
     resilience::SolveTrace solve_trace;
+    /// Canonical chain signature (mg::chain_signature) — the memo key
+    /// minus the solver-configuration words.
+    cache::Signature signature;
   };
 
   /// Validates the spec (throws std::invalid_argument on errors), then
   /// generates and solves every block chain and composes the RBD tree.
-  static SystemModel build(const spec::ModelSpec& model, const Options& opts);
-  static SystemModel build(const spec::ModelSpec& model) {
-    return build(model, Options{});
+  /// Taken by value: the model is stored in the result, so callers that
+  /// are done with their copy can std::move it in (sweeps do).
+  static SystemModel build(spec::ModelSpec model, const Options& opts);
+  static SystemModel build(spec::ModelSpec model) {
+    return build(std::move(model), Options{});
+  }
+
+  /// Incremental rebuild against a solved baseline: re-generates and
+  /// re-solves only the blocks whose chain signature differs from the
+  /// baseline's (a global edit therefore dirties only the blocks it
+  /// actually feeds), reuses every untouched BlockEntry (sharing the
+  /// chain), and recomposes the RBD. Falls back to a full build when the
+  /// hierarchy structure changed (block added / removed / renamed /
+  /// reordered) or the solver configuration differs from the baseline's.
+  /// Results are bit-identical to a full build of `changed`.
+  static SystemModel rebuild(const SystemModel& base, spec::ModelSpec changed,
+                             const Options& opts);
+  static SystemModel rebuild(const SystemModel& base,
+                             spec::ModelSpec changed) {
+    return rebuild(base, std::move(changed), base.opts_);
   }
 
   /// Steady-state system availability (product over the serial hierarchy).
@@ -97,6 +127,7 @@ class SystemModel {
   const rbd::RbdNodePtr& root() const noexcept { return root_; }
   const std::vector<BlockEntry>& blocks() const noexcept { return blocks_; }
   const spec::ModelSpec& spec() const noexcept { return spec_; }
+  const Options& options() const noexcept { return opts_; }
 
   /// Total generated chain states / transitions across all blocks.
   std::size_t total_states() const;
@@ -109,6 +140,23 @@ class SystemModel {
   Options opts_;
   rbd::RbdNodePtr root_;
   std::vector<BlockEntry> blocks_;
+  /// Signature of the solver configuration the block solves ran under;
+  /// part of every memo key and the rebuild compatibility check.
+  cache::Signature solver_sig_;
 };
+
+/// Signature words of a resilience configuration. Appended to a chain
+/// signature to form the block-solve memo key, because the solved numbers
+/// depend bit-exactly on the solver settings.
+cache::Signature solver_signature(const resilience::ResilienceConfig& config);
+
+/// Generates and solves one block through the resilience ladder,
+/// consulting `cache` (may be null). The shared primitive behind
+/// SystemModel::build / rebuild and the memoized sensitivity probes.
+SystemModel::BlockEntry solve_block_cached(
+    const std::string& diagram, const spec::BlockSpec& block,
+    const spec::GlobalParams& globals,
+    const resilience::ResilienceConfig& config,
+    const cache::Signature& solver_sig, cache::SolveCache* cache);
 
 }  // namespace rascad::mg

@@ -239,6 +239,9 @@ ResilienceConfig config_from(const markov::SteadyStateOptions& opts) {
 
 std::string SolveTrace::summary() const {
   std::ostringstream os;
+  if (source != SolveSource::kFresh) {
+    os << '[' << to_string(source) << "] ";
+  }
   bool first = true;
   for (const auto& a : attempts) {
     if (!first) os << " -> ";

@@ -70,18 +70,47 @@ struct RungAttempt {
   double duration_ms = 0.0;
 };
 
+/// Where a solution came from, now that block solves can be memoized or
+/// reused from a baseline model. A non-fresh trace still carries the
+/// attempts of the ladder episode that originally produced the numbers,
+/// so resilience reporting stays honest about which rung did the work.
+enum class SolveSource {
+  kFresh,          // a ladder episode ran for this request
+  kCacheHit,       // copied from the solve-memoization cache
+  kBaselineReuse,  // reused from a baseline SystemModel during rebuild
+};
+
+inline const char* to_string(SolveSource source) {
+  switch (source) {
+    case SolveSource::kFresh: return "fresh";
+    case SolveSource::kCacheHit: return "cache-hit";
+    case SolveSource::kBaselineReuse: return "baseline-reuse";
+  }
+  return "unknown";
+}
+
 /// Full record of a ladder episode.
 struct SolveTrace {
   std::vector<RungAttempt> attempts;
   bool success = false;
   Rung final_rung = Rung::kDirect;  // valid when success
   double total_ms = 0.0;
+  /// Provenance of the numbers this trace vouches for.
+  SolveSource source = SolveSource::kFresh;
 
   std::size_t escalations() const noexcept {
     return attempts.empty() ? 0 : attempts.size() - 1;
   }
+  /// Total solver iterations across every attempt of the episode.
+  std::size_t total_iterations() const noexcept {
+    std::size_t acc = 0;
+    for (const auto& a : attempts) acc += a.iterations;
+    return acc;
+  }
   /// One-line human-readable summary, e.g.
-  /// "direct failed (bad-conditioning) -> bicgstab ok [2 attempts, 0.41 ms]".
+  /// "direct failed (bad-conditioning) -> bicgstab ok [2 attempts, 0.41 ms]";
+  /// non-fresh traces are prefixed with their provenance, e.g.
+  /// "[cache-hit] direct ok [1 attempt, 0.08 ms]".
   std::string summary() const;
 };
 

@@ -9,6 +9,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace rascad::spec {
@@ -19,6 +20,8 @@ struct GlobalParams {
   double mttm_h = 48.0;               // service restriction time
   double mttrfid_h = 4.0;             // repair from incorrect diagnosis
   double mission_time_h = 8760.0;     // horizon for interval measures
+
+  bool operator==(const GlobalParams&) const = default;
 };
 
 enum class Transparency {
@@ -79,6 +82,10 @@ struct BlockSpec {
   }
   bool redundant() const { return quantity > min_quantity; }
   bool has_own_failures() const { return mtbf_h > 0.0 || transient_fit > 0.0; }
+
+  /// Field-wise equality (doubles compared exactly): used as a cheap
+  /// "provably unchanged" pre-check before the canonical chain signature.
+  bool operator==(const BlockSpec&) const = default;
 };
 
 /// One MG diagram: a named serial composition of blocks.
@@ -100,6 +107,24 @@ struct ModelSpec {
     }
     return nullptr;
   }
+
+  /// Looks up a block by (diagram, block) name; nullptr when absent. The
+  /// const overload allows existence probes without copying the spec.
+  const BlockSpec* find_block(const std::string& diagram,
+                              const std::string& block) const {
+    for (const auto& d : diagrams) {
+      if (d.name != diagram) continue;
+      for (const auto& b : d.blocks) {
+        if (b.name == block) return &b;
+      }
+    }
+    return nullptr;
+  }
+  BlockSpec* find_block(const std::string& diagram, const std::string& block) {
+    return const_cast<BlockSpec*>(
+        std::as_const(*this).find_block(diagram, block));
+  }
+
   const DiagramSpec& root() const { return diagrams.front(); }
 };
 

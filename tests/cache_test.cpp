@@ -1,0 +1,460 @@
+// Memoized block-solve cache + incremental rebuild: signature canonicality
+// and masking, hit/miss/eviction counters, LRU bounding, provenance on
+// SolveTrace, and the bit-identical-results contract — cold vs warm cache,
+// incremental vs full rebuild, and across thread counts.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/signature.hpp"
+#include "cache/solve_cache.hpp"
+#include "core/library.hpp"
+#include "core/sweep.hpp"
+#include "mg/generator.hpp"
+#include "mg/system.hpp"
+#include "resilience/resilience.hpp"
+
+namespace {
+
+using rascad::cache::CacheCounters;
+using rascad::cache::CachedBlockSolve;
+using rascad::cache::Signature;
+using rascad::cache::SolveCache;
+using rascad::core::SweepOptions;
+using rascad::core::SweepPoint;
+using rascad::mg::SystemModel;
+using rascad::resilience::SolveSource;
+using rascad::spec::BlockSpec;
+using rascad::spec::DiagramSpec;
+using rascad::spec::ModelSpec;
+using rascad::spec::Transparency;
+
+BlockSpec simple_block(const std::string& name, double mtbf_h) {
+  BlockSpec b;
+  b.name = name;
+  b.mtbf_h = mtbf_h;
+  b.mttr_corrective_min = 90.0;
+  b.service_response_h = 4.0;
+  return b;
+}
+
+BlockSpec redundant_block(const std::string& name, double mtbf_h) {
+  BlockSpec b = simple_block(name, mtbf_h);
+  b.quantity = 2;
+  b.min_quantity = 1;
+  b.recovery = Transparency::kTransparent;
+  b.repair = Transparency::kTransparent;
+  return b;
+}
+
+/// Two-block model: a permanent-only Type 0 and a redundant pair.
+ModelSpec small_model() {
+  ModelSpec m;
+  m.title = "cache-test";
+  DiagramSpec d;
+  d.name = "Root";
+  d.blocks.push_back(simple_block("Solo", 120'000.0));
+  d.blocks.push_back(redundant_block("Pair", 250'000.0));
+  m.diagrams.push_back(std::move(d));
+  return m;
+}
+
+SystemModel::Options options_with(SolveCache* cache, std::size_t threads = 0) {
+  SystemModel::Options opts;
+  opts.cache = cache;
+  if (threads > 0) opts.parallel.threads = threads;
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// Signatures
+
+TEST(ChainSignature, IdenticalBlocksShareASignature) {
+  const ModelSpec m = small_model();
+  const Signature a =
+      rascad::mg::chain_signature(m.root().blocks[0], m.globals);
+  const Signature b =
+      rascad::mg::chain_signature(m.root().blocks[0], m.globals);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(ChainSignature, RateChangeChangesTheSignature) {
+  const ModelSpec m = small_model();
+  BlockSpec changed = m.root().blocks[0];
+  changed.mtbf_h *= 1.01;
+  EXPECT_NE(rascad::mg::chain_signature(m.root().blocks[0], m.globals),
+            rascad::mg::chain_signature(changed, m.globals));
+}
+
+TEST(ChainSignature, NameIsNotPartOfTheSignature) {
+  // Parameter-identical blocks must share one memo entry regardless of
+  // their names — that is what makes intra-model sharing work.
+  const ModelSpec m = small_model();
+  BlockSpec renamed = m.root().blocks[0];
+  renamed.name = "Completely Different";
+  EXPECT_EQ(rascad::mg::chain_signature(m.root().blocks[0], m.globals),
+            rascad::mg::chain_signature(renamed, m.globals));
+}
+
+TEST(ChainSignature, MaskedGlobalEditLeavesSignatureUnchanged) {
+  // A permanent-only Type 0 block never reboots (no transient faults), so
+  // the generator ignores Tboot: editing the global must not dirty it.
+  const ModelSpec m = small_model();
+  rascad::spec::GlobalParams edited = m.globals;
+  edited.reboot_time_h *= 3.0;
+  EXPECT_EQ(rascad::mg::chain_signature(m.root().blocks[0], m.globals),
+            rascad::mg::chain_signature(m.root().blocks[0], edited));
+}
+
+TEST(ChainSignature, ReachingGlobalEditChangesSignature) {
+  // MTTM feeds the deferred-repair dwell of a redundant block with
+  // permanent faults, but a Type 0 block repairs immediately (no deferred
+  // cycle), so the same edit must dirty one block and not the other.
+  const ModelSpec m = small_model();
+  rascad::spec::GlobalParams edited = m.globals;
+  edited.mttm_h += 24.0;
+  EXPECT_EQ(rascad::mg::chain_signature(m.root().blocks[0], m.globals),
+            rascad::mg::chain_signature(m.root().blocks[0], edited));
+  EXPECT_NE(rascad::mg::chain_signature(m.root().blocks[1], m.globals),
+            rascad::mg::chain_signature(m.root().blocks[1], edited));
+}
+
+TEST(ChainSignature, FullWordEqualityNotJustHash) {
+  Signature a;
+  a.append_word(1);
+  a.append_word(2);
+  Signature b;
+  b.append_word(1);
+  ASSERT_NE(a.words(), b.words());
+  EXPECT_NE(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// SolveCache table behaviour
+
+Signature word_key(std::uint64_t w) {
+  Signature s;
+  s.append_word(w);
+  return s;
+}
+
+TEST(SolveCache, HitAndMissCountersTrackLookups) {
+  SolveCache cache;
+  CachedBlockSolve value;
+  value.availability = 0.5;
+  cache.put_block(word_key(1), value);
+  EXPECT_FALSE(cache.find_block(word_key(2)).has_value());
+  const auto hit = cache.find_block(word_key(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->availability, 0.5);
+  const CacheCounters c = cache.block_counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.insertions, 1u);
+  EXPECT_EQ(c.entries, 1u);
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 0.5);
+}
+
+TEST(SolveCache, LruBoundsTheEntryCountAndEvicts) {
+  // Capacity is floored at one entry per shard, so the tightest total
+  // bound is max(kShards, capacity).
+  SolveCache cache(SolveCache::kShards, SolveCache::kShards);
+  CachedBlockSolve value;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    cache.put_block(word_key(i), value);
+  }
+  const CacheCounters c = cache.block_counters();
+  EXPECT_EQ(c.insertions, 64u);
+  EXPECT_LE(c.entries, SolveCache::kShards);
+  EXPECT_GT(c.evictions, 0u);
+  EXPECT_EQ(c.entries + c.evictions, 64u);
+  // The most recent key in its shard survived the evictions.
+  EXPECT_TRUE(cache.find_block(word_key(63)).has_value());
+}
+
+TEST(SolveCache, ClearDropsEntriesAndCounters) {
+  SolveCache cache;
+  cache.put_block(word_key(7), CachedBlockSolve{});
+  cache.find_block(word_key(7));
+  cache.clear();
+  const CacheCounters c = cache.block_counters();
+  EXPECT_EQ(c.entries, 0u);
+  EXPECT_EQ(c.hits, 0u);
+  EXPECT_EQ(c.insertions, 0u);
+  EXPECT_FALSE(cache.find_block(word_key(7)).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// solve_block_cached provenance + bit-identical results
+
+TEST(SolveBlockCached, SecondSolveIsACacheHitWithIdenticalNumbers) {
+  const ModelSpec m = small_model();
+  const auto config = rascad::resilience::config_from({});
+  const Signature solver_sig = rascad::mg::solver_signature(config);
+  SolveCache cache;
+
+  const auto first = rascad::mg::solve_block_cached(
+      "Root", m.root().blocks[1], m.globals, config, solver_sig, &cache);
+  EXPECT_EQ(first.solve_trace.source, SolveSource::kFresh);
+
+  const auto second = rascad::mg::solve_block_cached(
+      "Root", m.root().blocks[1], m.globals, config, solver_sig, &cache);
+  EXPECT_EQ(second.solve_trace.source, SolveSource::kCacheHit);
+  EXPECT_EQ(second.availability, first.availability);
+  EXPECT_EQ(second.eq_failure_rate, first.eq_failure_rate);
+  EXPECT_EQ(second.yearly_downtime_min, first.yearly_downtime_min);
+  // The cached entry carries the producing episode's ladder attempts.
+  EXPECT_EQ(second.solve_trace.attempts.size(),
+            first.solve_trace.attempts.size());
+  // Both entries share the one generated chain.
+  EXPECT_EQ(second.chain.get(), first.chain.get());
+  EXPECT_EQ(cache.block_counters().hits, 1u);
+}
+
+TEST(SolveBlockCached, NullCacheSolvesFreshWithIdenticalNumbers) {
+  const ModelSpec m = small_model();
+  const auto config = rascad::resilience::config_from({});
+  const Signature solver_sig = rascad::mg::solver_signature(config);
+  SolveCache cache;
+  const auto cached = rascad::mg::solve_block_cached(
+      "Root", m.root().blocks[0], m.globals, config, solver_sig, &cache);
+  const auto uncached = rascad::mg::solve_block_cached(
+      "Root", m.root().blocks[0], m.globals, config, solver_sig, nullptr);
+  EXPECT_EQ(uncached.solve_trace.source, SolveSource::kFresh);
+  EXPECT_EQ(uncached.availability, cached.availability);
+  EXPECT_EQ(uncached.eq_failure_rate, cached.eq_failure_rate);
+}
+
+TEST(SystemModelCache, DatacenterBuildHitsOnParameterIdenticalBlocks) {
+  // The library datacenter contains parameter-identical FRU pairs (e.g.
+  // Blower Assembly and Disk Controller), so even a single cold build
+  // must produce block-cache hits.
+  SolveCache cache;
+  const auto system = SystemModel::build(
+      rascad::core::library::datacenter_system(), options_with(&cache));
+  const CacheCounters c = cache.block_counters();
+  EXPECT_GT(c.hits, 0u);
+  EXPECT_GT(c.misses, 0u);
+  EXPECT_GT(c.hit_rate(), 0.0);
+  EXPECT_GT(system.availability(), 0.0);
+}
+
+TEST(SystemModelCache, WarmBuildIsBitIdenticalToColdBuild) {
+  const ModelSpec m = rascad::core::library::datacenter_system();
+  SolveCache cache;
+  const auto cold = SystemModel::build(m, options_with(&cache));
+  const auto warm = SystemModel::build(m, options_with(&cache));
+  const auto uncached = SystemModel::build(m, options_with(nullptr));
+  EXPECT_EQ(warm.availability(), cold.availability());
+  EXPECT_EQ(uncached.availability(), cold.availability());
+  EXPECT_EQ(warm.eq_failure_rate(), cold.eq_failure_rate());
+  EXPECT_EQ(uncached.eq_failure_rate(), cold.eq_failure_rate());
+  // Every block of the warm build came from the memo table.
+  for (const auto& b : warm.blocks()) {
+    EXPECT_EQ(b.solve_trace.source, SolveSource::kCacheHit) << b.block.name;
+  }
+}
+
+TEST(SystemModelCache, CurveQueriesHitTheCurveTable) {
+  const ModelSpec m = small_model();
+  SolveCache cache;
+  const auto system = SystemModel::build(m, options_with(&cache));
+  const double cold = system.interval_availability(8760.0);
+  const auto after_cold = cache.curve_counters();
+  EXPECT_GT(after_cold.insertions, 0u);
+  const double warm = system.interval_availability(8760.0);
+  const auto after_warm = cache.curve_counters();
+  EXPECT_GT(after_warm.hits, after_cold.hits);
+  EXPECT_EQ(warm, cold);
+  // Reliability curves are keyed separately from availability curves.
+  const double rel = system.reliability(8760.0);
+  EXPECT_GT(rel, 0.0);
+  EXPECT_LT(rel, 1.0);
+  EXPECT_EQ(system.reliability(8760.0), rel);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental rebuild
+
+TEST(Rebuild, UnchangedSpecReusesEveryBlock) {
+  const ModelSpec m = small_model();
+  SolveCache cache;
+  const auto base = SystemModel::build(m, options_with(&cache));
+  const auto rebuilt = SystemModel::rebuild(base, m);
+  ASSERT_EQ(rebuilt.blocks().size(), base.blocks().size());
+  for (const auto& b : rebuilt.blocks()) {
+    EXPECT_EQ(b.solve_trace.source, SolveSource::kBaselineReuse)
+        << b.block.name;
+  }
+  EXPECT_EQ(rebuilt.availability(), base.availability());
+  EXPECT_EQ(rebuilt.eq_failure_rate(), base.eq_failure_rate());
+  // Reused entries share the baseline's generated chains.
+  for (std::size_t i = 0; i < rebuilt.blocks().size(); ++i) {
+    EXPECT_EQ(rebuilt.blocks()[i].chain.get(), base.blocks()[i].chain.get());
+  }
+}
+
+TEST(Rebuild, OnlyTheDirtyBlockIsResolved) {
+  ModelSpec m = small_model();
+  SolveCache cache;
+  const auto base = SystemModel::build(m, options_with(&cache));
+
+  ModelSpec changed = m;
+  changed.find_block("Root", "Pair")->mtbf_h = 275'000.0;
+  const auto rebuilt = SystemModel::rebuild(base, changed);
+
+  ASSERT_EQ(rebuilt.blocks().size(), 2u);
+  EXPECT_EQ(rebuilt.blocks()[0].solve_trace.source,
+            SolveSource::kBaselineReuse);
+  EXPECT_EQ(rebuilt.blocks()[1].solve_trace.source, SolveSource::kFresh);
+
+  // Bit-identical to solving the changed spec from scratch, uncached.
+  const auto direct = SystemModel::build(changed, options_with(nullptr));
+  EXPECT_EQ(rebuilt.availability(), direct.availability());
+  EXPECT_EQ(rebuilt.eq_failure_rate(), direct.eq_failure_rate());
+}
+
+TEST(Rebuild, DirtyBlockCanBeServedFromTheCache) {
+  ModelSpec m = small_model();
+  ModelSpec changed = m;
+  changed.find_block("Root", "Pair")->mtbf_h = 275'000.0;
+
+  SolveCache cache;
+  // Prime the cache with the changed spec, then rebuild toward it: the
+  // dirty block is not a baseline reuse, but its solve is memoized.
+  SystemModel::build(changed, options_with(&cache));
+  const auto base = SystemModel::build(m, options_with(&cache));
+  const auto rebuilt = SystemModel::rebuild(base, changed);
+  EXPECT_EQ(rebuilt.blocks()[1].solve_trace.source, SolveSource::kCacheHit);
+}
+
+TEST(Rebuild, StructureChangeFallsBackToFullBuild) {
+  ModelSpec m = small_model();
+  SolveCache cache;
+  const auto base = SystemModel::build(m, options_with(&cache));
+
+  ModelSpec changed = m;
+  changed.diagrams[0].blocks.push_back(simple_block("Extra", 90'000.0));
+  const auto rebuilt = SystemModel::rebuild(base, changed);
+  ASSERT_EQ(rebuilt.blocks().size(), 3u);
+  const auto direct = SystemModel::build(changed, options_with(nullptr));
+  EXPECT_EQ(rebuilt.availability(), direct.availability());
+
+  // A renamed block also breaks the pairing (no silent mis-diff).
+  ModelSpec renamed = m;
+  renamed.find_block("Root", "Pair")->name = "Pear";
+  const auto rebuilt2 = SystemModel::rebuild(base, renamed);
+  for (const auto& b : rebuilt2.blocks()) {
+    EXPECT_NE(b.solve_trace.source, SolveSource::kBaselineReuse);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sweeps: provenance columns + the determinism contract
+
+void expect_bitwise_equal(const std::vector<SweepPoint>& a,
+                          const std::vector<SweepPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].value, b[i].value) << i;
+    EXPECT_EQ(a[i].availability, b[i].availability) << i;
+    EXPECT_EQ(a[i].yearly_downtime_min, b[i].yearly_downtime_min) << i;
+    EXPECT_EQ(a[i].eq_failure_rate, b[i].eq_failure_rate) << i;
+  }
+}
+
+SweepOptions sweep_options(SolveCache* cache, bool incremental,
+                           std::size_t threads) {
+  SweepOptions opts;
+  opts.model.cache = cache;
+  opts.incremental = incremental;
+  if (threads > 0) opts.parallel.threads = threads;
+  return opts;
+}
+
+std::vector<SweepPoint> mtbf_sweep(const ModelSpec& m,
+                                   const SweepOptions& opts) {
+  return rascad::core::sweep_block_parameter(
+      m, "Root", "Pair",
+      [](BlockSpec& b, double v) { b.mtbf_h = v; },
+      rascad::core::linspace(200'000.0, 400'000.0, 16), opts);
+}
+
+TEST(SweepCache, IncrementalSeriesMatchesFullRebuildBitwise) {
+  const ModelSpec m = small_model();
+  SolveCache cache;
+  const auto incremental = mtbf_sweep(m, sweep_options(&cache, true, 1));
+  const auto full = mtbf_sweep(m, sweep_options(nullptr, false, 1));
+  expect_bitwise_equal(incremental, full);
+  // Incremental points reuse the untouched block from the baseline and
+  // re-solve only the swept one.
+  for (const auto& p : incremental) {
+    EXPECT_EQ(p.reused_blocks, 1u) << p.value;
+    EXPECT_EQ(p.fresh_blocks + p.cached_blocks, 1u) << p.value;
+    EXPECT_NE(p.solve_source, "baseline");
+  }
+}
+
+TEST(SweepCache, WarmSweepIsServedFromTheCacheBitwise) {
+  const ModelSpec m = small_model();
+  SolveCache cache;
+  const auto cold = mtbf_sweep(m, sweep_options(&cache, true, 1));
+  const auto warm = mtbf_sweep(m, sweep_options(&cache, true, 1));
+  expect_bitwise_equal(cold, warm);
+  for (const auto& p : warm) {
+    EXPECT_EQ(p.fresh_blocks, 0u) << p.value;
+    EXPECT_EQ(p.solve_iterations, 0u) << p.value;
+    EXPECT_TRUE(p.solve_source == "cache" || p.solve_source == "baseline")
+        << p.solve_source;
+  }
+}
+
+TEST(SweepCache, SeriesIsBitIdenticalAcrossThreadCounts) {
+  const ModelSpec m = small_model();
+  SolveCache c1, c2, c8;
+  const auto t1 = mtbf_sweep(m, sweep_options(&c1, true, 1));
+  const auto t2 = mtbf_sweep(m, sweep_options(&c2, true, 2));
+  const auto t8 = mtbf_sweep(m, sweep_options(&c8, true, 8));
+  expect_bitwise_equal(t1, t2);
+  expect_bitwise_equal(t1, t8);
+  // And warm reruns at a different thread count stay on the same bits.
+  const auto warm8 = mtbf_sweep(m, sweep_options(&c1, true, 8));
+  expect_bitwise_equal(t1, warm8);
+}
+
+TEST(SweepCache, GlobalSweepReusesBlocksTheEditCannotReach) {
+  // Tboot feeds no block of small_model's "Solo" (permanent-only Type 0),
+  // so a global reboot-time sweep must reuse it at every point.
+  ModelSpec m = small_model();
+  m.find_block("Root", "Pair")->transient_fit = 500.0;  // Tboot reaches Pair
+  SolveCache cache;
+  const auto points = rascad::core::sweep_global_parameter(
+      m,
+      [](rascad::spec::GlobalParams& g, double v) { g.reboot_time_h = v; },
+      rascad::core::linspace(0.05, 0.5, 8), sweep_options(&cache, true, 1));
+  const auto full = rascad::core::sweep_global_parameter(
+      m,
+      [](rascad::spec::GlobalParams& g, double v) { g.reboot_time_h = v; },
+      rascad::core::linspace(0.05, 0.5, 8), sweep_options(nullptr, false, 1));
+  expect_bitwise_equal(points, full);
+  for (const auto& p : points) {
+    EXPECT_EQ(p.reused_blocks, 1u) << p.value;
+  }
+}
+
+TEST(SweepCache, BlockProbeDoesNotRequireACopy) {
+  const ModelSpec m = small_model();
+  EXPECT_NE(m.find_block("Root", "Solo"), nullptr);
+  EXPECT_EQ(m.find_block("Root", "Nope"), nullptr);
+  EXPECT_EQ(m.find_block("Nope", "Solo"), nullptr);
+  EXPECT_THROW(
+      rascad::core::sweep_block_parameter(
+          m, "Root", "Nope", [](BlockSpec&, double) {},
+          rascad::core::linspace(1.0, 2.0, 2)),
+      std::invalid_argument);
+}
+
+}  // namespace
