@@ -20,6 +20,7 @@
 #include "cache/solve_cache.hpp"
 #include "core/library.hpp"
 #include "core/sweep.hpp"
+#include "obs/bench_json.hpp"
 #include "spec/ast.hpp"
 
 namespace {
@@ -127,16 +128,18 @@ int main() {
     std::cout << "FAIL: cached series differ bitwise from the full rebuild\n";
   }
 
-  std::cout << "{\"bench\":\"cache\",\"metrics\":{"
-            << "\"points\":" << kPoints << ",\"full_ms\":" << full_ms
-            << ",\"cold_ms\":" << cold_ms << ",\"warm_ms\":" << warm_ms
-            << ",\"speedup_cold_vs_full\":" << speedup_cold
-            << ",\"speedup_warm_vs_full\":" << speedup_warm
-            << ",\"block_hits\":" << counters.hits
-            << ",\"block_misses\":" << counters.misses
-            << ",\"block_hit_rate\":" << counters.hit_rate()
-            << ",\"bitwise_identical\":" << (identical ? "true" : "false")
-            << "}}" << std::endl;
+  rascad::obs::BenchMetricsLine("cache")
+      .metric("points", kPoints)
+      .metric("full_ms", full_ms)
+      .metric("cold_ms", cold_ms)
+      .metric("warm_ms", warm_ms)
+      .metric("speedup_cold_vs_full", speedup_cold)
+      .metric("speedup_warm_vs_full", speedup_warm)
+      .metric("block_hits", counters.hits)
+      .metric("block_misses", counters.misses)
+      .metric("block_hit_rate", counters.hit_rate())
+      .metric("bitwise_identical", identical)
+      .write(std::cout);
 
   return (fast_enough && identical) ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -1,0 +1,140 @@
+// Observability overhead gate.
+//
+// The obs layer promises near-zero cost when disabled: every touchpoint is
+// one relaxed atomic load plus a branch. This bench turns that promise
+// into a CI check for the heaviest real workload (a Data Center System
+// build + availability query):
+//
+//   1. One solve with obs ENABLED counts the touchpoints the workload
+//      actually executes (spans + events recorded, counter increments,
+//      histogram observations).
+//   2. A tight loop measures the per-touchpoint cost of the DISABLED path
+//      (a Span constructed and destroyed while obs is off).
+//   3. The solve re-runs with obs disabled for a clean baseline time.
+//
+// Estimated disabled overhead = touchpoints x per-touchpoint cost, as a
+// fraction of the baseline solve. Exits nonzero above 2%, or if enabling
+// observability perturbs the computed availability by even one bit.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "cache/solve_cache.hpp"
+#include "core/library.hpp"
+#include "mg/system.hpp"
+#include "obs/bench_json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "spec/ast.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One fresh-cache datacenter build + availability query; returns the
+/// wall time in ms and writes the availability through `out`.
+double solve_ms(const rascad::spec::ModelSpec& spec, double* out) {
+  rascad::cache::SolveCache cache;
+  rascad::mg::SystemModel::Options opts;
+  opts.cache = &cache;
+  const auto t0 = Clock::now();
+  const auto system = rascad::mg::SystemModel::build(spec, opts);
+  *out = system.availability();
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const rascad::spec::ModelSpec spec =
+      rascad::core::library::datacenter_system();
+
+  std::cout << "=== obs: disabled-mode overhead gate ===\n\n";
+
+  // --- 1. enabled run: how many touchpoints does the workload execute? --
+  rascad::obs::set_enabled(true);
+  rascad::obs::Registry::global().reset();
+  rascad::obs::clear_trace();
+  double avail_enabled = 0.0;
+  const double enabled_ms = solve_ms(spec, &avail_enabled);
+  const rascad::obs::TraceDump dump = rascad::obs::drain_trace();
+  const rascad::obs::MetricsSnapshot snap =
+      rascad::obs::Registry::global().snapshot();
+  std::uint64_t touchpoints = dump.spans.size() + dump.events.size();
+  for (const auto& c : snap.counters) touchpoints += c.value;
+  for (const auto& h : snap.histograms) touchpoints += h.data.count;
+  // Gauges are set-on-update; count each registered gauge once per span as
+  // a deliberate overestimate (the gate should err against the obs layer).
+  touchpoints += snap.gauges.size() * dump.spans.size();
+
+  // --- 2. disabled per-touchpoint cost ----------------------------------
+  rascad::obs::set_enabled(false);
+  constexpr std::uint64_t kProbes = 1u << 22;
+  const auto p0 = Clock::now();
+  for (std::uint64_t i = 0; i < kProbes; ++i) {
+    rascad::obs::Span probe("obs.disabled_probe");
+    (void)probe;  // one relaxed load + branch; nothing recorded
+  }
+  const double per_touch_ns =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               p0)
+              .count()) /
+      static_cast<double>(kProbes);
+
+  // --- 3. disabled baseline solve (best of 3 against scheduler noise) ---
+  double avail_disabled = 0.0;
+  double disabled_ms = 0.0;
+  for (int run = 0; run < 3; ++run) {
+    double a = 0.0;
+    const double ms = solve_ms(spec, &a);
+    if (run == 0 || ms < disabled_ms) disabled_ms = ms;
+    avail_disabled = a;
+  }
+
+  const double overhead_ms =
+      static_cast<double>(touchpoints) * per_touch_ns * 1e-6;
+  const double overhead_pct =
+      disabled_ms > 0.0 ? overhead_ms / disabled_ms * 100.0 : 0.0;
+  const bool identical = avail_enabled == avail_disabled;
+  const bool under_budget = overhead_pct < 2.0;
+
+  std::cout << std::fixed << std::setprecision(3);
+  std::cout << "  enabled solve           : " << enabled_ms << " ms ("
+            << dump.spans.size() << " spans, " << dump.events.size()
+            << " events)\n";
+  std::cout << "  disabled solve          : " << disabled_ms << " ms\n";
+  std::cout << "  touchpoints (overcount) : " << touchpoints << "\n";
+  std::cout << "  disabled cost/touchpoint: " << per_touch_ns << " ns\n";
+  std::cout << "  estimated overhead      : " << overhead_pct
+            << " % (budget 2%)\n";
+  std::cout.unsetf(std::ios::fixed);
+  std::cout << "  availability bit-identical enabled vs disabled: "
+            << (identical ? "yes" : "NO") << "\n\n";
+
+  if (!under_budget) {
+    std::cout << "FAIL: disabled-mode overhead estimate above the 2% "
+                 "budget\n";
+  }
+  if (!identical) {
+    std::cout << "FAIL: enabling observability changed the computed "
+                 "availability\n";
+  }
+
+  rascad::obs::BenchMetricsLine("obs")
+      .metric("enabled_solve_ms", enabled_ms)
+      .metric("disabled_solve_ms", disabled_ms)
+      .metric("spans", dump.spans.size())
+      .metric("events", dump.events.size())
+      .metric("touchpoints", touchpoints)
+      .metric("disabled_ns_per_touchpoint", per_touch_ns)
+      .metric("disabled_overhead_pct", overhead_pct)
+      .metric("bitwise_identical", identical)
+      .write(std::cout);
+
+  return (under_budget && identical) ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -16,6 +16,7 @@
 #include "exec/parallel.hpp"
 #include "mg/generator.hpp"
 #include "mg/system.hpp"
+#include "obs/bench_json.hpp"
 #include "sim/chain_sim.hpp"
 
 namespace {
@@ -79,6 +80,10 @@ int main() {
             << std::setw(10) << "speedup8" << '\n';
 
   bool identical = true;
+  // Headline serial/8-thread timings per workload for the metrics line.
+  double sweep_ms1 = 0.0, sweep_ms8 = 0.0;
+  double sim_ms1 = 0.0, sim_ms8 = 0.0;
+  double imp_ms1 = 0.0, imp_ms8 = 0.0;
 
   // --- 64-point sweep over the midrange-server library model ------------
   {
@@ -97,6 +102,8 @@ int main() {
     const double ms8 = time_ms([&] { s8 = run(8); });
     identical = identical && same_series(s1, s2) && same_series(s1, s8);
     print_row("64-point sweep", ms1, ms2, ms8);
+    sweep_ms1 = ms1;
+    sweep_ms8 = ms8;
   }
 
   // --- 1000-replication chain simulation --------------------------------
@@ -126,6 +133,8 @@ int main() {
     const double ms8 = time_ms([&] { r8 = run(8); });
     identical = identical && same_stats(r1, r2) && same_stats(r1, r8);
     print_row("1000-rep simulation", ms1, ms2, ms8);
+    sim_ms1 = ms1;
+    sim_ms8 = ms8;
   }
 
   // --- importance what-if solves over the datacenter model --------------
@@ -147,9 +156,22 @@ int main() {
     }
     identical = identical && same;
     print_row("importance what-ifs", ms1, ms2, ms8);
+    imp_ms1 = ms1;
+    imp_ms8 = ms8;
   }
 
   std::cout << "\nresults bit-identical across thread counts {1, 2, 8}: "
             << (identical ? "yes" : "NO — DETERMINISM VIOLATION") << '\n';
+
+  rascad::obs::BenchMetricsLine("parallel")
+      .metric("hardware_threads", rascad::exec::hardware_thread_count())
+      .metric("sweep_ms_t1", sweep_ms1)
+      .metric("sweep_ms_t8", sweep_ms8)
+      .metric("sim_ms_t1", sim_ms1)
+      .metric("sim_ms_t8", sim_ms8)
+      .metric("importance_ms_t1", imp_ms1)
+      .metric("importance_ms_t8", imp_ms8)
+      .metric("bitwise_identical", identical)
+      .write(std::cout);
   return identical ? EXIT_SUCCESS : EXIT_FAILURE;
 }

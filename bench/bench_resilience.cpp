@@ -7,8 +7,12 @@
 // first rung fails.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <iostream>
+
 #include "markov/steady_state.hpp"
 #include "mg/generator.hpp"
+#include "obs/bench_json.hpp"
 #include "resilience/fault_injection.hpp"
 #include "resilience/resilience.hpp"
 
@@ -120,4 +124,42 @@ BENCHMARK(BM_LadderStiffChainEscalation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): after the google-benchmark run,
+// emit the shared one-line JSON metrics summary CI greps for (the console
+// reporter's table is not machine-parsed).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Direct timing of the headline comparison — bare solve vs full ladder
+  // on the 100-state chain where the < 2% healthy-path target applies.
+  using Clock = std::chrono::steady_clock;
+  const markov::Ctmc chain = resilience::ill_conditioned_chain(100, 2.0);
+  const resilience::ResilienceConfig config;
+  constexpr int kIters = 50;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    benchmark::DoNotOptimize(markov::solve_steady_state(chain));
+  }
+  const auto t1 = Clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    benchmark::DoNotOptimize(
+        resilience::solve_steady_state_resilient(chain, config));
+  }
+  const auto t2 = Clock::now();
+  const double bare_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count() / kIters;
+  const double ladder_ms =
+      std::chrono::duration<double, std::milli>(t2 - t1).count() / kIters;
+  const double overhead_pct =
+      bare_ms > 0.0 ? (ladder_ms - bare_ms) / bare_ms * 100.0 : 0.0;
+
+  rascad::obs::BenchMetricsLine("resilience")
+      .metric("direct_bare_ms", bare_ms)
+      .metric("ladder_healthy_ms", ladder_ms)
+      .metric("healthy_overhead_pct", overhead_pct)
+      .write(std::cout);
+  return 0;
+}

@@ -7,6 +7,7 @@
 
 #include "cache/solve_cache.hpp"
 #include "markov/steady_state.hpp"
+#include "obs/bench_json.hpp"
 #include "mg/generator.hpp"
 #include "mg/system.hpp"
 #include "spec/ast.hpp"
@@ -143,14 +144,14 @@ int main() {
                "identical copies collapse to one solve + W-1 memo hits when\n"
                "a solve cache is attached.\n";
 
-  std::cout << "{\"bench\":\"scalability\",\"metrics\":{"
-            << "\"deep_n128_states\":" << deep_max_states
-            << ",\"deep_n128_gen_ms\":" << deep_max_gen_ms
-            << ",\"deep_n128_solve_ms\":" << deep_max_solve_ms
-            << ",\"sor_n128_iterations\":" << sor_iterations
-            << ",\"wide_w100_states\":" << wide_max_states
-            << ",\"wide_w100_build_ms\":" << wide_max_ms
-            << ",\"wide_w100_cache_hits\":" << wide_cache_hits << "}}"
-            << std::endl;
+  rascad::obs::BenchMetricsLine("scalability")
+      .metric("deep_n128_states", deep_max_states)
+      .metric("deep_n128_gen_ms", deep_max_gen_ms)
+      .metric("deep_n128_solve_ms", deep_max_solve_ms)
+      .metric("sor_n128_iterations", sor_iterations)
+      .metric("wide_w100_states", wide_max_states)
+      .metric("wide_w100_build_ms", wide_max_ms)
+      .metric("wide_w100_cache_hits", wide_cache_hits)
+      .write(std::cout);
   return 0;
 }

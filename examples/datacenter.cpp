@@ -10,6 +10,7 @@
 #include "core/library.hpp"
 #include "core/sweep.hpp"
 #include "mg/system.hpp"
+#include "obs/jsonl.hpp"
 
 int main() {
   using rascad::mg::SystemModel;
@@ -59,5 +60,7 @@ int main() {
               << " h  ->  downtime " << std::setw(7) << std::setprecision(2)
               << p.yearly_downtime_min << " min/year\n";
   }
+  // One JSONL trace of the whole run when RASCAD_OBS=1.
+  rascad::obs::dump_if_enabled();
   return 0;
 }

@@ -22,6 +22,7 @@
 #include "core/partsdb.hpp"
 #include "core/project.hpp"
 #include "core/report.hpp"
+#include "obs/jsonl.hpp"
 #include "sim/system_sim.hpp"
 #include "spec/parser.hpp"
 #include "spec/validate.hpp"
@@ -178,9 +179,7 @@ int cmd_library(int argc, char** argv) {
   return 1;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_cli(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
@@ -200,4 +199,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = run_cli(argc, argv);
+  // One JSONL trace per invocation when RASCAD_OBS=1.
+  rascad::obs::dump_if_enabled();
+  return rc;
 }

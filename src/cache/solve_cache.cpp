@@ -1,20 +1,45 @@
 #include "cache/solve_cache.hpp"
 
 #include <algorithm>
+#include <array>
+#include <string>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace rascad::cache {
 
 template <typename Value>
+void SolveCache::Table<Value>::bind_metrics(const char* prefix) {
+  obs::Registry& registry = obs::Registry::global();
+  const std::string p(prefix);
+  hits_metric_ = &registry.counter(p + ".hits");
+  misses_metric_ = &registry.counter(p + ".misses");
+  insertions_metric_ = &registry.counter(p + ".insertions");
+  evictions_metric_ = &registry.counter(p + ".evictions");
+}
+
+template <typename Value>
 std::optional<Value> SolveCache::Table<Value>::find(const Signature& key) {
+  obs::Span span("cache.lookup");
   Shard& s = shard_for(key);
   std::lock_guard<std::mutex> lock(s.mutex);
   const auto it = s.index.find(key);
   if (it == s.index.end()) {
     ++s.misses;
+    if (obs::enabled() && misses_metric_) {
+      misses_metric_->inc();
+      span.set_detail("miss");
+    }
     return std::nullopt;
   }
   ++s.hits;
+  if (obs::enabled() && hits_metric_) {
+    hits_metric_->inc();
+    span.set_detail("hit");
+  }
   s.lru.splice(s.lru.begin(), s.lru, it->second);
   return it->second->value;
 }
@@ -34,18 +59,28 @@ void SolveCache::Table<Value>::put(const Signature& key, Value value) {
   s.lru.push_front(Node{key, std::move(value)});
   s.index.emplace(key, s.lru.begin());
   ++s.insertions;
+  if (obs::enabled() && insertions_metric_) insertions_metric_->inc();
   while (s.lru.size() > per_shard_) {
     s.index.erase(s.lru.back().key);
     s.lru.pop_back();
     ++s.evictions;
+    if (obs::enabled() && evictions_metric_) evictions_metric_->inc();
   }
 }
 
 template <typename Value>
 CacheCounters SolveCache::Table<Value>::counters() const {
+  // Consistent snapshot: hold every shard lock before reading any field,
+  // so a find/put that completes concurrently is either fully included or
+  // fully excluded — per-field sums can never mix "before" and "after"
+  // states of one operation. Shards are locked in index order (the only
+  // multi-shard acquisition in the cache, so no ordering conflicts).
+  std::array<std::unique_lock<std::mutex>, kShards> locks;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    locks[i] = std::unique_lock<std::mutex>(shards_[i].mutex);
+  }
   CacheCounters out;
   for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mutex);
     out.hits += s.hits;
     out.misses += s.misses;
     out.insertions += s.insertions;
@@ -70,6 +105,8 @@ SolveCache::SolveCache(std::size_t block_capacity, std::size_t curve_capacity)
       curve_capacity_(std::max<std::size_t>(curve_capacity, 1)) {
   blocks_.set_capacity(std::max<std::size_t>(1, block_capacity_ / kShards));
   curves_.set_capacity(std::max<std::size_t>(1, curve_capacity_ / kShards));
+  blocks_.bind_metrics("cache.block");
+  curves_.bind_metrics("cache.curve");
 }
 
 std::optional<CachedBlockSolve> SolveCache::find_block(const Signature& key) {

@@ -34,6 +34,10 @@
 #include "markov/ctmc.hpp"
 #include "resilience/resilience.hpp"
 
+namespace rascad::obs {
+class Counter;
+}  // namespace rascad::obs
+
 namespace rascad::cache {
 
 /// One memoized block solve: everything SystemModel needs to assemble a
@@ -48,7 +52,10 @@ struct CachedBlockSolve {
   resilience::SolveTrace trace;
 };
 
-/// Aggregate counters for one table (blocks or curves).
+/// Aggregate counters for one table (blocks or curves). Produced by
+/// SolveCache::block_counters / curve_counters as one consistent snapshot:
+/// all shards are locked before any is read, so concurrent lookups can
+/// never make `hits + misses` disagree with the number of completed finds.
 struct CacheCounters {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -98,6 +105,11 @@ class SolveCache {
   class Table {
    public:
     void set_capacity(std::size_t per_shard) { per_shard_ = per_shard; }
+    /// Mirrors shard counter updates onto the global obs registry under
+    /// `<prefix>.hits` / `.misses` / `.insertions` / `.evictions`
+    /// (observability-gated; registry totals span every cache instance
+    /// bound to the prefix).
+    void bind_metrics(const char* prefix);
     std::optional<Value> find(const Signature& key);
     void put(const Signature& key, Value value);
     CacheCounters counters() const;
@@ -124,6 +136,12 @@ class SolveCache {
     }
     std::size_t per_shard_ = 1;
     Shard shards_[kShards];
+    /// Global-registry mirrors of the shard counters; null until
+    /// bind_metrics. Updated only while obs::enabled().
+    obs::Counter* hits_metric_ = nullptr;
+    obs::Counter* misses_metric_ = nullptr;
+    obs::Counter* insertions_metric_ = nullptr;
+    obs::Counter* evictions_metric_ = nullptr;
   };
 
   std::size_t block_capacity_;

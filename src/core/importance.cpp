@@ -3,14 +3,20 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "markov/steady_state.hpp"
 #include "mg/generator.hpp"
+#include "obs/trace.hpp"
 
 namespace rascad::core {
 
 std::vector<BlockImportance> block_importance(const mg::SystemModel& system,
                                               const exec::ParallelOptions& par) {
+  obs::Span run_span("importance.run");
+  if (run_span.active()) {
+    run_span.set_detail("blocks=" + std::to_string(system.blocks().size()));
+  }
   const double a_sys = system.availability();
   const double u_sys = std::max(1.0 - a_sys, 1e-300);
   const auto& blocks = system.blocks();
@@ -19,6 +25,10 @@ std::vector<BlockImportance> block_importance(const mg::SystemModel& system,
       blocks.size(),
       [&](std::size_t i) {
         const auto& entry = blocks[i];
+        obs::Span block_span("importance.block");
+        if (block_span.active()) {
+          block_span.set_detail(entry.diagram + "/" + entry.block.name);
+        }
         BlockImportance imp;
         imp.diagram = entry.diagram;
         imp.block = entry.block.name;
@@ -49,6 +59,10 @@ std::vector<BlockImportance> block_importance(const mg::SystemModel& system,
 std::vector<ParameterSensitivity> parameter_sensitivity(
     const mg::SystemModel& system, double relative_step,
     const exec::ParallelOptions& par) {
+  obs::Span run_span("sensitivity.run");
+  if (run_span.active()) {
+    run_span.set_detail("blocks=" + std::to_string(system.blocks().size()));
+  }
   if (!(relative_step > 0.0) || relative_step >= 1.0) {
     throw std::invalid_argument(
         "parameter_sensitivity: relative_step must be in (0, 1)");

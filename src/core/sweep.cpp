@@ -2,7 +2,12 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace rascad::core {
 
@@ -45,6 +50,22 @@ std::vector<SweepPoint> run_sweep(
     const spec::ModelSpec& base,
     const std::function<void(spec::ModelSpec&, double)>& mutate_model,
     const std::vector<double>& values, const SweepOptions& opts) {
+  obs::Span sweep_span("sweep.run");
+  if (sweep_span.active()) {
+    sweep_span.set_detail(
+        "points=" + std::to_string(values.size()) +
+        (opts.incremental ? " incremental" : " full"));
+  }
+  const auto observe_point = [](std::size_t i, const auto& body) {
+    obs::Span point_span("sweep.point");
+    if (point_span.active()) {
+      point_span.set_detail("i=" + std::to_string(i));
+      static obs::Counter& points_total =
+          obs::Registry::global().counter("sweep.points");
+      points_total.inc();
+    }
+    body();
+  };
   std::vector<SweepPoint> points(values.size());
   if (opts.incremental) {
     // One full solve of the base spec; every point then re-solves only the
@@ -55,23 +76,27 @@ std::vector<SweepPoint> run_sweep(
     exec::parallel_for(
         values.size(),
         [&](std::size_t i) {
-          spec::ModelSpec model = base;
-          mutate_model(model, values[i]);
-          points[i] = summarize(
-              mg::SystemModel::rebuild(baseline, std::move(model),
-                                       opts.model),
-              values[i]);
+          observe_point(i, [&] {
+            spec::ModelSpec model = base;
+            mutate_model(model, values[i]);
+            points[i] = summarize(
+                mg::SystemModel::rebuild(baseline, std::move(model),
+                                         opts.model),
+                values[i]);
+          });
         },
         opts.parallel);
   } else {
     exec::parallel_for(
         values.size(),
         [&](std::size_t i) {
-          spec::ModelSpec model = base;
-          mutate_model(model, values[i]);
-          points[i] = summarize(
-              mg::SystemModel::build(std::move(model), opts.model),
-              values[i]);
+          observe_point(i, [&] {
+            spec::ModelSpec model = base;
+            mutate_model(model, values[i]);
+            points[i] = summarize(
+                mg::SystemModel::build(std::move(model), opts.model),
+                values[i]);
+          });
         },
         opts.parallel);
   }

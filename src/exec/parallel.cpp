@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -11,6 +12,9 @@
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rascad::exec {
 
@@ -31,6 +35,11 @@ struct Batch {
   /// std::function alive until every chunk body has returned).
   const std::function<void(std::size_t)>* fn = nullptr;
 
+  /// The submitting scope's span id: installed on whichever thread runs a
+  /// chunk, so worker-side spans parent under the logical caller instead
+  /// of dangling as roots. 0 when observability is disabled.
+  obs::SpanId trace_parent = 0;
+
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> pending{0};
   std::mutex mu;
@@ -39,6 +48,11 @@ struct Batch {
   std::size_t error_index = std::numeric_limits<std::size_t>::max();
 
   void run_chunk(std::size_t c) {
+    const obs::ParentScope trace_scope(trace_parent);
+    const bool observe = obs::enabled();
+    const auto chunk_start =
+        observe ? std::chrono::steady_clock::now()
+                : std::chrono::steady_clock::time_point{};
     const std::size_t lo = c * chunk_size;
     const std::size_t hi = std::min(n, lo + chunk_size);
     for (std::size_t i = lo; i < hi; ++i) {
@@ -53,6 +67,13 @@ struct Batch {
           error = std::current_exception();
         }
       }
+    }
+    if (observe) {
+      static obs::Histogram& task_ms =
+          obs::Registry::global().histogram("exec.task_ms");
+      task_ms.observe_ms(std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - chunk_start)
+                             .count());
     }
     if (pending.fetch_sub(1) == 1) {
       // Taking the lock pairs with the caller's predicate check: the
@@ -109,6 +130,11 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
   std::size_t threads =
       opts.threads != 0 ? opts.threads : default_thread_count();
   threads = std::min(threads, max_chunks);
+  obs::Span loop_span("exec.parallel_for");
+  if (loop_span.active()) {
+    loop_span.set_detail("n=" + std::to_string(n) +
+                         " threads=" + std::to_string(threads));
+  }
   if (threads <= 1) {
     // Same contract as the parallel path: every index runs, and the
     // exception from the lowest index is the one that propagates.
@@ -131,6 +157,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
   batch->chunk_size = std::max(batch->chunk_size, grain);
   batch->chunks = (n + batch->chunk_size - 1) / batch->chunk_size;
   batch->fn = &fn;
+  batch->trace_parent = loop_span.id();
   batch->pending.store(batch->chunks);
 
   ThreadPool& pool = global_pool();

@@ -2,7 +2,22 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
 namespace rascad::exec {
+
+namespace {
+
+/// Instantaneous pool backlog; updated under the pool mutex, so set() is
+/// already serialized.
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& gauge =
+      obs::Registry::global().gauge("exec.pool.queue_depth");
+  return gauge;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
   workers_.reserve(workers);
@@ -26,6 +41,9 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) return;
     queue_.push_back(std::move(task));
+    if (obs::enabled()) {
+      queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
+    }
   }
   cv_.notify_one();
 }
@@ -39,6 +57,9 @@ void ThreadPool::worker_loop() {
       if (stop_) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (obs::enabled()) {
+        queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
+      }
     }
     task();
   }

@@ -8,6 +8,9 @@
 
 #include "markov/absorbing.hpp"
 #include "markov/transient.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "spec/validate.hpp"
 
 namespace rascad::mg {
@@ -142,12 +145,19 @@ template <typename SampleFn>
 std::shared_ptr<const linalg::Vector> sample_curve_cached(
     const SystemModel::BlockEntry& block, std::uint64_t kind, double horizon,
     std::size_t steps, cache::SolveCache* cache, SampleFn&& sample) {
+  obs::Span span("curve.sample");
   cache::Signature key;
   if (cache) {
     key = curve_key(block.signature, kind, horizon, steps);
     if (std::shared_ptr<const linalg::Vector> hit = cache->find_curve(key)) {
+      if (span.active()) {
+        span.set_detail(block.diagram + "/" + block.block.name + " hit");
+      }
       return hit;
     }
+  }
+  if (span.active()) {
+    span.set_detail(block.diagram + "/" + block.block.name + " sampled");
   }
   auto curve = std::make_shared<const linalg::Vector>(sample());
   if (cache) cache->put_curve(key, curve);
@@ -185,6 +195,7 @@ SystemModel::BlockEntry solve_block_cached(
     const spec::GlobalParams& globals,
     const resilience::ResilienceConfig& config,
     const cache::Signature& solver_sig, cache::SolveCache* cache) {
+  obs::Span solve_span("block.solve");
   SystemModel::BlockEntry entry;
   entry.diagram = diagram;
   entry.block = block;
@@ -202,16 +213,28 @@ SystemModel::BlockEntry solve_block_cached(
       entry.eq_failure_rate = hit->eq_failure_rate;
       entry.solve_trace = std::move(hit->trace);
       entry.solve_trace.source = resilience::SolveSource::kCacheHit;
+      if (solve_span.active()) {
+        solve_span.set_detail(diagram + "/" + block.name + " " +
+                              to_string(entry.solve_trace.source));
+      }
       return entry;
     }
   }
 
-  GeneratedModel generated = generate(block, globals);
+  GeneratedModel generated = [&] {
+    obs::Span gen_span("mg.generate");
+    if (gen_span.active()) gen_span.set_detail(diagram + "/" + block.name);
+    return generate(block, globals);
+  }();
   resilience::ResilientResult solved =
       resilience::solve_steady_state_resilient(generated.chain, config);
   const markov::SteadyStateResult& steady = solved.result;
   entry.solve_trace = std::move(solved.trace);
   entry.solve_trace.source = resilience::SolveSource::kFresh;
+  if (solve_span.active()) {
+    solve_span.set_detail(diagram + "/" + block.name + " " +
+                          to_string(entry.solve_trace.source));
+  }
   entry.type = generated.type;
   entry.initial = generated.initial;
   entry.availability = markov::expected_reward(generated.chain, steady.pi);
@@ -235,6 +258,12 @@ SystemModel::BlockEntry solve_block_cached(
 }
 
 SystemModel SystemModel::build(spec::ModelSpec model, const Options& opts) {
+  obs::Span build_span("system.build");
+  if (obs::enabled()) {
+    static obs::Counter& builds =
+        obs::Registry::global().counter("system.builds");
+    builds.inc();
+  }
   spec::validate_or_throw(model);
   SystemModel sm;
   sm.spec_ = std::move(model);
@@ -250,6 +279,9 @@ SystemModel SystemModel::build(spec::ModelSpec model, const Options& opts) {
   std::vector<std::pair<const spec::DiagramSpec*, const spec::BlockSpec*>>
       pending;
   collect_chain_blocks(sm.spec_, sm.spec_.root(), pending);
+  if (build_span.active()) {
+    build_span.set_detail("blocks=" + std::to_string(pending.size()));
+  }
   sm.blocks_.resize(pending.size());
   exec::parallel_for(
       pending.size(),
@@ -267,6 +299,7 @@ SystemModel SystemModel::build(spec::ModelSpec model, const Options& opts) {
 SystemModel SystemModel::rebuild(const SystemModel& base,
                                  spec::ModelSpec changed,
                                  const Options& opts) {
+  obs::Span rebuild_span("system.rebuild");
   spec::validate_or_throw(changed);
   const resilience::ResilienceConfig solve_config = resolve_config(opts);
   cache::Signature solver_sig = solver_signature(solve_config);
@@ -287,7 +320,12 @@ SystemModel SystemModel::rebuild(const SystemModel& base,
     compatible = pending[i].first->name == base.blocks_[i].diagram &&
                  pending[i].second->name == base.blocks_[i].block.name;
   }
-  if (!compatible) return build(std::move(sm.spec_), opts);
+  if (!compatible) {
+    // Detail recorded before the fallback so the trace shows this rebuild
+    // degenerated into a full build (whose own span nests underneath).
+    if (rebuild_span.active()) rebuild_span.set_detail("incompatible");
+    return build(std::move(sm.spec_), opts);
+  }
 
   sm.solver_sig_ = std::move(solver_sig);
   sm.blocks_.resize(pending.size());
@@ -315,6 +353,23 @@ SystemModel SystemModel::rebuild(const SystemModel& base,
       dirty.push_back(i);
     }
   }
+  if (obs::enabled()) {
+    if (rebuild_span.active()) {
+      rebuild_span.set_detail(
+          "blocks=" + std::to_string(pending.size()) +
+          " dirty=" + std::to_string(dirty.size()) +
+          " reused=" + std::to_string(pending.size() - dirty.size()));
+    }
+    static obs::Counter& rebuilds =
+        obs::Registry::global().counter("system.rebuilds");
+    static obs::Counter& dirty_blocks =
+        obs::Registry::global().counter("system.rebuild.dirty_blocks");
+    static obs::Counter& reused_blocks =
+        obs::Registry::global().counter("system.rebuild.reused_blocks");
+    rebuilds.inc();
+    dirty_blocks.inc(dirty.size());
+    reused_blocks.inc(pending.size() - dirty.size());
+  }
   exec::parallel_for(
       dirty.size(),
       [&](std::size_t j) {
@@ -341,6 +396,7 @@ double SystemModel::mtbf_h() const {
 }
 
 double SystemModel::interval_availability(double horizon) const {
+  obs::Span span("system.interval_availability");
   if (!(horizon > 0.0)) {
     throw std::invalid_argument(
         "SystemModel::interval_availability: horizon must be positive");
@@ -434,6 +490,7 @@ rbd::RbdNodePtr reliability_tree(
 }  // namespace
 
 double SystemModel::reliability(double horizon) const {
+  obs::Span span("system.reliability");
   if (!(horizon > 0.0)) {
     throw std::invalid_argument(
         "SystemModel::reliability: horizon must be positive");

@@ -1,0 +1,63 @@
+#include "obs/bench_json.hpp"
+
+#include <ostream>
+
+#include "obs/jsonl.hpp"
+
+namespace rascad::obs {
+
+BenchMetricsLine& BenchMetricsLine::metric(std::string key, double value) {
+  return raw(std::move(key), json_number(value));
+}
+
+BenchMetricsLine& BenchMetricsLine::metric(std::string key, bool value) {
+  return raw(std::move(key), value ? "true" : "false");
+}
+
+BenchMetricsLine& BenchMetricsLine::metric(std::string key,
+                                           const char* value) {
+  return raw(std::move(key), '"' + json_escape(value) + '"');
+}
+
+BenchMetricsLine& BenchMetricsLine::metric(std::string key,
+                                           const std::string& value) {
+  return raw(std::move(key), '"' + json_escape(value) + '"');
+}
+
+BenchMetricsLine& BenchMetricsLine::metric_int(std::string key,
+                                               std::int64_t value) {
+  return raw(std::move(key), std::to_string(value));
+}
+
+BenchMetricsLine& BenchMetricsLine::metric_uint(std::string key,
+                                                std::uint64_t value) {
+  return raw(std::move(key), std::to_string(value));
+}
+
+BenchMetricsLine& BenchMetricsLine::raw(std::string key,
+                                        std::string rendered) {
+  metrics_.emplace_back(std::move(key), std::move(rendered));
+  return *this;
+}
+
+std::string BenchMetricsLine::str() const {
+  std::string out = "{\"bench\":\"" + json_escape(bench_) +
+                    "\",\"metrics\":{";
+  bool first = true;
+  for (const auto& [key, value] : metrics_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(key);
+    out += "\":";
+    out += value;
+  }
+  out += "}}";
+  return out;
+}
+
+void BenchMetricsLine::write(std::ostream& os) const {
+  os << str() << std::endl;
+}
+
+}  // namespace rascad::obs

@@ -1,0 +1,57 @@
+// Shared emitter for the per-bench JSON metrics lines.
+//
+// Every bench binary ends its run with exactly one line of the form
+//
+//   {"bench":"<name>","metrics":{"key":value,...}}
+//
+// CI and the analysis notebooks grep for these, so the schema must be
+// identical across benches — which is why the line is built here instead
+// of hand-rolled per binary. Values keep insertion order; doubles use
+// shortest round-trip formatting (immune to whatever precision/format
+// state the bench left on std::cout).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace rascad::obs {
+
+class BenchMetricsLine {
+ public:
+  explicit BenchMetricsLine(std::string bench) : bench_(std::move(bench)) {}
+
+  BenchMetricsLine& metric(std::string key, double value);
+  BenchMetricsLine& metric(std::string key, bool value);
+  BenchMetricsLine& metric(std::string key, const char* value);
+  BenchMetricsLine& metric(std::string key, const std::string& value);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  BenchMetricsLine& metric(std::string key, T value) {
+    if constexpr (std::is_signed_v<T>) {
+      return metric_int(std::move(key), static_cast<std::int64_t>(value));
+    } else {
+      return metric_uint(std::move(key), static_cast<std::uint64_t>(value));
+    }
+  }
+
+  /// The finished line, without a trailing newline.
+  std::string str() const;
+
+  /// Writes the line plus newline and flushes (benches exit right after).
+  void write(std::ostream& os) const;
+
+ private:
+  BenchMetricsLine& metric_int(std::string key, std::int64_t value);
+  BenchMetricsLine& metric_uint(std::string key, std::uint64_t value);
+  BenchMetricsLine& raw(std::string key, std::string rendered);
+
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+};
+
+}  // namespace rascad::obs

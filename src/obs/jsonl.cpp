@@ -1,0 +1,142 @@
+#include "obs/jsonl.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "obs/report.hpp"
+
+namespace rascad::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, r.ptr);
+}
+
+namespace {
+
+double us(std::uint64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+}  // namespace
+
+void write_metrics_jsonl(std::ostream& os, const MetricsSnapshot& snapshot) {
+  os << "{\"type\":\"metrics\",\"counters\":{";
+  bool first = true;
+  for (const auto& c : snapshot.counters) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(c.name) << "\":" << c.value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(g.name) << "\":" << g.value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(h.name) << "\":{\"count\":" << h.data.count
+       << ",\"sum_ms\":" << json_number(h.data.sum_ms) << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.data.buckets.size(); ++i) {
+      if (i > 0) os << ',';
+      os << h.data.buckets[i];
+    }
+    os << "]}";
+  }
+  os << "}}\n";
+}
+
+void write_trace_jsonl(std::ostream& os, const TraceDump& dump) {
+  for (const SpanRecord& s : dump.spans) {
+    os << "{\"type\":\"span\",\"id\":" << s.id << ",\"parent\":" << s.parent
+       << ",\"name\":\"" << json_escape(s.name) << '"';
+    if (!s.detail.empty()) {
+      os << ",\"detail\":\"" << json_escape(s.detail) << '"';
+    }
+    os << ",\"thread\":" << s.thread
+       << ",\"start_us\":" << json_number(us(s.start_ns))
+       << ",\"dur_us\":" << json_number(us(s.end_ns - s.start_ns)) << "}\n";
+  }
+  for (const EventRecord& e : dump.events) {
+    os << "{\"type\":\"event\",\"kind\":\"" << json_escape(e.kind)
+       << "\",\"span\":" << e.span << ",\"thread\":" << e.thread
+       << ",\"t_us\":" << json_number(us(e.t_ns)) << ",\"fields\":{";
+    bool first = true;
+    for (const auto& [k, v] : e.fields) {
+      if (!first) os << ',';
+      first = false;
+      os << '"' << json_escape(k) << "\":\"" << json_escape(v) << '"';
+    }
+    os << "}}\n";
+  }
+  if (dump.dropped > 0) {
+    os << "{\"type\":\"event\",\"kind\":\"obs.dropped\",\"span\":0,"
+          "\"thread\":0,\"t_us\":0,\"fields\":{\"count\":\""
+       << dump.dropped << "\"}}\n";
+  }
+}
+
+void dump_jsonl(std::ostream& os) {
+  write_metrics_jsonl(os, Registry::global().snapshot());
+  write_trace_jsonl(os, drain_trace());
+}
+
+bool dump_if_enabled() {
+  if (!enabled()) return false;
+  const char* path_env = std::getenv("RASCAD_OBS_FILE");
+  const std::string path =
+      path_env && *path_env ? path_env : "rascad_obs.jsonl";
+  const TraceDump dump = peek_trace();
+  const MetricsSnapshot snapshot = Registry::global().snapshot();
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "obs: cannot open '" << path << "' for writing\n";
+    return false;
+  }
+  write_metrics_jsonl(out, snapshot);
+  write_trace_jsonl(out, dump);
+  std::cerr << "obs: wrote " << dump.spans.size() << " spans, "
+            << dump.events.size() << " events to " << path << '\n';
+  const char* summary = std::getenv("RASCAD_OBS_SUMMARY");
+  if (summary && *summary && std::string_view(summary) != "0") {
+    std::cerr << summary_report(dump, snapshot);
+  }
+  clear_trace();
+  return true;
+}
+
+}  // namespace rascad::obs

@@ -1,0 +1,48 @@
+// JSONL telemetry sink: one JSON object per line, machine-parseable with
+// any line-oriented tooling (jq, pandas.read_json(lines=True)).
+//
+// Schema (see docs/observability.md for the full description):
+//   {"type":"metrics","counters":{...},"gauges":{...},"histograms":{...}}
+//   {"type":"span","id":N,"parent":N,"name":"...","detail":"...",
+//    "thread":N,"start_us":F,"dur_us":F}
+//   {"type":"event","kind":"...","span":N,"thread":N,"t_us":F,
+//    "fields":{"k":"v",...}}
+//
+// Doubles are rendered with std::to_chars shortest round-trip form, so a
+// parsed value compares bit-equal to the one the process observed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rascad::obs {
+
+/// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
+std::string json_escape(std::string_view s);
+
+/// Shortest round-trip decimal form of `v`; NaN/Inf (not valid JSON)
+/// become null.
+std::string json_number(double v);
+
+/// One "metrics" line for the snapshot.
+void write_metrics_jsonl(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// One "span" line per span and one "event" line per event.
+void write_trace_jsonl(std::ostream& os, const TraceDump& dump);
+
+/// Drains the trace, snapshots the global registry, and writes the full
+/// telemetry stream: metrics line first, then spans, then events.
+void dump_jsonl(std::ostream& os);
+
+/// End-of-run hook for binaries: when observability is enabled, writes the
+/// full JSONL stream to $RASCAD_OBS_FILE (default "rascad_obs.jsonl"),
+/// notes the destination on stderr, and — with RASCAD_OBS_SUMMARY set —
+/// prints the human-readable summary report to stderr too. Returns true
+/// if a file was written.
+bool dump_if_enabled();
+
+}  // namespace rascad::obs

@@ -1,0 +1,144 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace rascad::obs {
+
+std::size_t Counter::cell_index() noexcept {
+  // Round-robin slot assignment at first touch spreads threads evenly;
+  // kCells is a power of two so the modulo is a mask.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kCells;
+  return slot;
+}
+
+const std::array<double, Histogram::kBuckets - 1>&
+Histogram::bounds_ms() noexcept {
+  static const std::array<double, kBuckets - 1> bounds = {
+      0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0,
+      300.0, 1000.0};
+  return bounds;
+}
+
+void Histogram::observe_ms(double ms) noexcept {
+  if (!(ms >= 0.0)) ms = 0.0;  // NaN / negative clock skew -> first bucket
+  const auto& bounds = bounds_ms();
+  std::size_t b = kBuckets - 1;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (ms <= bounds[i]) {
+      b = i;
+      break;
+    }
+  }
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(static_cast<std::uint64_t>(ms * 1e6),
+                    std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum_ms = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) / 1e6;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry();  // leaked: outlives all users
+  return *registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::reset() noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.counters.push_back({name, c->value()});
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.gauges.push_back({name, g->value()});
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.histograms.push_back({name, h->snapshot()});
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+std::string Registry::render_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  std::size_t width = 24;
+  for (const auto& c : snapshot.counters) width = std::max(width, c.name.size());
+  for (const auto& g : snapshot.gauges) width = std::max(width, g.name.size());
+  for (const auto& h : snapshot.histograms) {
+    width = std::max(width, h.name.size());
+  }
+  if (!snapshot.counters.empty()) {
+    os << "counters:\n";
+    for (const auto& c : snapshot.counters) {
+      os << "  " << std::left << std::setw(static_cast<int>(width)) << c.name
+         << std::right << std::setw(14) << c.value << '\n';
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    os << "gauges:\n";
+    for (const auto& g : snapshot.gauges) {
+      os << "  " << std::left << std::setw(static_cast<int>(width)) << g.name
+         << std::right << std::setw(14) << g.value << '\n';
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    os << "histograms:\n";
+    for (const auto& h : snapshot.histograms) {
+      os << "  " << std::left << std::setw(static_cast<int>(width)) << h.name
+         << std::right << "  count=" << h.data.count << std::fixed
+         << std::setprecision(3) << "  sum=" << h.data.sum_ms
+         << " ms  mean=" << h.data.mean_ms() << " ms\n";
+      os.unsetf(std::ios::fixed);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace rascad::obs

@@ -1,0 +1,31 @@
+#include "obs/obs.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace rascad::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool env_enabled() noexcept {
+  const char* s = std::getenv("RASCAD_OBS");
+  return s && *s && std::strcmp(s, "0") != 0;
+}
+
+namespace {
+// Honour RASCAD_OBS at load time so a user can trace any binary without
+// code changes. Instrumentation hit before this initializer runs is
+// simply not recorded — never an error.
+const bool g_env_init = [] {
+  if (env_enabled()) set_enabled(true);
+  return true;
+}();
+}  // namespace
+
+}  // namespace rascad::obs

@@ -1,0 +1,73 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <string_view>
+
+namespace rascad::obs {
+
+namespace {
+
+struct Group {
+  std::string_view name;
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+}  // namespace
+
+std::string summary_report(const TraceDump& dump,
+                           const MetricsSnapshot& snapshot) {
+  std::map<std::string_view, Group> by_name;
+  for (const SpanRecord& s : dump.spans) {
+    Group& g = by_name[s.name];
+    g.name = s.name;
+    ++g.count;
+    const double ms = static_cast<double>(s.end_ns - s.start_ns) / 1e6;
+    g.total_ms += ms;
+    g.max_ms = std::max(g.max_ms, ms);
+  }
+  std::vector<Group> groups;
+  groups.reserve(by_name.size());
+  for (const auto& [name, g] : by_name) groups.push_back(g);
+  std::sort(groups.begin(), groups.end(), [](const Group& a, const Group& b) {
+    return a.total_ms != b.total_ms ? a.total_ms > b.total_ms
+                                    : a.name < b.name;
+  });
+
+  std::ostringstream os;
+  os << "=== obs summary: " << dump.spans.size() << " spans, "
+     << dump.events.size() << " events";
+  if (dump.dropped > 0) os << ", " << dump.dropped << " dropped";
+  os << " ===\n";
+  if (!groups.empty()) {
+    os << "top spans by total time:\n";
+    os << "  " << std::left << std::setw(28) << "span" << std::right
+       << std::setw(9) << "count" << std::setw(13) << "total ms"
+       << std::setw(12) << "mean ms" << std::setw(12) << "max ms" << '\n';
+    constexpr std::size_t kTop = 20;
+    for (std::size_t i = 0; i < groups.size() && i < kTop; ++i) {
+      const Group& g = groups[i];
+      os << "  " << std::left << std::setw(28) << g.name << std::right
+         << std::setw(9) << g.count << std::fixed << std::setprecision(3)
+         << std::setw(13) << g.total_ms << std::setw(12)
+         << g.total_ms / static_cast<double>(g.count) << std::setw(12)
+         << g.max_ms << '\n';
+      os.unsetf(std::ios::fixed);
+    }
+    if (groups.size() > kTop) {
+      os << "  ... " << groups.size() - kTop << " more span groups\n";
+    }
+  }
+  os << Registry::render_text(snapshot);
+  return os.str();
+}
+
+std::string summary_report() {
+  return summary_report(peek_trace(), Registry::global().snapshot());
+}
+
+}  // namespace rascad::obs

@@ -1,0 +1,21 @@
+// Human-readable trace/metrics summary: where did the time go, without a
+// debugger or a JSONL post-processor.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rascad::obs {
+
+/// Renders the top span groups by total time (aggregated by span name:
+/// count, total ms, mean ms, max ms) followed by the metric table.
+std::string summary_report(const TraceDump& dump,
+                           const MetricsSnapshot& snapshot);
+
+/// Convenience over peek_trace() + Registry::global().snapshot(); leaves
+/// the buffers intact.
+std::string summary_report();
+
+}  // namespace rascad::obs

@@ -1,0 +1,210 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+namespace rascad::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Soft caps so an accidentally-enabled long run degrades to dropped
+/// records instead of unbounded memory. Drops are counted and reported.
+constexpr std::size_t kMaxSpansPerThread = 1u << 20;
+constexpr std::size_t kMaxEvents = 1u << 18;
+
+Clock::time_point trace_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           trace_epoch())
+          .count());
+}
+
+/// Per-thread span sink. The owning thread appends under the buffer mutex
+/// (uncontended except while a flush is in progress), the flusher drains
+/// under the same mutex — that pairing is what keeps TSan quiet.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<SpanRecord> spans;
+  std::uint64_t dropped = 0;
+  std::uint32_t thread_index = 0;
+};
+
+struct Collector {
+  std::mutex mu;
+  std::vector<ThreadBuffer*> buffers;
+  std::vector<SpanRecord> orphans;  // from exited threads
+  std::vector<EventRecord> events;
+  std::uint64_t orphan_dropped = 0;
+  std::uint32_t next_thread_index = 0;
+};
+
+Collector& collector() {
+  static Collector* c = new Collector();  // leaked: outlives all threads
+  return *c;
+}
+
+std::atomic<SpanId> g_next_id{1};
+
+/// Thread-local state: the ambient span stack head plus the registered
+/// buffer. The destructor hands any unflushed records to the collector so
+/// short-lived threads (tests, user threads) never lose spans.
+struct ThreadState {
+  ThreadBuffer* buffer = nullptr;
+  SpanId current = 0;
+
+  ThreadBuffer& ensure_buffer() {
+    if (!buffer) {
+      buffer = new ThreadBuffer();
+      Collector& c = collector();
+      std::lock_guard<std::mutex> lock(c.mu);
+      buffer->thread_index = c.next_thread_index++;
+      c.buffers.push_back(buffer);
+    }
+    return *buffer;
+  }
+
+  ~ThreadState() {
+    if (!buffer) return;
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mu);
+    {
+      std::lock_guard<std::mutex> buf_lock(buffer->mu);
+      c.orphans.insert(c.orphans.end(),
+                       std::make_move_iterator(buffer->spans.begin()),
+                       std::make_move_iterator(buffer->spans.end()));
+      c.orphan_dropped += buffer->dropped;
+    }
+    c.buffers.erase(std::find(c.buffers.begin(), c.buffers.end(), buffer));
+    delete buffer;
+    buffer = nullptr;
+  }
+};
+
+thread_local ThreadState t_state;
+
+void sort_dump(TraceDump& dump) {
+  std::sort(dump.spans.begin(), dump.spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.id < b.id;
+            });
+  std::sort(dump.events.begin(), dump.events.end(),
+            [](const EventRecord& a, const EventRecord& b) {
+              return a.t_ns != b.t_ns ? a.t_ns < b.t_ns
+                                      : a.thread < b.thread;
+            });
+}
+
+TraceDump collect(bool drain) {
+  TraceDump dump;
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  for (ThreadBuffer* buf : c.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    if (drain) {
+      dump.spans.insert(dump.spans.end(),
+                        std::make_move_iterator(buf->spans.begin()),
+                        std::make_move_iterator(buf->spans.end()));
+      buf->spans.clear();
+      dump.dropped += buf->dropped;
+      buf->dropped = 0;
+    } else {
+      dump.spans.insert(dump.spans.end(), buf->spans.begin(),
+                        buf->spans.end());
+      dump.dropped += buf->dropped;
+    }
+  }
+  if (drain) {
+    dump.spans.insert(dump.spans.end(),
+                      std::make_move_iterator(c.orphans.begin()),
+                      std::make_move_iterator(c.orphans.end()));
+    c.orphans.clear();
+    dump.events = std::move(c.events);
+    c.events.clear();
+    dump.dropped += c.orphan_dropped;
+    c.orphan_dropped = 0;
+  } else {
+    dump.spans.insert(dump.spans.end(), c.orphans.begin(), c.orphans.end());
+    dump.events = c.events;
+    dump.dropped += c.orphan_dropped;
+  }
+  sort_dump(dump);
+  return dump;
+}
+
+}  // namespace
+
+SpanId current_span() noexcept { return t_state.current; }
+
+Span::Span(const char* name) {
+  if (!enabled()) return;
+  id_ = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = t_state.current;
+  t_state.current = id_;
+  name_ = name;
+  start_ns_ = now_ns();
+}
+
+Span::~Span() {
+  if (id_ == 0) return;
+  const std::uint64_t end = now_ns();
+  t_state.current = parent_;
+  ThreadBuffer& buf = t_state.ensure_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.spans.size() >= kMaxSpansPerThread) {
+    ++buf.dropped;
+    return;
+  }
+  buf.spans.push_back(SpanRecord{id_, parent_, name_, std::move(detail_),
+                                 start_ns_, end, buf.thread_index});
+}
+
+void Span::set_detail(std::string detail) {
+  if (id_ != 0) detail_ = std::move(detail);
+}
+
+ParentScope::ParentScope(SpanId parent) noexcept {
+  if (parent == 0) return;
+  active_ = true;
+  saved_ = t_state.current;
+  t_state.current = parent;
+}
+
+ParentScope::~ParentScope() {
+  if (active_) t_state.current = saved_;
+}
+
+void emit_event(const char* kind,
+                std::vector<std::pair<std::string, std::string>> fields) {
+  if (!enabled()) return;
+  EventRecord event;
+  event.kind = kind;
+  event.fields = std::move(fields);
+  event.t_ns = now_ns();
+  event.span = t_state.current;
+  event.thread = t_state.ensure_buffer().thread_index;
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  if (c.events.size() >= kMaxEvents) {
+    ++c.orphan_dropped;
+    return;
+  }
+  c.events.push_back(std::move(event));
+}
+
+TraceDump drain_trace() { return collect(/*drain=*/true); }
+
+TraceDump peek_trace() { return collect(/*drain=*/false); }
+
+void clear_trace() { (void)collect(/*drain=*/true); }
+
+}  // namespace rascad::obs

@@ -11,6 +11,8 @@
 #include "linalg/lu.hpp"
 #include "markov/absorbing.hpp"
 #include "markov/ode.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "resilience/gth.hpp"
 
 namespace rascad::resilience {
@@ -68,6 +70,8 @@ Result run_ladder(const std::vector<Rung>& rungs,
                   const ResilienceConfig& config, const char* episode_name,
                   SolveTrace& trace, AttemptFn&& attempt_rung,
                   VerifyFn&& verify) {
+  obs::Span episode_span("ladder.episode");
+  if (episode_span.active()) episode_span.set_detail(episode_name);
   const auto start = Clock::now();
   if (rungs.empty()) {
     throw SolveError(SolveCause::kInvalidInput, episode_name,
@@ -88,6 +92,7 @@ Result run_ladder(const std::vector<Rung>& rungs,
     RungAttempt attempt;
     attempt.rung = rung;
     const double rung_start_ms = elapsed_ms;
+    obs::Span attempt_span("ladder.attempt");
     try {
       Result candidate = attempt_rung(rung, attempt);
       apply_fault(config.fault_plan, rung, candidate.pi);
@@ -95,6 +100,10 @@ Result run_ladder(const std::vector<Rung>& rungs,
       attempt.clamped_mass = health.clamped_mass;
       attempt.residual_check = health.residual_inf;
       if (!health.ok) {
+        obs::emit_event("health.check_failed",
+                        {{"episode", episode_name},
+                         {"rung", to_string(rung)},
+                         {"detail", health.detail}});
         throw SolveError(health.failure.value_or(SolveCause::kNanOrInf),
                          to_string(rung), health.detail,
                          attempt.iterations, attempt.residual);
@@ -106,6 +115,20 @@ Result run_ladder(const std::vector<Rung>& rungs,
       trace.success = true;
       trace.final_rung = rung;
       trace.total_ms = elapsed_ms;
+      if (obs::enabled()) {
+        if (attempt_span.active()) {
+          attempt_span.set_detail(std::string(to_string(rung)) + " ok");
+        }
+        static obs::Counter& attempts_total =
+            obs::Registry::global().counter("ladder.attempts");
+        static obs::Counter& escalations =
+            obs::Registry::global().counter("ladder.escalations");
+        static obs::Histogram& attempt_ms =
+            obs::Registry::global().histogram("ladder.attempt_ms");
+        attempts_total.inc();
+        escalations.inc(trace.attempts.size() - 1);
+        attempt_ms.observe_ms(attempt.duration_ms);
+      }
       return candidate;
     } catch (const std::exception& e) {
       const auto [cause, message] = classify(e);
@@ -115,6 +138,26 @@ Result run_ladder(const std::vector<Rung>& rungs,
       elapsed_ms = ms_since(start);
       attempt.duration_ms = elapsed_ms - rung_start_ms;
       trace.attempts.push_back(attempt);
+      if (obs::enabled()) {
+        if (attempt_span.active()) {
+          attempt_span.set_detail(std::string(to_string(rung)) + " failed (" +
+                                  to_string(cause) + ")");
+        }
+        static obs::Counter& attempts_total =
+            obs::Registry::global().counter("ladder.attempts");
+        static obs::Counter& failures =
+            obs::Registry::global().counter("ladder.attempt_failures");
+        static obs::Histogram& attempt_ms =
+            obs::Registry::global().histogram("ladder.attempt_ms");
+        attempts_total.inc();
+        failures.inc();
+        attempt_ms.observe_ms(attempt.duration_ms);
+        obs::emit_event("ladder.attempt_failed",
+                        {{"episode", episode_name},
+                         {"rung", to_string(rung)},
+                         {"cause", to_string(cause)},
+                         {"message", message}});
+      }
     }
   }
   trace.total_ms = ms_since(start);
@@ -378,6 +421,9 @@ ResilientResult smp_steady_state_resilient(
   }
   const HealthReport report = check_distribution(pi, config.health);
   if (!report.ok) {
+    obs::emit_event("health.check_failed",
+                    {{"episode", "smp_steady_state_resilient"},
+                     {"detail", report.detail}});
     throw SolveError(report.failure.value_or(SolveCause::kNanOrInf),
                      "smp_steady_state_resilient", report.detail);
   }

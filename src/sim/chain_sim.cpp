@@ -2,7 +2,11 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "sim/rng.hpp"
 
 namespace rascad::sim {
@@ -99,10 +103,21 @@ SampleStats replicate_chain_availability(const markov::Ctmc& chain,
   // Replications are independent: solve into a pre-sized vector by index,
   // then fold into the running statistics in index order so the Welford
   // accumulation is bit-identical to the serial path.
+  obs::Span run_span("sim.replicate");
+  if (run_span.active()) {
+    run_span.set_detail("reps=" + std::to_string(replications) +
+                        " states=" + std::to_string(chain.size()));
+  }
   std::vector<double> availability(replications);
   exec::parallel_for(
       replications,
       [&](std::size_t r) {
+        obs::Span rep_span("sim.replication");
+        if (rep_span.active()) {
+          static obs::Counter& reps_total =
+              obs::Registry::global().counter("sim.replications");
+          reps_total.inc();
+        }
         Xoshiro256 rng(base_seed, r);
         availability[r] =
             simulate_chain(chain, initial, horizon, rng).availability();

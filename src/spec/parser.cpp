@@ -3,7 +3,10 @@
 #include <cmath>
 #include <fstream>
 #include <sstream>
+#include <string>
 #include <unordered_map>
+
+#include "obs/trace.hpp"
 
 namespace rascad::spec {
 
@@ -332,6 +335,10 @@ class Parser {
 }  // namespace
 
 ModelSpec parse_model(std::string_view source) {
+  obs::Span span("spec.parse");
+  if (span.active()) {
+    span.set_detail("bytes=" + std::to_string(source.size()));
+  }
   return Parser(source).parse();
 }
 
