@@ -68,7 +68,8 @@ bool bitwise_equal(const std::vector<SweepPoint>& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  rascad::obs::JsonOnlyGuard json(argc, argv);
   const rascad::spec::ModelSpec model =
       rascad::core::library::datacenter_system();
 
@@ -128,6 +129,7 @@ int main() {
     std::cout << "FAIL: cached series differ bitwise from the full rebuild\n";
   }
 
+  json.restore();
   rascad::obs::BenchMetricsLine("cache")
       .metric("points", kPoints)
       .metric("full_ms", full_ms)

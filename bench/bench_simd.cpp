@@ -1,0 +1,179 @@
+// E17 — SoA/CSR kernel throughput: SpMV GFLOP/s under scalar vs AVX2
+// dispatch, and the batched multi-RHS solve speedup at k in {1, 8, 64}
+// lanes. The batched series must stay bitwise identical to the sequential
+// scalar solves (the contract documented in docs/numerics.md); the bench
+// exits nonzero on any mismatch so CI catches kernel regressions that
+// timing alone would miss.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "linalg/csr.hpp"
+#include "linalg/iterative.hpp"
+#include "linalg/simd.hpp"
+#include "obs/bench_json.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using rascad::linalg::CsrBuilder;
+using rascad::linalg::CsrMatrix;
+using rascad::linalg::IterativeOptions;
+using rascad::linalg::IterativeResult;
+using rascad::linalg::Vector;
+namespace simd = rascad::linalg::simd;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Banded sparse matrix shaped like a generated chain: a strong diagonal
+/// plus a handful of off-diagonal arcs per row.
+CsrMatrix band_matrix(std::size_t n, std::size_t band, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> value(0.1, 1.0);
+  CsrBuilder b(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double off = 0.0;
+    for (std::size_t d = 1; d <= band; ++d) {
+      if (r >= d) {
+        const double v = value(rng);
+        off += v;
+        b.add(r, r - d, -v);
+      }
+      if (r + d < n) {
+        const double v = value(rng);
+        off += v;
+        b.add(r, r + d, -v);
+      }
+    }
+    b.add(r, r, off + 1.0);
+  }
+  return b.build();
+}
+
+/// Median-of-runs SpMV wall time under the currently dispatched ISA.
+double spmv_ms(const CsrMatrix& a, const Vector& x, int reps) {
+  Vector y(a.rows(), 0.0);
+  std::vector<double> times;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = Clock::now();
+    simd::spmv(a, x.data(), y.data());
+    times.push_back(ms_since(t0));
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+bool bitwise_equal(const IterativeResult& a, const IterativeResult& b) {
+  if (a.converged != b.converged || a.iterations != b.iterations ||
+      a.residual != b.residual || a.solution.size() != b.solution.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.solution.size(); ++i) {
+    if (a.solution[i] != b.solution[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rascad::obs::JsonOnlyGuard json(argc, argv);
+  bool ok = true;
+
+  std::cout << "=== E17: SIMD / batched kernel throughput ===\n\n";
+  std::cout << "host AVX2: " << (simd::avx2_supported() ? "yes" : "no")
+            << ", dispatch policy: " << to_string(simd::active_isa())
+            << "\n\n";
+
+  // --- SpMV GFLOP/s, scalar vs AVX2 ------------------------------------
+  const std::size_t n = 200'000;
+  const CsrMatrix a = band_matrix(n, 4, 1);
+  Vector x(n);
+  std::mt19937 rng(2);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  for (double& v : x) v = dist(rng);
+  const double flops = 2.0 * static_cast<double>(a.nnz());
+
+  simd::force_isa(simd::Isa::kScalar);
+  const double scalar_ms = spmv_ms(a, x, 25);
+  const double scalar_gflops = flops / (scalar_ms * 1e6);
+  double avx2_gflops = 0.0;
+  if (simd::avx2_supported()) {
+    simd::force_isa(simd::Isa::kAvx2);
+    const double avx2_ms = spmv_ms(a, x, 25);
+    avx2_gflops = flops / (avx2_ms * 1e6);
+  }
+  simd::force_isa(std::nullopt);
+
+  std::cout << "SpMV, n=" << n << ", nnz=" << a.nnz() << ":\n"
+            << std::fixed << std::setprecision(3)
+            << "  scalar : " << scalar_gflops << " GFLOP/s\n";
+  if (avx2_gflops > 0.0) {
+    std::cout << "  avx2   : " << avx2_gflops << " GFLOP/s  ("
+              << std::setprecision(2) << avx2_gflops / scalar_gflops
+              << "x)\n";
+  }
+  std::cout.unsetf(std::ios::fixed);
+
+  // --- Batched multi-RHS solve speedup at k in {1, 8, 64} ---------------
+  const CsrMatrix sys = band_matrix(4'000, 3, 3);
+  IterativeOptions opts;
+  opts.tolerance = 1e-12;
+  std::cout << "\nSOR multi-RHS, n=" << sys.rows()
+            << " (batched vs sequential, bitwise-checked):\n";
+  double speedup_k[3] = {0.0, 0.0, 0.0};
+  const std::size_t ks[3] = {1, 8, 64};
+  for (int i = 0; i < 3; ++i) {
+    const std::size_t k = ks[i];
+    std::vector<Vector> bs(k, Vector(sys.rows()));
+    std::mt19937 brng(10 + static_cast<std::uint32_t>(k));
+    for (auto& b : bs) {
+      for (double& v : b) v = dist(brng);
+    }
+    auto t0 = Clock::now();
+    std::vector<IterativeResult> seq;
+    for (const auto& b : bs) {
+      seq.push_back(rascad::linalg::sor_solve(sys, b, opts));
+    }
+    const double seq_ms = ms_since(t0);
+    t0 = Clock::now();
+    const auto batched = rascad::linalg::sor_solve_batched(sys, bs, opts);
+    const double batch_ms = ms_since(t0);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!bitwise_equal(seq[j], batched[j])) {
+        std::cout << "  k=" << k << ": BITWISE MISMATCH at lane " << j
+                  << '\n';
+        ok = false;
+      }
+    }
+    speedup_k[i] = batch_ms > 0.0 ? seq_ms / batch_ms : 0.0;
+    std::cout << std::fixed << std::setprecision(2) << "  k=" << std::setw(3)
+              << k << ": sequential " << std::setw(8) << seq_ms
+              << " ms, batched " << std::setw(8) << batch_ms << " ms  ("
+              << speedup_k[i] << "x)\n";
+    std::cout.unsetf(std::ios::fixed);
+  }
+
+  json.restore();
+  rascad::obs::BenchMetricsLine("simd")
+      .metric("avx2_supported", simd::avx2_supported())
+      .metric("spmv_nnz", a.nnz())
+      .metric("spmv_gflops_scalar", scalar_gflops)
+      .metric("spmv_gflops_avx2", avx2_gflops)
+      .metric("spmv_avx2_speedup",
+              scalar_gflops > 0.0 ? avx2_gflops / scalar_gflops : 0.0)
+      .metric("batched_speedup_k1", speedup_k[0])
+      .metric("batched_speedup_k8", speedup_k[1])
+      .metric("batched_speedup_k64", speedup_k[2])
+      .metric("bitwise_ok", ok)
+      .write(std::cout);
+  return ok ? 0 : 1;
+}

@@ -67,6 +67,26 @@ std::vector<SweepPoint> run_sweep(
     body();
   };
   std::vector<SweepPoint> points(values.size());
+  if (opts.incremental && opts.batch) {
+    // Batched dispatch: one baseline build, then every point's dirty
+    // blocks are deduplicated and structure-sharing chains solved as one
+    // lane-interleaved batch inside rebuild_batch.
+    obs::Span batch_span("sweep.batch");
+    const mg::SystemModel baseline = mg::SystemModel::build(base, opts.model);
+    std::vector<spec::ModelSpec> specs;
+    specs.reserve(values.size());
+    for (double value : values) {
+      spec::ModelSpec model = base;
+      mutate_model(model, value);
+      specs.push_back(std::move(model));
+    }
+    std::vector<mg::SystemModel> systems =
+        mg::SystemModel::rebuild_batch(baseline, std::move(specs), opts.model);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      observe_point(i, [&] { points[i] = summarize(systems[i], values[i]); });
+    }
+    return points;
+  }
   if (opts.incremental) {
     // One full solve of the base spec; every point then re-solves only the
     // blocks its mutation dirties (signature diff inside rebuild). The

@@ -1,0 +1,10 @@
+#include "linalg/arena.hpp"
+
+namespace rascad::linalg {
+
+Arena& thread_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace rascad::linalg

@@ -1,0 +1,115 @@
+// Chunked bump allocator backing CSR assembly scratch.
+//
+// Assembling a CSR matrix needs transient buffers (triplet staging, per-row
+// counters, scatter cursors) whose lifetime ends when build() returns.
+// Allocating them from the general heap on every chain generation is both
+// slow and fragmenting, so assembly draws from an Arena: a list of
+// 64-byte-aligned chunks served by bump-pointer allocation and recycled
+// wholesale by reset().
+//
+// Lifetime rules (see docs/numerics.md):
+//  - Arena memory is valid until reset() or destruction; individual
+//    allocations are never freed.
+//  - reset() keeps the largest chunk, so a reused arena converges to
+//    zero allocations per assembly.
+//  - The thread_local arena returned by thread_arena() must only feed
+//    allocations that are released (via reset) before the caller returns;
+//    it is how chain generation runs arena-backed with no API changes.
+//  - A CsrMatrix never aliases arena memory: build() copies the finished
+//    arrays into the matrix's own AlignedVector storage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#include "linalg/aligned.hpp"
+
+namespace rascad::linalg {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t initial_bytes = 1 << 14)
+      : initial_bytes_(initial_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+    for (Chunk& c : chunks_) release(c);
+  }
+
+  /// Bump-allocates `count` objects of T, 64-byte aligned. The memory is
+  /// uninitialized; it lives until reset() or destruction.
+  template <typename T>
+  T* allocate(std::size_t count) {
+    static_assert(alignof(T) <= kSimdAlignment);
+    return static_cast<T*>(allocate_bytes(count * sizeof(T)));
+  }
+
+  void* allocate_bytes(std::size_t bytes) {
+    bytes = (bytes + kSimdAlignment - 1) & ~(kSimdAlignment - 1);
+    if (chunks_.empty() || used_ + bytes > chunks_.back().size) {
+      grow(bytes);
+    }
+    void* p = chunks_.back().base + used_;
+    used_ += bytes;
+    return p;
+  }
+
+  /// Recycles every allocation. The largest chunk is kept so steady-state
+  /// reuse allocates nothing.
+  void reset() {
+    if (chunks_.empty()) return;
+    std::size_t largest = 0;
+    for (std::size_t i = 1; i < chunks_.size(); ++i) {
+      if (chunks_[i].size > chunks_[largest].size) largest = i;
+    }
+    for (std::size_t i = 0; i < chunks_.size(); ++i) {
+      if (i != largest) release(chunks_[i]);
+    }
+    chunks_ = {chunks_[largest]};
+    used_ = 0;
+  }
+
+  /// Total bytes currently reserved across chunks (tests / diagnostics).
+  std::size_t capacity_bytes() const noexcept {
+    std::size_t acc = 0;
+    for (const Chunk& c : chunks_) acc += c.size;
+    return acc;
+  }
+
+ private:
+  struct Chunk {
+    char* base = nullptr;
+    std::size_t size = 0;
+  };
+
+  void grow(std::size_t at_least) {
+    std::size_t size = chunks_.empty() ? initial_bytes_
+                                       : chunks_.back().size * 2;
+    if (size < at_least) size = at_least;
+    Chunk c;
+    c.base = static_cast<char*>(
+        ::operator new(size, std::align_val_t{kSimdAlignment}));
+    c.size = size;
+    chunks_.push_back(c);
+    used_ = 0;
+  }
+
+  static void release(Chunk& c) {
+    ::operator delete(c.base, std::align_val_t{kSimdAlignment});
+    c.base = nullptr;
+  }
+
+  std::size_t initial_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t used_ = 0;  // bytes used in chunks_.back()
+};
+
+/// Per-thread scratch arena for CSR assembly. Callers must reset() before
+/// use and must not hold arena pointers across calls that may also use it.
+Arena& thread_arena();
+
+}  // namespace rascad::linalg

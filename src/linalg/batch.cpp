@@ -1,0 +1,383 @@
+#include "linalg/batch.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "linalg/batch_kernels.hpp"
+#include "linalg/simd.hpp"
+#include "resilience/solve_error.hpp"
+
+namespace rascad::linalg {
+
+namespace kernels {
+
+const PanelOps& active_ops() {
+  return simd::active_isa() == simd::Isa::kAvx2 ? avx2::ops : scalar::ops;
+}
+
+}  // namespace kernels
+
+namespace {
+
+Vector checked_diagonal(const CsrMatrix& a, const char* who) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument(std::string(who) + ": matrix must be square");
+  }
+  Vector d = a.diagonal();
+  for (double x : d) {
+    if (x == 0.0) {
+      throw resilience::SolveError(resilience::SolveCause::kSingular, who,
+                                   "zero diagonal entry");
+    }
+  }
+  return d;
+}
+
+/// Lane-interleaves k equal-length vectors into an n x k panel.
+AlignedVector<double> pack_panel(const std::vector<Vector>& vs,
+                                 std::size_t n) {
+  const std::size_t k = vs.size();
+  AlignedVector<double> panel(n * k, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < n; ++i) panel[i * k + j] = vs[j][i];
+  }
+  return panel;
+}
+
+void check_rhs(const std::vector<Vector>& bs, std::size_t n,
+               const char* who) {
+  for (const Vector& b : bs) {
+    if (b.size() != n) {
+      throw std::invalid_argument(std::string(who) + ": size mismatch");
+    }
+  }
+}
+
+Vector unpack_lane(const AlignedVector<double>& panel, std::size_t n,
+                   std::size_t k, std::size_t j) {
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = panel[i * k + j];
+  return v;
+}
+
+bool any_active(const std::vector<unsigned char>& active) {
+  for (unsigned char a : active) {
+    if (a) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<CsrBatch> CsrBatch::pack(
+    const std::vector<const CsrMatrix*>& mats) {
+  if (mats.empty() || mats.front() == nullptr) return std::nullopt;
+  const CsrMatrix& first = *mats.front();
+  for (std::size_t j = 1; j < mats.size(); ++j) {
+    if (mats[j] == nullptr || !first.same_pattern(*mats[j])) {
+      return std::nullopt;
+    }
+  }
+  CsrBatch batch;
+  batch.rows_ = first.rows();
+  batch.cols_ = first.cols();
+  batch.lanes_ = mats.size();
+  batch.row_ptr_.assign(first.row_ptr_data(),
+                        first.row_ptr_data() + first.rows() + 1);
+  batch.col_idx_.assign(first.col_idx_data(),
+                        first.col_idx_data() + first.nnz());
+  const std::size_t nnz = first.nnz();
+  const std::size_t k = batch.lanes_;
+  batch.values_.resize(nnz * k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const double* vals = mats[j]->values_data();
+    for (std::size_t e = 0; e < nnz; ++e) {
+      batch.values_[e * k + j] = vals[e];
+    }
+  }
+  return batch;
+}
+
+std::vector<IterativeResult> jacobi_solve_batched(
+    const CsrMatrix& a, const std::vector<Vector>& bs,
+    const IterativeOptions& opts) {
+  const Vector diag = checked_diagonal(a, "jacobi_solve");
+  const std::size_t n = a.rows();
+  const std::size_t k = bs.size();
+  check_rhs(bs, n, "jacobi_solve");
+  std::vector<IterativeResult> results(k);
+  if (k == 0) return results;
+
+  const kernels::PanelOps& ops = kernels::active_ops();
+  const AlignedVector<double> b = pack_panel(bs, n);
+  AlignedVector<double> x(n * k, 0.0);
+  AlignedVector<double> next(n * k, 0.0);
+  std::vector<unsigned char> active(k, 1);
+  std::vector<double> change(k, 0.0);
+
+  for (std::size_t it = 1; it <= opts.max_iterations && any_active(active);
+       ++it) {
+    std::memset(change.data(), 0, k * sizeof(double));
+    ops.jacobi_shared(n, k, a.row_ptr_data(), a.col_idx_data(),
+                      a.values_data(), b.data(), diag.data(), active.data(),
+                      x.data(), next.data(), change.data());
+    x.swap(next);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!active[j]) continue;
+      results[j].iterations = it;
+      results[j].residual = change[j];
+      if (change[j] < opts.tolerance) {
+        results[j].converged = true;
+        active[j] = 0;
+      }
+    }
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    results[j].solution = unpack_lane(x, n, k, j);
+  }
+  return results;
+}
+
+std::vector<IterativeResult> sor_solve_batched(
+    const CsrMatrix& a, const std::vector<Vector>& bs,
+    const IterativeOptions& opts) {
+  const Vector diag = checked_diagonal(a, "sor_solve");
+  const std::size_t n = a.rows();
+  const std::size_t k = bs.size();
+  check_rhs(bs, n, "sor_solve");
+  std::vector<IterativeResult> results(k);
+  if (k == 0) return results;
+
+  const kernels::PanelOps& ops = kernels::active_ops();
+  const AlignedVector<double> b = pack_panel(bs, n);
+  AlignedVector<double> x(n * k, 0.0);
+  AlignedVector<double> acc(k, 0.0);
+  std::vector<unsigned char> active(k, 1);
+  std::vector<double> change(k, 0.0);
+
+  for (std::size_t it = 1; it <= opts.max_iterations && any_active(active);
+       ++it) {
+    std::memset(change.data(), 0, k * sizeof(double));
+    ops.sor_linear_shared(n, k, a.row_ptr_data(), a.col_idx_data(),
+                          a.values_data(), b.data(), diag.data(),
+                          opts.relaxation, active.data(), x.data(),
+                          change.data(), acc.data());
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!active[j]) continue;
+      results[j].iterations = it;
+      results[j].residual = change[j];
+      if (change[j] < opts.tolerance) {
+        results[j].converged = true;
+        active[j] = 0;
+      }
+    }
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    results[j].solution = unpack_lane(x, n, k, j);
+  }
+  return results;
+}
+
+namespace {
+
+/// Shared BiCGSTAB panel driver. When `multi_vals` is true, `vals` is a
+/// lane-interleaved panel (nnz*k); otherwise one matrix shared by every
+/// lane. Per lane, the operation sequence replicates bicgstab_solve
+/// statement for statement; lanes leave the active flow exactly where the
+/// scalar loop would `break`, and only x / result bookkeeping is masked —
+/// auxiliary panels of finished lanes may keep drifting, which is
+/// harmless because lanes never mix.
+std::vector<IterativeResult> bicgstab_panel(
+    std::size_t n, std::size_t k, const std::uint32_t* row_ptr,
+    const std::uint32_t* cols, const double* vals, bool multi_vals,
+    const AlignedVector<double>& b, const IterativeOptions& opts) {
+  std::vector<IterativeResult> results(k);
+  if (k == 0) return results;
+  const kernels::PanelOps& ops = kernels::active_ops();
+  const auto spmv = multi_vals ? ops.spmv_multi : ops.spmv_shared;
+
+  AlignedVector<double> x(n * k, 0.0);
+  AlignedVector<double> r(b);  // r = b - A*0
+  AlignedVector<double> r_hat(b);
+  AlignedVector<double> p(n * k, 0.0);
+  AlignedVector<double> v(n * k, 0.0);
+  AlignedVector<double> s(n * k, 0.0);
+  AlignedVector<double> t(n * k, 0.0);
+  std::vector<double> rho(k, 1.0);
+  std::vector<double> alpha(k, 1.0);
+  std::vector<double> omega(k, 1.0);
+  std::vector<double> beta(k, 0.0);
+  std::vector<double> rho_next(k, 0.0);
+  std::vector<double> norm_acc(k, 0.0);
+  std::vector<double> b_norm(k, 0.0);
+  std::vector<unsigned char> done(k, 0);
+
+  // b_norm[j] = max(norm2(b_j), 1e-300), the scalar scaling.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* bi = b.data() + i * k;
+    for (std::size_t j = 0; j < k; ++j) norm_acc[j] += bi[j] * bi[j];
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    b_norm[j] = std::max(std::sqrt(norm_acc[j]), 1e-300);
+  }
+
+  const auto panel_dot = [&](const AlignedVector<double>& u,
+                             const AlignedVector<double>& w,
+                             std::vector<double>& out) {
+    std::memset(out.data(), 0, k * sizeof(double));
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* ui = u.data() + i * k;
+      const double* wi = w.data() + i * k;
+      for (std::size_t j = 0; j < k; ++j) out[j] += ui[j] * wi[j];
+    }
+  };
+
+  std::vector<double> rhv(k, 0.0);
+  std::vector<double> tt(k, 0.0);
+  std::vector<double> ts(k, 0.0);
+  std::vector<unsigned char> live(k, 0);
+
+  for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+    bool any = false;
+    for (std::size_t j = 0; j < k; ++j) {
+      live[j] = !done[j];
+      if (live[j]) any = true;
+    }
+    if (!any) break;
+
+    panel_dot(r_hat, r, rho_next);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (live[j] && std::abs(rho_next[j]) < 1e-300) {
+        done[j] = 1;  // breakdown
+        live[j] = 0;
+      }
+      beta[j] = (rho_next[j] / rho[j]) * (alpha[j] / omega[j]);
+      rho[j] = rho_next[j];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      double* pi = p.data() + i * k;
+      const double* ri = r.data() + i * k;
+      const double* vi = v.data() + i * k;
+      for (std::size_t j = 0; j < k; ++j) {
+        pi[j] = ri[j] + beta[j] * (pi[j] - omega[j] * vi[j]);
+      }
+    }
+    spmv(n, k, row_ptr, cols, vals, p.data(), v.data());
+    panel_dot(r_hat, v, rhv);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (live[j] && std::abs(rhv[j]) < 1e-300) {
+        done[j] = 1;  // breakdown
+        live[j] = 0;
+      }
+      alpha[j] = rho[j] / rhv[j];
+    }
+    // s = r - alpha v, then the mid-loop convergence test on ||s||.
+    std::memset(norm_acc.data(), 0, k * sizeof(double));
+    for (std::size_t i = 0; i < n; ++i) {
+      double* si = s.data() + i * k;
+      const double* ri = r.data() + i * k;
+      const double* vi = v.data() + i * k;
+      for (std::size_t j = 0; j < k; ++j) {
+        si[j] = ri[j] - alpha[j] * vi[j];
+        norm_acc[j] += si[j] * si[j];
+      }
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!live[j]) continue;
+      const double s_rel = std::sqrt(norm_acc[j]) / b_norm[j];
+      if (s_rel < opts.tolerance) {
+        double* xs = x.data();
+        const double* ps = p.data();
+        for (std::size_t i = 0; i < n; ++i) {
+          xs[i * k + j] += alpha[j] * ps[i * k + j];
+        }
+        results[j].iterations = it;
+        results[j].residual = s_rel;
+        results[j].converged = true;
+        done[j] = 1;
+        live[j] = 0;
+      }
+    }
+    spmv(n, k, row_ptr, cols, vals, s.data(), t.data());
+    panel_dot(t, t, tt);
+    panel_dot(t, s, ts);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (live[j] && tt[j] < 1e-300) {
+        done[j] = 1;  // breakdown
+        live[j] = 0;
+      }
+      omega[j] = ts[j] / tt[j];
+    }
+    // x += alpha p + omega s; r = s - omega t  (per-element order matches
+    // the scalar axpy sequence).
+    std::memset(norm_acc.data(), 0, k * sizeof(double));
+    for (std::size_t i = 0; i < n; ++i) {
+      double* xi = x.data() + i * k;
+      double* ri = r.data() + i * k;
+      const double* pi = p.data() + i * k;
+      const double* si = s.data() + i * k;
+      const double* ti = t.data() + i * k;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (live[j]) {
+          xi[j] += alpha[j] * pi[j];
+          xi[j] += omega[j] * si[j];
+        }
+        ri[j] = si[j] - omega[j] * ti[j];
+        norm_acc[j] += ri[j] * ri[j];
+      }
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!live[j]) continue;
+      results[j].iterations = it;
+      results[j].residual = std::sqrt(norm_acc[j]) / b_norm[j];
+      if (!std::isfinite(results[j].residual)) {
+        results[j].converged = false;
+        done[j] = 1;
+      } else if (results[j].residual < opts.tolerance) {
+        results[j].converged = true;
+        done[j] = 1;
+      }
+    }
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    results[j].solution = unpack_lane(x, n, k, j);
+  }
+  return results;
+}
+
+}  // namespace
+
+std::vector<IterativeResult> bicgstab_solve_batched(
+    const CsrMatrix& a, const std::vector<Vector>& bs,
+    const IterativeOptions& opts) {
+  const std::size_t n = a.rows();
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("bicgstab_solve: size mismatch");
+  }
+  check_rhs(bs, n, "bicgstab_solve");
+  const AlignedVector<double> b = pack_panel(bs, n);
+  return bicgstab_panel(n, bs.size(), a.row_ptr_data(), a.col_idx_data(),
+                        a.values_data(), /*multi_vals=*/false, b, opts);
+}
+
+std::vector<IterativeResult> bicgstab_solve_batched(
+    const CsrBatch& batch, const std::vector<Vector>& bs,
+    const IterativeOptions& opts) {
+  if (batch.rows() != batch.cols()) {
+    throw std::invalid_argument("bicgstab_solve: size mismatch");
+  }
+  if (bs.size() != batch.lanes()) {
+    throw std::invalid_argument(
+        "bicgstab_solve_batched: need one right-hand side per lane");
+  }
+  check_rhs(bs, batch.rows(), "bicgstab_solve");
+  const AlignedVector<double> b = pack_panel(bs, batch.rows());
+  return bicgstab_panel(batch.rows(), batch.lanes(), batch.row_ptr_data(),
+                        batch.col_idx_data(), batch.values_data(),
+                        /*multi_vals=*/true, b, opts);
+}
+
+}  // namespace rascad::linalg

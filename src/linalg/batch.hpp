@@ -1,0 +1,70 @@
+// Batched multi-RHS / multi-matrix solves over shared CSR patterns.
+//
+// Two batching shapes exist (docs/numerics.md "Batching semantics"):
+//  - multi-RHS: one matrix, k right-hand sides. The batched Jacobi / SOR /
+//    BiCGStab entry points in iterative.hpp sweep all k columns through a
+//    single traversal of the matrix per iteration.
+//  - multi-matrix: k matrices sharing one sparsity pattern (CsrBatch),
+//    lane-interleaved values, one logical system per lane. This is the
+//    engine under the structure-sharing sweep dispatch: sweep points whose
+//    generated chains differ only in rates batch into one solve.
+//
+// Contract: per lane, results (solution bits, iteration counts, residuals,
+// convergence flags) are identical to running the scalar solver on that
+// lane alone. Lanes that converge or break down early are frozen while the
+// remaining lanes continue.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "linalg/aligned.hpp"
+#include "linalg/csr.hpp"
+#include "linalg/iterative.hpp"
+
+namespace rascad::linalg {
+
+/// k CSR matrices sharing one sparsity pattern, packed into a
+/// lane-interleaved value panel (values[e*lanes + j] is entry e of lane
+/// j's matrix). The pattern arrays are copied, so a batch outlives the
+/// matrices it was packed from.
+class CsrBatch {
+ public:
+  /// Packs the given matrices; returns nullopt when the list is empty or
+  /// the sparsity patterns are not identical.
+  static std::optional<CsrBatch> pack(
+      const std::vector<const CsrMatrix*>& mats);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t nnz() const noexcept { return col_idx_.size(); }
+  std::size_t lanes() const noexcept { return lanes_; }
+
+  const std::uint32_t* row_ptr_data() const noexcept {
+    return row_ptr_.data();
+  }
+  const std::uint32_t* col_idx_data() const noexcept {
+    return col_idx_.data();
+  }
+  /// Lane-interleaved values, nnz() * lanes() entries.
+  const double* values_data() const noexcept { return values_.data(); }
+
+ private:
+  CsrBatch() = default;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t lanes_ = 0;
+  AlignedVector<std::uint32_t> row_ptr_;
+  AlignedVector<std::uint32_t> col_idx_;
+  AlignedVector<double> values_;  // nnz * lanes, lane-interleaved
+};
+
+/// BiCGSTAB over a multi-matrix batch: lane j solves
+/// batch-matrix j * x_j = bs[j]. `bs` must hold lanes() vectors of rows()
+/// entries. Per lane bitwise-identical to bicgstab_solve on that system.
+std::vector<IterativeResult> bicgstab_solve_batched(
+    const CsrBatch& batch, const std::vector<Vector>& bs,
+    const IterativeOptions& opts = {});
+
+}  // namespace rascad::linalg

@@ -1,0 +1,81 @@
+// Batched panel kernels behind the multi-RHS solvers.
+//
+// Panels are lane-interleaved: entry (i, j) of an n x k panel lives at
+// p[i*k + j], so lane j is a strided view and the inner loops vectorize
+// *across lanes* (vertical SIMD). That layout is what makes the batched
+// kernels bitwise-identical to scalar per-lane execution: every lane sees
+// exactly the scalar operation sequence, and vectorizing across lanes
+// reorders nothing within a lane.
+//
+// The kernel bodies live in batch_kernels.inl and are compiled twice: once
+// in batch_kernels_scalar.cpp at the baseline ISA and once in
+// batch_kernels_avx2.cpp with -mavx2 (no -mfma: FP contraction would break
+// the lane-for-lane bitwise contract). active_ops() dispatches between the
+// two at runtime via simd::active_isa().
+//
+// `vals` is either shared (length nnz, one matrix, k right-hand sides) or
+// multi (length nnz*k, lane-interleaved values of k same-pattern
+// matrices). `active` masks lanes: nullptr means all lanes; a frozen
+// (inactive) lane's state vector is never written, which is how columns
+// that converge early keep their bitwise-final values while the rest of
+// the batch continues.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rascad::linalg::kernels {
+
+struct PanelOps {
+  /// y = A x per lane, shared matrix: y[r*k+j] = sum_e vals[e] * x[c_e*k+j].
+  void (*spmv_shared)(std::size_t n, std::size_t k,
+                      const std::uint32_t* row_ptr, const std::uint32_t* cols,
+                      const double* vals, const double* x, double* y);
+  /// y = A_j x_j per lane, lane-interleaved values vals[e*k+j].
+  void (*spmv_multi)(std::size_t n, std::size_t k,
+                     const std::uint32_t* row_ptr, const std::uint32_t* cols,
+                     const double* vals, const double* x, double* y);
+  /// One in-place SOR/Gauss-Seidel sweep of A x = b per lane (shared
+  /// matrix, diag length n). acc is caller scratch of k doubles. change[j]
+  /// accumulates max |update| per lane (caller zeroes it per sweep).
+  void (*sor_linear_shared)(std::size_t n, std::size_t k,
+                            const std::uint32_t* row_ptr,
+                            const std::uint32_t* cols, const double* vals,
+                            const double* b, const double* diag, double omega,
+                            const unsigned char* active, double* x,
+                            double* change, double* acc);
+  /// One Jacobi sweep of A x = b per lane (shared matrix): writes `next`
+  /// (frozen lanes copy x), accumulates change[j] = max |next - x|.
+  void (*jacobi_shared)(std::size_t n, std::size_t k,
+                        const std::uint32_t* row_ptr,
+                        const std::uint32_t* cols, const double* vals,
+                        const double* b, const double* diag,
+                        const unsigned char* active, const double* x,
+                        double* next, double* change);
+  /// One in-place SOR sweep of the stationary fixed point
+  /// pi_i <- pi_i + omega * (inflow_i / diag_i - pi_i) per lane, with
+  /// lane-interleaved matrix values and diag panel (both length *k); the
+  /// diagonal entry of each row is skipped. Mirrors
+  /// markov::solve_steady_state's SOR inner loop lane-for-lane.
+  void (*sor_stationary_multi)(std::size_t n, std::size_t k,
+                               const std::uint32_t* row_ptr,
+                               const std::uint32_t* cols, const double* vals,
+                               const double* diag, double omega,
+                               const unsigned char* active, double* x,
+                               double* change, double* acc);
+};
+
+namespace scalar {
+extern const PanelOps ops;
+}
+namespace avx2 {
+// Same code compiled with -mavx2 where the toolchain supports it; on other
+// targets this is a second copy of the scalar instantiation, so dispatch
+// is always safe.
+extern const PanelOps ops;
+}
+
+/// The PanelOps matching simd::active_isa().
+const PanelOps& active_ops();
+
+}  // namespace rascad::linalg::kernels

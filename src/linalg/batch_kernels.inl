@@ -1,0 +1,146 @@
+// Kernel bodies shared by batch_kernels_scalar.cpp (baseline ISA) and
+// batch_kernels_avx2.cpp (-mavx2). RASCAD_KERNEL_NS selects the namespace.
+//
+// Every inner loop runs over lanes j (vertical form): per lane, the
+// floating-point operation sequence is exactly the scalar solver's, so the
+// compiler may vectorize across lanes at any width without changing a
+// single bit of any lane's result. Do NOT introduce FMA, reductions across
+// j, or reordering of the per-edge accumulation here — bitwise equality
+// with the scalar solvers is a tested contract.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace rascad::linalg::kernels::RASCAD_KERNEL_NS {
+
+namespace {
+
+inline bool lane_on(const unsigned char* active, std::size_t j) {
+  return active == nullptr || active[j] != 0;
+}
+
+}  // namespace
+
+void spmv_shared(std::size_t n, std::size_t k, const std::uint32_t* row_ptr,
+                 const std::uint32_t* cols, const double* vals,
+                 const double* x, double* y) {
+  for (std::size_t r = 0; r < n; ++r) {
+    double* yr = y + r * k;
+    for (std::size_t j = 0; j < k; ++j) yr[j] = 0.0;
+    for (std::uint32_t e = row_ptr[r]; e < row_ptr[r + 1]; ++e) {
+      const double v = vals[e];
+      const double* xc = x + static_cast<std::size_t>(cols[e]) * k;
+      for (std::size_t j = 0; j < k; ++j) yr[j] += v * xc[j];
+    }
+  }
+}
+
+void spmv_multi(std::size_t n, std::size_t k, const std::uint32_t* row_ptr,
+                const std::uint32_t* cols, const double* vals,
+                const double* x, double* y) {
+  for (std::size_t r = 0; r < n; ++r) {
+    double* yr = y + r * k;
+    for (std::size_t j = 0; j < k; ++j) yr[j] = 0.0;
+    for (std::uint32_t e = row_ptr[r]; e < row_ptr[r + 1]; ++e) {
+      const double* ve = vals + static_cast<std::size_t>(e) * k;
+      const double* xc = x + static_cast<std::size_t>(cols[e]) * k;
+      for (std::size_t j = 0; j < k; ++j) yr[j] += ve[j] * xc[j];
+    }
+  }
+}
+
+void sor_linear_shared(std::size_t n, std::size_t k,
+                       const std::uint32_t* row_ptr, const std::uint32_t* cols,
+                       const double* vals, const double* b, const double* diag,
+                       double omega, const unsigned char* active, double* x,
+                       double* change, double* acc) {
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* br = b + r * k;
+    for (std::size_t j = 0; j < k; ++j) acc[j] = br[j];
+    for (std::uint32_t e = row_ptr[r]; e < row_ptr[r + 1]; ++e) {
+      const std::size_t c = cols[e];
+      if (c == r) continue;
+      const double v = vals[e];
+      const double* xc = x + c * k;
+      for (std::size_t j = 0; j < k; ++j) acc[j] -= v * xc[j];
+    }
+    const double dg = diag[r];
+    double* xr = x + r * k;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double prev = xr[j];
+      const double gs = acc[j] / dg;
+      const double updated = prev + omega * (gs - prev);
+      const double delta = std::abs(updated - prev);
+      if (lane_on(active, j)) {
+        xr[j] = updated;
+        if (delta > change[j]) change[j] = delta;
+      }
+    }
+  }
+}
+
+void jacobi_shared(std::size_t n, std::size_t k, const std::uint32_t* row_ptr,
+                   const std::uint32_t* cols, const double* vals,
+                   const double* b, const double* diag,
+                   const unsigned char* active, const double* x, double* next,
+                   double* change) {
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* br = b + r * k;
+    double* nr = next + r * k;
+    for (std::size_t j = 0; j < k; ++j) nr[j] = br[j];
+    for (std::uint32_t e = row_ptr[r]; e < row_ptr[r + 1]; ++e) {
+      const std::size_t c = cols[e];
+      if (c == r) continue;
+      const double v = vals[e];
+      const double* xc = x + c * k;
+      for (std::size_t j = 0; j < k; ++j) nr[j] -= v * xc[j];
+    }
+    const double dg = diag[r];
+    const double* xr = x + r * k;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double updated = nr[j] / dg;
+      const bool on = lane_on(active, j);
+      nr[j] = on ? updated : xr[j];
+      const double delta = std::abs(updated - xr[j]);
+      if (on && delta > change[j]) change[j] = delta;
+    }
+  }
+}
+
+void sor_stationary_multi(std::size_t n, std::size_t k,
+                          const std::uint32_t* row_ptr,
+                          const std::uint32_t* cols, const double* vals,
+                          const double* diag, double omega,
+                          const unsigned char* active, double* x,
+                          double* change, double* acc) {
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t j = 0; j < k; ++j) acc[j] = 0.0;
+    for (std::uint32_t e = row_ptr[r]; e < row_ptr[r + 1]; ++e) {
+      const std::size_t c = cols[e];
+      if (c == r) continue;
+      const double* ve = vals + static_cast<std::size_t>(e) * k;
+      const double* xc = x + c * k;
+      for (std::size_t j = 0; j < k; ++j) acc[j] += ve[j] * xc[j];
+    }
+    const double* dr = diag + r * k;
+    double* xr = x + r * k;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double prev = xr[j];
+      const double gs = acc[j] / dr[j];
+      const double updated = prev + omega * (gs - prev);
+      const double delta = std::abs(updated - prev);
+      if (lane_on(active, j)) {
+        xr[j] = updated;
+        if (delta > change[j]) change[j] = delta;
+      }
+    }
+  }
+}
+
+const PanelOps ops = {
+    &spmv_shared, &spmv_multi, &sor_linear_shared, &jacobi_shared,
+    &sor_stationary_multi,
+};
+
+}  // namespace rascad::linalg::kernels::RASCAD_KERNEL_NS

@@ -1,0 +1,10 @@
+// AVX2 instantiation of the batched panel kernels: identical source,
+// compiled with -mavx2 (and deliberately WITHOUT -mfma — contraction would
+// change lane results and break the bitwise contract with the scalar
+// instantiation). On toolchains without the flag this is simply a second
+// baseline copy, so runtime dispatch never needs a build-time guard.
+#include "linalg/batch_kernels.hpp"
+
+#define RASCAD_KERNEL_NS avx2
+#include "linalg/batch_kernels.inl"
+#undef RASCAD_KERNEL_NS

@@ -1,0 +1,8 @@
+// Baseline-ISA instantiation of the batched panel kernels. Always
+// compiled; this is the scalar fallback every other path is tested
+// against.
+#include "linalg/batch_kernels.hpp"
+
+#define RASCAD_KERNEL_NS scalar
+#include "linalg/batch_kernels.inl"
+#undef RASCAD_KERNEL_NS

@@ -2,44 +2,106 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 
+#include "linalg/arena.hpp"
+
 namespace rascad::linalg {
 
+namespace {
+
+constexpr std::uint32_t kMaxIndex =
+    std::numeric_limits<std::uint32_t>::max() - 1;
+
+}  // namespace
+
 CsrBuilder::CsrBuilder(std::size_t rows, std::size_t cols)
-    : rows_(rows), cols_(cols) {}
+    : rows_(rows), cols_(cols) {
+  if (rows > kMaxIndex || cols > kMaxIndex) {
+    throw std::length_error("CsrBuilder: dimensions exceed 32-bit index");
+  }
+}
 
 void CsrBuilder::add(std::size_t r, std::size_t c, double value) {
   if (r >= rows_ || c >= cols_) {
     throw std::out_of_range("CsrBuilder::add: index out of range");
   }
   if (value == 0.0) return;
-  triplets_.push_back({r, c, value});
+  if (t_vals_.size() > kMaxIndex) {
+    throw std::length_error("CsrBuilder: entry count exceeds 32-bit index");
+  }
+  t_rows_.push_back(static_cast<std::uint32_t>(r));
+  t_cols_.push_back(static_cast<std::uint32_t>(c));
+  t_vals_.push_back(value);
+}
+
+void CsrBuilder::reserve(std::size_t nnz) {
+  t_rows_.reserve(nnz);
+  t_cols_.reserve(nnz);
+  t_vals_.reserve(nnz);
 }
 
 CsrMatrix CsrBuilder::build() const {
-  std::vector<Triplet> sorted = triplets_;
-  std::sort(sorted.begin(), sorted.end(),
-            [](const Triplet& a, const Triplet& b) {
-              return a.row != b.row ? a.row < b.row : a.col < b.col;
-            });
-
+  const std::size_t n = t_vals_.size();
   CsrMatrix m;
   m.rows_ = rows_;
   m.cols_ = cols_;
   m.row_ptr_.assign(rows_ + 1, 0);
-  m.col_idx_.reserve(sorted.size());
-  m.values_.reserve(sorted.size());
+  m.col_idx_.reserve(n);
+  m.values_.reserve(n);
 
-  std::size_t i = 0;
+  // Stable counting sort by row on arena scratch: one count pass, one
+  // prefix pass, one scatter pass. Within a row the scatter preserves
+  // insertion order, so after the (stable) per-row column sort, duplicate
+  // entries are summed in insertion order — deterministic regardless of
+  // how many entries the builder saw.
+  Arena& arena = thread_arena();
+  arena.reset();
+  std::uint32_t* start = arena.allocate<std::uint32_t>(rows_ + 1);
+  std::uint32_t* scratch_cols = arena.allocate<std::uint32_t>(n);
+  double* scratch_vals = arena.allocate<double>(n);
+
+  std::memset(start, 0, (rows_ + 1) * sizeof(std::uint32_t));
+  for (std::size_t t = 0; t < n; ++t) ++start[t_rows_[t] + 1];
+  for (std::size_t r = 0; r < rows_; ++r) start[r + 1] += start[r];
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::uint32_t pos = start[t_rows_[t]]++;
+    scratch_cols[pos] = t_cols_[t];
+    scratch_vals[pos] = t_vals_[t];
+  }
+  // `start` has shifted one row forward: start[r] is now the END of row r
+  // (and row 0 begins at 0).
+
+  std::size_t begin = 0;
   for (std::size_t r = 0; r < rows_; ++r) {
-    m.row_ptr_[r] = m.values_.size();
-    while (i < sorted.size() && sorted[i].row == r) {
-      const std::size_t c = sorted[i].col;
+    const std::size_t end = start[r];
+    // Stable insertion sort by column: generated rows hold a handful of
+    // arcs, where this beats a general sort and keeps equal columns in
+    // insertion order.
+    for (std::size_t i = begin + 1; i < end; ++i) {
+      const std::uint32_t c = scratch_cols[i];
+      const double v = scratch_vals[i];
+      std::size_t j = i;
+      while (j > begin && scratch_cols[j - 1] > c) {
+        scratch_cols[j] = scratch_cols[j - 1];
+        scratch_vals[j] = scratch_vals[j - 1];
+        --j;
+      }
+      scratch_cols[j] = c;
+      scratch_vals[j] = v;
+    }
+    // Merge duplicates; entries whose merged value is exactly zero are
+    // dropped (same rule the triplet path always applied).
+    m.row_ptr_[r] = static_cast<std::uint32_t>(m.values_.size());
+    std::size_t i = begin;
+    while (i < end) {
+      const std::uint32_t c = scratch_cols[i];
       double v = 0.0;
-      while (i < sorted.size() && sorted[i].row == r && sorted[i].col == c) {
-        v += sorted[i].value;
+      while (i < end && scratch_cols[i] == c) {
+        v += scratch_vals[i];
         ++i;
       }
       if (v != 0.0) {
@@ -47,8 +109,10 @@ CsrMatrix CsrBuilder::build() const {
         m.values_.push_back(v);
       }
     }
+    begin = end;
   }
-  m.row_ptr_[rows_] = m.values_.size();
+  m.row_ptr_[rows_] = static_cast<std::uint32_t>(m.values_.size());
+  arena.reset();
   return m;
 }
 
@@ -88,7 +152,7 @@ double CsrMatrix::at(std::size_t r, std::size_t c) const {
   }
   const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
   const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
-  const auto it = std::lower_bound(begin, end, c);
+  const auto it = std::lower_bound(begin, end, static_cast<std::uint32_t>(c));
   if (it == end || *it != c) return 0.0;
   return values_[static_cast<std::size_t>(it - col_idx_.begin())];
 }
@@ -109,6 +173,7 @@ double CsrMatrix::max_abs_diagonal() const noexcept {
 
 CsrMatrix CsrMatrix::transposed() const {
   CsrBuilder b(cols_, rows_);
+  b.reserve(nnz());
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
       b.add(col_idx_[k], r, values_[k]);
@@ -135,6 +200,11 @@ Vector CsrMatrix::row_sums() const {
     }
   }
   return s;
+}
+
+bool CsrMatrix::same_pattern(const CsrMatrix& other) const noexcept {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         row_ptr_ == other.row_ptr_ && col_idx_ == other.col_idx_;
 }
 
 std::ostream& operator<<(std::ostream& os, const CsrMatrix& m) {

@@ -1,22 +1,33 @@
-// Compressed sparse row (CSR) matrix.
+// Compressed sparse row (CSR) matrix — the canonical sparse format of the
+// numerical core.
 //
-// Generated Markov chains are sparse (a handful of outgoing arcs per state),
-// so the iterative steady-state solvers and the uniformization transient
-// solver operate on CSR. Matrices are assembled through CsrBuilder, which
-// accumulates coordinate triplets and merges duplicates on build.
+// Generated Markov chains are sparse (a handful of outgoing arcs per
+// state), so the iterative steady-state solvers, the uniformization
+// transient solver, and the batched multi-RHS kernels all operate on CSR.
+// Storage is structure-of-arrays: three flat, 64-byte-aligned arrays
+// (row pointers, column indices, values) with 32-bit indices, which halves
+// index bandwidth and lets the SIMD kernels gather columns with one vector
+// load. Matrices are assembled through CsrBuilder, which stages triplets
+// and builds via an arena-backed counting sort (see docs/numerics.md);
+// duplicates are summed in insertion order.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
-#include <vector>
 
+#include "linalg/aligned.hpp"
 #include "linalg/dense.hpp"
 
 namespace rascad::linalg {
 
+class Arena;
 class CsrMatrix;
 
 /// Accumulates (row, col, value) triplets; duplicates are summed.
+/// Staging is structure-of-arrays; build() runs a stable two-pass counting
+/// sort whose scratch comes from the per-thread assembly arena, so chain
+/// generation emits CSR directly with no allocation churn.
 class CsrBuilder {
  public:
   CsrBuilder(std::size_t rows, std::size_t cols);
@@ -24,20 +35,21 @@ class CsrBuilder {
   /// Adds value at (r, c). Throws std::out_of_range for bad indices.
   void add(std::size_t r, std::size_t c, double value);
 
+  /// Pre-sizes the staging arrays for an expected entry count.
+  void reserve(std::size_t nnz);
+
   std::size_t rows() const noexcept { return rows_; }
   std::size_t cols() const noexcept { return cols_; }
 
   CsrMatrix build() const;
 
  private:
-  struct Triplet {
-    std::size_t row;
-    std::size_t col;
-    double value;
-  };
   std::size_t rows_;
   std::size_t cols_;
-  std::vector<Triplet> triplets_;
+  // SoA triplet staging (parallel arrays).
+  std::vector<std::uint32_t> t_rows_;
+  std::vector<std::uint32_t> t_cols_;
+  std::vector<double> t_vals_;
 };
 
 class CsrMatrix {
@@ -49,6 +61,8 @@ class CsrMatrix {
   std::size_t nnz() const noexcept { return values_.size(); }
 
   /// y = A * x. Throws std::invalid_argument on shape mismatch.
+  /// Scalar row-major accumulation — the bitwise-stable reference path;
+  /// the runtime-dispatched SIMD variant lives in linalg/simd.hpp.
   Vector mul(const Vector& x) const;
 
   /// y = A^T * x. Throws std::invalid_argument on shape mismatch.
@@ -69,25 +83,40 @@ class CsrMatrix {
 
   /// Row iteration support: columns/values of row r as parallel spans.
   struct RowView {
-    const std::size_t* cols;
+    const std::uint32_t* cols;
     const double* values;
     std::size_t size;
   };
   RowView row(std::size_t r) const noexcept {
     return {col_idx_.data() + row_ptr_[r], values_.data() + row_ptr_[r],
-            row_ptr_[r + 1] - row_ptr_[r]};
+            static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r])};
   }
 
   /// Sum of each row's entries (for generator-matrix conservation checks).
   Vector row_sums() const;
 
+  /// Raw SoA views for the SIMD / batched kernels. row_ptr has rows()+1
+  /// entries; col_idx and values have nnz() entries, 64-byte aligned.
+  const std::uint32_t* row_ptr_data() const noexcept {
+    return row_ptr_.data();
+  }
+  const std::uint32_t* col_idx_data() const noexcept {
+    return col_idx_.data();
+  }
+  const double* values_data() const noexcept { return values_.data(); }
+
+  /// True iff `other` has identical shape and sparsity pattern (row
+  /// pointers and column indices) — the precondition for batching several
+  /// matrices through one traversal.
+  bool same_pattern(const CsrMatrix& other) const noexcept;
+
  private:
   friend class CsrBuilder;
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<std::size_t> row_ptr_;  // rows_ + 1 entries
-  std::vector<std::size_t> col_idx_;  // nnz entries
-  std::vector<double> values_;        // nnz entries
+  AlignedVector<std::uint32_t> row_ptr_;  // rows_ + 1 entries
+  AlignedVector<std::uint32_t> col_idx_;  // nnz entries
+  AlignedVector<double> values_;          // nnz entries
 };
 
 std::ostream& operator<<(std::ostream& os, const CsrMatrix& m);

@@ -1,0 +1,121 @@
+#include "linalg/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define RASCAD_HAVE_AVX2_PATH 1
+#include <immintrin.h>
+#else
+#define RASCAD_HAVE_AVX2_PATH 0
+#endif
+
+namespace rascad::linalg::simd {
+
+namespace {
+
+// -1: no override; otherwise the forced Isa value.
+std::atomic<int> g_forced{-1};
+
+bool env_allows_simd() {
+  const char* e = std::getenv("RASCAD_SIMD");
+  if (e == nullptr) return true;
+  return !(std::strcmp(e, "0") == 0 || std::strcmp(e, "scalar") == 0 ||
+           std::strcmp(e, "off") == 0);
+}
+
+Isa policy_isa() noexcept {
+  // Environment + CPU probe, evaluated once per process.
+  static const Isa isa = (env_allows_simd() && avx2_supported())
+                             ? Isa::kAvx2
+                             : Isa::kScalar;
+  return isa;
+}
+
+void spmv_scalar(std::size_t n, const std::uint32_t* row_ptr,
+                 const std::uint32_t* cols, const double* vals,
+                 const double* x, double* y) {
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = 0.0;
+    for (std::uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      acc += vals[k] * x[cols[k]];
+    }
+    y[r] = acc;
+  }
+}
+
+#if RASCAD_HAVE_AVX2_PATH
+__attribute__((target("avx2,fma"))) void spmv_avx2(
+    std::size_t n, const std::uint32_t* row_ptr, const std::uint32_t* cols,
+    const double* vals, const double* x, double* y) {
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::uint32_t begin = row_ptr[r];
+    const std::uint32_t end = row_ptr[r + 1];
+    std::uint32_t k = begin;
+    __m256d acc = _mm256_setzero_pd();
+    for (; k + 4 <= end; k += 4) {
+      const __m128i idx = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(cols + k));
+      const __m256d xv = _mm256_i32gather_pd(x, idx, 8);
+      const __m256d av = _mm256_loadu_pd(vals + k);
+      acc = _mm256_fmadd_pd(av, xv, acc);
+    }
+    __m128d lo = _mm256_castpd256_pd128(acc);
+    const __m128d hi = _mm256_extractf128_pd(acc, 1);
+    lo = _mm_add_pd(lo, hi);
+    double s = _mm_cvtsd_f64(_mm_add_sd(lo, _mm_unpackhi_pd(lo, lo)));
+    for (; k < end; ++k) s += vals[k] * x[cols[k]];
+    y[r] = s;
+  }
+}
+#endif
+
+}  // namespace
+
+bool avx2_supported() noexcept {
+#if RASCAD_HAVE_AVX2_PATH
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Isa active_isa() noexcept {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    const Isa isa = static_cast<Isa>(forced);
+    if (isa == Isa::kAvx2 && !avx2_supported()) return policy_isa();
+    return isa;
+  }
+  return policy_isa();
+}
+
+void force_isa(std::optional<Isa> isa) noexcept {
+  g_forced.store(isa ? static_cast<int>(*isa) : -1,
+                 std::memory_order_relaxed);
+}
+
+void spmv(const CsrMatrix& a, const double* x, double* y) {
+#if RASCAD_HAVE_AVX2_PATH
+  if (active_isa() == Isa::kAvx2) {
+    spmv_avx2(a.rows(), a.row_ptr_data(), a.col_idx_data(), a.values_data(),
+              x, y);
+    return;
+  }
+#endif
+  spmv_scalar(a.rows(), a.row_ptr_data(), a.col_idx_data(), a.values_data(),
+              x, y);
+}
+
+Vector spmv(const CsrMatrix& a, const Vector& x) {
+  if (x.size() != a.cols()) {
+    throw std::invalid_argument("simd::spmv: shape mismatch");
+  }
+  Vector y(a.rows(), 0.0);
+  spmv(a, x.data(), y.data());
+  return y;
+}
+
+}  // namespace rascad::linalg::simd

@@ -1,0 +1,59 @@
+// Runtime-dispatched SIMD kernels over CSR matrices.
+//
+// Dispatch policy (see docs/numerics.md):
+//  - The scalar path is always compiled and always selectable — it is the
+//    bitwise reference every other path is tested against.
+//  - The AVX2 path is selected at runtime iff the CPU reports AVX2 and the
+//    environment does not veto it: RASCAD_SIMD=0 (or "scalar"/"off")
+//    forces the scalar path process-wide.
+//  - force_isa() overrides both for tests and benches.
+//
+// Numerical contract: the AVX2 single-vector SpMV accumulates each row in
+// four partial sums (plus FMA), so its result differs from the scalar path
+// by reassociation round-off only — within a few ULPs per row, bounded by
+// nnz_row * eps * ||row||*||x||. Callers that require bitwise stability
+// (the memoized solve paths) use CsrMatrix::mul instead; the batched
+// kernels in batch_kernels.hpp vectorize across lanes and ARE bitwise
+// equal to scalar execution.
+#pragma once
+
+#include <optional>
+
+#include "linalg/csr.hpp"
+#include "linalg/dense.hpp"
+
+namespace rascad::linalg::simd {
+
+enum class Isa {
+  kScalar,
+  kAvx2,
+};
+
+inline const char* to_string(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+/// The instruction set the dispatched kernels will use right now:
+/// force_isa() override if set, else the RASCAD_SIMD environment policy
+/// (read once per process) applied to what the CPU supports.
+Isa active_isa() noexcept;
+
+/// True iff this build/CPU can run the AVX2 path at all.
+bool avx2_supported() noexcept;
+
+/// Test/bench hook: pin the dispatched ISA (nullopt restores the default
+/// policy). Forcing kAvx2 on a CPU without AVX2 is ignored.
+void force_isa(std::optional<Isa> isa) noexcept;
+
+/// y = A x through the dispatched kernel. `x` must have a.cols() entries,
+/// `y` a.rows() entries; x and y must not alias.
+void spmv(const CsrMatrix& a, const double* x, double* y);
+
+/// Convenience overload; throws std::invalid_argument on shape mismatch.
+Vector spmv(const CsrMatrix& a, const Vector& x);
+
+}  // namespace rascad::linalg::simd

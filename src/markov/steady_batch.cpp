@@ -1,0 +1,241 @@
+// Batched steady-state solves over structure-sharing chains.
+//
+// Sweep points that differ only in rates generate chains with identical
+// sparsity patterns; this module packs their (transposed) generators into
+// one lane-interleaved CsrBatch and sweeps all lanes through a single
+// matrix traversal per iteration. Per lane, every floating-point operation
+// replicates the scalar solver in solve_steady_state, so successful lanes
+// are bitwise identical to the scalar path; lanes the batched path cannot
+// finish come back as nullopt and the caller reruns them individually,
+// reproducing the exact scalar result or exception.
+#include <cmath>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "linalg/batch.hpp"
+#include "linalg/batch_kernels.hpp"
+#include "markov/steady_state.hpp"
+
+namespace rascad::markov {
+
+namespace {
+
+double stationarity_residual(const Ctmc& chain, const linalg::Vector& pi) {
+  const linalg::Vector r = chain.generator().mul_transpose(pi);
+  return linalg::norm_inf(r);
+}
+
+bool any_lane(const std::vector<unsigned char>& active) {
+  for (unsigned char a : active) {
+    if (a) return true;
+  }
+  return false;
+}
+
+/// SOR lanes: pack the transposed generators, sweep with
+/// sor_stationary_multi, normalize each active lane per sweep exactly as
+/// normalize_sum does (ascending accumulate, scale by 1/s).
+void solve_sor_batched(const std::vector<const Ctmc*>& chains,
+                       const SteadyStateOptions& opts,
+                       std::vector<std::optional<SteadyStateResult>>& out) {
+  const std::size_t total = chains.size();
+  std::vector<std::size_t> lane_of;  // packed lane -> chains index
+  std::vector<linalg::CsrMatrix> qts;
+  for (std::size_t j = 0; j < total; ++j) {
+    if (chains[j] == nullptr || chains[j]->size() < 2) continue;
+    lane_of.push_back(j);
+    qts.push_back(chains[j]->generator().transposed());
+  }
+  if (lane_of.empty()) return;
+  std::vector<const linalg::CsrMatrix*> ptrs;
+  ptrs.reserve(qts.size());
+  for (const auto& m : qts) ptrs.push_back(&m);
+  const auto batch = linalg::CsrBatch::pack(ptrs);
+  if (!batch) return;  // pattern mismatch: every lane falls back
+
+  const std::size_t n = batch->rows();
+  const std::size_t k = batch->lanes();
+  std::vector<unsigned char> active(k, 1);
+  linalg::AlignedVector<double> diag(n * k, 0.0);
+  for (std::size_t l = 0; l < k; ++l) {
+    const Ctmc& chain = *chains[lane_of[l]];
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = chain.exit_rate(i);
+      if (!(d > 0.0)) {
+        // Absorbing state: scalar path throws kInvalidInput. Leave the
+        // lane to the individual fallback so the caller sees that throw.
+        active[l] = 0;
+        break;
+      }
+      diag[i * k + l] = d;
+    }
+  }
+  std::vector<unsigned char> eligible = active;
+  if (!any_lane(active)) return;
+
+  linalg::AlignedVector<double> pi(n * k, 1.0 / static_cast<double>(n));
+  linalg::AlignedVector<double> acc(k, 0.0);
+  std::vector<double> change(k, 0.0);
+  std::vector<std::size_t> iterations(k, 0);
+  // Normalization scratch, panel-ordered: the per-lane sum and scale run
+  // as two contiguous passes over the panel (all lanes per row) instead of
+  // k strided passes — per lane the accumulation is still ascending in i
+  // and the scale is the same single multiply, so each lane stays bitwise
+  // identical to normalize_sum while the traffic drops to two sweeps.
+  linalg::AlignedVector<double> sums(k, 0.0);
+  linalg::AlignedVector<double> inv(k, 0.0);
+  std::vector<unsigned char> scale(k, 0);
+  const auto& ops = linalg::kernels::active_ops();
+
+  for (std::size_t it = 1; it <= opts.max_iterations && any_lane(active);
+       ++it) {
+    std::memset(change.data(), 0, k * sizeof(double));
+    ops.sor_stationary_multi(n, k, batch->row_ptr_data(),
+                             batch->col_idx_data(), batch->values_data(),
+                             diag.data(), opts.relaxation, active.data(),
+                             pi.data(), change.data(), acc.data());
+    std::memset(sums.data(), 0, k * sizeof(double));
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* pr = pi.data() + i * k;
+      for (std::size_t l = 0; l < k; ++l) sums[l] += pr[l];
+    }
+    for (std::size_t l = 0; l < k; ++l) {
+      scale[l] = 0;
+      if (!active[l]) continue;
+      if (!(sums[l] > 0.0)) {
+        // normalize_sum would throw in the scalar path; let the fallback
+        // rerun the lane and surface that exception.
+        active[l] = 0;
+        eligible[l] = 0;
+        continue;
+      }
+      scale[l] = 1;
+      inv[l] = 1.0 / sums[l];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      double* pr = pi.data() + i * k;
+      for (std::size_t l = 0; l < k; ++l) {
+        if (scale[l]) pr[l] *= inv[l];
+      }
+    }
+    for (std::size_t l = 0; l < k; ++l) {
+      if (!scale[l]) continue;
+      iterations[l] = it;
+      if (change[l] < opts.tolerance) active[l] = 0;  // converged
+    }
+  }
+
+  for (std::size_t l = 0; l < k; ++l) {
+    if (!eligible[l]) continue;
+    const std::size_t j = lane_of[l];
+    SteadyStateResult result;
+    result.iterations = iterations[l];
+    result.pi.resize(n);
+    for (std::size_t i = 0; i < n; ++i) result.pi[i] = pi[i * k + l];
+    result.residual = stationarity_residual(*chains[j], result.pi);
+    if (result.iterations >= opts.max_iterations &&
+        result.residual > 1e3 * opts.tolerance) {
+      continue;  // scalar path throws kNonConverged; fall back
+    }
+    out[j] = std::move(result);
+  }
+}
+
+/// BiCGSTAB lanes: build the Jacobi-scaled replaced-row system per chain
+/// (exactly as the scalar solve_bicgstab), pack, and run the batched
+/// Krylov driver.
+void solve_bicgstab_batched(const std::vector<const Ctmc*>& chains,
+                            const SteadyStateOptions& opts,
+                            std::vector<std::optional<SteadyStateResult>>& out) {
+  const std::size_t total = chains.size();
+  std::vector<std::size_t> lane_of;
+  std::vector<linalg::CsrMatrix> systems;
+  for (std::size_t j = 0; j < total; ++j) {
+    if (chains[j] == nullptr || chains[j]->size() < 2) continue;
+    const Ctmc& chain = *chains[j];
+    const std::size_t n = chain.size();
+    const linalg::CsrMatrix qt = chain.generator().transposed();
+    linalg::CsrBuilder ab(n, n);
+    bool ok = true;
+    for (std::size_t r = 0; r < n - 1 && ok; ++r) {
+      const auto row = qt.row(r);
+      double diag = 0.0;
+      for (std::size_t e = 0; e < row.size; ++e) {
+        if (row.cols[e] == r) diag = row.values[e];
+      }
+      if (diag == 0.0) {
+        ok = false;  // absorbing state: fallback lane throws kInvalidInput
+        break;
+      }
+      for (std::size_t e = 0; e < row.size; ++e) {
+        ab.add(r, row.cols[e], row.values[e] / diag);
+      }
+    }
+    if (!ok) continue;
+    const std::size_t n1 = n - 1;
+    for (std::size_t c = 0; c < n; ++c) ab.add(n1, c, 1.0);
+    lane_of.push_back(j);
+    systems.push_back(ab.build());
+  }
+  if (lane_of.empty()) return;
+  std::vector<const linalg::CsrMatrix*> ptrs;
+  ptrs.reserve(systems.size());
+  for (const auto& m : systems) ptrs.push_back(&m);
+  const auto batch = linalg::CsrBatch::pack(ptrs);
+  if (!batch) return;
+
+  const std::size_t n = batch->rows();
+  std::vector<linalg::Vector> bs(batch->lanes(), linalg::Vector(n, 0.0));
+  for (auto& b : bs) b[n - 1] = 1.0;
+  linalg::IterativeOptions iopts;
+  iopts.tolerance = opts.tolerance;
+  iopts.max_iterations = opts.max_iterations;
+  const std::vector<linalg::IterativeResult> rs =
+      linalg::bicgstab_solve_batched(*batch, bs, iopts);
+
+  for (std::size_t l = 0; l < rs.size(); ++l) {
+    if (!rs[l].converged) continue;  // scalar path throws kNonConverged
+    const std::size_t j = lane_of[l];
+    SteadyStateResult result;
+    result.pi = rs[l].solution;
+    for (double& x : result.pi) {
+      if (x < 0.0 && x > -1e-10) x = 0.0;
+    }
+    double s = 0.0;
+    for (double x : result.pi) s += x;
+    if (!(s > 0.0)) continue;  // normalize_sum would throw; fall back
+    linalg::normalize_sum(result.pi);
+    result.iterations = rs[l].iterations;
+    result.residual = stationarity_residual(*chains[j], result.pi);
+    out[j] = std::move(result);
+  }
+}
+
+}  // namespace
+
+std::vector<std::optional<SteadyStateResult>> solve_steady_state_batched(
+    const std::vector<const Ctmc*>& chains, const SteadyStateOptions& opts) {
+  std::vector<std::optional<SteadyStateResult>> out(chains.size());
+  // Size-1 chains short-circuit exactly as solve_steady_state does.
+  for (std::size_t j = 0; j < chains.size(); ++j) {
+    if (chains[j] != nullptr && chains[j]->size() == 1) {
+      SteadyStateResult r;
+      r.pi = {1.0};
+      out[j] = std::move(r);
+    }
+  }
+  switch (opts.method) {
+    case SteadyStateMethod::kSor:
+      solve_sor_batched(chains, opts, out);
+      break;
+    case SteadyStateMethod::kBiCgStab:
+      solve_bicgstab_batched(chains, opts, out);
+      break;
+    default:
+      break;  // not batchable: every remaining lane falls back
+  }
+  return out;
+}
+
+}  // namespace rascad::markov

@@ -1,5 +1,6 @@
 #include "markov/transient.hpp"
 
+#include "linalg/simd.hpp"
 #include "resilience/solve_error.hpp"
 
 #include <cmath>
@@ -77,6 +78,9 @@ linalg::Vector transient_distribution(const Ctmc& chain,
     }
   }
   const double a = q * t;
+  // Transpose P once so every series term is a forward SpMV through the
+  // vectorized kernel instead of a scattered mul_transpose.
+  const linalg::CsrMatrix pt = p.transposed();
   linalg::Vector v = pi0;  // v_k = pi0 P^k
   linalg::Vector pit(chain.size(), 0.0);
   double cumulative = 0.0;
@@ -94,7 +98,7 @@ linalg::Vector transient_distribution(const Ctmc& chain,
       linalg::axpy(1.0 - cumulative, v, pit);
       return pit;
     }
-    v = p.mul_transpose(v);
+    v = linalg::simd::spmv(pt, v);
   }
   throw resilience::SolveError(
       resilience::SolveCause::kBudgetExceeded, "transient_distribution",
@@ -143,6 +147,7 @@ double integrate_rate(const Ctmc& chain, const linalg::Vector& pi0, double t,
     }
   }
   const double a = q * t;
+  const linalg::CsrMatrix pt = p.transposed();
   linalg::Vector v = pi0;
   double acc = 0.0;
   double cumulative = 0.0;   // Poisson CDF up to the current term
@@ -162,7 +167,7 @@ double integrate_rate(const Ctmc& chain, const linalg::Vector& pi0, double t,
       acc += (t - weight_sum) * linalg::dot(r, v);
       return acc;
     }
-    v = p.mul_transpose(v);
+    v = linalg::simd::spmv(pt, v);
   }
   throw resilience::SolveError(
       resilience::SolveCause::kBudgetExceeded, "accumulated_reward",

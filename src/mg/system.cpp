@@ -384,6 +384,242 @@ SystemModel SystemModel::rebuild(const SystemModel& base,
   return sm;
 }
 
+std::vector<SystemModel> SystemModel::rebuild_batch(
+    const SystemModel& base, std::vector<spec::ModelSpec> specs,
+    const Options& opts) {
+  obs::Span batch_span("system.rebuild_batch");
+  const resilience::ResilienceConfig solve_config = resolve_config(opts);
+  const cache::Signature solver_sig = solver_signature(solve_config);
+
+  // Per-point scaffolding. `specs` is never resized below, so the pending
+  // pointers into it stay valid.
+  struct Point {
+    bool full_build = false;  // structure/solver incompatible with base
+    std::vector<std::pair<const spec::DiagramSpec*, const spec::BlockSpec*>>
+        pending;
+    std::vector<BlockEntry> blocks;
+  };
+  std::vector<Point> points(specs.size());
+
+  // One deduplicated solve job per distinct dirty chain signature.
+  struct Job {
+    cache::Signature chain_sig;
+    cache::Signature key;  // chain_sig + solver words: the memo key
+    const spec::BlockSpec* block = nullptr;  // first consumer's spec
+    const spec::GlobalParams* globals = nullptr;
+    std::vector<std::pair<std::size_t, std::size_t>> sites;  // (point, slot)
+    GeneratedModel generated;
+    bool from_cache = false;
+    BlockEntry entry;  // diagram/block fields overwritten per site
+    std::optional<resilience::ResilientResult> solved;
+    bool fresh_consumed = false;  // first consumer gets kFresh
+  };
+  std::vector<Job> jobs;
+
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    spec::validate_or_throw(specs[p]);
+    Point& point = points[p];
+    collect_chain_blocks(specs[p], specs[p].root(), point.pending);
+    bool compatible = point.pending.size() == base.blocks_.size() &&
+                      solver_sig == base.solver_sig_;
+    for (std::size_t i = 0; compatible && i < point.pending.size(); ++i) {
+      compatible =
+          point.pending[i].first->name == base.blocks_[i].diagram &&
+          point.pending[i].second->name == base.blocks_[i].block.name;
+    }
+    if (!compatible) {
+      point.full_build = true;
+      continue;
+    }
+    point.blocks.resize(point.pending.size());
+    const bool globals_same = specs[p].globals == base.spec_.globals;
+    for (std::size_t i = 0; i < point.pending.size(); ++i) {
+      const spec::BlockSpec& blk = *point.pending[i].second;
+      cache::Signature sig;
+      bool clean = globals_same && blk == base.blocks_[i].block;
+      if (!clean) {
+        sig = chain_signature(blk, specs[p].globals);
+        clean = sig == base.blocks_[i].signature;
+      }
+      if (clean) {
+        BlockEntry entry = base.blocks_[i];
+        entry.block = blk;
+        entry.solve_trace.source = resilience::SolveSource::kBaselineReuse;
+        point.blocks[i] = std::move(entry);
+        continue;
+      }
+      Job* job = nullptr;
+      for (Job& j : jobs) {
+        if (j.chain_sig == sig) {
+          job = &j;
+          break;
+        }
+      }
+      if (!job) {
+        Job j;
+        j.chain_sig = sig;
+        j.key = sig;
+        j.key.append(solver_sig);
+        j.block = &blk;
+        j.globals = &specs[p].globals;
+        jobs.push_back(std::move(j));
+        job = &jobs.back();
+      }
+      job->sites.emplace_back(p, i);
+    }
+  }
+
+  // Memo lookups first: a hit serves every site of the job as kCacheHit.
+  std::vector<std::size_t> fresh;  // indices into jobs
+  for (std::size_t f = 0; f < jobs.size(); ++f) {
+    Job& job = jobs[f];
+    if (opts.cache) {
+      if (std::optional<cache::CachedBlockSolve> hit =
+              opts.cache->find_block(job.key)) {
+        job.from_cache = true;
+        job.entry.chain = std::move(hit->chain);
+        job.entry.type = classify(*job.block);
+        job.entry.initial = hit->initial;
+        job.entry.availability = hit->availability;
+        job.entry.yearly_downtime_min =
+            yearly_downtime_minutes(hit->availability);
+        job.entry.eq_failure_rate = hit->eq_failure_rate;
+        job.entry.solve_trace = std::move(hit->trace);
+        job.entry.solve_trace.source = resilience::SolveSource::kCacheHit;
+        job.entry.signature = job.chain_sig;
+        continue;
+      }
+    }
+    fresh.push_back(f);
+  }
+
+  // Generate the remaining chains in parallel, then group them by
+  // generator sparsity pattern: structure-sharing groups go through one
+  // lane-interleaved batched ladder solve, singleton (or fallback) lanes
+  // through the scalar ladder.
+  exec::parallel_for(
+      fresh.size(),
+      [&](std::size_t j) {
+        Job& job = jobs[fresh[j]];
+        obs::Span gen_span("mg.generate");
+        if (gen_span.active()) gen_span.set_detail(job.block->name);
+        job.generated = generate(*job.block, *job.globals);
+      },
+      opts.parallel);
+
+  std::vector<std::vector<std::size_t>> groups;  // indices into jobs
+  for (std::size_t f : fresh) {
+    bool placed = false;
+    for (auto& group : groups) {
+      const auto& rep = jobs[group.front()].generated.chain.generator();
+      if (rep.same_pattern(jobs[f].generated.chain.generator())) {
+        group.push_back(f);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) groups.push_back({f});
+  }
+  for (const auto& group : groups) {
+    if (group.size() >= 2) {
+      std::vector<const markov::Ctmc*> chains;
+      chains.reserve(group.size());
+      for (std::size_t f : group) {
+        chains.push_back(&jobs[f].generated.chain);
+      }
+      std::vector<std::optional<resilience::ResilientResult>> solved =
+          resilience::solve_steady_state_resilient_batched(chains,
+                                                           solve_config);
+      for (std::size_t l = 0; l < group.size(); ++l) {
+        jobs[group[l]].solved = std::move(solved[l]);
+      }
+    }
+    for (std::size_t f : group) {
+      if (!jobs[f].solved) {
+        jobs[f].solved =
+            resilience::solve_steady_state_resilient(jobs[f].generated.chain,
+                                                     solve_config);
+      }
+    }
+  }
+  for (std::size_t f : fresh) {
+    Job& job = jobs[f];
+    const markov::SteadyStateResult& steady = job.solved->result;
+    job.entry.solve_trace = std::move(job.solved->trace);
+    job.entry.solve_trace.source = resilience::SolveSource::kFresh;
+    job.entry.type = job.generated.type;
+    job.entry.initial = job.generated.initial;
+    job.entry.availability =
+        markov::expected_reward(job.generated.chain, steady.pi);
+    job.entry.yearly_downtime_min =
+        yearly_downtime_minutes(job.entry.availability);
+    job.entry.eq_failure_rate =
+        markov::equivalent_failure_rate(job.generated.chain, steady.pi);
+    job.entry.chain =
+        std::make_shared<const markov::Ctmc>(std::move(job.generated.chain));
+    job.entry.signature = job.chain_sig;
+    if (opts.cache) {
+      cache::CachedBlockSolve value;
+      value.chain = job.entry.chain;
+      value.initial = job.entry.initial;
+      value.pi = std::make_shared<const linalg::Vector>(steady.pi);
+      value.availability = job.entry.availability;
+      value.eq_failure_rate = job.entry.eq_failure_rate;
+      value.trace = job.entry.solve_trace;
+      opts.cache->put_block(job.key, value);
+    }
+  }
+
+  if (batch_span.active()) {
+    std::size_t batched = 0;
+    for (const auto& group : groups) {
+      if (group.size() >= 2) batched += group.size();
+    }
+    batch_span.set_detail("points=" + std::to_string(specs.size()) +
+                          " jobs=" + std::to_string(jobs.size()) +
+                          " batched=" + std::to_string(batched));
+  }
+
+  // Assemble the per-point models in order, so kFresh lands on each job's
+  // lowest-index consumer exactly as sequential rebuilds through the memo
+  // cache would record it (without a cache every consumer solves fresh in
+  // the sequential path, so every consumer stays kFresh).
+  std::vector<SystemModel> out;
+  out.reserve(specs.size());
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    Point& point = points[p];
+    if (point.full_build) {
+      out.push_back(build(std::move(specs[p]), opts));
+      continue;
+    }
+    SystemModel sm;
+    sm.opts_ = opts;
+    sm.solver_sig_ = solver_sig;
+    sm.blocks_ = std::move(point.blocks);
+    for (Job& job : jobs) {
+      for (const auto& [jp, slot] : job.sites) {
+        if (jp != p) continue;
+        BlockEntry entry = job.entry;
+        entry.diagram = point.pending[slot].first->name;
+        entry.block = *point.pending[slot].second;
+        if (!job.from_cache) {
+          if (!job.fresh_consumed || !opts.cache) {
+            entry.solve_trace.source = resilience::SolveSource::kFresh;
+            job.fresh_consumed = true;
+          } else {
+            entry.solve_trace.source = resilience::SolveSource::kCacheHit;
+          }
+        }
+        sm.blocks_[slot] = std::move(entry);
+      }
+    }
+    sm.spec_ = std::move(specs[p]);
+    sm.root_ = compose_tree(sm.spec_, sm.blocks_);
+    out.push_back(std::move(sm));
+  }
+  return out;
+}
+
 double SystemModel::eq_failure_rate() const {
   double acc = 0.0;
   for (const auto& b : blocks_) acc += b.eq_failure_rate;

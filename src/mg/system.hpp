@@ -91,6 +91,24 @@ class SystemModel {
     return rebuild(base, std::move(changed), base.opts_);
   }
 
+  /// Batched incremental rebuild: many spec variants against one baseline
+  /// (the shape of a parameter sweep). Dirty blocks are deduplicated by
+  /// chain signature across all variants, and distinct chains sharing one
+  /// generator sparsity pattern — sweep points that differ only in rates —
+  /// are dispatched as ONE lane-interleaved batched solve
+  /// (resilience::solve_steady_state_resilient_batched) when the ladder's
+  /// first rung is iterative; everything else takes the scalar ladder.
+  /// Entry i corresponds to specs[i] and is bit-identical to
+  /// rebuild(base, specs[i], opts) — numbers, traces, and memo-cache keys
+  /// are unchanged; only the solve schedule differs. Provenance per point:
+  /// clean blocks are kBaselineReuse, memo hits kCacheHit, and each
+  /// deduplicated fresh solve is kFresh at its first (lowest point index)
+  /// consumer and kCacheHit at the rest, exactly as sequential rebuilds
+  /// through the shared memo cache would record.
+  static std::vector<SystemModel> rebuild_batch(const SystemModel& base,
+                                                std::vector<spec::ModelSpec> specs,
+                                                const Options& opts);
+
   /// Steady-state system availability (product over the serial hierarchy).
   double availability() const { return root_->availability(); }
   double yearly_downtime_min() const {

@@ -1,6 +1,9 @@
 #include "obs/bench_json.hpp"
 
+#include <cstring>
+#include <iostream>
 #include <ostream>
+#include <streambuf>
 
 #include "obs/jsonl.hpp"
 
@@ -58,6 +61,31 @@ std::string BenchMetricsLine::str() const {
 
 void BenchMetricsLine::write(std::ostream& os) const {
   os << str() << std::endl;
+}
+
+namespace {
+// One static sink shared by every guard; overflow discards, so concurrent
+// use would be harmless even though benches are single-threaded at main().
+struct NullBuf : std::streambuf {
+  int overflow(int c) override { return c; }
+};
+NullBuf g_null_buf;
+}  // namespace
+
+JsonOnlyGuard::JsonOnlyGuard(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      saved_ = std::cout.rdbuf(&g_null_buf);
+      return;
+    }
+  }
+}
+
+void JsonOnlyGuard::restore() noexcept {
+  if (saved_ != nullptr) {
+    std::cout.rdbuf(saved_);
+    saved_ = nullptr;
+  }
 }
 
 }  // namespace rascad::obs

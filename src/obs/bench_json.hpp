@@ -54,4 +54,29 @@ class BenchMetricsLine {
   std::vector<std::pair<std::string, std::string>> metrics_;
 };
 
+/// `--json` support for the bench binaries: while alive, if `--json` was
+/// among the arguments, std::cout is redirected to a null buffer so the
+/// human-readable tables vanish; the destructor restores the real buffer.
+/// Benches construct one at the top of main() and keep it alive until just
+/// before the final BenchMetricsLine — the metrics line then becomes the
+/// binary's entire stdout, ready to redirect into a BENCH_*.json file
+/// (tools/collect_bench.sh does exactly that).
+class JsonOnlyGuard {
+ public:
+  JsonOnlyGuard(int argc, char** argv);
+  ~JsonOnlyGuard() { restore(); }
+
+  JsonOnlyGuard(const JsonOnlyGuard&) = delete;
+  JsonOnlyGuard& operator=(const JsonOnlyGuard&) = delete;
+
+  bool json_only() const noexcept { return saved_ != nullptr; }
+
+  /// Restores std::cout early (idempotent) — call before writing the
+  /// metrics line when the guard outlives the human-readable section.
+  void restore() noexcept;
+
+ private:
+  std::streambuf* saved_ = nullptr;
+};
+
 }  // namespace rascad::obs

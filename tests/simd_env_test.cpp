@@ -1,0 +1,25 @@
+// Runs with RASCAD_SIMD=0 in the environment (set by CTest): the veto must
+// pin the default dispatch policy to the scalar kernels even on
+// AVX2-capable hosts. force_isa() is the test hook and deliberately
+// overrides the veto.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "linalg/simd.hpp"
+
+namespace {
+
+namespace simd = rascad::linalg::simd;
+
+TEST(SimdEnv, VetoForcesScalarDispatch) {
+  EXPECT_EQ(simd::active_isa(), simd::Isa::kScalar);
+  if (simd::avx2_supported()) {
+    simd::force_isa(simd::Isa::kAvx2);
+    EXPECT_EQ(simd::active_isa(), simd::Isa::kAvx2);
+    simd::force_isa(std::nullopt);
+    EXPECT_EQ(simd::active_isa(), simd::Isa::kScalar);
+  }
+}
+
+}  // namespace

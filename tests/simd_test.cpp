@@ -1,0 +1,493 @@
+// SoA/CSR numerical core: aligned storage, arena assembly, dispatched
+// SpMV vs dense oracles, and the bitwise batched-vs-sequential contracts
+// of the multi-RHS / multi-matrix solvers up through the batched sweep.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "linalg/aligned.hpp"
+#include "linalg/arena.hpp"
+#include "linalg/batch.hpp"
+#include "linalg/csr.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/iterative.hpp"
+#include "linalg/simd.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/steady_state.hpp"
+#include "resilience/resilience.hpp"
+#include "resilience/solve_error.hpp"
+#include "spec/parser.hpp"
+
+namespace {
+
+using rascad::linalg::AlignedVector;
+using rascad::linalg::Arena;
+using rascad::linalg::CsrBatch;
+using rascad::linalg::CsrBuilder;
+using rascad::linalg::CsrMatrix;
+using rascad::linalg::IterativeOptions;
+using rascad::linalg::IterativeResult;
+using rascad::linalg::Vector;
+namespace simd = rascad::linalg::simd;
+
+/// Pins the dispatched ISA for a scope; restores the default on exit.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(simd::Isa isa) { simd::force_isa(isa); }
+  ~ScopedIsa() { simd::force_isa(std::nullopt); }
+};
+
+TEST(Aligned, VectorDataIsSimdAligned) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    AlignedVector<double> v(n, 1.0);
+    EXPECT_TRUE(rascad::linalg::is_simd_aligned(v.data()));
+  }
+  AlignedVector<std::uint32_t> idx(33, 0);
+  EXPECT_TRUE(rascad::linalg::is_simd_aligned(idx.data()));
+}
+
+TEST(Arena, AllocationsAreAlignedAndReusable) {
+  Arena arena;
+  double* a = arena.allocate<double>(100);
+  std::uint32_t* b = arena.allocate<std::uint32_t>(17);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(rascad::linalg::is_simd_aligned(a));
+  EXPECT_TRUE(rascad::linalg::is_simd_aligned(b));
+  a[99] = 3.5;
+  b[16] = 7;
+  const std::size_t grown = arena.capacity_bytes();
+  EXPECT_GT(grown, 0u);
+  arena.reset();
+  // Reset keeps the largest chunk: the next round allocates without growth.
+  double* c = arena.allocate<double>(100);
+  EXPECT_TRUE(rascad::linalg::is_simd_aligned(c));
+  EXPECT_EQ(arena.capacity_bytes(), grown);
+}
+
+TEST(Arena, ThreadArenaIsDistinctPerThread) {
+  Arena* main_arena = &rascad::linalg::thread_arena();
+  Arena* other = nullptr;
+  std::thread([&] { other = &rascad::linalg::thread_arena(); }).join();
+  EXPECT_NE(main_arena, nullptr);
+  EXPECT_NE(other, nullptr);
+  EXPECT_NE(main_arena, other);
+}
+
+/// Dense oracle: y = A x computed row-by-row off to_dense().
+Vector dense_mul(const CsrMatrix& a, const Vector& x) {
+  const auto d = a.to_dense();
+  Vector y(a.rows(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) y[r] += d(r, c) * x[c];
+  }
+  return y;
+}
+
+CsrMatrix random_csr(std::size_t n, double density, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> value(-2.0, 2.0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  CsrBuilder b(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (r % 11 == 5) continue;  // leave some rows empty
+    for (std::size_t c = 0; c < n; ++c) {
+      if (r % 7 == 3 && c == r) continue;  // some diagonal-free rows
+      if (coin(rng) < density) b.add(r, c, value(rng));
+    }
+  }
+  return b.build();
+}
+
+TEST(Spmv, MatchesDenseOracleOnRandomMatrices) {
+  for (std::uint32_t seed : {1u, 2u, 3u}) {
+    const CsrMatrix a = random_csr(37, 0.15, seed);
+    std::mt19937 rng(seed + 100);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    Vector x(a.cols());
+    for (double& v : x) v = dist(rng);
+    const Vector oracle = dense_mul(a, x);
+    for (simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kAvx2}) {
+      ScopedIsa pin(isa);
+      const Vector y = simd::spmv(a, x);
+      ASSERT_EQ(y.size(), oracle.size());
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        EXPECT_NEAR(y[i], oracle[i], 1e-12) << "isa=" << to_string(isa);
+      }
+    }
+  }
+}
+
+TEST(Spmv, ScalarPathIsBitwiseEqualToCsrMul) {
+  const CsrMatrix a = random_csr(53, 0.2, 7);
+  Vector x(a.cols());
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> dist(-3.0, 3.0);
+  for (double& v : x) v = dist(rng);
+  ScopedIsa pin(simd::Isa::kScalar);
+  const Vector y = simd::spmv(a, x);
+  const Vector ref = a.mul(x);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], ref[i]);
+}
+
+TEST(Spmv, EmptyRowsOneByOneAndDiagonalFreeRows) {
+  // 1x1 with a single entry.
+  CsrBuilder one(1, 1);
+  one.add(0, 0, 2.5);
+  const CsrMatrix m1 = one.build();
+  EXPECT_EQ(simd::spmv(m1, Vector{2.0})[0], 5.0);
+  // 1x1 empty.
+  const CsrMatrix m0 = CsrBuilder(1, 1).build();
+  EXPECT_EQ(simd::spmv(m0, Vector{3.0})[0], 0.0);
+  // Empty rows and diagonal-free rows against the dense oracle.
+  CsrBuilder b(4, 4);
+  b.add(0, 1, 1.0);   // row 0: diagonal-free
+  b.add(0, 3, -2.0);
+  b.add(2, 2, 4.0);   // rows 1 and 3: empty
+  const CsrMatrix a = b.build();
+  const Vector x = {1.0, 2.0, 3.0, 4.0};
+  const Vector oracle = dense_mul(a, x);
+  for (simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kAvx2}) {
+    ScopedIsa pin(isa);
+    const Vector y = simd::spmv(a, x);
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(y[i], oracle[i]);
+  }
+  EXPECT_THROW(simd::spmv(a, Vector(3, 1.0)), std::invalid_argument);
+}
+
+TEST(Simd, ForceIsaPinsDispatchAndRestores) {
+  {
+    ScopedIsa pin(simd::Isa::kScalar);
+    EXPECT_EQ(simd::active_isa(), simd::Isa::kScalar);
+  }
+  if (simd::avx2_supported()) {
+    ScopedIsa pin(simd::Isa::kAvx2);
+    EXPECT_EQ(simd::active_isa(), simd::Isa::kAvx2);
+  } else {
+    // Forcing an unsupported ISA must not select it.
+    ScopedIsa pin(simd::Isa::kAvx2);
+    EXPECT_EQ(simd::active_isa(), simd::Isa::kScalar);
+  }
+}
+
+/// Diagonally dominant random system so every iterative solver converges.
+CsrMatrix random_dominant(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> value(-1.0, 1.0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  CsrBuilder b(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double off = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (c == r) continue;
+      if (coin(rng) < 0.2) {
+        const double v = value(rng);
+        off += std::abs(v);
+        b.add(r, c, v);
+      }
+    }
+    b.add(r, r, off + 1.0 + coin(rng));
+  }
+  return b.build();
+}
+
+std::vector<Vector> random_rhs(std::size_t n, std::size_t k,
+                               std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-5.0, 5.0);
+  std::vector<Vector> bs(k, Vector(n));
+  for (auto& b : bs) {
+    for (double& v : b) v = dist(rng);
+  }
+  // Scale spread so columns converge after different iteration counts,
+  // exercising the freeze masks.
+  for (std::size_t j = 0; j < k; ++j) {
+    for (double& v : bs[j]) v *= static_cast<double>(j + 1);
+  }
+  return bs;
+}
+
+void expect_bitwise(const IterativeResult& got, const IterativeResult& want) {
+  EXPECT_EQ(got.converged, want.converged);
+  EXPECT_EQ(got.iterations, want.iterations);
+  EXPECT_EQ(got.residual, want.residual);
+  ASSERT_EQ(got.solution.size(), want.solution.size());
+  for (std::size_t i = 0; i < got.solution.size(); ++i) {
+    EXPECT_EQ(got.solution[i], want.solution[i]) << "entry " << i;
+  }
+}
+
+TEST(BatchedSolvers, MultiRhsBitwiseEqualsSequential) {
+  const CsrMatrix a = random_dominant(24, 11);
+  const std::vector<Vector> bs = random_rhs(24, 5, 12);
+  IterativeOptions opts;
+  opts.tolerance = 1e-11;
+  for (simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kAvx2}) {
+    ScopedIsa pin(isa);
+    const auto jb = rascad::linalg::jacobi_solve_batched(a, bs, opts);
+    const auto sb = rascad::linalg::sor_solve_batched(a, bs, opts);
+    const auto kb = rascad::linalg::bicgstab_solve_batched(a, bs, opts);
+    ASSERT_EQ(jb.size(), bs.size());
+    for (std::size_t j = 0; j < bs.size(); ++j) {
+      expect_bitwise(jb[j], rascad::linalg::jacobi_solve(a, bs[j], opts));
+      expect_bitwise(sb[j], rascad::linalg::sor_solve(a, bs[j], opts));
+      expect_bitwise(kb[j], rascad::linalg::bicgstab_solve(a, bs[j], opts));
+    }
+  }
+}
+
+TEST(BatchedSolvers, SorRelaxationAndEmptyBatch) {
+  const CsrMatrix a = random_dominant(16, 21);
+  IterativeOptions opts;
+  opts.relaxation = 1.2;
+  const std::vector<Vector> bs = random_rhs(16, 3, 22);
+  const auto batched = rascad::linalg::sor_solve_batched(a, bs, opts);
+  for (std::size_t j = 0; j < bs.size(); ++j) {
+    expect_bitwise(batched[j], rascad::linalg::sor_solve(a, bs[j], opts));
+  }
+  EXPECT_TRUE(rascad::linalg::sor_solve_batched(a, {}, opts).empty());
+}
+
+TEST(BatchedSolvers, ErrorSemanticsMatchScalar) {
+  CsrBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 1, 0.5);  // row 1 has no diagonal entry
+  const CsrMatrix a = b.build();
+  const std::vector<Vector> bs(2, Vector(2, 1.0));
+  EXPECT_THROW(rascad::linalg::jacobi_solve_batched(a, bs),
+               rascad::resilience::SolveError);
+  EXPECT_THROW(rascad::linalg::sor_solve_batched(a, bs),
+               rascad::resilience::SolveError);
+  const CsrMatrix good = random_dominant(4, 1);
+  EXPECT_THROW(
+      rascad::linalg::jacobi_solve_batched(good, {Vector(3, 1.0)}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      rascad::linalg::bicgstab_solve_batched(good, {Vector(3, 1.0)}),
+      std::invalid_argument);
+}
+
+TEST(CsrBatch, PackRequiresSharedPattern) {
+  const CsrMatrix a = random_dominant(8, 31);
+  const CsrMatrix b = random_dominant(8, 32);  // different pattern
+  EXPECT_FALSE(CsrBatch::pack({}).has_value());
+  EXPECT_FALSE(CsrBatch::pack({&a, &b}).has_value());
+  EXPECT_FALSE(CsrBatch::pack({&a, nullptr}).has_value());
+  const auto solo = CsrBatch::pack({&a, &a});
+  ASSERT_TRUE(solo.has_value());
+  EXPECT_EQ(solo->lanes(), 2u);
+  EXPECT_EQ(solo->rows(), a.rows());
+  EXPECT_EQ(solo->nnz(), a.nnz());
+}
+
+TEST(CsrBatch, MultiMatrixBicgstabBitwiseEqualsPerMatrix) {
+  // Same pattern, different values: scale every entry per lane.
+  const CsrMatrix base = random_dominant(20, 41);
+  std::vector<CsrMatrix> mats;
+  for (double s : {1.0, 1.5, 0.25}) {
+    CsrBuilder b(base.rows(), base.cols());
+    for (std::size_t r = 0; r < base.rows(); ++r) {
+      const auto row = base.row(r);
+      for (std::size_t e = 0; e < row.size; ++e) {
+        b.add(r, row.cols[e], row.values[e] * s);
+      }
+    }
+    mats.push_back(b.build());
+  }
+  std::vector<const CsrMatrix*> ptrs;
+  for (const auto& m : mats) ptrs.push_back(&m);
+  const auto batch = CsrBatch::pack(ptrs);
+  ASSERT_TRUE(batch.has_value());
+  const std::vector<Vector> bs = random_rhs(20, mats.size(), 43);
+  for (simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kAvx2}) {
+    ScopedIsa pin(isa);
+    const auto batched = rascad::linalg::bicgstab_solve_batched(*batch, bs);
+    for (std::size_t j = 0; j < mats.size(); ++j) {
+      expect_bitwise(batched[j],
+                     rascad::linalg::bicgstab_solve(mats[j], bs[j]));
+    }
+  }
+  EXPECT_THROW(
+      rascad::linalg::bicgstab_solve_batched(*batch, {Vector(20, 1.0)}),
+      std::invalid_argument);
+}
+
+/// Birth-death availability chain; `scale` varies the rates only, so all
+/// instances share one generator sparsity pattern.
+rascad::markov::Ctmc birth_death(std::size_t n, double scale) {
+  rascad::markov::CtmcBuilder b;
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add_state("s" + std::to_string(i), i + 1 < n ? 1.0 : 0.0);
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    b.add_transition(i, i + 1, (0.001 + 0.0005 * static_cast<double>(i)) *
+                                   scale);
+    b.add_transition(i + 1, i, (0.5 + 0.1 * static_cast<double>(i)) / scale);
+  }
+  return b.build();
+}
+
+TEST(SteadyBatch, SorLanesBitwiseEqualScalarSolve) {
+  std::vector<rascad::markov::Ctmc> chains;
+  for (double s : {1.0, 1.7, 0.6, 3.0}) chains.push_back(birth_death(9, s));
+  std::vector<const rascad::markov::Ctmc*> ptrs;
+  for (const auto& c : chains) ptrs.push_back(&c);
+  rascad::markov::SteadyStateOptions opts;
+  opts.method = rascad::markov::SteadyStateMethod::kSor;
+  for (simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kAvx2}) {
+    ScopedIsa pin(isa);
+    const auto batched = rascad::markov::solve_steady_state_batched(ptrs, opts);
+    ASSERT_EQ(batched.size(), chains.size());
+    for (std::size_t j = 0; j < chains.size(); ++j) {
+      ASSERT_TRUE(batched[j].has_value()) << "lane " << j;
+      const auto scalar = rascad::markov::solve_steady_state(chains[j], opts);
+      EXPECT_EQ(batched[j]->iterations, scalar.iterations);
+      EXPECT_EQ(batched[j]->residual, scalar.residual);
+      ASSERT_EQ(batched[j]->pi.size(), scalar.pi.size());
+      for (std::size_t i = 0; i < scalar.pi.size(); ++i) {
+        EXPECT_EQ(batched[j]->pi[i], scalar.pi[i]);
+      }
+    }
+  }
+}
+
+TEST(SteadyBatch, BicgstabLanesBitwiseEqualScalarSolve) {
+  std::vector<rascad::markov::Ctmc> chains;
+  for (double s : {1.0, 2.5, 0.4}) chains.push_back(birth_death(7, s));
+  std::vector<const rascad::markov::Ctmc*> ptrs;
+  for (const auto& c : chains) ptrs.push_back(&c);
+  rascad::markov::SteadyStateOptions opts;
+  opts.method = rascad::markov::SteadyStateMethod::kBiCgStab;
+  const auto batched = rascad::markov::solve_steady_state_batched(ptrs, opts);
+  for (std::size_t j = 0; j < chains.size(); ++j) {
+    ASSERT_TRUE(batched[j].has_value()) << "lane " << j;
+    const auto scalar = rascad::markov::solve_steady_state(chains[j], opts);
+    EXPECT_EQ(batched[j]->iterations, scalar.iterations);
+    for (std::size_t i = 0; i < scalar.pi.size(); ++i) {
+      EXPECT_EQ(batched[j]->pi[i], scalar.pi[i]);
+    }
+  }
+}
+
+TEST(SteadyBatch, IneligibleLanesFallBackAsNullopt) {
+  // Pattern mismatch: different chain sizes cannot share a batch.
+  const auto a = birth_death(5, 1.0);
+  const auto b = birth_death(7, 1.0);
+  rascad::markov::SteadyStateOptions opts;
+  opts.method = rascad::markov::SteadyStateMethod::kSor;
+  const auto mixed = rascad::markov::solve_steady_state_batched({&a, &b}, opts);
+  EXPECT_FALSE(mixed[0].has_value());
+  EXPECT_FALSE(mixed[1].has_value());
+  // Non-batchable methods leave every lane to the caller.
+  opts.method = rascad::markov::SteadyStateMethod::kDirect;
+  const auto direct = rascad::markov::solve_steady_state_batched({&a}, opts);
+  EXPECT_FALSE(direct[0].has_value());
+  // Size-1 chains short-circuit exactly like the scalar entry point.
+  rascad::markov::CtmcBuilder one;
+  one.add_state("only", 1.0);
+  const auto trivial = one.build();
+  opts.method = rascad::markov::SteadyStateMethod::kSor;
+  const auto t = rascad::markov::solve_steady_state_batched({&trivial}, opts);
+  ASSERT_TRUE(t[0].has_value());
+  EXPECT_EQ(t[0]->pi, Vector{1.0});
+}
+
+TEST(ResilienceBatch, BatchedLadderMatchesIndividualLadder) {
+  std::vector<rascad::markov::Ctmc> chains;
+  for (double s : {1.0, 1.3, 0.8}) chains.push_back(birth_death(8, s));
+  std::vector<const rascad::markov::Ctmc*> ptrs;
+  for (const auto& c : chains) ptrs.push_back(&c);
+  rascad::resilience::ResilienceConfig config;
+  config.rungs = {rascad::resilience::Rung::kSor,
+                  rascad::resilience::Rung::kGth};
+  config.base.method = rascad::markov::SteadyStateMethod::kSor;
+  const auto batched =
+      rascad::resilience::solve_steady_state_resilient_batched(ptrs, config);
+  for (std::size_t j = 0; j < chains.size(); ++j) {
+    ASSERT_TRUE(batched[j].has_value()) << "lane " << j;
+    const auto single =
+        rascad::resilience::solve_steady_state_resilient(chains[j], config);
+    EXPECT_EQ(batched[j]->trace.final_rung, single.trace.final_rung);
+    EXPECT_EQ(batched[j]->trace.attempts.size(),
+              single.trace.attempts.size());
+    EXPECT_EQ(batched[j]->result.iterations, single.result.iterations);
+    EXPECT_EQ(batched[j]->result.residual, single.result.residual);
+    for (std::size_t i = 0; i < single.result.pi.size(); ++i) {
+      EXPECT_EQ(batched[j]->result.pi[i], single.result.pi[i]);
+    }
+  }
+  // A direct-first ladder is not batchable: every lane falls back.
+  rascad::resilience::ResilienceConfig direct;
+  const auto none =
+      rascad::resilience::solve_steady_state_resilient_batched(ptrs, direct);
+  for (const auto& lane : none) EXPECT_FALSE(lane.has_value());
+}
+
+rascad::spec::ModelSpec batch_sweep_model() {
+  return rascad::spec::parse_model(R"(
+globals { reboot_time = 10 min mttm = 12 h mttrfid = 4 h mission_time = 8760 h }
+diagram "Sys" {
+  block "A" { mtbf = 4000 mttr_corrective = 120 service_response = 4 }
+  block "B" {
+    quantity = 2 min_quantity = 1 mtbf = 3000
+    mttr_corrective = 60 service_response = 4
+    recovery = transparent repair = transparent
+  }
+}
+)");
+}
+
+TEST(BatchedSweep, SeriesBitwiseEqualsUnbatchedSweep) {
+  const auto model = batch_sweep_model();
+  const auto values = rascad::core::linspace(2000.0, 8000.0, 6);
+  const auto mutate = [](rascad::spec::BlockSpec& block, double v) {
+    block.mtbf_h = v;
+  };
+  rascad::core::SweepOptions unbatched;
+  unbatched.model.steady.method = rascad::markov::SteadyStateMethod::kSor;
+  unbatched.model.cache = nullptr;  // provenance must match without a memo
+  rascad::core::SweepOptions batched = unbatched;
+  batched.batch = true;
+  const auto a = rascad::core::sweep_block_parameter(
+      model, "Sys", "B", mutate, values, unbatched);
+  const auto b = rascad::core::sweep_block_parameter(
+      model, "Sys", "B", mutate, values, batched);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].availability, b[i].availability) << "point " << i;
+    EXPECT_EQ(a[i].yearly_downtime_min, b[i].yearly_downtime_min);
+    EXPECT_EQ(a[i].eq_failure_rate, b[i].eq_failure_rate);
+    EXPECT_EQ(a[i].reused_blocks, b[i].reused_blocks);
+    EXPECT_EQ(a[i].fresh_blocks, b[i].fresh_blocks);
+  }
+}
+
+TEST(BatchedSweep, DirectLadderStillMatches) {
+  // Default method (kDirect first rung): the batched dispatch must fall
+  // back to scalar ladders and reproduce the same series.
+  const auto model = batch_sweep_model();
+  const auto values = rascad::core::linspace(1000.0, 5000.0, 4);
+  const auto mutate = [](rascad::spec::BlockSpec& block, double v) {
+    block.mtbf_h = v;
+  };
+  rascad::core::SweepOptions unbatched;
+  unbatched.model.cache = nullptr;
+  rascad::core::SweepOptions batched = unbatched;
+  batched.batch = true;
+  const auto a = rascad::core::sweep_block_parameter(
+      model, "Sys", "A", mutate, values, unbatched);
+  const auto b = rascad::core::sweep_block_parameter(
+      model, "Sys", "A", mutate, values, batched);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].availability, b[i].availability) << "point " << i;
+    EXPECT_EQ(a[i].solve_source, b[i].solve_source);
+  }
+}
+
+}  // namespace

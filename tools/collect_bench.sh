@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Collects the machine-readable bench snapshots committed at the repo root.
+#
+# Runs the JSON-emitting benches with --json (human tables suppressed; the
+# binary's entire stdout is its one metrics line, see obs/bench_json.hpp)
+# and writes BENCH_<name>.json next to this repo's README. Each bench also
+# enforces its own regression gate (cache speedup floor, batched-sweep
+# throughput floor, batched bitwise agreement) and exits nonzero on
+# failure, which aborts the collection.
+#
+# Usage: tools/collect_bench.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$root/build}"
+
+for name in scalability cache simd; do
+  bin="$build/bench/bench_$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "missing $bin — build the benches first (cmake --build $build)" >&2
+    exit 1
+  fi
+  echo "collecting BENCH_$name.json"
+  "$bin" --json > "$root/BENCH_$name.json"
+done
+
+echo "done:"
+ls -l "$root"/BENCH_*.json
