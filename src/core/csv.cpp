@@ -1,8 +1,13 @@
 #include "core/csv.hpp"
 
+#include <cstdlib>
 #include <iomanip>
+#include <istream>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
+
+#include "robust/cancel.hpp"
 
 namespace rascad::core {
 
@@ -40,20 +45,120 @@ std::string csv_field(const std::string& s) {
   return out;
 }
 
+/// Splits one CSV line into fields, unescaping quoted fields ("" -> ").
+/// The inverse of csv_field for everything the writers produce except
+/// embedded newlines (none of our serialized fields carry them).
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+double parse_double(const std::string& s, const char* who) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    throw std::invalid_argument(std::string(who) + ": bad number '" + s + "'");
+  }
+  return v;
+}
+
+std::size_t parse_size(const std::string& s, const char* who) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    throw std::invalid_argument(std::string(who) + ": bad count '" + s + "'");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+robust::PointStatus parse_status(const std::string& s, const char* who) {
+  robust::PointStatus status = robust::PointStatus::kOk;
+  if (!robust::point_status_from_string(s, status)) {
+    throw std::invalid_argument(std::string(who) + ": bad status '" + s + "'");
+  }
+  return status;
+}
+
 }  // namespace
 
 void write_sweep_csv(std::ostream& os, const std::vector<SweepPoint>& points) {
   StreamStateGuard guard(os);
   os << "value,availability,yearly_downtime_min,eq_failure_rate,"
         "solve_source,fresh_blocks,cached_blocks,reused_blocks,"
-        "solve_iterations\n";
+        "solve_iterations,status,status_detail\n";
   os << std::setprecision(12);
   for (const auto& p : points) {
     os << p.value << ',' << p.availability << ',' << p.yearly_downtime_min
        << ',' << p.eq_failure_rate << ',' << csv_field(p.solve_source) << ','
        << p.fresh_blocks << ',' << p.cached_blocks << ',' << p.reused_blocks
-       << ',' << p.solve_iterations << '\n';
+       << ',' << p.solve_iterations << ','
+       << csv_field(robust::to_string(p.status)) << ','
+       << csv_field(p.status_detail) << '\n';
   }
+}
+
+std::vector<SweepPoint> read_sweep_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("read_sweep_csv: empty input");
+  }
+  if (line.rfind("value,availability,", 0) != 0) {
+    throw std::invalid_argument("read_sweep_csv: unexpected header '" + line +
+                                "'");
+  }
+  std::vector<SweepPoint> out;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> f = split_csv_line(line);
+    if (f.size() != 11) {
+      throw std::invalid_argument("read_sweep_csv: expected 11 fields, got " +
+                                  std::to_string(f.size()));
+    }
+    SweepPoint p;
+    p.value = parse_double(f[0], "read_sweep_csv");
+    p.availability = parse_double(f[1], "read_sweep_csv");
+    p.yearly_downtime_min = parse_double(f[2], "read_sweep_csv");
+    p.eq_failure_rate = parse_double(f[3], "read_sweep_csv");
+    p.solve_source = f[4];
+    p.fresh_blocks = parse_size(f[5], "read_sweep_csv");
+    p.cached_blocks = parse_size(f[6], "read_sweep_csv");
+    p.reused_blocks = parse_size(f[7], "read_sweep_csv");
+    p.solve_iterations = parse_size(f[8], "read_sweep_csv");
+    p.status = parse_status(f[9], "read_sweep_csv");
+    p.status_detail = f[10];
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<SweepPoint> read_sweep_csv(const std::string& csv) {
+  std::istringstream is(csv);
+  return read_sweep_csv(is);
 }
 
 std::string sweep_csv(const std::vector<SweepPoint>& points) {
@@ -106,13 +211,54 @@ void write_importance_csv(std::ostream& os,
                           const std::vector<BlockImportance>& imps) {
   StreamStateGuard guard(os);
   os << "diagram,block,availability,birnbaum,criticality,raw,rrw,"
-        "solve_source\n";
+        "solve_source,status,status_detail\n";
   os << std::setprecision(12);
   for (const auto& i : imps) {
     os << csv_field(i.diagram) << ',' << csv_field(i.block) << ','
        << i.availability << ',' << i.birnbaum << ',' << i.criticality << ','
-       << i.raw << ',' << i.rrw << ',' << csv_field(i.solve_source) << '\n';
+       << i.raw << ',' << i.rrw << ',' << csv_field(i.solve_source) << ','
+       << csv_field(robust::to_string(i.status)) << ','
+       << csv_field(i.status_detail) << '\n';
   }
+}
+
+std::vector<BlockImportance> read_importance_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("read_importance_csv: empty input");
+  }
+  if (line.rfind("diagram,block,", 0) != 0) {
+    throw std::invalid_argument("read_importance_csv: unexpected header '" +
+                                line + "'");
+  }
+  std::vector<BlockImportance> out;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> f = split_csv_line(line);
+    if (f.size() != 10) {
+      throw std::invalid_argument(
+          "read_importance_csv: expected 10 fields, got " +
+          std::to_string(f.size()));
+    }
+    BlockImportance imp;
+    imp.diagram = f[0];
+    imp.block = f[1];
+    imp.availability = parse_double(f[2], "read_importance_csv");
+    imp.birnbaum = parse_double(f[3], "read_importance_csv");
+    imp.criticality = parse_double(f[4], "read_importance_csv");
+    imp.raw = parse_double(f[5], "read_importance_csv");
+    imp.rrw = parse_double(f[6], "read_importance_csv");
+    imp.solve_source = f[7];
+    imp.status = parse_status(f[8], "read_importance_csv");
+    imp.status_detail = f[9];
+    out.push_back(std::move(imp));
+  }
+  return out;
+}
+
+std::vector<BlockImportance> read_importance_csv(const std::string& csv) {
+  std::istringstream is(csv);
+  return read_importance_csv(is);
 }
 
 std::string importance_csv(const std::vector<BlockImportance>& imps) {

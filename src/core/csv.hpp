@@ -14,9 +14,20 @@
 namespace rascad::core {
 
 /// Sweep series: value,availability,yearly_downtime_min,eq_failure_rate,
-/// solve_source,fresh_blocks,cached_blocks,reused_blocks,solve_iterations.
+/// solve_source,fresh_blocks,cached_blocks,reused_blocks,solve_iterations,
+/// status,status_detail. The last two columns carry graceful-degradation
+/// provenance: "ok" rows are complete measurements, anything else explains
+/// why the point is missing (its numeric fields are NaN).
 void write_sweep_csv(std::ostream& os, const std::vector<SweepPoint>& points);
 std::string sweep_csv(const std::vector<SweepPoint>& points);
+
+/// Parses write_sweep_csv output back (header validated, quoted fields
+/// unescaped; embedded newlines inside quotes are not supported). Throws
+/// std::invalid_argument on malformed input. Together with write_sweep_csv
+/// this round-trips every field of SweepPoint, including the per-point
+/// degradation status.
+std::vector<SweepPoint> read_sweep_csv(std::istream& is);
+std::vector<SweepPoint> read_sweep_csv(const std::string& csv);
 
 /// Sampled time curve: t,value — `horizon` spread uniformly over the rows.
 void write_curve_csv(std::ostream& os, const linalg::Vector& curve,
@@ -30,9 +41,16 @@ void write_blocks_csv(std::ostream& os, const mg::SystemModel& system);
 std::string blocks_csv(const mg::SystemModel& system);
 
 /// Importance table:
-/// diagram,block,availability,birnbaum,criticality,raw,rrw,solve_source.
+/// diagram,block,availability,birnbaum,criticality,raw,rrw,solve_source,
+/// status,status_detail (degradation provenance, "ok" for complete rows).
 void write_importance_csv(std::ostream& os,
                           const std::vector<BlockImportance>& imps);
 std::string importance_csv(const std::vector<BlockImportance>& imps);
+
+/// Parses write_importance_csv output back; same contract as
+/// read_sweep_csv (fields not serialized — yearly_downtime_min,
+/// solve_iterations — come back default-initialized).
+std::vector<BlockImportance> read_importance_csv(std::istream& is);
+std::vector<BlockImportance> read_importance_csv(const std::string& csv);
 
 }  // namespace rascad::core

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <limits>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "markov/steady_state.hpp"
 #include "mg/generator.hpp"
@@ -21,34 +24,70 @@ std::vector<BlockImportance> block_importance(const mg::SystemModel& system,
   const double u_sys = std::max(1.0 - a_sys, 1e-300);
   const auto& blocks = system.blocks();
   std::vector<BlockImportance> out(blocks.size());
-  exec::parallel_for(
-      blocks.size(),
-      [&](std::size_t i) {
-        const auto& entry = blocks[i];
-        obs::Span block_span("importance.block");
-        if (block_span.active()) {
-          block_span.set_detail(entry.diagram + "/" + entry.block.name);
-        }
-        BlockImportance imp;
-        imp.diagram = entry.diagram;
-        imp.block = entry.block.name;
-        imp.availability = entry.availability;
-        imp.yearly_downtime_min = entry.yearly_downtime_min;
-        imp.solve_source = resilience::to_string(entry.solve_trace.source);
-        imp.solve_iterations = entry.solve_trace.total_iterations();
-        const double a_perfect = system.availability_with_override(
-            entry.diagram, entry.block.name, 1.0);
-        const double a_failed = system.availability_with_override(
-            entry.diagram, entry.block.name, 0.0);
-        imp.birnbaum = a_perfect - a_failed;
-        imp.criticality = imp.birnbaum * (1.0 - entry.availability) / u_sys;
-        imp.raw = (1.0 - a_failed) / u_sys;
-        const double u_perfect = 1.0 - a_perfect;
-        imp.rrw = u_perfect > 0.0 ? u_sys / u_perfect
-                                  : std::numeric_limits<double>::infinity();
-        out[i] = imp;
-      },
-      par);
+  const auto evaluate_block = [&](std::size_t i) {
+    const auto& entry = blocks[i];
+    obs::Span block_span("importance.block");
+    if (block_span.active()) {
+      block_span.set_detail(entry.diagram + "/" + entry.block.name);
+    }
+    BlockImportance imp;
+    imp.diagram = entry.diagram;
+    imp.block = entry.block.name;
+    imp.availability = entry.availability;
+    imp.yearly_downtime_min = entry.yearly_downtime_min;
+    imp.solve_source = resilience::to_string(entry.solve_trace.source);
+    imp.solve_iterations = entry.solve_trace.total_iterations();
+    const double a_perfect = system.availability_with_override(
+        entry.diagram, entry.block.name, 1.0);
+    const double a_failed = system.availability_with_override(
+        entry.diagram, entry.block.name, 0.0);
+    imp.birnbaum = a_perfect - a_failed;
+    imp.criticality = imp.birnbaum * (1.0 - entry.availability) / u_sys;
+    imp.raw = (1.0 - a_failed) / u_sys;
+    const double u_perfect = 1.0 - a_perfect;
+    imp.rrw = u_perfect > 0.0 ? u_sys / u_perfect
+                              : std::numeric_limits<double>::infinity();
+    out[i] = imp;
+  };
+  if (par.cancel.valid()) {
+    // Degraded mode: rows the token kept from completing are returned
+    // with their status instead of failing the whole ranking.
+    std::vector<char> done(blocks.size(), 0);
+    exec::parallel_for_status(
+        blocks.size(),
+        [&](std::size_t i) {
+          try {
+            evaluate_block(i);
+          } catch (...) {
+            const auto folded =
+                robust::point_status_from_exception(std::current_exception());
+            out[i] = BlockImportance{};
+            out[i].status = folded.first;
+            out[i].status_detail = folded.second;
+          }
+          done[i] = 1;
+        },
+        par);
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      if (done[i]) continue;
+      const robust::StopReason r = par.cancel.reason();
+      out[i].status = robust::point_status_from(r);
+      out[i].status_detail =
+          std::string("importance skipped (") + robust::to_string(r) + ")";
+    }
+    // Degraded rows keep their identity and zero measures.
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      if (out[i].ok()) continue;
+      out[i].diagram = blocks[i].diagram;
+      out[i].block = blocks[i].block.name;
+      out[i].availability = 0.0;
+      out[i].yearly_downtime_min = 0.0;
+      out[i].criticality = 0.0;
+      out[i].solve_source = "none";
+    }
+  } else {
+    exec::parallel_for(blocks.size(), evaluate_block, par);
+  }
   std::sort(out.begin(), out.end(),
             [](const BlockImportance& a, const BlockImportance& b) {
               return a.criticality > b.criticality;
@@ -75,9 +114,14 @@ std::vector<ParameterSensitivity> parameter_sensitivity(
   // probe is solved by the identical resilience ladder, so elasticities
   // are bit-identical with and without the cache.
   const mg::SystemModel::Options& mopts = system.options();
-  const resilience::ResilienceConfig probe_config =
+  resilience::ResilienceConfig probe_config =
       mopts.resilience ? *mopts.resilience
                        : resilience::config_from(mopts.steady);
+  // The loop token fans into the probe solves too, so a cancelled
+  // sensitivity run stops inside the ladder instead of finishing a doomed
+  // probe. Tokens are not part of the solver signature, so memo keys (and
+  // the numbers) are unchanged.
+  if (!probe_config.cancel.valid()) probe_config.cancel = par.cancel;
   const cache::Signature probe_solver_sig = mg::solver_signature(probe_config);
   const auto block_availability = [&](const std::string& diagram,
                                       const spec::BlockSpec& block) {

@@ -13,6 +13,7 @@
 
 #include "exec/parallel.hpp"
 #include "mg/system.hpp"
+#include "robust/cancel.hpp"
 
 namespace rascad::core {
 
@@ -37,11 +38,21 @@ struct BlockImportance {
   std::string solve_source = "fresh";
   /// Solver iterations the producing ladder episode spent on this block.
   std::size_t solve_iterations = 0;
+  /// Graceful-degradation outcome: kOk unless `par.cancel` carried a token
+  /// and this block's what-if evaluation was skipped or failed. Degraded
+  /// rows keep their identity (diagram/block) but zero measures.
+  robust::PointStatus status = robust::PointStatus::kOk;
+  std::string status_detail;
+
+  bool ok() const noexcept { return status == robust::PointStatus::kOk; }
 };
 
 /// Importance of every chain-bearing block, sorted by descending
 /// criticality. The per-block what-if solves run in parallel (`par`); the
-/// ranking is bit-identical for every thread count.
+/// ranking is bit-identical for every thread count. When `par.cancel`
+/// carries a token the analysis degrades instead of throwing: rows the stop
+/// kept from completing are returned with their PointStatus (zero measures,
+/// so they sort after every completed row).
 std::vector<BlockImportance> block_importance(
     const mg::SystemModel& system, const exec::ParallelOptions& par = {});
 

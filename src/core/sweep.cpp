@@ -1,6 +1,9 @@
 #include "core/sweep.hpp"
 
 #include <cmath>
+#include <exception>
+#include <limits>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -45,6 +48,21 @@ SweepPoint summarize(const mg::SystemModel& system, double value) {
   return p;
 }
 
+/// A point that never completed: NaN measures plus the reason it is
+/// missing, so a degraded series is never mistaken for a healthy one.
+SweepPoint degraded_point(double value, robust::PointStatus status,
+                          std::string detail) {
+  SweepPoint p;
+  p.value = value;
+  p.availability = std::numeric_limits<double>::quiet_NaN();
+  p.yearly_downtime_min = p.availability;
+  p.eq_failure_rate = p.availability;
+  p.solve_source = "none";
+  p.status = status;
+  p.status_detail = std::move(detail);
+  return p;
+}
+
 /// Shared driver: `mutate_model` applies one sweep value to a spec copy.
 std::vector<SweepPoint> run_sweep(
     const spec::ModelSpec& base,
@@ -67,12 +85,81 @@ std::vector<SweepPoint> run_sweep(
     body();
   };
   std::vector<SweepPoint> points(values.size());
+
+  // A request token opts the sweep into graceful degradation; it also fans
+  // into every build/rebuild so already-running solves stop at their next
+  // checkpoint instead of finishing a doomed point.
+  const robust::CancelToken stop = opts.parallel.cancel;
+  const bool degrade = stop.valid();
+  mg::SystemModel::Options model_opts = opts.model;
+  if (degrade && !model_opts.parallel.cancel.valid()) {
+    model_opts.parallel.cancel = stop;
+  }
+
+  /// Baseline build for the incremental paths. In degraded mode a failed /
+  /// cancelled baseline marks every point instead of throwing.
+  const auto build_baseline = [&]() -> std::optional<mg::SystemModel> {
+    if (!degrade) return mg::SystemModel::build(base, model_opts);
+    try {
+      return mg::SystemModel::build(base, model_opts);
+    } catch (...) {
+      const auto folded =
+          robust::point_status_from_exception(std::current_exception());
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        points[i] = degraded_point(values[i], folded.first,
+                                   "baseline build: " + folded.second);
+      }
+      return std::nullopt;
+    }
+  };
+
+  /// Point loop shared by the incremental and full paths: strict mode is
+  /// the historical throwing parallel_for; degraded mode records per-point
+  /// statuses and marks indices the stop token kept from running at all.
+  const auto run_points =
+      [&](const std::function<SweepPoint(std::size_t)>& solve_one) {
+        if (!degrade) {
+          exec::parallel_for(
+              values.size(),
+              [&](std::size_t i) {
+                observe_point(i, [&] { points[i] = solve_one(i); });
+              },
+              opts.parallel);
+          return;
+        }
+        std::vector<char> done(values.size(), 0);
+        exec::parallel_for_status(
+            values.size(),
+            [&](std::size_t i) {
+              observe_point(i, [&] {
+                try {
+                  points[i] = solve_one(i);
+                } catch (...) {
+                  auto folded = robust::point_status_from_exception(
+                      std::current_exception());
+                  points[i] = degraded_point(values[i], folded.first,
+                                             std::move(folded.second));
+                }
+                done[i] = 1;
+              });
+            },
+            opts.parallel);
+        for (std::size_t i = 0; i < values.size(); ++i) {
+          if (done[i]) continue;
+          const robust::StopReason r = stop.reason();
+          points[i] = degraded_point(
+              values[i], robust::point_status_from(r),
+              std::string("point skipped (") + robust::to_string(r) + ")");
+        }
+      };
+
   if (opts.incremental && opts.batch) {
     // Batched dispatch: one baseline build, then every point's dirty
     // blocks are deduplicated and structure-sharing chains solved as one
     // lane-interleaved batch inside rebuild_batch.
     obs::Span batch_span("sweep.batch");
-    const mg::SystemModel baseline = mg::SystemModel::build(base, opts.model);
+    std::optional<mg::SystemModel> baseline = build_baseline();
+    if (!baseline) return points;
     std::vector<spec::ModelSpec> specs;
     specs.reserve(values.size());
     for (double value : values) {
@@ -80,8 +167,24 @@ std::vector<SweepPoint> run_sweep(
       mutate_model(model, value);
       specs.push_back(std::move(model));
     }
-    std::vector<mg::SystemModel> systems =
-        mg::SystemModel::rebuild_batch(baseline, std::move(specs), opts.model);
+    if (degrade) {
+      std::vector<mg::BatchPointResult> results =
+          mg::SystemModel::rebuild_batch_robust(*baseline, std::move(specs),
+                                                model_opts);
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        observe_point(i, [&] {
+          if (results[i].ok()) {
+            points[i] = summarize(*results[i].model, values[i]);
+          } else {
+            points[i] = degraded_point(values[i], results[i].status,
+                                       std::move(results[i].detail));
+          }
+        });
+      }
+      return points;
+    }
+    std::vector<mg::SystemModel> systems = mg::SystemModel::rebuild_batch(
+        *baseline, std::move(specs), model_opts);
     for (std::size_t i = 0; i < values.size(); ++i) {
       observe_point(i, [&] { points[i] = summarize(systems[i], values[i]); });
     }
@@ -91,34 +194,22 @@ std::vector<SweepPoint> run_sweep(
     // One full solve of the base spec; every point then re-solves only the
     // blocks its mutation dirties (signature diff inside rebuild). The
     // baseline is read-only here, so points still run in parallel.
-    const mg::SystemModel baseline =
-        mg::SystemModel::build(base, opts.model);
-    exec::parallel_for(
-        values.size(),
-        [&](std::size_t i) {
-          observe_point(i, [&] {
-            spec::ModelSpec model = base;
-            mutate_model(model, values[i]);
-            points[i] = summarize(
-                mg::SystemModel::rebuild(baseline, std::move(model),
-                                         opts.model),
-                values[i]);
-          });
-        },
-        opts.parallel);
+    std::optional<mg::SystemModel> baseline = build_baseline();
+    if (!baseline) return points;
+    run_points([&](std::size_t i) {
+      spec::ModelSpec model = base;
+      mutate_model(model, values[i]);
+      return summarize(
+          mg::SystemModel::rebuild(*baseline, std::move(model), model_opts),
+          values[i]);
+    });
   } else {
-    exec::parallel_for(
-        values.size(),
-        [&](std::size_t i) {
-          observe_point(i, [&] {
-            spec::ModelSpec model = base;
-            mutate_model(model, values[i]);
-            points[i] = summarize(
-                mg::SystemModel::build(std::move(model), opts.model),
-                values[i]);
-          });
-        },
-        opts.parallel);
+    run_points([&](std::size_t i) {
+      spec::ModelSpec model = base;
+      mutate_model(model, values[i]);
+      return summarize(mg::SystemModel::build(std::move(model), model_opts),
+                       values[i]);
+    });
   }
   return points;
 }

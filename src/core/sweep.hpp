@@ -9,6 +9,7 @@
 
 #include "exec/parallel.hpp"
 #include "mg/system.hpp"
+#include "robust/cancel.hpp"
 #include "spec/ast.hpp"
 
 namespace rascad::core {
@@ -30,6 +31,17 @@ struct SweepPoint {
   /// Total solver iterations actually spent on this point (sum over the
   /// fresh solves' ladder attempts; 0 for a fully reused point).
   std::size_t solve_iterations = 0;
+  /// Graceful-degradation outcome. Always kOk on the strict paths (no
+  /// request token in SweepOptions::parallel); under a cancel/deadline
+  /// token a point that never completed carries the reason here, keeps NaN
+  /// measures, and reports solve_source "none". A deadline-bounded sweep
+  /// therefore returns every completed point plus per-point provenance for
+  /// the rest instead of throwing the whole series away.
+  robust::PointStatus status = robust::PointStatus::kOk;
+  /// Cancellation / failure detail; empty when ok.
+  std::string status_detail;
+
+  bool ok() const noexcept { return status == robust::PointStatus::kOk; }
 };
 
 /// Knobs for the sweep drivers. `model` flows into every SystemModel
@@ -38,6 +50,11 @@ struct SweepPoint {
 /// the blocks each sweep value actually dirties. Both paths produce
 /// bit-identical series — incremental only changes how much work is done.
 struct SweepOptions {
+  /// Thread count / grain for the point loop. Setting `parallel.cancel`
+  /// additionally opts the sweep into graceful degradation: the token fans
+  /// into every build/rebuild (down to the solver iteration loops), and a
+  /// stop no longer throws — unfinished points are returned with their
+  /// PointStatus instead.
   exec::ParallelOptions parallel;
   mg::SystemModel::Options model;
   bool incremental = true;

@@ -15,6 +15,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "resilience/solve_error.hpp"
 
 namespace rascad::exec {
 
@@ -40,8 +41,13 @@ struct Batch {
   /// of dangling as roots. 0 when observability is disabled.
   obs::SpanId trace_parent = 0;
 
+  /// Loop-level stop token: once fired, drain() skips remaining chunks.
+  robust::CancelToken cancel;
+
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> pending{0};
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> skipped{0};
   std::mutex mu;
   std::condition_variable done;
   std::exception_ptr error;
@@ -59,6 +65,7 @@ struct Batch {
       try {
         (*fn)(i);
       } catch (...) {
+        failed.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(mu);
         // Lowest index wins so the rethrown error does not depend on
         // timing, and the remaining indices still run.
@@ -83,12 +90,30 @@ struct Batch {
     }
   }
 
-  /// Claims chunks in index order until none are left.
+  /// Counts a chunk's indices as skipped and retires it without running
+  /// the body.
+  void skip_chunk(std::size_t c) {
+    const std::size_t lo = c * chunk_size;
+    const std::size_t hi = std::min(n, lo + chunk_size);
+    skipped.fetch_add(hi - lo, std::memory_order_relaxed);
+    if (pending.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lock(mu);
+      done.notify_all();
+    }
+  }
+
+  /// Claims chunks in index order until none are left. A fired stop token
+  /// turns every not-yet-claimed chunk into a skip; chunk bodies already
+  /// running are never interrupted here (they observe their own tokens).
   void drain() {
     for (;;) {
       const std::size_t c = next.fetch_add(1);
       if (c >= chunks) return;
-      run_chunk(c);
+      if (cancel.valid() && cancel.stop_requested()) {
+        skip_chunk(c);
+      } else {
+        run_chunk(c);
+      }
     }
   }
 };
@@ -121,9 +146,15 @@ ThreadPool& global_pool() {
   return pool;
 }
 
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                  const ParallelOptions& opts) {
-  if (n == 0) return;
+namespace {
+
+/// Shared driver behind parallel_for / parallel_for_status: runs the loop
+/// and reports per-index accounting without throwing body errors.
+ParallelStatus run_parallel(std::size_t n,
+                            const std::function<void(std::size_t)>& fn,
+                            const ParallelOptions& opts) {
+  ParallelStatus status;
+  if (n == 0) return status;
   if (!fn) throw std::invalid_argument("parallel_for: null function");
   const std::size_t grain = std::max<std::size_t>(opts.grain, 1);
   const std::size_t max_chunks = (n + grain - 1) / grain;
@@ -136,18 +167,26 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                          " threads=" + std::to_string(threads));
   }
   if (threads <= 1) {
-    // Same contract as the parallel path: every index runs, and the
-    // exception from the lowest index is the one that propagates.
-    std::exception_ptr error;
+    // Same contract as the parallel path: every index runs (unless the
+    // token fires first), and the exception from the lowest index is the
+    // one that propagates.
     for (std::size_t i = 0; i < n; ++i) {
+      if (opts.cancel.valid() && opts.cancel.stop_requested()) {
+        status.skipped = n - i;
+        status.stop = opts.cancel.reason();
+        break;
+      }
       try {
         fn(i);
       } catch (...) {
-        if (!error) error = std::current_exception();
+        ++status.failed;
+        if (!status.first_error) {
+          status.first_error = std::current_exception();
+          status.first_failed_index = i;
+        }
       }
     }
-    if (error) std::rethrow_exception(error);
-    return;
+    return status;
   }
 
   auto batch = std::make_shared<Batch>();
@@ -158,6 +197,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
   batch->chunks = (n + batch->chunk_size - 1) / batch->chunk_size;
   batch->fn = &fn;
   batch->trace_parent = loop_span.id();
+  batch->cancel = opts.cancel;
   batch->pending.store(batch->chunks);
 
   ThreadPool& pool = global_pool();
@@ -169,7 +209,34 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
 
   std::unique_lock<std::mutex> lock(batch->mu);
   batch->done.wait(lock, [&] { return batch->pending.load() == 0; });
-  if (batch->error) std::rethrow_exception(batch->error);
+  status.failed = batch->failed.load();
+  status.skipped = batch->skipped.load();
+  status.first_failed_index = batch->error_index;
+  status.first_error = batch->error;
+  if (status.skipped > 0) status.stop = opts.cancel.reason();
+  return status;
+}
+
+}  // namespace
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  const ParallelOptions& opts) {
+  const ParallelStatus status = run_parallel(n, fn, opts);
+  // Body errors keep precedence over cancellation so existing error
+  // reporting (lowest failed index) is unchanged by adding a token.
+  if (status.first_error) std::rethrow_exception(status.first_error);
+  if (status.skipped > 0) {
+    throw resilience::SolveError(
+        robust::cause_from(status.stop), "parallel_for",
+        std::to_string(status.skipped) + " of " + std::to_string(n) +
+            " indices skipped (" + robust::to_string(status.stop) + ")");
+  }
+}
+
+ParallelStatus parallel_for_status(std::size_t n,
+                                   const std::function<void(std::size_t)>& fn,
+                                   const ParallelOptions& opts) {
+  return run_parallel(n, fn, opts);
 }
 
 }  // namespace rascad::exec

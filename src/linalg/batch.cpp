@@ -70,6 +70,18 @@ bool any_active(const std::vector<unsigned char>& active) {
   return false;
 }
 
+/// Same cooperative checkpoint as the scalar solvers: a stopped token
+/// aborts the whole batch (all lanes share the iteration loop), throwing
+/// with the iteration count reached.
+inline void checkpoint(const IterativeOptions& opts, std::size_t it,
+                       const char* who) {
+  if (!opts.cancel.valid()) return;
+  const std::size_t interval =
+      opts.cancel_check_interval > 0 ? opts.cancel_check_interval : 1;
+  if (it != 1 && it % interval != 0) return;
+  robust::throw_if_stopped(opts.cancel, who, it - 1);
+}
+
 }  // namespace
 
 std::optional<CsrBatch> CsrBatch::pack(
@@ -120,6 +132,7 @@ std::vector<IterativeResult> jacobi_solve_batched(
 
   for (std::size_t it = 1; it <= opts.max_iterations && any_active(active);
        ++it) {
+    checkpoint(opts, it, "jacobi_solve_batched");
     std::memset(change.data(), 0, k * sizeof(double));
     ops.jacobi_shared(n, k, a.row_ptr_data(), a.col_idx_data(),
                       a.values_data(), b.data(), diag.data(), active.data(),
@@ -160,6 +173,7 @@ std::vector<IterativeResult> sor_solve_batched(
 
   for (std::size_t it = 1; it <= opts.max_iterations && any_active(active);
        ++it) {
+    checkpoint(opts, it, "sor_solve_batched");
     std::memset(change.data(), 0, k * sizeof(double));
     ops.sor_linear_shared(n, k, a.row_ptr_data(), a.col_idx_data(),
                           a.values_data(), b.data(), diag.data(),
@@ -247,6 +261,7 @@ std::vector<IterativeResult> bicgstab_panel(
       if (live[j]) any = true;
     }
     if (!any) break;
+    checkpoint(opts, it, "bicgstab_solve_batched");
 
     panel_dot(r_hat, r, rho_next);
     for (std::size_t j = 0; j < k; ++j) {

@@ -26,6 +26,19 @@ Vector checked_diagonal(const CsrMatrix& a, const char* who) {
   return d;
 }
 
+/// Cooperative checkpoint at the top of a solver loop: polls the token on
+/// iteration 1 and then every opts.cancel_check_interval iterations.
+/// Throws kCancelled/kDeadlineExceeded; never touches solver state, so an
+/// uncancelled run is bitwise identical to a token-free one.
+inline void checkpoint(const IterativeOptions& opts, std::size_t it,
+                       const char* who, double residual) {
+  if (!opts.cancel.valid()) return;
+  const std::size_t interval =
+      opts.cancel_check_interval > 0 ? opts.cancel_check_interval : 1;
+  if (it != 1 && it % interval != 0) return;
+  robust::throw_if_stopped(opts.cancel, who, it - 1, residual);
+}
+
 }  // namespace
 
 IterativeResult jacobi_solve(const CsrMatrix& a, const Vector& b,
@@ -39,6 +52,7 @@ IterativeResult jacobi_solve(const CsrMatrix& a, const Vector& b,
   Vector next(n, 0.0);
   IterativeResult result;
   for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+    checkpoint(opts, it, "jacobi_solve", result.residual);
     for (std::size_t r = 0; r < n; ++r) {
       double acc = b[r];
       const auto row = a.row(r);
@@ -71,6 +85,7 @@ IterativeResult sor_solve(const CsrMatrix& a, const Vector& b,
   Vector x(n, 0.0);
   IterativeResult result;
   for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+    checkpoint(opts, it, "sor_solve", result.residual);
     double change = 0.0;
     for (std::size_t r = 0; r < n; ++r) {
       double acc = b[r];
@@ -112,6 +127,7 @@ IterativeResult bicgstab_solve(const CsrMatrix& a, const Vector& b,
   const double b_norm = std::max(norm2(b), 1e-300);
 
   for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+    checkpoint(opts, it, "bicgstab_solve", result.residual);
     const double rho_next = dot(r_hat, r);
     if (std::abs(rho_next) < 1e-300) break;  // breakdown
     const double beta = (rho_next / rho) * (alpha / omega);
@@ -175,6 +191,7 @@ IterativeResult power_stationary(const CsrMatrix& p,
   // dispatched (scalar/AVX2) kernel.
   const CsrMatrix pt = p.transposed();
   for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+    checkpoint(opts, it, "power_stationary", result.residual);
     Vector next = simd::spmv(pt, pi);
     normalize_sum(next);
     const double change = max_abs_diff(next, pi);

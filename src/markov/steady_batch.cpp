@@ -33,6 +33,17 @@ bool any_lane(const std::vector<unsigned char>& active) {
   return false;
 }
 
+/// Cooperative checkpoint shared by all lanes of the batched SOR loop
+/// (same cadence as the scalar solve_sor checkpoint).
+void checkpoint(const SteadyStateOptions& opts, std::size_t it,
+                const char* who) {
+  if (!opts.cancel.valid()) return;
+  const std::size_t interval =
+      opts.cancel_check_interval > 0 ? opts.cancel_check_interval : 1;
+  if (it != 1 && it % interval != 0) return;
+  robust::throw_if_stopped(opts.cancel, who, it - 1);
+}
+
 /// SOR lanes: pack the transposed generators, sweep with
 /// sor_stationary_multi, normalize each active lane per sweep exactly as
 /// normalize_sum does (ascending accumulate, scale by 1/s).
@@ -90,6 +101,7 @@ void solve_sor_batched(const std::vector<const Ctmc*>& chains,
 
   for (std::size_t it = 1; it <= opts.max_iterations && any_lane(active);
        ++it) {
+    checkpoint(opts, it, "solve_steady_state_batched(SOR)");
     std::memset(change.data(), 0, k * sizeof(double));
     ops.sor_stationary_multi(n, k, batch->row_ptr_data(),
                              batch->col_idx_data(), batch->values_data(),
@@ -191,6 +203,8 @@ void solve_bicgstab_batched(const std::vector<const Ctmc*>& chains,
   linalg::IterativeOptions iopts;
   iopts.tolerance = opts.tolerance;
   iopts.max_iterations = opts.max_iterations;
+  iopts.cancel = opts.cancel;
+  iopts.cancel_check_interval = opts.cancel_check_interval;
   const std::vector<linalg::IterativeResult> rs =
       linalg::bicgstab_solve_batched(*batch, bs, iopts);
 

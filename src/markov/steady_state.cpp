@@ -20,6 +20,28 @@ double stationarity_residual(const Ctmc& chain, const linalg::Vector& pi) {
   return linalg::norm_inf(r);
 }
 
+/// Per-iteration cooperative checkpoint for the solver loops owned by this
+/// translation unit (the linalg-backed methods get theirs via
+/// IterativeOptions). Throw-only: uncancelled runs stay bitwise identical.
+inline void checkpoint(const SteadyStateOptions& opts, std::size_t it,
+                       const char* who) {
+  if (!opts.cancel.valid()) return;
+  const std::size_t interval =
+      opts.cancel_check_interval > 0 ? opts.cancel_check_interval : 1;
+  if (it != 1 && it % interval != 0) return;
+  robust::throw_if_stopped(opts.cancel, who, it - 1);
+}
+
+linalg::IterativeOptions iterative_options_from(
+    const SteadyStateOptions& opts) {
+  linalg::IterativeOptions iopts;
+  iopts.tolerance = opts.tolerance;
+  iopts.max_iterations = opts.max_iterations;
+  iopts.cancel = opts.cancel;
+  iopts.cancel_check_interval = opts.cancel_check_interval;
+  return iopts;
+}
+
 SteadyStateResult solve_direct(const Ctmc& chain) {
   const std::size_t n = chain.size();
   // pi Q = 0  <=>  Q^T pi^T = 0; replace the last equation with the
@@ -56,6 +78,7 @@ SteadyStateResult solve_sor(const Ctmc& chain, const SteadyStateOptions& opts) {
   linalg::Vector pi(n, 1.0 / static_cast<double>(n));
   SteadyStateResult result;
   for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+    checkpoint(opts, it, "solve_steady_state(SOR)");
     double change = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       double inflow = 0.0;
@@ -86,10 +109,8 @@ SteadyStateResult solve_power(const Ctmc& chain,
                               const SteadyStateOptions& opts) {
   const auto [p, q] = chain.uniformized();
   (void)q;
-  linalg::IterativeOptions iopts;
-  iopts.tolerance = opts.tolerance;
-  iopts.max_iterations = opts.max_iterations;
-  const linalg::IterativeResult r = linalg::power_stationary(p, iopts);
+  const linalg::IterativeResult r =
+      linalg::power_stationary(p, iterative_options_from(opts));
   if (!r.converged) {
     throw SolveError(SolveCause::kNonConverged, "solve_steady_state(power)",
                      "did not converge", r.iterations, r.residual);
@@ -128,10 +149,8 @@ SteadyStateResult solve_bicgstab(const Ctmc& chain,
   for (std::size_t c = 0; c < n; ++c) ab.add(n - 1, c, 1.0);
   linalg::Vector b(n, 0.0);
   b[n - 1] = 1.0;
-  linalg::IterativeOptions iopts;
-  iopts.tolerance = opts.tolerance;
-  iopts.max_iterations = opts.max_iterations;
-  const linalg::IterativeResult r = linalg::bicgstab_solve(ab.build(), b, iopts);
+  const linalg::IterativeResult r =
+      linalg::bicgstab_solve(ab.build(), b, iterative_options_from(opts));
   if (!r.converged) {
     throw SolveError(SolveCause::kNonConverged,
                      "solve_steady_state(bicgstab)", "did not converge",

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
+#include <limits>
 #include <stdexcept>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 
@@ -119,9 +122,16 @@ rbd::RbdNodePtr compose_tree(const spec::ModelSpec& spec,
 }
 
 resilience::ResilienceConfig resolve_config(const SystemModel::Options& opts) {
-  return opts.resilience ? *opts.resilience
-                         : resilience::config_from(opts.steady);
+  resilience::ResilienceConfig config =
+      opts.resilience ? *opts.resilience
+                      : resilience::config_from(opts.steady);
+  // The loop-level stop token also fans into every ladder episode, so one
+  // request token cancels both the parallel_for scheduling and the solver
+  // iterations it already started. An explicit config token wins.
+  if (!config.cancel.valid()) config.cancel = opts.parallel.cancel;
+  return config;
 }
+
 
 // Curve-kind discriminants for the sampled-curve memo key. A curve is a
 // pure function of the generated chain, so the chain signature (without
@@ -178,14 +188,22 @@ cache::Signature solver_signature(const resilience::ResilienceConfig& config) {
   s.append_double(config.base.relaxation);
   s.append_word(config.max_states);
   s.append_double(config.deadline_ms);
+  // Per-rung budgets and transient retries change which rung can succeed,
+  // so they are part of the configuration a cached solve vouches for. The
+  // cancel token, backoff timing, and jitter seed are deliberately NOT
+  // keyed: they never change the accepted numbers, only when (or whether)
+  // the episode is allowed to finish.
+  s.append_double(config.rung_deadline_ms);
+  s.append_word(config.transient_retries);
   s.append_double(config.health.clamp_tolerance);
   s.append_double(config.health.residual_factor);
   s.append_double(config.health.max_condition);
   // Injected faults change results by design; keying on the plan keeps
   // fault-injection runs from contaminating (or consuming) healthy entries.
-  for (const auto& [rung, kind] : config.fault_plan.faults) {
+  for (const auto& [rung, entry] : config.fault_plan.faults) {
     s.append_word(static_cast<std::uint64_t>(rung));
-    s.append_word(static_cast<std::uint64_t>(kind));
+    s.append_word(static_cast<std::uint64_t>(entry.kind));
+    s.append_word(static_cast<std::uint64_t>(entry.initial));
   }
   return s;
 }
@@ -387,9 +405,31 @@ SystemModel SystemModel::rebuild(const SystemModel& base,
 std::vector<SystemModel> SystemModel::rebuild_batch(
     const SystemModel& base, std::vector<spec::ModelSpec> specs,
     const Options& opts) {
+  std::vector<BatchPointResult> results =
+      rebuild_batch_impl(base, std::move(specs), opts, /*degrade=*/false);
+  std::vector<SystemModel> out;
+  out.reserve(results.size());
+  for (BatchPointResult& r : results) out.push_back(std::move(*r.model));
+  return out;
+}
+
+std::vector<BatchPointResult> SystemModel::rebuild_batch_robust(
+    const SystemModel& base, std::vector<spec::ModelSpec> specs,
+    const Options& opts) {
+  return rebuild_batch_impl(base, std::move(specs), opts, /*degrade=*/true);
+}
+
+std::vector<BatchPointResult> SystemModel::rebuild_batch_impl(
+    const SystemModel& base, std::vector<spec::ModelSpec> specs,
+    const Options& opts, bool degrade) {
   obs::Span batch_span("system.rebuild_batch");
   const resilience::ResilienceConfig solve_config = resolve_config(opts);
   const cache::Signature solver_sig = solver_signature(solve_config);
+  // Degraded runs watch the request token (resolve_config already folded
+  // opts.parallel.cancel in); strict runs keep the historical throw-through
+  // behaviour, so the batch-level token stays inert here.
+  const robust::CancelToken stop =
+      degrade ? solve_config.cancel : robust::CancelToken{};
 
   // Per-point scaffolding. `specs` is never resized below, so the pending
   // pointers into it stay valid.
@@ -398,6 +438,8 @@ std::vector<SystemModel> SystemModel::rebuild_batch(
     std::vector<std::pair<const spec::DiagramSpec*, const spec::BlockSpec*>>
         pending;
     std::vector<BlockEntry> blocks;
+    robust::PointStatus status = robust::PointStatus::kOk;
+    std::string detail;
   };
   std::vector<Point> points(specs.size());
 
@@ -413,12 +455,25 @@ std::vector<SystemModel> SystemModel::rebuild_batch(
     BlockEntry entry;  // diagram/block fields overwritten per site
     std::optional<resilience::ResilientResult> solved;
     bool fresh_consumed = false;  // first consumer gets kFresh
+    bool generated_ok = false;
+    robust::PointStatus status = robust::PointStatus::kOk;
+    std::string detail;
   };
   std::vector<Job> jobs;
 
   for (std::size_t p = 0; p < specs.size(); ++p) {
-    spec::validate_or_throw(specs[p]);
     Point& point = points[p];
+    if (degrade) {
+      try {
+        spec::validate_or_throw(specs[p]);
+      } catch (const std::exception& e) {
+        point.status = robust::PointStatus::kFailed;
+        point.detail = e.what();
+        continue;
+      }
+    } else {
+      spec::validate_or_throw(specs[p]);
+    }
     collect_chain_blocks(specs[p], specs[p].root(), point.pending);
     bool compatible = point.pending.size() == base.blocks_.size() &&
                       solver_sig == base.solver_sig_;
@@ -497,18 +552,45 @@ std::vector<SystemModel> SystemModel::rebuild_batch(
   // generator sparsity pattern: structure-sharing groups go through one
   // lane-interleaved batched ladder solve, singleton (or fallback) lanes
   // through the scalar ladder.
-  exec::parallel_for(
-      fresh.size(),
-      [&](std::size_t j) {
-        Job& job = jobs[fresh[j]];
-        obs::Span gen_span("mg.generate");
-        if (gen_span.active()) gen_span.set_detail(job.block->name);
-        job.generated = generate(*job.block, *job.globals);
-      },
-      opts.parallel);
+  const auto generate_job = [&](std::size_t j) {
+    Job& job = jobs[fresh[j]];
+    obs::Span gen_span("mg.generate");
+    if (gen_span.active()) gen_span.set_detail(job.block->name);
+    job.generated = generate(*job.block, *job.globals);
+    job.generated_ok = true;
+  };
+  if (degrade) {
+    exec::ParallelOptions gen_par = opts.parallel;
+    gen_par.cancel = stop;
+    exec::parallel_for_status(
+        fresh.size(),
+        [&](std::size_t j) {
+          try {
+            generate_job(j);
+          } catch (...) {
+            Job& job = jobs[fresh[j]];
+            std::tie(job.status, job.detail) =
+                robust::point_status_from_exception(std::current_exception());
+          }
+        },
+        gen_par);
+    for (std::size_t f : fresh) {
+      Job& job = jobs[f];
+      if (job.generated_ok || job.status != robust::PointStatus::kOk) continue;
+      const robust::StopReason r = stop.reason();
+      job.status = r == robust::StopReason::kNone
+                       ? robust::PointStatus::kFailed
+                       : robust::point_status_from(r);
+      job.detail = std::string("generation skipped (") + robust::to_string(r) +
+                   ")";
+    }
+  } else {
+    exec::parallel_for(fresh.size(), generate_job, opts.parallel);
+  }
 
   std::vector<std::vector<std::size_t>> groups;  // indices into jobs
   for (std::size_t f : fresh) {
+    if (!jobs[f].generated_ok) continue;
     bool placed = false;
     for (auto& group : groups) {
       const auto& rep = jobs[group.front()].generated.chain.generator();
@@ -521,29 +603,52 @@ std::vector<SystemModel> SystemModel::rebuild_batch(
     if (!placed) groups.push_back({f});
   }
   for (const auto& group : groups) {
-    if (group.size() >= 2) {
+    if (group.size() >= 2 && !(degrade && stop.valid() &&
+                               stop.stop_requested())) {
       std::vector<const markov::Ctmc*> chains;
       chains.reserve(group.size());
       for (std::size_t f : group) {
         chains.push_back(&jobs[f].generated.chain);
       }
-      std::vector<std::optional<resilience::ResilientResult>> solved =
-          resilience::solve_steady_state_resilient_batched(chains,
-                                                           solve_config);
-      for (std::size_t l = 0; l < group.size(); ++l) {
-        jobs[group[l]].solved = std::move(solved[l]);
+      const auto run_batched = [&] {
+        std::vector<std::optional<resilience::ResilientResult>> solved =
+            resilience::solve_steady_state_resilient_batched(chains,
+                                                             solve_config);
+        for (std::size_t l = 0; l < group.size(); ++l) {
+          jobs[group[l]].solved = std::move(solved[l]);
+        }
+      };
+      if (degrade) {
+        try {
+          run_batched();
+        } catch (...) {
+          // A stop (or failure) mid-batch leaves every lane unsolved; the
+          // per-lane scalar fallback below classifies each one.
+        }
+      } else {
+        run_batched();
       }
     }
     for (std::size_t f : group) {
-      if (!jobs[f].solved) {
-        jobs[f].solved =
-            resilience::solve_steady_state_resilient(jobs[f].generated.chain,
-                                                     solve_config);
+      Job& job = jobs[f];
+      if (job.solved) continue;
+      if (degrade) {
+        try {
+          job.solved = resilience::solve_steady_state_resilient(
+              job.generated.chain, solve_config);
+        } catch (...) {
+          std::tie(job.status, job.detail) =
+              robust::point_status_from_exception(std::current_exception());
+        }
+      } else {
+        job.solved = resilience::solve_steady_state_resilient(
+            job.generated.chain, solve_config);
       }
     }
   }
   for (std::size_t f : fresh) {
     Job& job = jobs[f];
+    if (!job.solved) continue;
     const markov::SteadyStateResult& steady = job.solved->result;
     job.entry.solve_trace = std::move(job.solved->trace);
     job.entry.solve_trace.source = resilience::SolveSource::kFresh;
@@ -584,13 +689,58 @@ std::vector<SystemModel> SystemModel::rebuild_batch(
   // lowest-index consumer exactly as sequential rebuilds through the memo
   // cache would record it (without a cache every consumer solves fresh in
   // the sequential path, so every consumer stays kFresh).
-  std::vector<SystemModel> out;
+  std::vector<BatchPointResult> out;
   out.reserve(specs.size());
   for (std::size_t p = 0; p < specs.size(); ++p) {
     Point& point = points[p];
-    if (point.full_build) {
-      out.push_back(build(std::move(specs[p]), opts));
+    BatchPointResult result;
+    if (degrade && point.status != robust::PointStatus::kOk) {
+      result.status = point.status;
+      result.detail = std::move(point.detail);
+      out.push_back(std::move(result));
       continue;
+    }
+    if (point.full_build) {
+      if (!degrade) {
+        result.model.emplace(build(std::move(specs[p]), opts));
+      } else if (stop.valid() && stop.stop_requested()) {
+        result.status = robust::point_status_from(stop.reason());
+        result.detail = std::string("full build skipped (") +
+                        robust::to_string(stop.reason()) + ")";
+      } else {
+        try {
+          result.model.emplace(build(std::move(specs[p]), opts));
+        } catch (...) {
+          std::tie(result.status, result.detail) =
+              robust::point_status_from_exception(std::current_exception());
+        }
+      }
+      out.push_back(std::move(result));
+      continue;
+    }
+    if (degrade) {
+      // The point completes only if every job feeding it finished; the
+      // lowest bad slot's status is the point's provenance (deterministic
+      // regardless of solve scheduling).
+      std::size_t bad_slot = std::numeric_limits<std::size_t>::max();
+      for (const Job& job : jobs) {
+        if (job.status == robust::PointStatus::kOk && job.solved) continue;
+        if (job.from_cache) continue;
+        for (const auto& [jp, slot] : job.sites) {
+          if (jp == p && slot < bad_slot) {
+            bad_slot = slot;
+            result.status = job.status != robust::PointStatus::kOk
+                                ? job.status
+                                : robust::PointStatus::kFailed;
+            result.detail =
+                job.detail.empty() ? "solve did not run" : job.detail;
+          }
+        }
+      }
+      if (result.status != robust::PointStatus::kOk) {
+        out.push_back(std::move(result));
+        continue;
+      }
     }
     SystemModel sm;
     sm.opts_ = opts;
@@ -615,7 +765,8 @@ std::vector<SystemModel> SystemModel::rebuild_batch(
     }
     sm.spec_ = std::move(specs[p]);
     sm.root_ = compose_tree(sm.spec_, sm.blocks_);
-    out.push_back(std::move(sm));
+    result.model.emplace(std::move(sm));
+    out.push_back(std::move(result));
   }
   return out;
 }

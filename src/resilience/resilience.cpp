@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "linalg/iterative.hpp"
@@ -14,6 +15,8 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "resilience/gth.hpp"
+#include "robust/robust.hpp"
+#include "robust/watchdog.hpp"
 
 namespace rascad::resilience {
 
@@ -32,32 +35,50 @@ double stationarity_residual(const markov::Ctmc& chain,
   return linalg::norm_inf(chain.generator().mul_transpose(pi));
 }
 
-/// Applies a FaultPlan entry to a rung that produced `pi`. Throw-kind
-/// faults are raised here in the rung's name; corrupt-kind faults poison
-/// the vector so the *health checks* must catch them.
-void apply_fault(const FaultPlan& plan, Rung rung, linalg::Vector& pi) {
-  switch (plan.fault_for(rung)) {
-    case FaultKind::kNone:
-      return;
-    case FaultKind::kThrowSingular:
-      throw SolveError(SolveCause::kSingular, to_string(rung),
-                       "injected singular-system failure");
-    case FaultKind::kThrowNonConverged:
-      throw SolveError(SolveCause::kNonConverged, to_string(rung),
-                       "injected convergence failure");
-    case FaultKind::kNanResult:
-    case FaultKind::kNegativeResult:
-      corrupt_result(pi, plan.fault_for(rung));
-      return;
-  }
-}
-
 /// Classifies an escape from a rung into a (cause, message) pair.
 std::pair<SolveCause, std::string> classify(const std::exception& e) {
   if (const auto* se = dynamic_cast<const SolveError*>(&e)) {
     return {se->cause(), se->what()};
   }
   return {SolveCause::kInvalidInput, e.what()};
+}
+
+/// Deterministic jitter factor in [0.5, 1.5) from (seed, rung, retry) via
+/// a splitmix-style hash — reproducible backoff schedules for tests.
+double jitter_factor(std::uint64_t seed, Rung rung, std::size_t retry) {
+  std::uint64_t h = seed;
+  h ^= (static_cast<std::uint64_t>(rung) + 1) * 0x9e3779b97f4a7c15ull;
+  h ^= (static_cast<std::uint64_t>(retry) + 1) * 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return 0.5 + static_cast<double>(h % 1024) / 1024.0;
+}
+
+/// The episode-wide stop token: request cancellation (config.cancel) plus
+/// the episode deadline, realized as a deadline child so the deadline is
+/// also observed *inside* rungs at solver checkpoints. Invalid when the
+/// config asks for neither — the healthy path stays token-free.
+robust::CancelToken episode_token(const ResilienceConfig& config) {
+  if (config.deadline_ms > 0.0) {
+    return config.cancel.valid()
+               ? robust::CancelToken::child_of(config.cancel,
+                                               config.deadline_ms)
+               : robust::CancelToken::with_deadline_ms(config.deadline_ms);
+  }
+  return config.cancel;
+}
+
+/// Token one rung attempt runs under: fans the episode token out with the
+/// optional per-rung budget. A stopped *attempt* token whose episode is
+/// still live means only the rung budget fired — that attempt fails with
+/// kDeadlineExceeded and the ladder escalates as for any other failure.
+robust::CancelToken attempt_token_for(const robust::CancelToken& episode,
+                                      const ResilienceConfig& config) {
+  if (config.rung_deadline_ms > 0.0) {
+    return robust::CancelToken::child_of(episode, config.rung_deadline_ms);
+  }
+  return episode;
 }
 
 /// Shared ladder driver: runs `attempt_rung` over config.rungs, applying
@@ -77,86 +98,129 @@ Result run_ladder(const std::vector<Rung>& rungs,
     throw SolveError(SolveCause::kInvalidInput, episode_name,
                      "no rungs configured");
   }
+  // Episode-wide stop state: request token + episode deadline. Invalid on
+  // the healthy path, where every token check below short-circuits.
+  const robust::CancelToken episode = episode_token(config);
+  robust::StallWatchdog::Guard stall_guard;
+  if (episode.valid() && config.stall_budget_ms > 0.0) {
+    stall_guard = robust::StallWatchdog::global().watch(
+        episode, config.stall_budget_ms, episode_name);
+  }
   // Per-rung durations come from one clock read at the end of each rung
   // (elapsed-so-far differences), keeping the healthy path at two clock
   // reads total.
   double elapsed_ms = 0.0;
   for (Rung rung : rungs) {
-    if (config.deadline_ms > 0.0 && !trace.attempts.empty() &&
-        elapsed_ms > config.deadline_ms) {
-      trace.total_ms = elapsed_ms;
-      throw SolveError(SolveCause::kDeadlineExceeded, episode_name,
-                       "deadline of " + std::to_string(config.deadline_ms) +
-                           " ms exceeded after " + trace.summary());
+    if (episode.valid() && episode.stop_requested()) {
+      trace.total_ms = ms_since(start);
+      robust::record_stop(episode, episode_name);
+      throw SolveError(robust::cause_from(episode.reason()), episode_name,
+                       std::string("episode stopped (") +
+                           robust::to_string(episode.reason()) + ") after " +
+                           trace.summary());
     }
-    RungAttempt attempt;
-    attempt.rung = rung;
-    const double rung_start_ms = elapsed_ms;
-    obs::Span attempt_span("ladder.attempt");
-    try {
-      Result candidate = attempt_rung(rung, attempt);
-      apply_fault(config.fault_plan, rung, candidate.pi);
-      const HealthReport health = verify(rung, candidate, attempt);
-      attempt.clamped_mass = health.clamped_mass;
-      attempt.residual_check = health.residual_inf;
-      if (!health.ok) {
-        obs::emit_event("health.check_failed",
-                        {{"episode", episode_name},
-                         {"rung", to_string(rung)},
-                         {"detail", health.detail}});
-        throw SolveError(health.failure.value_or(SolveCause::kNanOrInf),
-                         to_string(rung), health.detail,
-                         attempt.iterations, attempt.residual);
-      }
-      attempt.success = true;
-      elapsed_ms = ms_since(start);
-      attempt.duration_ms = elapsed_ms - rung_start_ms;
-      trace.attempts.push_back(attempt);
-      trace.success = true;
-      trace.final_rung = rung;
-      trace.total_ms = elapsed_ms;
-      if (obs::enabled()) {
-        if (attempt_span.active()) {
-          attempt_span.set_detail(std::string(to_string(rung)) + " ok");
+    bool escalate = false;
+    for (std::size_t retry = 0; !escalate; ++retry) {
+      RungAttempt attempt;
+      attempt.rung = rung;
+      const double rung_start_ms = elapsed_ms;
+      obs::Span attempt_span("ladder.attempt");
+      // Each attempt runs under a child of the episode token carrying the
+      // optional per-rung budget; a stopped attempt token whose episode is
+      // still live is an ordinary rung failure and escalates.
+      const robust::CancelToken attempt_token =
+          attempt_token_for(episode, config);
+      try {
+        Result candidate = attempt_rung(rung, attempt, attempt_token);
+        apply_fault(config.fault_plan, rung, candidate.pi, attempt_token);
+        const HealthReport health = verify(rung, candidate, attempt);
+        attempt.clamped_mass = health.clamped_mass;
+        attempt.residual_check = health.residual_inf;
+        if (!health.ok) {
+          obs::emit_event("health.check_failed",
+                          {{"episode", episode_name},
+                           {"rung", to_string(rung)},
+                           {"detail", health.detail}});
+          throw SolveError(health.failure.value_or(SolveCause::kNanOrInf),
+                           to_string(rung), health.detail,
+                           attempt.iterations, attempt.residual);
         }
-        static obs::Counter& attempts_total =
-            obs::Registry::global().counter("ladder.attempts");
-        static obs::Counter& escalations =
-            obs::Registry::global().counter("ladder.escalations");
-        static obs::Histogram& attempt_ms =
-            obs::Registry::global().histogram("ladder.attempt_ms");
-        attempts_total.inc();
-        escalations.inc(trace.attempts.size() - 1);
-        attempt_ms.observe_ms(attempt.duration_ms);
-      }
-      return candidate;
-    } catch (const std::exception& e) {
-      const auto [cause, message] = classify(e);
-      attempt.success = false;
-      attempt.cause = cause;
-      attempt.message = message;
-      elapsed_ms = ms_since(start);
-      attempt.duration_ms = elapsed_ms - rung_start_ms;
-      trace.attempts.push_back(attempt);
-      if (obs::enabled()) {
-        if (attempt_span.active()) {
-          attempt_span.set_detail(std::string(to_string(rung)) + " failed (" +
-                                  to_string(cause) + ")");
+        attempt.success = true;
+        elapsed_ms = ms_since(start);
+        attempt.duration_ms = elapsed_ms - rung_start_ms;
+        trace.attempts.push_back(attempt);
+        trace.success = true;
+        trace.final_rung = rung;
+        trace.total_ms = elapsed_ms;
+        if (obs::enabled()) {
+          if (attempt_span.active()) {
+            attempt_span.set_detail(std::string(to_string(rung)) + " ok");
+          }
+          static obs::Counter& attempts_total =
+              obs::Registry::global().counter("ladder.attempts");
+          static obs::Counter& escalations =
+              obs::Registry::global().counter("ladder.escalations");
+          static obs::Histogram& attempt_ms =
+              obs::Registry::global().histogram("ladder.attempt_ms");
+          attempts_total.inc();
+          escalations.inc(trace.attempts.size() - 1);
+          attempt_ms.observe_ms(attempt.duration_ms);
         }
-        static obs::Counter& attempts_total =
-            obs::Registry::global().counter("ladder.attempts");
-        static obs::Counter& failures =
-            obs::Registry::global().counter("ladder.attempt_failures");
-        static obs::Histogram& attempt_ms =
-            obs::Registry::global().histogram("ladder.attempt_ms");
-        attempts_total.inc();
-        failures.inc();
-        attempt_ms.observe_ms(attempt.duration_ms);
-        obs::emit_event("ladder.attempt_failed",
-                        {{"episode", episode_name},
-                         {"rung", to_string(rung)},
-                         {"cause", to_string(cause)},
-                         {"message", message}});
+        return candidate;
+      } catch (const std::exception& e) {
+        const auto [cause, message] = classify(e);
+        attempt.success = false;
+        attempt.cause = cause;
+        attempt.message = message;
+        elapsed_ms = ms_since(start);
+        attempt.duration_ms = elapsed_ms - rung_start_ms;
+        trace.attempts.push_back(attempt);
+        if (obs::enabled()) {
+          if (attempt_span.active()) {
+            attempt_span.set_detail(std::string(to_string(rung)) +
+                                    " failed (" + to_string(cause) + ")");
+          }
+          static obs::Counter& attempts_total =
+              obs::Registry::global().counter("ladder.attempts");
+          static obs::Counter& failures =
+              obs::Registry::global().counter("ladder.attempt_failures");
+          static obs::Histogram& attempt_ms =
+              obs::Registry::global().histogram("ladder.attempt_ms");
+          attempts_total.inc();
+          failures.inc();
+          attempt_ms.observe_ms(attempt.duration_ms);
+          obs::emit_event("ladder.attempt_failed",
+                          {{"episode", episode_name},
+                           {"rung", to_string(rung)},
+                           {"cause", to_string(cause)},
+                           {"message", message}});
+        }
+        if ((cause == SolveCause::kCancelled ||
+             cause == SolveCause::kDeadlineExceeded) &&
+            episode.valid() && episode.stop_requested()) {
+          // The *episode* stopped, not just a rung budget: no further rung
+          // can be admitted, abort terminally.
+          trace.total_ms = elapsed_ms;
+          robust::record_stop(episode, episode_name);
+          throw SolveError(robust::cause_from(episode.reason()),
+                           episode_name, "episode stopped: " +
+                                             trace.summary());
+        }
+        if (cause == SolveCause::kTransient &&
+            retry < config.transient_retries) {
+          // Same-rung retry after deterministic jittered exponential
+          // backoff: base * 2^retry * jitter[0.5, 1.5).
+          const double backoff =
+              config.retry_backoff_ms *
+              static_cast<double>(1ull << std::min<std::size_t>(retry, 20)) *
+              jitter_factor(config.retry_jitter_seed, rung, retry);
+          if (backoff > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(backoff));
+          }
+          continue;
+        }
+        escalate = true;  // next rung
       }
     }
   }
@@ -229,8 +293,11 @@ Candidate direct_rung(const markov::Ctmc& chain,
 }
 
 Candidate iterative_rung(const markov::Ctmc& chain, Rung rung,
-                         const ResilienceConfig& config) {
+                         const ResilienceConfig& config,
+                         const robust::CancelToken& token) {
   markov::SteadyStateOptions opts = config.base;
+  opts.cancel = token;
+  opts.cancel_check_interval = config.cancel_check_interval;
   switch (rung) {
     case Rung::kBiCgStab:
       opts.method = markov::SteadyStateMethod::kBiCgStab;
@@ -330,14 +397,15 @@ ResilientResult solve_steady_state_resilient(const markov::Ctmc& chain,
                                   Rung::kPower, Rung::kGth});
   const Candidate solved = run_ladder<Candidate>(
       rungs, config, "solve_steady_state_resilient", out.trace,
-      [&](Rung rung, RungAttempt& attempt) -> Candidate {
+      [&](Rung rung, RungAttempt& attempt,
+          const robust::CancelToken& token) -> Candidate {
         switch (rung) {
           case Rung::kDirect:
             return direct_rung(chain, config, attempt);
           case Rung::kGth:
             return {gth_stationary(chain), 0, 0.0};
           default:
-            return iterative_rung(chain, rung, config);
+            return iterative_rung(chain, rung, config, token);
         }
       },
       [&](Rung, Candidate& candidate, RungAttempt& attempt) -> HealthReport {
@@ -382,6 +450,11 @@ std::vector<std::optional<ResilientResult>> solve_steady_state_resilient_batched
   markov::SteadyStateOptions opts = config.base;
   opts.method = first == Rung::kSor ? markov::SteadyStateMethod::kSor
                                     : markov::SteadyStateMethod::kBiCgStab;
+  // The batched stage runs as one rung attempt under the episode token
+  // (plus the per-rung budget); a stop mid-batch raises SolveError out of
+  // this entry, exactly as the scalar ladder's terminal abort would.
+  opts.cancel = attempt_token_for(episode_token(config), config);
+  opts.cancel_check_interval = config.cancel_check_interval;
   std::vector<std::optional<markov::SteadyStateResult>> solved =
       markov::solve_steady_state_batched(eligible, opts);
 
@@ -403,10 +476,13 @@ std::vector<std::optional<ResilientResult>> solve_steady_state_resilient_batched
     attempt.iterations = rr.result.iterations;
     attempt.residual = rr.result.residual;
     attempt.duration_ms = per_lane_ms;
-    try {
-      apply_fault(config.fault_plan, first, rr.result.pi);
-    } catch (const std::exception&) {
-      continue;  // lane falls back; the individual ladder records the fault
+    if (config.fault_plan.fault_for(first) != FaultKind::kNone) {
+      // A fault is scheduled on the batched rung: hand the lane to the
+      // scalar ladder, which injects it (consuming budget) exactly as a
+      // non-batched solve would — same faults per lane in the same lane
+      // order, rather than a batch-only approximation that would charge
+      // the budget twice (once here, once in the fallback).
+      continue;
     }
     const HealthReport health = check_stationary(
         chain, rr.result.pi, config.health, config.base.tolerance);
@@ -438,7 +514,7 @@ ResilientResult stationary_resilient(const markov::Dtmc& dtmc,
   if (rungs.empty()) rungs = {Rung::kDirect, Rung::kPower, Rung::kGth};
   const Candidate solved = run_ladder<Candidate>(
       rungs, config, "stationary_resilient", out.trace,
-      [&](Rung rung, RungAttempt&) -> Candidate {
+      [&](Rung rung, RungAttempt&, const robust::CancelToken&) -> Candidate {
         switch (rung) {
           case Rung::kDirect:
             return {dtmc.stationary(/*direct=*/true), 0, 0.0};
@@ -521,7 +597,8 @@ ResilientTransientResult transient_distribution_resilient(
   }
   const Candidate solved = run_ladder<Candidate>(
       rungs, config, "transient_distribution_resilient", out.trace,
-      [&](Rung rung, RungAttempt& attempt) -> Candidate {
+      [&](Rung rung, RungAttempt& attempt,
+          const robust::CancelToken&) -> Candidate {
         switch (rung) {
           case Rung::kUniformization:
             return {markov::transient_distribution(chain, pi0, t, opts), 0,
@@ -589,7 +666,8 @@ double mttf_resilient(const markov::Ctmc& chain, markov::StateIndex initial,
   SolveTrace& tr = trace ? *trace : local_trace;
   const Candidate solved = run_ladder<Candidate>(
       rungs, config, "mttf_resilient", tr,
-      [&](Rung rung, RungAttempt& attempt) -> Candidate {
+      [&](Rung rung, RungAttempt& attempt,
+          const robust::CancelToken& token) -> Candidate {
         switch (rung) {
           case Rung::kDirect: {
             linalg::DenseMatrix dense = a.to_dense();
@@ -610,6 +688,8 @@ double mttf_resilient(const markov::Ctmc& chain, markov::StateIndex initial,
             linalg::IterativeOptions iopts;
             iopts.tolerance = config.base.tolerance;
             iopts.max_iterations = config.base.max_iterations;
+            iopts.cancel = token;
+            iopts.cancel_check_interval = config.cancel_check_interval;
             const linalg::IterativeResult r =
                 linalg::bicgstab_solve(a, ones, iopts);
             if (!r.converged) {
@@ -623,6 +703,8 @@ double mttf_resilient(const markov::Ctmc& chain, markov::StateIndex initial,
             iopts.tolerance = config.base.tolerance;
             iopts.max_iterations = config.base.max_iterations;
             iopts.relaxation = config.base.relaxation;
+            iopts.cancel = token;
+            iopts.cancel_check_interval = config.cancel_check_interval;
             const linalg::IterativeResult r = linalg::sor_solve(a, ones, iopts);
             if (!r.converged) {
               throw SolveError(SolveCause::kNonConverged, "sor",

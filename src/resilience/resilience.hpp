@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -44,9 +45,36 @@ struct ResilienceConfig {
   /// State-space budget: chains larger than this are refused up front with
   /// SolveError(kBudgetExceeded) instead of attempting an O(n^3) rung.
   std::size_t max_states = 200'000;
-  /// Wall-clock deadline over the whole ladder in milliseconds; checked
-  /// between rungs (a running rung is never interrupted). 0 disables.
+  /// Wall-clock deadline over the whole ladder in milliseconds; realized
+  /// as a deadline child token of `cancel`, so it is also observed *inside*
+  /// rungs at solver checkpoints (pre-robust behaviour only checked between
+  /// rungs). 0 disables.
   double deadline_ms = 0.0;
+  /// Cooperative cancellation for the whole episode. Fans out to each
+  /// attempt as a child token; a stopped episode token aborts the ladder
+  /// with SolveError(kCancelled / kDeadlineExceeded). Inert by default.
+  robust::CancelToken cancel;
+  /// Wall-clock budget per rung attempt in milliseconds, charged against
+  /// the request deadline: each attempt runs under a child token expiring
+  /// after this long. A rung that only blows its *own* budget escalates to
+  /// the next rung; the episode aborts only when the episode deadline /
+  /// cancellation fired. 0 disables.
+  double rung_deadline_ms = 0.0;
+  /// Retries of the *same* rung on SolveError(kTransient) before the
+  /// failure escalates, with deterministic jittered exponential backoff.
+  std::size_t transient_retries = 0;
+  /// Base backoff before the first transient retry; doubles per retry and
+  /// is scaled by a deterministic jitter in [0.5, 1.5) derived from
+  /// retry_jitter_seed, the rung, and the retry index.
+  double retry_backoff_ms = 0.1;
+  std::uint64_t retry_jitter_seed = 0x9e3779b97f4a7c15ull;
+  /// Iteration cadence of solver-loop cancellation checkpoints (forwarded
+  /// into markov::SteadyStateOptions along with the attempt token).
+  std::size_t cancel_check_interval = 64;
+  /// When > 0 and the episode carries a token, the episode registers with
+  /// the stall watchdog: a stop the solve fails to observe within this
+  /// many milliseconds bumps robust.stalled. 0 disables.
+  double stall_budget_ms = 0.0;
   HealthCheckConfig health;
   /// Test-only deterministic fault injection; inert when empty.
   FaultPlan fault_plan;

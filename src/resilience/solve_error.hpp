@@ -27,9 +27,11 @@ enum class SolveCause {
   kNanOrInf,          // non-finite values or invalid probability mass
   kBudgetExceeded,    // state-space / term / step budget exceeded
   kBadConditioning,   // condition estimate above the configured threshold
-  kDeadlineExceeded,  // wall-clock deadline hit between rungs
+  kDeadlineExceeded,  // deadline token expired (request or rung budget)
   kInvalidInput,      // structurally unusable input (e.g. absorbing state
                       // handed to an irreducible-chain solver)
+  kCancelled,         // cooperative cancel token observed mid-solve
+  kTransient,         // transient fault worth retrying on the same rung
 };
 
 inline const char* to_string(SolveCause cause) {
@@ -41,6 +43,8 @@ inline const char* to_string(SolveCause cause) {
     case SolveCause::kBadConditioning: return "bad-conditioning";
     case SolveCause::kDeadlineExceeded: return "deadline-exceeded";
     case SolveCause::kInvalidInput: return "invalid-input";
+    case SolveCause::kCancelled: return "cancelled";
+    case SolveCause::kTransient: return "transient";
   }
   return "unknown";
 }

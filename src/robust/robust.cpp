@@ -1,0 +1,30 @@
+#include "robust/robust.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rascad::robust {
+
+void record_stop(const CancelToken& token, const char* site) {
+  const StopReason reason = token.reason();
+  if (reason == StopReason::kNone) return;
+  auto& registry = obs::Registry::global();
+  static obs::Counter& cancelled = registry.counter("robust.cancelled");
+  static obs::Counter& deadline =
+      registry.counter("robust.deadline_exceeded");
+  static obs::Histogram& latency =
+      registry.histogram("robust.cancel_latency_ms");
+  (reason == StopReason::kDeadlineExceeded ? deadline : cancelled).inc();
+  const double observed_ms = token.observed_latency_ms();
+  if (observed_ms >= 0.0) latency.observe_ms(observed_ms);
+  obs::emit_event("robust.stop",
+                  {{"site", site},
+                   {"reason", to_string(reason)},
+                   {"latency_ms", std::to_string(observed_ms)}});
+}
+
+}  // namespace rascad::robust

@@ -1,0 +1,128 @@
+#include "robust/watchdog.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rascad::robust {
+
+StallWatchdog& StallWatchdog::global() {
+  // Meyers singleton: constructed after the (leaked) obs registry, so the
+  // destructor — which joins the poll thread — runs while metrics are
+  // still safe to touch.
+  static StallWatchdog instance;
+  return instance;
+}
+
+StallWatchdog::Guard::Guard(StallWatchdog* owner, std::uint64_t id)
+    : owner_(owner), id_(id) {}
+
+StallWatchdog::Guard::Guard(Guard&& other) noexcept
+    : owner_(std::exchange(other.owner_, nullptr)),
+      id_(std::exchange(other.id_, 0)) {}
+
+StallWatchdog::Guard& StallWatchdog::Guard::operator=(Guard&& other) noexcept {
+  if (this != &other) {
+    if (owner_ != nullptr) owner_->unwatch(id_);
+    owner_ = std::exchange(other.owner_, nullptr);
+    id_ = std::exchange(other.id_, 0);
+  }
+  return *this;
+}
+
+StallWatchdog::Guard::~Guard() {
+  if (owner_ != nullptr) owner_->unwatch(id_);
+}
+
+StallWatchdog::Guard StallWatchdog::watch(const CancelToken& token,
+                                          double budget_ms,
+                                          std::string what) {
+  if (!token.valid()) return Guard();
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    Entry entry;
+    entry.id = id;
+    entry.token = token;
+    entry.budget_ms = budget_ms;
+    entry.what = std::move(what);
+    entries_.push_back(std::move(entry));
+    if (!running_) {
+      running_ = true;
+      thread_ = std::thread([this] { loop(); });
+    }
+  }
+  cv_.notify_all();
+  return Guard(this, id);
+}
+
+void StallWatchdog::unwatch(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].id == id) {
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+}
+
+std::uint64_t StallWatchdog::stall_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stalls_;
+}
+
+void StallWatchdog::set_poll_interval_ms(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  poll_ms_ = ms > 0.0 ? ms : 2.0;
+  cv_.notify_all();
+}
+
+void StallWatchdog::flag(const std::string& what, double unobserved_ms) {
+  ++stalls_;  // caller (loop) holds mu_
+  static obs::Counter& stalled =
+      obs::Registry::global().counter("robust.stalled");
+  stalled.inc();
+  obs::emit_event("robust.stall",
+                  {{"what", what},
+                   {"unobserved_ms", std::to_string(unobserved_ms)}});
+}
+
+void StallWatchdog::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_) {
+    const auto period = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double, std::milli>(poll_ms_));
+    cv_.wait_for(lock, period,
+                 [this] { return shutdown_; });
+    if (shutdown_) break;
+    for (Entry& entry : entries_) {
+      if (entry.flagged) continue;
+      // Silent check: monitoring must not register as the workload
+      // observing its own stop.
+      if (!entry.token.stop_requested_silent()) continue;
+      if (entry.token.observed()) continue;
+      const double waited = entry.token.ms_since_stop();
+      if (waited > entry.budget_ms) {
+        entry.flagged = true;
+        // flag() touches the registry and trace buffer; both are
+        // thread-safe, so holding mu_ here only orders our own state.
+        flag(entry.what, waited);
+      }
+    }
+  }
+}
+
+StallWatchdog::~StallWatchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace rascad::robust

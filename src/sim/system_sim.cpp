@@ -118,14 +118,40 @@ ReplicatedSystemResult replicate_system(const spec::ModelSpec& model,
                                         const BlockSimOptions& opts,
                                         const exec::ParallelOptions& par) {
   std::vector<SystemSimResult> results(replications);
-  exec::parallel_for(
-      replications,
-      [&](std::size_t r) {
-        results[r] =
-            simulate_system(model, horizon, base_seed + 0x1000 * (r + 1), opts);
-      },
-      par);
   ReplicatedSystemResult out;
+  out.requested = replications;
+  const auto replicate_one = [&](std::size_t r) {
+    results[r] =
+        simulate_system(model, horizon, base_seed + 0x1000 * (r + 1), opts);
+  };
+  if (par.cancel.valid()) {
+    // Degraded mode: fold in whatever replications finished before the
+    // token fired. Each replication is seeded by its index, so the stats
+    // for a given completed set match a smaller straight run over it.
+    std::vector<char> done(replications, 0);
+    const exec::ParallelStatus loop = exec::parallel_for_status(
+        replications,
+        [&](std::size_t r) {
+          replicate_one(r);
+          done[r] = 1;
+        },
+        par);
+    for (std::size_t r = 0; r < replications; ++r) {
+      if (!done[r]) continue;
+      ++out.completed;
+      out.availability.add(results[r].availability());
+      out.downtime_minutes.add(results[r].downtime_minutes());
+      out.outages.add(static_cast<double>(results[r].outages));
+    }
+    if (out.completed != out.requested) {
+      out.status = loop.stop != robust::StopReason::kNone
+                       ? robust::point_status_from(loop.stop)
+                       : robust::PointStatus::kFailed;
+    }
+    return out;
+  }
+  exec::parallel_for(replications, replicate_one, par);
+  out.completed = replications;
   for (const SystemSimResult& one : results) {
     out.availability.add(one.availability());
     out.downtime_minutes.add(one.downtime_minutes());

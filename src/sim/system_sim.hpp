@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "exec/parallel.hpp"
+#include "robust/cancel.hpp"
 #include "sim/block_sim.hpp"
 #include "sim/stats.hpp"
 #include "spec/ast.hpp"
@@ -54,11 +55,23 @@ struct ReplicatedSystemResult {
   SampleStats availability;
   SampleStats downtime_minutes;
   SampleStats outages;
+  /// Replications asked for vs. actually folded into the statistics. They
+  /// differ only when a cancel/deadline token stopped the run early; the
+  /// statistics then cover the completed replications (accumulated in
+  /// replication-index order, so a given completed set is deterministic).
+  std::size_t requested = 0;
+  std::size_t completed = 0;
+  /// kOk when every replication ran; otherwise why the run was cut short.
+  robust::PointStatus status = robust::PointStatus::kOk;
+
+  bool complete() const noexcept { return completed == requested; }
 };
 
 /// Replications run in parallel (`par`) with deterministic per-replication
 /// seeding and index-ordered accumulation: bit-identical statistics for
-/// every thread count.
+/// every thread count. A token in `par.cancel` degrades instead of
+/// throwing — the result covers the replications that finished, with
+/// `status` recording why the rest never ran.
 ReplicatedSystemResult replicate_system(const spec::ModelSpec& model,
                                         double horizon,
                                         std::size_t replications,

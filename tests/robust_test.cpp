@@ -1,0 +1,706 @@
+// Robustness layer: cooperative cancel/deadline tokens, the graceful-
+// degradation surfaces built on them (partial sweeps, batch rebuilds,
+// replication runs), fault-plan parity between the scalar and batched
+// ladder entries, parallel-loop failure accounting, the stall watchdog,
+// and the status columns of the CSV round-trip.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/solve_cache.hpp"
+#include "core/csv.hpp"
+#include "core/importance.hpp"
+#include "core/library.hpp"
+#include "core/sweep.hpp"
+#include "exec/parallel.hpp"
+#include "markov/ctmc.hpp"
+#include "mg/system.hpp"
+#include "resilience/fault_injection.hpp"
+#include "resilience/resilience.hpp"
+#include "robust/cancel.hpp"
+#include "robust/watchdog.hpp"
+#include "sim/system_sim.hpp"
+
+namespace {
+
+using rascad::markov::Ctmc;
+using rascad::markov::CtmcBuilder;
+using rascad::robust::CancelToken;
+using rascad::robust::PointStatus;
+using rascad::robust::StopReason;
+using namespace rascad::resilience;
+
+Ctmc repair_chain() {
+  CtmcBuilder b;
+  const auto ok = b.add_state("ok", 1.0);
+  const auto deg = b.add_state("degraded", 1.0);
+  const auto down = b.add_state("down", 0.0);
+  b.add_transition(ok, deg, 2.0);
+  b.add_transition(deg, ok, 5.0);
+  b.add_transition(deg, down, 1.0);
+  b.add_transition(down, ok, 10.0);
+  return b.build();
+}
+
+// ------------------------------------------------------------- tokens ----
+
+TEST(CancelToken, InertByDefault) {
+  const CancelToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_EQ(token.reason(), StopReason::kNone);
+  token.request_cancel();  // no-op, must not crash
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_LT(token.observed_latency_ms(), 0.0);
+}
+
+TEST(CancelToken, ManualCancelIsSticky) {
+  const CancelToken token = CancelToken::manual();
+  EXPECT_TRUE(token.valid());
+  EXPECT_FALSE(token.stop_requested());
+  token.request_cancel();
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_EQ(token.reason(), StopReason::kCancelled);
+  EXPECT_TRUE(token.stop_requested());  // stays stopped
+  EXPECT_GE(token.observed_latency_ms(), 0.0);
+}
+
+TEST(CancelToken, DeadlineFiresOnMonotonicClock) {
+  const CancelToken token = CancelToken::with_deadline_ms(5.0);
+  EXPECT_FALSE(token.stop_requested());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_EQ(token.reason(), StopReason::kDeadlineExceeded);
+}
+
+TEST(CancelToken, ChildObservesParentStopButNotViceVersa) {
+  const CancelToken parent = CancelToken::manual();
+  const CancelToken child = CancelToken::child_of(parent);
+  const CancelToken grandchild = CancelToken::child_of(child);
+  parent.request_cancel();
+  EXPECT_TRUE(child.stop_requested());
+  EXPECT_TRUE(grandchild.stop_requested());
+  EXPECT_EQ(grandchild.reason(), StopReason::kCancelled);
+
+  const CancelToken parent2 = CancelToken::manual();
+  const CancelToken child2 = CancelToken::child_of(parent2);
+  child2.request_cancel();
+  EXPECT_TRUE(child2.stop_requested());
+  EXPECT_FALSE(parent2.stop_requested());  // one-way propagation
+}
+
+TEST(CancelToken, ChildDeadlineExpiresWithoutStoppingParent) {
+  const CancelToken request = CancelToken::manual();
+  const CancelToken rung = CancelToken::child_of(request, 5.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(rung.stop_requested());
+  EXPECT_EQ(rung.reason(), StopReason::kDeadlineExceeded);
+  EXPECT_FALSE(request.stop_requested());
+}
+
+TEST(CancelToken, FanOutAcrossThreads) {
+  // One request token copied into many worker threads: every worker's
+  // checkpoint sees the stop, and copies share the sticky state.
+  const CancelToken token = CancelToken::manual();
+  constexpr int kThreads = 8;
+  std::atomic<int> observed{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([token, &observed, &go] {
+      const CancelToken child = CancelToken::child_of(token);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      while (!child.stop_requested()) std::this_thread::yield();
+      observed.fetch_add(1, std::memory_order_acq_rel);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  token.request_cancel();
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(observed.load(), kThreads);
+  EXPECT_TRUE(token.stop_requested());
+}
+
+TEST(CancelToken, ThrowIfStoppedCarriesTaxonomy) {
+  const CancelToken cancelled = CancelToken::manual();
+  cancelled.request_cancel();
+  try {
+    rascad::robust::throw_if_stopped(cancelled, "unit-test");
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.cause(), SolveCause::kCancelled);
+  }
+  const CancelToken expired = CancelToken::with_deadline_ms(0.0001);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  try {
+    rascad::robust::throw_if_stopped(expired, "unit-test");
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.cause(), SolveCause::kDeadlineExceeded);
+  }
+}
+
+TEST(PointStatusTaxonomy, StringRoundTripAndExceptionFolding) {
+  for (const PointStatus s :
+       {PointStatus::kOk, PointStatus::kCancelled,
+        PointStatus::kDeadlineExceeded, PointStatus::kFailed}) {
+    PointStatus back = PointStatus::kOk;
+    ASSERT_TRUE(rascad::robust::point_status_from_string(
+        rascad::robust::to_string(s), back));
+    EXPECT_EQ(back, s);
+  }
+  PointStatus unused;
+  EXPECT_FALSE(rascad::robust::point_status_from_string("bogus", unused));
+
+  const auto solve_err = std::make_exception_ptr(
+      SolveError(SolveCause::kDeadlineExceeded, "rung", "budget"));
+  const auto folded = rascad::robust::point_status_from_exception(solve_err);
+  EXPECT_EQ(folded.first, PointStatus::kDeadlineExceeded);
+  const auto generic = rascad::robust::point_status_from_exception(
+      std::make_exception_ptr(std::runtime_error("boom")));
+  EXPECT_EQ(generic.first, PointStatus::kFailed);
+  EXPECT_NE(generic.second.find("boom"), std::string::npos);
+}
+
+// ------------------------------------------------------------- ladder ----
+
+TEST(Ladder, UncancelledRunBitwiseIdenticalToTokenFreeRun) {
+  const Ctmc chain = ill_conditioned_chain(20, 1e4);
+  ResilienceConfig bare;
+  bare.rungs = {Rung::kPower};
+  bare.base.tolerance = 1e-12;
+  bare.base.max_iterations = 10'000'000;
+  const ResilientResult a = solve_steady_state_resilient(chain, bare);
+
+  ResilienceConfig armed = bare;
+  armed.cancel = CancelToken::with_deadline_ms(1e9);  // never fires
+  const ResilientResult b = solve_steady_state_resilient(chain, armed);
+
+  ASSERT_EQ(a.result.pi.size(), b.result.pi.size());
+  for (std::size_t i = 0; i < a.result.pi.size(); ++i) {
+    EXPECT_EQ(a.result.pi[i], b.result.pi[i]) << "state " << i;
+  }
+  EXPECT_EQ(a.result.iterations, b.result.iterations);
+  EXPECT_EQ(a.result.residual, b.result.residual);
+}
+
+TEST(Ladder, CancelledMidSolveThrowsCancelled) {
+  const Ctmc chain = ill_conditioned_chain(100, 1e7);
+  ResilienceConfig config;
+  config.rungs = {Rung::kPower};
+  config.base.tolerance = 1e-16;  // unreachable: runs until cancelled
+  config.base.max_iterations = 500'000'000;
+  config.cancel = CancelToken::manual();
+  std::thread canceller([token = config.cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    token.request_cancel();
+  });
+  try {
+    (void)solve_steady_state_resilient(chain, config);
+    canceller.join();
+    FAIL() << "expected SolveError(kCancelled)";
+  } catch (const SolveError& e) {
+    canceller.join();
+    EXPECT_EQ(e.cause(), SolveCause::kCancelled);
+  }
+  // The iteration-loop checkpoint observed the stop promptly.
+  EXPECT_TRUE(config.cancel.observed());
+  EXPECT_GE(config.cancel.observed_latency_ms(), 0.0);
+  EXPECT_LT(config.cancel.observed_latency_ms(), 250.0);
+}
+
+TEST(Ladder, DeadlineExpiryMidLadderAbortsWithDeadlineCause) {
+  // The episode deadline (not just a rung budget) fires while a stiff
+  // power solve is running: the ladder must abort with kDeadlineExceeded
+  // instead of escalating to the remaining rungs.
+  const Ctmc chain = ill_conditioned_chain(100, 1e7);
+  ResilienceConfig config;
+  config.rungs = {Rung::kPower, Rung::kGth};
+  config.base.tolerance = 1e-16;
+  config.base.max_iterations = 500'000'000;
+  config.deadline_ms = 10.0;
+  try {
+    (void)solve_steady_state_resilient(chain, config);
+    FAIL() << "expected SolveError(kDeadlineExceeded)";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.cause(), SolveCause::kDeadlineExceeded);
+  }
+}
+
+TEST(Ladder, RungBudgetExpiryEscalatesInsteadOfAborting) {
+  // A per-rung budget blows on the injected-timeout rung; the episode has
+  // plenty of deadline left, so the ladder escalates and succeeds.
+  const Ctmc chain = repair_chain();
+  ResilienceConfig config;
+  config.rungs = {Rung::kDirect, Rung::kGth};
+  config.fault_plan.fail(Rung::kDirect, FaultKind::kTimeout);
+  config.rung_deadline_ms = 2.0;
+  const ResilientResult r = solve_steady_state_resilient(chain, config);
+  EXPECT_TRUE(r.trace.success);
+  EXPECT_EQ(r.trace.final_rung, Rung::kGth);
+  ASSERT_EQ(r.trace.attempts.size(), 2u);
+  EXPECT_FALSE(r.trace.attempts[0].success);
+  EXPECT_EQ(r.trace.attempts[0].cause, SolveCause::kDeadlineExceeded);
+}
+
+TEST(Ladder, TransientFaultRetriedOnSameRung) {
+  const Ctmc chain = repair_chain();
+  ResilienceConfig config;
+  config.rungs = {Rung::kDirect, Rung::kGth};
+  config.fault_plan.fail_times(Rung::kDirect, FaultKind::kThrowTransient, 2);
+  config.transient_retries = 3;
+  config.retry_backoff_ms = 0.01;
+  const ResilientResult r = solve_steady_state_resilient(chain, config);
+  EXPECT_TRUE(r.trace.success);
+  // Two transient failures, then the same rung succeeds — no escalation.
+  EXPECT_EQ(r.trace.final_rung, Rung::kDirect);
+  ASSERT_EQ(r.trace.attempts.size(), 3u);
+  EXPECT_EQ(r.trace.attempts[0].cause, SolveCause::kTransient);
+  EXPECT_EQ(r.trace.attempts[1].cause, SolveCause::kTransient);
+  EXPECT_TRUE(r.trace.attempts[2].success);
+}
+
+TEST(Ladder, TransientRetriesExhaustedEscalates) {
+  const Ctmc chain = repair_chain();
+  ResilienceConfig config;
+  config.rungs = {Rung::kDirect, Rung::kGth};
+  config.fault_plan.fail(Rung::kDirect, FaultKind::kThrowTransient);
+  config.transient_retries = 1;
+  config.retry_backoff_ms = 0.01;
+  const ResilientResult r = solve_steady_state_resilient(chain, config);
+  EXPECT_TRUE(r.trace.success);
+  EXPECT_EQ(r.trace.final_rung, Rung::kGth);
+}
+
+// ----------------------------------------------- batched fault parity ----
+
+TEST(BatchedLadder, FaultPlanAppliedIdenticallyToScalarLadder) {
+  // Three structure-sharing chains through the batched entry under an
+  // injected SOR fault: every lane must land on exactly the numbers the
+  // scalar ladder produces for it under the same (re-armed) plan.
+  std::vector<Ctmc> chains;
+  for (double scale : {1.0, 1.5, 2.25}) {
+    CtmcBuilder b;
+    const auto up = b.add_state("up", 1.0);
+    const auto down = b.add_state("down", 0.0);
+    b.add_transition(up, down, 2.0 * scale);
+    b.add_transition(down, up, 11.0);
+    const auto deg = b.add_state("deg", 1.0);
+    b.add_transition(up, deg, 1.0 * scale);
+    b.add_transition(deg, up, 7.0);
+    chains.push_back(b.build());
+  }
+  std::vector<const Ctmc*> ptrs;
+  for (const auto& c : chains) ptrs.push_back(&c);
+
+  const auto faulted_config = [] {
+    ResilienceConfig config;
+    config.rungs = {Rung::kSor, Rung::kGth};
+    config.fault_plan.fail(Rung::kSor, FaultKind::kThrowSingular);
+    return config;
+  };
+
+  const auto batched =
+      solve_steady_state_resilient_batched(ptrs, faulted_config());
+  ASSERT_EQ(batched.size(), ptrs.size());
+  for (std::size_t lane = 0; lane < ptrs.size(); ++lane) {
+    // A faulted first rung makes the lane ineligible for the batched
+    // sweep; the caller-visible contract is the scalar fallback result.
+    const ResilientResult scalar =
+        solve_steady_state_resilient(chains[lane], faulted_config());
+    const ResilientResult& got =
+        batched[lane] ? *batched[lane] : solve_steady_state_resilient(
+                                             chains[lane], faulted_config());
+    ASSERT_EQ(got.result.pi.size(), scalar.result.pi.size());
+    for (std::size_t i = 0; i < scalar.result.pi.size(); ++i) {
+      EXPECT_EQ(got.result.pi[i], scalar.result.pi[i])
+          << "lane " << lane << " state " << i;
+    }
+    EXPECT_EQ(got.trace.final_rung, scalar.trace.final_rung) << lane;
+    EXPECT_EQ(got.trace.attempts.size(), scalar.trace.attempts.size()) << lane;
+  }
+}
+
+TEST(BatchedLadder, HealthyBatchMatchesScalarWithoutFaults) {
+  std::vector<Ctmc> chains;
+  for (double scale : {1.0, 2.0}) {
+    CtmcBuilder b;
+    const auto up = b.add_state("up", 1.0);
+    const auto down = b.add_state("down", 0.0);
+    b.add_transition(up, down, 3.0 * scale);
+    b.add_transition(down, up, 13.0);
+    chains.push_back(b.build());
+  }
+  std::vector<const Ctmc*> ptrs{&chains[0], &chains[1]};
+  ResilienceConfig config;
+  config.rungs = {Rung::kSor, Rung::kGth};
+  const auto batched = solve_steady_state_resilient_batched(ptrs, config);
+  ASSERT_EQ(batched.size(), 2u);
+  for (std::size_t lane = 0; lane < 2; ++lane) {
+    ASSERT_TRUE(batched[lane].has_value()) << lane;
+    const ResilientResult scalar =
+        solve_steady_state_resilient(chains[lane], config);
+    for (std::size_t i = 0; i < scalar.result.pi.size(); ++i) {
+      EXPECT_EQ(batched[lane]->result.pi[i], scalar.result.pi[i]);
+    }
+  }
+}
+
+// ----------------------------------------------------- parallel loops ----
+
+TEST(ParallelStatusLoop, CountsEveryFailedIndex) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    rascad::exec::ParallelOptions par;
+    par.threads = threads;
+    std::atomic<int> ran{0};
+    const rascad::exec::ParallelStatus status =
+        rascad::exec::parallel_for_status(
+            100,
+            [&](std::size_t i) {
+              ran.fetch_add(1, std::memory_order_relaxed);
+              if (i % 10 == 3) throw std::runtime_error("bad " +
+                                                        std::to_string(i));
+            },
+            par);
+    EXPECT_EQ(ran.load(), 100) << threads;   // failures don't stop others
+    EXPECT_EQ(status.failed, 10u) << threads;
+    EXPECT_EQ(status.skipped, 0u) << threads;
+    EXPECT_EQ(status.first_failed_index, 3u) << threads;
+    ASSERT_TRUE(status.first_error != nullptr);
+    EXPECT_FALSE(status.complete());
+    try {
+      std::rethrow_exception(status.first_error);
+      FAIL();
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "bad 3");  // lowest index, deterministic
+    }
+  }
+}
+
+TEST(ParallelStatusLoop, CancelledLoopReportsSkipsAndReason) {
+  const CancelToken token = CancelToken::manual();
+  token.request_cancel();  // fires before any chunk is claimed
+  rascad::exec::ParallelOptions par;
+  par.threads = 4;
+  par.cancel = token;
+  std::atomic<int> ran{0};
+  const rascad::exec::ParallelStatus status = rascad::exec::parallel_for_status(
+      64, [&](std::size_t) { ran.fetch_add(1); }, par);
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(status.skipped, 64u);
+  EXPECT_EQ(status.stop, StopReason::kCancelled);
+  EXPECT_FALSE(status.complete());
+}
+
+TEST(ParallelStatusLoop, ThrowingVariantRaisesOnSkippedWork) {
+  const CancelToken token = CancelToken::manual();
+  token.request_cancel();
+  rascad::exec::ParallelOptions par;
+  par.threads = 2;
+  par.cancel = token;
+  try {
+    rascad::exec::parallel_for(16, [](std::size_t) {}, par);
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.cause(), SolveCause::kCancelled);
+  }
+}
+
+// --------------------------------------------------- partial sweeps ------
+
+TEST(DegradedSweep, DeadlineBoundedSweepReturnsCompletedPrefix) {
+  const rascad::spec::ModelSpec spec = rascad::core::library::entry_server();
+  rascad::cache::SolveCache cache;
+
+  rascad::mg::SystemModel::Options model_opts;
+  model_opts.cache = &cache;
+  model_opts.parallel.threads = 1;
+  ResilienceConfig faulted;
+  faulted.fault_plan.fail(Rung::kDirect, FaultKind::kTimeout);
+  faulted.rung_deadline_ms = 2.0;
+  model_opts.resilience = faulted;
+  // Pre-warm the baseline so each point costs one injected-timeout solve.
+  (void)rascad::mg::SystemModel::build(spec, model_opts);
+
+  rascad::core::SweepOptions opts;
+  opts.parallel.threads = 1;
+  opts.parallel.cancel = CancelToken::with_deadline_ms(25.0);
+  opts.model = model_opts;
+  const std::vector<rascad::core::SweepPoint> points =
+      rascad::core::sweep_block_parameter(
+          spec, "Entry Server", "Boot Disk",
+          [](rascad::spec::BlockSpec& b, double v) { b.mtbf_h = v; },
+          rascad::core::linspace(1e5, 4e5, 64), opts);
+  ASSERT_EQ(points.size(), 64u);
+
+  std::size_t ok = 0;
+  bool seen_bad = false;
+  for (const auto& p : points) {
+    if (p.ok()) {
+      EXPECT_FALSE(seen_bad) << "completed point after a degraded one";
+      EXPECT_TRUE(std::isfinite(p.availability));
+      EXPECT_TRUE(p.status_detail.empty());
+      ++ok;
+    } else {
+      seen_bad = true;
+      EXPECT_EQ(p.status, PointStatus::kDeadlineExceeded);
+      EXPECT_TRUE(std::isnan(p.availability));
+      EXPECT_EQ(p.solve_source, "none");
+      EXPECT_FALSE(p.status_detail.empty());
+    }
+  }
+  EXPECT_GE(ok, 1u);
+  EXPECT_LT(ok, 64u);
+}
+
+TEST(DegradedSweep, UncancelledTokenSweepMatchesTokenFreeSweep) {
+  const rascad::spec::ModelSpec spec = rascad::core::library::entry_server();
+  const auto run = [&](const CancelToken& token) {
+    rascad::cache::SolveCache cache;
+    rascad::core::SweepOptions opts;
+    opts.parallel.threads = 1;
+    opts.parallel.cancel = token;
+    opts.model.cache = &cache;
+    opts.model.parallel.threads = 1;
+    return rascad::core::sweep_block_parameter(
+        spec, "Entry Server", "Boot Disk",
+        [](rascad::spec::BlockSpec& b, double v) { b.mtbf_h = v; },
+        rascad::core::linspace(1e5, 4e5, 8), opts);
+  };
+  const auto bare = run(CancelToken{});
+  const auto armed = run(CancelToken::with_deadline_ms(1e9));
+  ASSERT_EQ(bare.size(), armed.size());
+  for (std::size_t i = 0; i < bare.size(); ++i) {
+    EXPECT_EQ(bare[i].availability, armed[i].availability) << i;
+    EXPECT_EQ(bare[i].yearly_downtime_min, armed[i].yearly_downtime_min) << i;
+    EXPECT_EQ(bare[i].solve_iterations, armed[i].solve_iterations) << i;
+    EXPECT_TRUE(armed[i].ok()) << i;
+  }
+}
+
+TEST(DegradedBatchRebuild, CancelledBatchKeepsPerPointProvenance) {
+  const rascad::spec::ModelSpec spec = rascad::core::library::entry_server();
+  rascad::cache::SolveCache cache;
+  rascad::mg::SystemModel::Options opts;
+  opts.cache = &cache;
+  opts.parallel.threads = 1;
+  const rascad::mg::SystemModel base =
+      rascad::mg::SystemModel::build(spec, opts);
+
+  std::vector<rascad::spec::ModelSpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    rascad::spec::ModelSpec s = spec;
+    for (auto& d : s.diagrams) {
+      for (auto& blk : d.blocks) {
+        // Values chosen to collide with no other library block's chain, so
+        // the memo cache (warmed by the base build) cannot serve any point.
+        if (blk.name == "Boot Disk") blk.mtbf_h = 311'000.0 + 7'000.0 * i;
+      }
+    }
+    specs.push_back(std::move(s));
+  }
+
+  // Already-stopped token: every point must degrade, none may throw.
+  rascad::mg::SystemModel::Options cancelled = opts;
+  cancelled.parallel.cancel = CancelToken::manual();
+  cancelled.parallel.cancel.request_cancel();
+  const std::vector<rascad::mg::BatchPointResult> results =
+      rascad::mg::SystemModel::rebuild_batch_robust(base, specs, cancelled);
+  ASSERT_EQ(results.size(), specs.size());
+  for (const auto& r : results) {
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status, PointStatus::kCancelled);
+    EXPECT_FALSE(r.model.has_value());
+    EXPECT_FALSE(r.detail.empty());
+  }
+
+  // Healthy robust batch: every point ok and bit-identical to the strict
+  // rebuild_batch path.
+  const std::vector<rascad::mg::BatchPointResult> healthy =
+      rascad::mg::SystemModel::rebuild_batch_robust(base, specs, opts);
+  const std::vector<rascad::mg::SystemModel> strict =
+      rascad::mg::SystemModel::rebuild_batch(base, specs, opts);
+  ASSERT_EQ(healthy.size(), strict.size());
+  for (std::size_t i = 0; i < strict.size(); ++i) {
+    ASSERT_TRUE(healthy[i].ok()) << healthy[i].detail;
+    EXPECT_EQ(healthy[i].model->availability(), strict[i].availability()) << i;
+  }
+}
+
+TEST(DegradedImportance, CancelledRankingKeepsRowIdentity) {
+  const rascad::spec::ModelSpec spec = rascad::core::library::entry_server();
+  rascad::cache::SolveCache cache;
+  rascad::mg::SystemModel::Options build_opts;
+  build_opts.cache = &cache;
+  build_opts.parallel.threads = 1;
+  const rascad::mg::SystemModel system =
+      rascad::mg::SystemModel::build(spec, build_opts);
+  rascad::exec::ParallelOptions par;
+  par.threads = 1;
+  par.cancel = CancelToken::manual();
+  par.cancel.request_cancel();
+  const std::vector<rascad::core::BlockImportance> rows =
+      rascad::core::block_importance(system, par);
+  ASSERT_FALSE(rows.empty());
+  for (const auto& r : rows) {
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status, PointStatus::kCancelled);
+    EXPECT_FALSE(r.block.empty());  // identity survives degradation
+    EXPECT_EQ(r.solve_source, "none");
+  }
+}
+
+TEST(DegradedReplication, CancelledRunReportsCompletedCount) {
+  const rascad::spec::ModelSpec spec = rascad::core::library::entry_server();
+  rascad::exec::ParallelOptions par;
+  par.threads = 1;
+  par.cancel = CancelToken::manual();
+  par.cancel.request_cancel();
+  const rascad::sim::ReplicatedSystemResult r =
+      rascad::sim::replicate_system(spec, 1000.0, 8, 42, {}, par);
+  EXPECT_EQ(r.requested, 8u);
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_FALSE(r.complete());
+  EXPECT_EQ(r.status, PointStatus::kCancelled);
+
+  // Healthy run under a valid-but-unfired token is complete and matches a
+  // token-free run exactly.
+  rascad::exec::ParallelOptions healthy;
+  healthy.threads = 1;
+  healthy.cancel = CancelToken::with_deadline_ms(1e9);
+  const rascad::sim::ReplicatedSystemResult a =
+      rascad::sim::replicate_system(spec, 1000.0, 8, 42, {}, healthy);
+  const rascad::sim::ReplicatedSystemResult b =
+      rascad::sim::replicate_system(spec, 1000.0, 8, 42, {});
+  EXPECT_TRUE(a.complete());
+  EXPECT_EQ(a.status, PointStatus::kOk);
+  EXPECT_EQ(a.availability.mean(), b.availability.mean());
+  EXPECT_EQ(a.downtime_minutes.mean(), b.downtime_minutes.mean());
+}
+
+// ----------------------------------------------------------- watchdog ----
+
+TEST(Watchdog, FlagsUnobservedStopAndSparesObservedOne) {
+  auto& dog = rascad::robust::StallWatchdog::global();
+  dog.set_poll_interval_ms(1.0);
+  const std::uint64_t before = dog.stall_count();
+
+  // Stopped and never observed past its budget: flagged.
+  const CancelToken stalled = CancelToken::manual();
+  {
+    const auto guard = dog.watch(stalled, 5.0, "robust_test.stalled");
+    stalled.request_cancel();  // no checkpoint ever observes this
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  }
+  EXPECT_GE(dog.stall_count(), before + 1);
+
+  // Stopped but promptly observed: not flagged.
+  const std::uint64_t mid = dog.stall_count();
+  const CancelToken observed = CancelToken::manual();
+  {
+    const auto guard = dog.watch(observed, 20.0, "robust_test.observed");
+    observed.request_cancel();
+    EXPECT_TRUE(observed.stop_requested());  // the workload checkpoint
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(dog.stall_count(), mid);
+}
+
+// ---------------------------------------------------------------- CSV ----
+
+TEST(CsvRoundTrip, SweepStatusColumnsSurviveReadBack) {
+  std::vector<rascad::core::SweepPoint> points(3);
+  points[0].value = 1.5e5;
+  points[0].availability = 0.999875;
+  points[0].yearly_downtime_min = 65.7;
+  points[0].eq_failure_rate = 1.2e-6;
+  points[0].solve_source = "fresh";
+  points[0].fresh_blocks = 5;
+  points[0].cached_blocks = 1;
+  points[0].reused_blocks = 2;
+  points[0].solve_iterations = 37;
+  points[1].value = 2.0e5;
+  points[1].availability = std::nan("");
+  points[1].yearly_downtime_min = std::nan("");
+  points[1].eq_failure_rate = std::nan("");
+  points[1].solve_source = "none";
+  points[1].status = PointStatus::kDeadlineExceeded;
+  points[1].status_detail = "point skipped (deadline-exceeded)";
+  points[2].value = 2.5e5;
+  points[2].availability = std::nan("");
+  points[2].yearly_downtime_min = std::nan("");
+  points[2].eq_failure_rate = std::nan("");
+  points[2].solve_source = "none";
+  points[2].status = PointStatus::kFailed;
+  points[2].status_detail = "solve failed: \"singular\", rung 1";
+
+  const std::string csv = rascad::core::sweep_csv(points);
+  const std::vector<rascad::core::SweepPoint> back =
+      rascad::core::read_sweep_csv(csv);
+  ASSERT_EQ(back.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(back[i].value, points[i].value);
+    if (std::isnan(points[i].availability)) {
+      EXPECT_TRUE(std::isnan(back[i].availability));
+    } else {
+      EXPECT_EQ(back[i].availability, points[i].availability);
+    }
+    EXPECT_EQ(back[i].solve_source, points[i].solve_source);
+    EXPECT_EQ(back[i].fresh_blocks, points[i].fresh_blocks);
+    EXPECT_EQ(back[i].solve_iterations, points[i].solve_iterations);
+    EXPECT_EQ(back[i].status, points[i].status);
+    EXPECT_EQ(back[i].status_detail, points[i].status_detail);
+  }
+}
+
+TEST(CsvRoundTrip, ImportanceStatusColumnsSurviveReadBack) {
+  std::vector<rascad::core::BlockImportance> rows(2);
+  rows[0].diagram = "Entry Server";
+  rows[0].block = "Boot Disk, \"primary\"";
+  rows[0].availability = 0.99991;
+  rows[0].birnbaum = 0.012;
+  rows[0].criticality = 0.4;
+  rows[0].raw = 1.7;
+  rows[0].rrw = 1.1;
+  rows[0].solve_source = "fresh";
+  rows[1].diagram = "Entry Server";
+  rows[1].block = "CPU";
+  rows[1].solve_source = "none";
+  rows[1].status = PointStatus::kCancelled;
+  rows[1].status_detail = "importance skipped (cancelled)";
+
+  const std::string csv = rascad::core::importance_csv(rows);
+  const std::vector<rascad::core::BlockImportance> back =
+      rascad::core::read_importance_csv(csv);
+  ASSERT_EQ(back.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(back[i].diagram, rows[i].diagram);
+    EXPECT_EQ(back[i].block, rows[i].block);  // quoted comma+quote survive
+    EXPECT_EQ(back[i].availability, rows[i].availability);
+    EXPECT_EQ(back[i].criticality, rows[i].criticality);
+    EXPECT_EQ(back[i].status, rows[i].status);
+    EXPECT_EQ(back[i].status_detail, rows[i].status_detail);
+  }
+}
+
+TEST(CsvRoundTrip, MalformedInputThrows) {
+  EXPECT_THROW(rascad::core::read_sweep_csv(std::string("")),
+               std::invalid_argument);
+  EXPECT_THROW(rascad::core::read_sweep_csv(std::string("wrong,header\n")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      rascad::core::read_sweep_csv(std::string(
+          "value,availability,yearly_downtime_min,eq_failure_rate,"
+          "solve_source,fresh_blocks,cached_blocks,reused_blocks,"
+          "solve_iterations,status,status_detail\n1,2,3\n")),
+      std::invalid_argument);
+}
+
+}  // namespace
