@@ -1,0 +1,112 @@
+// rascad_client — command-line harness for a running rascad_serve daemon.
+//
+//   rascad_client <socket> ping [deadline_ms [sleep_ms]]
+//   rascad_client <socket> solve <model.rsc> [deadline_ms]
+//   rascad_client <socket> sweep <model.rsc> <diagram> <block> <param>
+//                          <lo> <hi> <points> [deadline_ms]
+//   rascad_client <socket> simulate <model.rsc> <horizon_h> <reps> <seed>
+//                          [deadline_ms]
+//   rascad_client <socket> stats
+//   rascad_client <socket> shutdown
+//
+// Exit codes: 0 ok, 1 error reply / degraded result, 2 usage,
+// 3 rejected (admission queue full).
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "robust/cancel.hpp"
+#include "serve/client.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: rascad_client <socket> ping [deadline_ms [sleep_ms]]\n"
+         "       rascad_client <socket> solve <model.rsc> [deadline_ms]\n"
+         "       rascad_client <socket> sweep <model.rsc> <diagram> <block>"
+         " <param> <lo> <hi> <points> [deadline_ms]\n"
+         "       rascad_client <socket> simulate <model.rsc> <horizon_h>"
+         " <reps> <seed> [deadline_ms]\n"
+         "       rascad_client <socket> stats | shutdown\n";
+  return 2;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "rascad_client: cannot read " << path << '\n';
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int report(const rascad::serve::Reply& reply) {
+  if (!reply.stream.empty()) std::cout << reply.stream;
+  if (reply.rejected()) {
+    std::cerr << "rejected: " << reply.text << " (retry after "
+              << reply.retry_after_ms << " ms)\n";
+    return 3;
+  }
+  if (reply.type == rascad::serve::FrameType::kError) {
+    std::cerr << "error (" << rascad::robust::to_string(reply.status)
+              << "): " << reply.text << '\n';
+    return 1;
+  }
+  std::cout << reply.text;
+  if (reply.degraded()) {
+    std::cerr << "degraded: " << rascad::robust::to_string(reply.status)
+              << '\n';
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string socket_path = argv[1];
+  const std::string verb = argv[2];
+  const auto u32 = [&](int i, std::uint32_t fallback) {
+    return i < argc ? static_cast<std::uint32_t>(std::atoll(argv[i]))
+                    : fallback;
+  };
+
+  rascad::serve::Client client;
+  try {
+    client.connect_retry(socket_path, 2000.0);
+    if (verb == "ping") {
+      const auto reply = client.ping(u32(3, 0), u32(4, 0));
+      if (reply.ok()) std::cout << "pong\n";
+      return report(reply);
+    }
+    if (verb == "solve" && argc >= 4) {
+      return report(client.solve(slurp(argv[3]), u32(4, 0)));
+    }
+    if (verb == "sweep" && argc >= 10) {
+      return report(client.sweep(slurp(argv[3]), argv[4], argv[5], argv[6],
+                                 std::atof(argv[7]), std::atof(argv[8]),
+                                 static_cast<std::size_t>(std::atoll(argv[9])),
+                                 u32(10, 0)));
+    }
+    if (verb == "simulate" && argc >= 7) {
+      return report(client.simulate(slurp(argv[3]), std::atof(argv[4]),
+                                    static_cast<std::size_t>(
+                                        std::atoll(argv[5])),
+                                    static_cast<std::uint64_t>(
+                                        std::atoll(argv[6])),
+                                    u32(7, 0)));
+    }
+    if (verb == "stats") return report(client.stats());
+    if (verb == "shutdown") return report(client.request_shutdown());
+  } catch (const std::exception& e) {
+    std::cerr << "rascad_client: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}

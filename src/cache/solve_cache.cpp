@@ -109,6 +109,12 @@ SolveCache::SolveCache(std::size_t block_capacity, std::size_t curve_capacity)
   curves_.bind_metrics("cache.curve");
 }
 
+void SolveCache::bind_metrics(const char* block_prefix,
+                              const char* curve_prefix) {
+  blocks_.bind_metrics(block_prefix);
+  curves_.bind_metrics(curve_prefix);
+}
+
 std::optional<CachedBlockSolve> SolveCache::find_block(const Signature& key) {
   return blocks_.find(key);
 }

@@ -91,6 +91,12 @@ class SolveCache {
   CacheCounters block_counters() const;
   CacheCounters curve_counters() const;
 
+  /// Rebinds this instance's global-registry counter mirrors (construction
+  /// binds every cache to "cache.block" / "cache.curve"). The serve daemon
+  /// points its cross-request cache at "serve.cache.*" so daemon cache
+  /// traffic stays separable from one-shot solves in metric dumps.
+  void bind_metrics(const char* block_prefix, const char* curve_prefix);
+
   /// Drops every entry; counters are reset too.
   void clear();
 

@@ -1,11 +1,14 @@
 #include "core/csv.hpp"
 
+#include <charconv>
 #include <cstdlib>
 #include <iomanip>
 #include <istream>
+#include <locale>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 #include "robust/cancel.hpp"
 
@@ -15,14 +18,19 @@ namespace {
 
 /// Restores a caller-supplied stream's formatting state on scope exit: the
 /// writers raise the precision for round-trippable doubles, which must not
-/// leak into whatever the caller prints next.
+/// leak into whatever the caller prints next. Also pins the stream to the
+/// classic "C" locale for the scope — a process running under a
+/// comma-decimal locale (LC_NUMERIC=de_DE et al.) would otherwise write
+/// "0,5" and corrupt the column structure.
 class StreamStateGuard {
  public:
   explicit StreamStateGuard(std::ostream& os)
-      : os_(os), flags_(os.flags()), precision_(os.precision()) {}
+      : os_(os), flags_(os.flags()), precision_(os.precision()),
+        locale_(os.imbue(std::locale::classic())) {}
   ~StreamStateGuard() {
     os_.flags(flags_);
     os_.precision(precision_);
+    os_.imbue(locale_);
   }
   StreamStateGuard(const StreamStateGuard&) = delete;
   StreamStateGuard& operator=(const StreamStateGuard&) = delete;
@@ -31,6 +39,7 @@ class StreamStateGuard {
   std::ostream& os_;
   std::ios_base::fmtflags flags_;
   std::streamsize precision_;
+  std::locale locale_;
 };
 
 /// Quotes a field if it contains CSV-active characters.
@@ -78,10 +87,17 @@ std::vector<std::string> split_csv_line(const std::string& line) {
   return fields;
 }
 
+/// Locale-independent double parse. strtod honours LC_NUMERIC — under a
+/// comma-decimal locale it stops at the '.' in "0.5" and every numeric CSV
+/// field would be rejected — so the readers go through std::from_chars,
+/// which is specified to parse the classic format only ("nan"/"inf"
+/// included, as the writers emit for degraded rows).
 double parse_double(const std::string& s, const char* who) {
-  char* end = nullptr;
-  const double v = std::strtod(s.c_str(), &end);
-  if (end == s.c_str() || *end != '\0') {
+  double v = 0.0;
+  const char* first = s.data();
+  const char* last = first + s.size();
+  const auto r = std::from_chars(first, last, v);
+  if (r.ec != std::errc() || r.ptr != last) {
     throw std::invalid_argument(std::string(who) + ": bad number '" + s + "'");
   }
   return v;

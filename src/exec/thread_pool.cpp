@@ -17,6 +17,13 @@ obs::Gauge& queue_depth_gauge() {
   return gauge;
 }
 
+/// Workers currently inside a task body; updated under the pool mutex.
+obs::Gauge& active_gauge() {
+  static obs::Gauge& gauge =
+      obs::Registry::global().gauge("exec.pool.active");
+  return gauge;
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
@@ -57,12 +64,41 @@ void ThreadPool::worker_loop() {
       if (stop_) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      ++active_;
       if (obs::enabled()) {
         queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
+        active_gauge().set(static_cast<std::int64_t>(active_));
       }
     }
     task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (obs::enabled()) {
+        active_gauge().set(static_cast<std::int64_t>(active_));
+      }
+      if (active_ == 0 && queue_.empty()) idle_cv_.notify_all();
+    }
   }
+}
+
+void ThreadPool::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // A zero-worker pool never runs its queue (tasks there are droppable
+  // helpers by contract), so only executing tasks count toward the wait.
+  idle_cv_.wait(lock, [&] {
+    return (queue_.empty() || workers_.empty()) && active_ == 0;
+  });
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::size_t ThreadPool::active_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
 }
 
 }  // namespace rascad::exec

@@ -37,12 +37,27 @@ class ThreadPool {
   /// Enqueues a task (FIFO). No-op after shutdown has begun.
   void submit(std::function<void()> task);
 
+  /// Blocks until the queue is empty AND no worker is executing a task —
+  /// the drain-on-shutdown hook for long-running hosts (the serve daemon)
+  /// whose submitted closures reference state the host is about to tear
+  /// down. Must not be called from a pool worker (it would wait for
+  /// itself). Tasks submitted while draining extend the wait.
+  void drain();
+
+  /// Tasks queued but not yet claimed by a worker (snapshot).
+  std::size_t queue_depth() const;
+
+  /// Tasks currently executing on workers (snapshot).
+  std::size_t active_count() const;
+
  private:
   void worker_loop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable idle_cv_;
   std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -88,8 +88,17 @@ void write_trace_jsonl(std::ostream& os, const TraceDump& dump) {
       os << ",\"detail\":\"" << json_escape(s.detail) << '"';
     }
     os << ",\"thread\":" << s.thread
-       << ",\"start_us\":" << json_number(us(s.start_ns))
-       << ",\"dur_us\":" << json_number(us(s.end_ns - s.start_ns)) << "}\n";
+       << ",\"start_us\":" << json_number(us(s.start_ns));
+    // A record without a coherent end stamp (still-open span surfaced by a
+    // peek, or clock skew) must not be subtracted unsigned — end < start
+    // would yield a ~584-year duration. Mark it live instead.
+    const bool live =
+        s.end_ns < s.start_ns || (s.end_ns == 0 && s.start_ns > 0);
+    if (live) {
+      os << ",\"live\":true,\"dur_us\":null}\n";
+    } else {
+      os << ",\"dur_us\":" << json_number(us(s.end_ns - s.start_ns)) << "}\n";
+    }
   }
   for (const EventRecord& e : dump.events) {
     os << "{\"type\":\"event\",\"kind\":\"" << json_escape(e.kind)
@@ -105,8 +114,8 @@ void write_trace_jsonl(std::ostream& os, const TraceDump& dump) {
   }
   if (dump.dropped > 0) {
     os << "{\"type\":\"event\",\"kind\":\"obs.dropped\",\"span\":0,"
-          "\"thread\":0,\"t_us\":0,\"fields\":{\"count\":\""
-       << dump.dropped << "\"}}\n";
+          "\"thread\":0,\"t_us\":0,\"fields\":{\"count\":"
+       << dump.dropped << "}}\n";
   }
 }
 
@@ -120,13 +129,18 @@ bool dump_if_enabled() {
   const char* path_env = std::getenv("RASCAD_OBS_FILE");
   const std::string path =
       path_env && *path_env ? path_env : "rascad_obs.jsonl";
-  const TraceDump dump = peek_trace();
-  const MetricsSnapshot snapshot = Registry::global().snapshot();
   std::ofstream out(path);
   if (!out) {
+    // Nothing drained yet: the trace stays intact for a later attempt.
     std::cerr << "obs: cannot open '" << path << "' for writing\n";
     return false;
   }
+  // One atomic drain. The old peek_trace() ... clear_trace() pair silently
+  // destroyed every span/event recorded during the file I/O between them
+  // (and reset the dropped counter without reporting it); draining once up
+  // front leaves anything recorded from here on buffered for the next dump.
+  const TraceDump dump = drain_trace();
+  const MetricsSnapshot snapshot = Registry::global().snapshot();
   write_metrics_jsonl(out, snapshot);
   write_trace_jsonl(out, dump);
   std::cerr << "obs: wrote " << dump.spans.size() << " spans, "
@@ -135,7 +149,13 @@ bool dump_if_enabled() {
   if (summary && *summary && std::string_view(summary) != "0") {
     std::cerr << summary_report(dump, snapshot);
   }
-  clear_trace();
+  return true;
+}
+
+bool append_jsonl(const std::string& path) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return false;
+  dump_jsonl(out);
   return true;
 }
 

@@ -8,6 +8,10 @@
 //   {"type":"event","kind":"...","span":N,"thread":N,"t_us":F,
 //    "fields":{"k":"v",...}}
 //
+// A span record that is still open (or otherwise lacks a coherent end
+// timestamp) is written with "live":true and "dur_us":null instead of an
+// underflowed unsigned duration.
+//
 // Doubles are rendered with std::to_chars shortest round-trip form, so a
 // parsed value compares bit-equal to the one the process observed.
 #pragma once
@@ -43,6 +47,19 @@ void dump_jsonl(std::ostream& os);
 /// notes the destination on stderr, and — with RASCAD_OBS_SUMMARY set —
 /// prints the human-readable summary report to stderr too. Returns true
 /// if a file was written.
+///
+/// The trace is taken with ONE atomic drain_trace() call: everything
+/// recorded before the drain lands in the file, everything recorded while
+/// the file is being written stays buffered for the next dump. (The
+/// previous peek-then-clear sequence silently destroyed records made
+/// between the two calls — fatal for a daemon that dumps mid-flight.)
 bool dump_if_enabled();
+
+/// Incremental sink for long-running processes: drains the trace and
+/// appends one metrics line plus the drained spans/events to `path`.
+/// Open spans survive in their buffers and surface in a later append, so
+/// repeated calls never clobber or lose global trace state. Returns false
+/// (trace left intact) if the file cannot be opened.
+bool append_jsonl(const std::string& path);
 
 }  // namespace rascad::obs

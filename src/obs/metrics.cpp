@@ -39,6 +39,28 @@ void Histogram::observe_ms(double ms) noexcept {
                     std::memory_order_relaxed);
 }
 
+double Histogram::Snapshot::quantile_ms(double q) const noexcept {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  const auto& bounds = bounds_ms();
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    const double prev = static_cast<double>(cum);
+    cum += in_bucket;
+    if (static_cast<double>(cum) < target) continue;
+    const double lo = b == 0 ? 0.0 : bounds[b - 1];
+    if (b == kBuckets - 1) return lo;  // unbounded overflow bucket
+    const double hi = bounds[b];
+    const double frac = (target - prev) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * (frac < 0.0 ? 0.0 : frac);
+  }
+  return bounds[kBuckets - 2];
+}
+
 Histogram::Snapshot Histogram::snapshot() const noexcept {
   Snapshot s;
   s.count = count_.load(std::memory_order_relaxed);

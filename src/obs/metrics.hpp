@@ -92,6 +92,12 @@ class Histogram {
     double mean_ms() const noexcept {
       return count > 0 ? sum_ms / static_cast<double>(count) : 0.0;
     }
+    /// Bucket-resolution quantile estimate (q in [0,1]): linear
+    /// interpolation inside the bucket where the cumulative count crosses
+    /// q*count. The overflow bucket reports its lower bound. 0 when empty.
+    /// Resolution is the log-bucket width — good enough for p50/p99
+    /// latency gates, not for microsecond-exact comparisons.
+    double quantile_ms(double q) const noexcept;
   };
   Snapshot snapshot() const noexcept;
   void reset() noexcept;

@@ -74,6 +74,11 @@ std::uint64_t StallWatchdog::stall_count() const {
   return stalls_;
 }
 
+std::uint64_t StallWatchdog::scan_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scans_;
+}
+
 void StallWatchdog::set_poll_interval_ms(double ms) {
   std::lock_guard<std::mutex> lock(mu_);
   poll_ms_ = ms > 0.0 ? ms : 2.0;
@@ -93,12 +98,23 @@ void StallWatchdog::flag(const std::string& what, double unobserved_ms) {
 void StallWatchdog::loop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!shutdown_) {
+    if (entries_.empty()) {
+      // Park until there is something to watch. Without this the poll
+      // thread spins at poll_ms_ for the whole process lifetime once the
+      // first watch() has started it — a daemon keeping a watchdog alive
+      // for days would pay that forever. watch() and the destructor
+      // notify cv_, so parking costs nothing to wake from.
+      cv_.wait(lock, [this] { return shutdown_ || !entries_.empty(); });
+      continue;
+    }
     const auto period = std::chrono::duration_cast<
         std::chrono::steady_clock::duration>(
         std::chrono::duration<double, std::milli>(poll_ms_));
     cv_.wait_for(lock, period,
                  [this] { return shutdown_; });
     if (shutdown_) break;
+    if (entries_.empty()) continue;  // drained while we slept: re-park
+    ++scans_;
     for (Entry& entry : entries_) {
       if (entry.flagged) continue;
       // Silent check: monitoring must not register as the workload

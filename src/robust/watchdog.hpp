@@ -57,6 +57,12 @@ class StallWatchdog {
   /// counter without requiring a metrics snapshot).
   std::uint64_t stall_count() const;
 
+  /// Poll scans performed over non-empty entry lists. With no registered
+  /// guards the poll thread parks on the condition variable instead of
+  /// spinning, so this number stops growing — the property the idle-park
+  /// regression test pins down.
+  std::uint64_t scan_count() const;
+
   /// Poll period; tests shrink it to keep stall budgets small.
   void set_poll_interval_ms(double ms);
 
@@ -84,6 +90,7 @@ class StallWatchdog {
   bool shutdown_ = false;
   std::uint64_t next_id_ = 1;
   std::uint64_t stalls_ = 0;
+  std::uint64_t scans_ = 0;
   double poll_ms_ = 2.0;
 };
 

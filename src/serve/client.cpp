@@ -1,0 +1,247 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace rascad::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int connect_once(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve client: socket path too long: " +
+                             socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("serve client: socket(): ") +
+                             std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& socket_path) {
+  close();
+  fd_ = connect_once(socket_path);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("serve client: connect(") +
+                             socket_path + "): " + std::strerror(errno));
+  }
+}
+
+void Client::connect_retry(const std::string& socket_path,
+                           double timeout_ms) {
+  close();
+  const auto deadline =
+      Clock::now() + std::chrono::duration<double, std::milli>(timeout_ms);
+  for (;;) {
+    fd_ = connect_once(socket_path);
+    if (fd_ >= 0) return;
+    if (Clock::now() >= deadline) {
+      throw std::runtime_error(std::string("serve client: connect(") +
+                               socket_path + ") timed out: " +
+                               std::strerror(errno));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Reply Client::roundtrip(Frame request) {
+  if (fd_ < 0) throw std::runtime_error("serve client: not connected");
+  const std::uint64_t id = request.request_id;
+  write_frame(fd_, request);
+
+  Reply reply;
+  Frame frame;
+  for (;;) {
+    if (!read_frame(fd_, frame)) {
+      throw std::runtime_error(
+          "serve client: connection closed before terminal frame");
+    }
+    if (frame.request_id != id) {
+      // Synchronous client: only one request outstanding, so any other id
+      // is a protocol violation.
+      throw std::runtime_error("serve client: response for unknown request " +
+                               std::to_string(frame.request_id));
+    }
+    if (frame.type == FrameType::kChunk) {
+      reply.stream += frame.body;
+      continue;
+    }
+    break;
+  }
+
+  reply.type = frame.type;
+  switch (frame.type) {
+    case FrameType::kPong:
+      break;
+    case FrameType::kResult:
+    case FrameType::kError:
+      if (frame.body.empty()) {
+        throw std::runtime_error("serve client: terminal frame missing status");
+      }
+      reply.status = static_cast<robust::PointStatus>(
+          static_cast<std::uint8_t>(frame.body[0]));
+      reply.text = frame.body.substr(1);
+      break;
+    case FrameType::kRetryAfter:
+      reply.retry_after_ms = static_cast<double>(get_u32(frame.body, 0));
+      reply.text = frame.body.substr(4);
+      break;
+    default:
+      throw std::runtime_error(std::string("serve client: unexpected frame ") +
+                               to_string(frame.type));
+  }
+  return reply;
+}
+
+Reply Client::ping(std::uint32_t deadline_ms, std::uint32_t sleep_ms) {
+  Frame f;
+  f.type = FrameType::kPing;
+  f.request_id = next_id();
+  put_u32(f.body, deadline_ms);
+  if (sleep_ms > 0) put_u32(f.body, sleep_ms);
+  return roundtrip(std::move(f));
+}
+
+Reply Client::solve(std::string_view model_text, std::uint32_t deadline_ms) {
+  Frame f;
+  f.type = FrameType::kSolve;
+  f.request_id = next_id();
+  put_u32(f.body, deadline_ms);
+  f.body += model_text;
+  return roundtrip(std::move(f));
+}
+
+Reply Client::sweep(std::string_view model_text, const std::string& diagram,
+                    const std::string& block, const std::string& parameter,
+                    double lo, double hi, std::size_t points,
+                    std::uint32_t deadline_ms) {
+  const auto num = [](double v) {
+    char buf[32];
+    const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, r.ptr);
+  };
+  Frame f;
+  f.type = FrameType::kSweep;
+  f.request_id = next_id();
+  put_u32(f.body, deadline_ms);
+  f.body += diagram + "\n" + block + "\n" + parameter + "\n";
+  f.body += num(lo) + "\n" + num(hi) + "\n" + std::to_string(points) + "\n";
+  f.body += "\n";
+  f.body += model_text;
+  return roundtrip(std::move(f));
+}
+
+Reply Client::simulate(std::string_view model_text, double horizon_h,
+                       std::size_t replications, std::uint64_t seed,
+                       std::uint32_t deadline_ms) {
+  char buf[32];
+  const auto r = std::to_chars(buf, buf + sizeof(buf), horizon_h);
+  Frame f;
+  f.type = FrameType::kSimulate;
+  f.request_id = next_id();
+  put_u32(f.body, deadline_ms);
+  f.body += std::string(buf, r.ptr) + "\n";
+  f.body += std::to_string(replications) + "\n";
+  f.body += std::to_string(seed) + "\n";
+  f.body += "\n";
+  f.body += model_text;
+  return roundtrip(std::move(f));
+}
+
+Reply Client::stats() {
+  Frame f;
+  f.type = FrameType::kStats;
+  f.request_id = next_id();
+  return roundtrip(std::move(f));
+}
+
+Reply Client::request_shutdown() {
+  Frame f;
+  f.type = FrameType::kShutdown;
+  f.request_id = next_id();
+  return roundtrip(std::move(f));
+}
+
+Reply Client::solve_retrying(std::string_view model_text, double budget_ms,
+                             std::uint32_t deadline_ms,
+                             std::size_t* attempts) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration<double, std::milli>(budget_ms);
+  std::size_t tries = 0;
+  Reply reply;
+  for (;;) {
+    ++tries;
+    reply = solve(model_text, deadline_ms);
+    if (!reply.rejected() || Clock::now() >= deadline) break;
+    const double back = reply.retry_after_ms > 0.0 ? reply.retry_after_ms : 1.0;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(back));
+  }
+  if (attempts != nullptr) *attempts = tries;
+  return reply;
+}
+
+double reply_value(const std::string& text, std::string_view key) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string_view line(text.data() + pos, nl - pos);
+    const std::size_t eq = line.find('=');
+    if (eq != std::string_view::npos && line.substr(0, eq) == key) {
+      const std::string_view val = line.substr(eq + 1);
+      double v = 0.0;
+      const auto r = std::from_chars(val.data(), val.data() + val.size(), v);
+      if (r.ec != std::errc() || r.ptr != val.data() + val.size()) {
+        throw std::invalid_argument("serve client: bad value for '" +
+                                    std::string(key) + "': '" +
+                                    std::string(val) + "'");
+      }
+      return v;
+    }
+    pos = nl + 1;
+  }
+  throw std::invalid_argument("serve client: reply missing key '" +
+                              std::string(key) + "'");
+}
+
+}  // namespace rascad::serve

@@ -1,0 +1,113 @@
+// Blocking client for the rascad_serve protocol.
+//
+// One Client owns one connection. Each call sends a request frame and
+// reads response frames until the terminal one for that request id,
+// collecting kChunk payloads into Reply::stream along the way. Calls are
+// synchronous — a Client is used from one thread at a time; concurrency
+// in tests and benches comes from one Client per thread.
+//
+// Admission rejections are first-class: a kRetryAfter response comes back
+// as a normal Reply (rejected() true, retry_after_ms set), never an
+// exception — the caller owns its retry policy. solve_retrying() is the
+// canonical policy for the impatient: honor the hint, retry until a
+// budget runs out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "robust/cancel.hpp"
+#include "serve/protocol.hpp"
+
+namespace rascad::serve {
+
+/// Outcome of one request: the terminal frame plus accumulated chunks.
+struct Reply {
+  FrameType type{};  // kPong, kResult, kError, or kRetryAfter
+  /// Status byte of kResult/kError terminals; kOk for kPong/kRetryAfter.
+  robust::PointStatus status = robust::PointStatus::kOk;
+  /// kResult text / kError message / kRetryAfter reason.
+  std::string text;
+  /// Concatenated kChunk payloads that preceded the terminal frame
+  /// (sweep CSV).
+  std::string stream;
+  /// Server's backoff hint; meaningful when type == kRetryAfter.
+  double retry_after_ms = 0.0;
+
+  bool ok() const noexcept {
+    return (type == FrameType::kResult || type == FrameType::kPong) &&
+           status == robust::PointStatus::kOk;
+  }
+  bool rejected() const noexcept { return type == FrameType::kRetryAfter; }
+  bool degraded() const noexcept {
+    return type == FrameType::kResult &&
+           status != robust::PointStatus::kOk;
+  }
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to the daemon's Unix socket. Throws std::runtime_error.
+  void connect(const std::string& socket_path);
+
+  /// Connects, retrying for up to `timeout_ms` while the socket does not
+  /// exist / refuses — the "daemon still starting" window. Throws after
+  /// the budget is spent.
+  void connect_retry(const std::string& socket_path, double timeout_ms);
+
+  bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// deadline_ms == 0: no client deadline. sleep_ms parks the server-side
+  /// worker (diagnostics / backpressure testing aid).
+  Reply ping(std::uint32_t deadline_ms = 0, std::uint32_t sleep_ms = 0);
+
+  /// Solves `.rsc` model text; Reply::text is key=value lines.
+  Reply solve(std::string_view model_text, std::uint32_t deadline_ms = 0);
+
+  /// Sweeps `parameter` of `block` in `diagram` over [lo, hi] with
+  /// `points` samples; Reply::stream is the sweep CSV (possibly a prefix
+  /// plus degraded rows when the deadline fired mid-sweep).
+  Reply sweep(std::string_view model_text, const std::string& diagram,
+              const std::string& block, const std::string& parameter,
+              double lo, double hi, std::size_t points,
+              std::uint32_t deadline_ms = 0);
+
+  /// Monte-Carlo replication; Reply::text is key=value lines including
+  /// requested/completed for partial (deadline-cut) runs.
+  Reply simulate(std::string_view model_text, double horizon_h,
+                 std::size_t replications, std::uint64_t seed,
+                 std::uint32_t deadline_ms = 0);
+
+  Reply stats();
+  Reply request_shutdown();
+
+  /// solve() with retry-after honoring: on rejection sleeps the hinted
+  /// backoff and retries until `budget_ms` is exhausted, then returns the
+  /// last rejection. `attempts` (optional) reports tries made.
+  Reply solve_retrying(std::string_view model_text, double budget_ms,
+                       std::uint32_t deadline_ms = 0,
+                       std::size_t* attempts = nullptr);
+
+ private:
+  Reply roundtrip(Frame request);
+  std::uint64_t next_id() noexcept { return ++last_id_; }
+
+  int fd_ = -1;
+  std::uint64_t last_id_ = 0;
+};
+
+/// Parses a "key=value\n" reply text field; throws std::invalid_argument
+/// when `key` is absent. Values parse with std::from_chars (locale-proof).
+double reply_value(const std::string& text, std::string_view key);
+
+}  // namespace rascad::serve

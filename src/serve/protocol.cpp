@@ -1,0 +1,179 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace rascad::serve {
+
+const char* to_string(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::kPing: return "ping";
+    case FrameType::kSolve: return "solve";
+    case FrameType::kSweep: return "sweep";
+    case FrameType::kSimulate: return "simulate";
+    case FrameType::kStats: return "stats";
+    case FrameType::kShutdown: return "shutdown";
+    case FrameType::kPong: return "pong";
+    case FrameType::kChunk: return "chunk";
+    case FrameType::kResult: return "result";
+    case FrameType::kError: return "error";
+    case FrameType::kRetryAfter: return "retry-after";
+  }
+  return "unknown";
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t get_u32(std::string_view body, std::size_t offset) {
+  if (body.size() < offset + 4) {
+    throw std::invalid_argument("frame body too short for u32");
+  }
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) |
+        static_cast<std::uint8_t>(body[offset + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(std::string_view body, std::size_t offset) {
+  if (body.size() < offset + 8) {
+    throw std::invalid_argument("frame body too short for u64");
+  }
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) |
+        static_cast<std::uint8_t>(body[offset + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+std::string encode_frame(const Frame& frame) {
+  const std::size_t payload = 1 + 8 + frame.body.size();
+  if (payload > kMaxFrameBytes) {
+    throw std::runtime_error("serve: frame exceeds kMaxFrameBytes");
+  }
+  std::string out;
+  out.reserve(4 + payload);
+  put_u32(out, static_cast<std::uint32_t>(payload));
+  out.push_back(static_cast<char>(frame.type));
+  put_u64(out, frame.request_id);
+  out += frame.body;
+  return out;
+}
+
+namespace {
+
+/// Reads exactly n bytes. Returns false on EOF with zero bytes read (a
+/// clean close); throws when the stream ends mid-buffer or errors.
+bool read_exact(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (got == 0) return false;
+      throw std::runtime_error("serve: connection closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    throw std::runtime_error(std::string("serve: read failed: ") +
+                             std::strerror(errno));
+  }
+  return true;
+}
+
+}  // namespace
+
+bool read_frame(int fd, Frame& out) {
+  char head[4];
+  if (!read_exact(fd, head, sizeof(head))) return false;
+  std::uint32_t len = 0;
+  for (int i = 3; i >= 0; --i) {
+    len = (len << 8) | static_cast<std::uint8_t>(head[i]);
+  }
+  if (len < 1 + 8 || len > kMaxFrameBytes) {
+    throw std::runtime_error("serve: bad frame length " + std::to_string(len));
+  }
+  std::string payload(len, '\0');
+  if (!read_exact(fd, payload.data(), payload.size())) {
+    throw std::runtime_error("serve: connection closed mid-frame");
+  }
+  out.type = static_cast<FrameType>(static_cast<std::uint8_t>(payload[0]));
+  out.request_id = get_u64(payload, 1);
+  out.body.assign(payload, 9, payload.size() - 9);
+  return true;
+}
+
+void write_all(int fd, const char* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    // send + MSG_NOSIGNAL: a vanished peer surfaces as EPIPE for the
+    // caller to handle instead of SIGPIPE killing the daemon.
+    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    throw std::runtime_error(std::string("serve: write failed: ") +
+                             std::strerror(errno));
+  }
+}
+
+Frame make_result(std::uint64_t request_id, robust::PointStatus status,
+                  std::string text) {
+  Frame f;
+  f.type = FrameType::kResult;
+  f.request_id = request_id;
+  f.body.push_back(static_cast<char>(status));
+  f.body += text;
+  return f;
+}
+
+Frame make_error(std::uint64_t request_id, robust::PointStatus status,
+                 std::string message) {
+  Frame f;
+  f.type = FrameType::kError;
+  f.request_id = request_id;
+  f.body.push_back(static_cast<char>(status));
+  f.body += message;
+  return f;
+}
+
+Frame make_chunk(std::uint64_t request_id, std::string payload) {
+  Frame f;
+  f.type = FrameType::kChunk;
+  f.request_id = request_id;
+  f.body = std::move(payload);
+  return f;
+}
+
+Frame make_retry_after(std::uint64_t request_id, double retry_after_ms,
+                       std::string reason) {
+  Frame f;
+  f.type = FrameType::kRetryAfter;
+  f.request_id = request_id;
+  const double clamped = retry_after_ms < 0.0 ? 0.0 : retry_after_ms;
+  put_u32(f.body, static_cast<std::uint32_t>(clamped));
+  f.body += reason;
+  return f;
+}
+
+}  // namespace rascad::serve

@@ -1,0 +1,171 @@
+// Bounded frame ring: the daemon's result pipeline decoupler.
+//
+// Solver threads finish a request and hand the encoded response frames to
+// the connection's ring; a dedicated writer thread drains the ring onto
+// the socket. The solver side therefore never blocks on socket I/O — a
+// slow or stalled client costs ring slots, not worker threads (and once
+// the ring is full, costs the *producing request* a wait, which is the
+// correct party to back-pressure).
+//
+// The ring itself is the classic bounded array of cells with per-cell
+// sequence counters (the idiom of gacspp's COutput pipeline): producers
+// claim a slot with a CAS on the tail, write the payload, then publish by
+// storing the cell sequence with release order; the single consumer reads
+// the head cell's sequence with acquire order, takes the payload, and
+// recycles the cell. Claim/publish are entirely atomic — the mutex below
+// exists only so that a blocked side can sleep on a condition variable
+// instead of spinning, and is never held across a payload copy.
+//
+// Producer cardinality: each request streams its frames from the one
+// worker thread running it (single producer per stream), but control
+// frames — pongs, retry-after rejections — are pushed by the connection's
+// reader thread, so the cell-sequence protocol is kept multi-producer
+// safe. The consumer (the writer thread) is strictly single.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rascad::serve {
+
+class FrameRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit FrameRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::vector<Cell>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  FrameRing(const FrameRing&) = delete;
+  FrameRing& operator=(const FrameRing&) = delete;
+
+  /// Enqueues a frame; blocks while the ring is full. Returns false (frame
+  /// dropped) once the ring is closed — the connection is going away and
+  /// nobody will read the bytes anyway.
+  bool push(std::string frame) {
+    for (;;) {
+      if (closed_.load(std::memory_order_acquire)) return false;
+      if (try_push(frame)) {
+        // Empty critical section orders this notify after a consumer that
+        // saw the ring empty and is about to wait — no lost wakeup.
+        { std::lock_guard<std::mutex> lock(wait_mu_); }
+        not_empty_.notify_one();
+        return true;
+      }
+      std::unique_lock<std::mutex> lock(wait_mu_);
+      if (closed_.load(std::memory_order_acquire)) return false;
+      if (try_push(frame)) {
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+      }
+      not_full_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  }
+
+  /// Dequeues into `out`; blocks while empty. Returns false only when the
+  /// ring is closed AND fully drained, so close() never truncates frames
+  /// already accepted. Single consumer only.
+  bool pop(std::string& out) {
+    for (;;) {
+      if (try_pop(out)) {
+        { std::lock_guard<std::mutex> lock(wait_mu_); }
+        not_full_.notify_all();
+        return true;
+      }
+      std::unique_lock<std::mutex> lock(wait_mu_);
+      if (try_pop(out)) {
+        lock.unlock();
+        not_full_.notify_all();
+        return true;
+      }
+      if (closed_.load(std::memory_order_acquire)) return false;
+      not_empty_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  }
+
+  /// Stops new pushes and wakes both sides; frames already in the ring
+  /// remain poppable.
+  void close() {
+    closed_.store(true, std::memory_order_release);
+    { std::lock_guard<std::mutex> lock(wait_mu_); }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const noexcept { return cells_.size(); }
+
+  /// Approximate occupancy (exact once producers and consumer quiesce).
+  std::size_t size() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    std::string payload;
+  };
+
+  bool try_push(std::string& frame) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::ptrdiff_t dif = static_cast<std::ptrdiff_t>(seq) -
+                                 static_cast<std::ptrdiff_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.payload = std::move(frame);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool try_pop(std::string& out) {
+    const std::size_t pos = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    const std::ptrdiff_t dif = static_cast<std::ptrdiff_t>(seq) -
+                               static_cast<std::ptrdiff_t>(pos + 1);
+    if (dif < 0) return false;  // empty
+    out = std::move(cell.payload);
+    cell.payload.clear();
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producers claim here
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer takes here
+  std::atomic<bool> closed_{false};
+  std::mutex wait_mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+};
+
+}  // namespace rascad::serve

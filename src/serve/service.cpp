@@ -1,0 +1,691 @@
+#include "serve/service.hpp"
+
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/csv.hpp"
+#include "core/sweep.hpp"
+#include "exec/parallel.hpp"
+#include "mg/system.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "robust/watchdog.hpp"
+#include "serve/ring.hpp"
+#include "sim/system_sim.hpp"
+#include "spec/parser.hpp"
+
+namespace rascad::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Shortest round-trip decimal rendering (same contract as the JSONL
+/// sink): a client parsing the value back gets the bit-identical double
+/// the solver produced, which the bitwise serve-vs-CLI tests rely on.
+std::string fmt_double(double v) {
+  char buf[32];
+  const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, r.ptr);
+}
+
+double parse_double_field(const std::string& s, const char* what) {
+  double v = 0.0;
+  const char* first = s.data();
+  const char* last = first + s.size();
+  const auto r = std::from_chars(first, last, v);
+  if (r.ec != std::errc() || r.ptr != last) {
+    throw std::invalid_argument(std::string("serve: bad ") + what + " '" + s +
+                                "'");
+  }
+  return v;
+}
+
+std::uint64_t parse_u64_field(const std::string& s, const char* what) {
+  std::uint64_t v = 0;
+  const char* first = s.data();
+  const char* last = first + s.size();
+  const auto r = std::from_chars(first, last, v);
+  if (r.ec != std::errc() || r.ptr != last) {
+    throw std::invalid_argument(std::string("serve: bad ") + what + " '" + s +
+                                "'");
+  }
+  return v;
+}
+
+/// Pops `count` newline-terminated header lines plus the blank separator
+/// off `text`; returns the lines, leaves the remainder (the model source)
+/// in `text`.
+std::vector<std::string> take_header(std::string_view& text,
+                                     std::size_t count) {
+  std::vector<std::string> lines;
+  lines.reserve(count);
+  for (std::size_t i = 0; i < count + 1; ++i) {
+    const std::size_t nl = text.find('\n');
+    if (nl == std::string_view::npos) {
+      throw std::invalid_argument("serve: truncated request header");
+    }
+    std::string line(text.substr(0, nl));
+    text.remove_prefix(nl + 1);
+    if (i == count) {
+      if (!line.empty()) {
+        throw std::invalid_argument(
+            "serve: request header not terminated by a blank line");
+      }
+      break;
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+/// Sweepable block parameters. A fixed whitelist, not reflection: each
+/// name maps to one double field of spec::BlockSpec.
+core::BlockMutator mutator_for(const std::string& param) {
+  if (param == "mtbf_h") {
+    return [](spec::BlockSpec& b, double v) { b.mtbf_h = v; };
+  }
+  if (param == "transient_fit") {
+    return [](spec::BlockSpec& b, double v) { b.transient_fit = v; };
+  }
+  if (param == "mttr_corrective_min") {
+    return [](spec::BlockSpec& b, double v) { b.mttr_corrective_min = v; };
+  }
+  if (param == "service_response_h") {
+    return [](spec::BlockSpec& b, double v) { b.service_response_h = v; };
+  }
+  if (param == "p_correct_diagnosis") {
+    return [](spec::BlockSpec& b, double v) { b.p_correct_diagnosis = v; };
+  }
+  throw std::invalid_argument("serve: unknown sweep parameter '" + param +
+                              "' (supported: mtbf_h, transient_fit, "
+                              "mttr_corrective_min, service_response_h, "
+                              "p_correct_diagnosis)");
+}
+
+/// CSV rows per kChunk frame on the sweep streaming path.
+constexpr std::size_t kRowsPerChunk = 16;
+
+obs::Counter& requests_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("serve.requests");
+  return c;
+}
+obs::Counter& rejected_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("serve.rejected");
+  return c;
+}
+obs::Counter& completed_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("serve.completed");
+  return c;
+}
+obs::Counter& failed_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("serve.failed");
+  return c;
+}
+obs::Histogram& request_histogram() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("serve.request_ms");
+  return h;
+}
+obs::Gauge& admitted_gauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge("serve.queue_depth");
+  return g;
+}
+
+}  // namespace
+
+/// One accepted connection: the reader thread parses request frames, the
+/// writer thread drains the frame ring onto the socket; workers executing
+/// this connection's requests are counted so the ring closes only after
+/// the last producer is done with it.
+struct Service::Session {
+  explicit Session(std::size_t ring_capacity) : ring(ring_capacity) {}
+
+  int fd = -1;
+  FrameRing ring;
+  std::thread reader;
+  std::thread writer;
+  std::atomic<std::size_t> inflight{0};
+  std::atomic<bool> closing{false};
+  std::atomic<bool> reader_done{false};
+  std::atomic<bool> writer_done{false};
+
+  void push(const Frame& frame) { ring.push(encode_frame(frame)); }
+
+  /// Reader saw EOF / error, or the service is stopping: close the ring
+  /// once no worker can still produce into it.
+  void close_ring_if_idle() {
+    if (inflight.load(std::memory_order_acquire) == 0) ring.close();
+  }
+};
+
+Service::Service(ServiceConfig config)
+    : cfg_(std::move(config)),
+      cache_(cfg_.cache_block_capacity, cfg_.cache_curve_capacity) {
+  if (cfg_.queue_capacity == 0) cfg_.queue_capacity = 1;
+  if (cfg_.ring_capacity < 2) cfg_.ring_capacity = 2;
+  cache_.bind_metrics("serve.cache.block", "serve.cache.curve");
+}
+
+Service::~Service() { stop(); }
+
+void Service::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  if (cfg_.socket_path.empty()) {
+    throw std::runtime_error("serve: empty socket path");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (cfg_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: socket path too long: " +
+                             cfg_.socket_path);
+  }
+  std::memcpy(addr.sun_path, cfg_.socket_path.c_str(),
+              cfg_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("serve: socket(): ") +
+                             std::strerror(errno));
+  }
+  ::unlink(cfg_.socket_path.c_str());  // stale socket from a dead daemon
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("serve: bind(") + cfg_.socket_path +
+                             "): " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("serve: listen(): ") +
+                             std::strerror(err));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Service::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;  // no further admissions
+  }
+  // Unblock accept(); the acceptor exits on the resulting error.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // Drain: every admitted request runs to completion and its response
+  // frames reach the rings before any connection is torn down.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait(lock, [this] { return inflight_ == 0; });
+  }
+  // Helper tasks submitted by those requests' parallel loops reference
+  // solver state; make sure none is still running either.
+  exec::global_pool().drain();
+
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions.swap(sessions_);
+  }
+  for (const auto& s : sessions) {
+    ::shutdown(s->fd, SHUT_RD);  // EOF for a reader blocked in read_frame
+    s->closing.store(true, std::memory_order_release);
+    s->close_ring_if_idle();
+  }
+  for (const auto& s : sessions) {
+    if (s->reader.joinable()) s->reader.join();
+    if (s->writer.joinable()) s->writer.join();
+    ::close(s->fd);
+  }
+  ::unlink(cfg_.socket_path.c_str());
+}
+
+bool Service::wait_shutdown_requested(double timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto requested = [this] {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  };
+  if (timeout_ms <= 0.0) {
+    shutdown_cv_.wait(lock, requested);
+    return true;
+  }
+  return shutdown_cv_.wait_for(
+      lock, std::chrono::duration<double, std::milli>(timeout_ms), requested);
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.inflight = inflight_;
+  }
+  s.queue_capacity = cfg_.queue_capacity;
+  s.cache_blocks = cache_.block_counters();
+  s.cache_curves = cache_.curve_counters();
+  return s;
+}
+
+void Service::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down: service is stopping
+    }
+    // A stalled client must not wedge its writer thread forever; a send
+    // that cannot make progress for 30 s drops the connection instead.
+    timeval tv{};
+    tv.tv_sec = 30;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    reap_finished_sessions();
+    auto session = std::make_shared<Session>(cfg_.ring_capacity);
+    session->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        ::close(fd);
+        return;
+      }
+      sessions_.push_back(session);
+      // Threads start while the session is registered, so stop() either
+      // sees this session with joinable threads or not at all.
+      session->reader = std::thread([this, session] { reader_loop(session); });
+      session->writer = std::thread([this, session] { writer_loop(session); });
+    }
+  }
+}
+
+void Service::reap_finished_sessions() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < sessions_.size();) {
+    const auto& s = sessions_[i];
+    if (s->reader_done.load(std::memory_order_acquire) &&
+        s->writer_done.load(std::memory_order_acquire)) {
+      if (s->reader.joinable()) s->reader.join();
+      if (s->writer.joinable()) s->writer.join();
+      ::close(s->fd);
+      sessions_.erase(sessions_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Service::reader_loop(const std::shared_ptr<Session>& session) {
+  try {
+    Frame frame;
+    while (read_frame(session->fd, frame)) {
+      handle_frame(session, std::move(frame));
+      frame = Frame{};
+    }
+  } catch (const std::exception&) {
+    // Protocol violation or forced shutdown of the fd: treat as EOF.
+  }
+  session->closing.store(true, std::memory_order_release);
+  session->close_ring_if_idle();
+  session->reader_done.store(true, std::memory_order_release);
+}
+
+void Service::writer_loop(const std::shared_ptr<Session>& session) {
+  std::string frame;
+  while (session->ring.pop(frame)) {
+    try {
+      write_all(session->fd, frame.data(), frame.size());
+    } catch (const std::exception&) {
+      // Client is gone (or send timed out). Close and drain the ring so
+      // producers blocked on a full ring are released instead of waiting
+      // for a consumer that no longer exists.
+      session->ring.close();
+      std::string sink;
+      while (session->ring.pop(sink)) {
+      }
+      break;
+    }
+  }
+  ::shutdown(session->fd, SHUT_WR);
+  session->writer_done.store(true, std::memory_order_release);
+}
+
+void Service::handle_frame(const std::shared_ptr<Session>& session,
+                           Frame frame) {
+  switch (frame.type) {
+    case FrameType::kStats:
+      session->push(do_stats(frame));
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    case FrameType::kShutdown:
+      // Ack BEFORE signaling: once shutdown_requested_ is observable the
+      // host may call stop(), which closes this ring — a frame already
+      // pushed survives the close (the writer drains before exiting), a
+      // frame pushed after it is dropped.
+      session->push(make_result(frame.request_id, robust::PointStatus::kOk,
+                                "shutting down\n"));
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      shutdown_requested_.store(true, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+      }
+      shutdown_cv_.notify_all();
+      return;
+    case FrameType::kPing:
+    case FrameType::kSolve:
+    case FrameType::kSweep:
+    case FrameType::kSimulate:
+      break;
+    default:
+      session->push(make_error(frame.request_id, robust::PointStatus::kFailed,
+                               std::string("unknown request type ") +
+                                   std::to_string(static_cast<unsigned>(
+                                       frame.type))));
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+  }
+
+  // Bounded admission: the daemon's queue is the in-flight count, and a
+  // full queue answers immediately with a retry hint instead of building
+  // unbounded backlog (the client owns its retry policy).
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_ && inflight_ < cfg_.queue_capacity) {
+      ++inflight_;
+      admitted = true;
+      if (obs::enabled()) {
+        admitted_gauge().set(static_cast<std::int64_t>(inflight_));
+      }
+    }
+  }
+  if (!admitted) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) rejected_counter().inc();
+    session->push(make_retry_after(frame.request_id, cfg_.retry_after_ms,
+                                   "admission queue full"));
+    return;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) requests_counter().inc();
+  session->inflight.fetch_add(1, std::memory_order_acq_rel);
+  exec::global_pool().submit(
+      [this, session, req = std::move(frame)]() mutable {
+        run_request(session, std::move(req));
+      });
+}
+
+void Service::run_request(const std::shared_ptr<Session>& session,
+                          Frame frame) {
+  const auto start = Clock::now();
+  const obs::SpanId parent = obs::current_span();
+  (void)parent;
+  obs::Span span("serve.request");
+  if (span.active()) {
+    span.set_detail("req=" + std::to_string(frame.request_id) +
+                    " verb=" + to_string(frame.type));
+  }
+
+  // Request-scoped token: observes the service lifetime token and, when
+  // the client supplied one, its deadline. Every solver checkpoint under
+  // this request polls it.
+  double deadline_ms =
+      frame.body.size() >= 4 ? static_cast<double>(get_u32(frame.body, 0))
+                             : 0.0;
+  if (deadline_ms <= 0.0) deadline_ms = cfg_.default_deadline_ms;
+  const robust::CancelToken token =
+      deadline_ms > 0.0 ? robust::CancelToken::child_of(lifetime_, deadline_ms)
+                        : robust::CancelToken::child_of(lifetime_);
+  const auto watchdog = robust::StallWatchdog::global().watch(
+      token, cfg_.watchdog_budget_ms,
+      std::string("serve.") + to_string(frame.type) + " req=" +
+          std::to_string(frame.request_id));
+
+  Frame terminal;
+  bool failed = false;
+  try {
+    switch (frame.type) {
+      case FrameType::kPing: terminal = do_ping(frame, token); break;
+      case FrameType::kSolve: terminal = do_solve(frame, token); break;
+      case FrameType::kSweep:
+        terminal = do_sweep(session, frame, token);
+        break;
+      case FrameType::kSimulate:
+        terminal = do_simulate(frame, token);
+        break;
+      default:
+        terminal = make_error(frame.request_id, robust::PointStatus::kFailed,
+                              "unroutable request");
+        break;
+    }
+  } catch (...) {
+    const auto [status, detail] =
+        robust::point_status_from_exception(std::current_exception());
+    terminal = make_error(frame.request_id, status, detail);
+    failed = true;
+  }
+  session->push(terminal);
+
+  if (obs::enabled()) {
+    request_histogram().observe_ms(ms_since(start));
+    (failed ? failed_counter() : completed_counter()).inc();
+  }
+  finish_request(session, failed);
+}
+
+void Service::finish_request(const std::shared_ptr<Session>& session,
+                             bool failed) {
+  (failed ? failed_ : completed_).fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+    if (obs::enabled()) {
+      admitted_gauge().set(static_cast<std::int64_t>(inflight_));
+    }
+    if (inflight_ == 0) drained_cv_.notify_all();
+  }
+  if (session->inflight.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+      session->closing.load(std::memory_order_acquire)) {
+    session->ring.close();
+  }
+  if (!cfg_.obs_append_path.empty() && obs::enabled()) {
+    // Per-request incremental dump. Correct only because the dump path
+    // drains atomically now: spans recorded by requests running
+    // concurrently with this append stay buffered for the next one.
+    std::lock_guard<std::mutex> lock(obs_append_mu_);
+    obs::append_jsonl(cfg_.obs_append_path);
+  }
+}
+
+Frame Service::do_ping(const Frame& req, const robust::CancelToken& token) {
+  const std::uint32_t sleep_ms =
+      req.body.size() >= 8 ? get_u32(req.body, 4) : 0;
+  if (sleep_ms > 0) {
+    const auto until = Clock::now() + std::chrono::milliseconds(sleep_ms);
+    while (Clock::now() < until) {
+      robust::throw_if_stopped(token, "serve.ping");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  robust::throw_if_stopped(token, "serve.ping");
+  Frame f;
+  f.type = FrameType::kPong;
+  f.request_id = req.request_id;
+  return f;
+}
+
+Frame Service::do_solve(const Frame& req, const robust::CancelToken& token) {
+  const std::string_view text(req.body.data() + 4, req.body.size() - 4);
+  spec::ModelSpec model = spec::parse_model(text);
+
+  mg::SystemModel::Options opts;
+  opts.cache = &cache_;
+  opts.parallel.cancel = token;
+  const mg::SystemModel system = mg::SystemModel::build(std::move(model), opts);
+
+  const double mission = system.spec().globals.mission_time_h;
+  std::string out;
+  out += "availability=" + fmt_double(system.availability()) + "\n";
+  out += "yearly_downtime_min=" + fmt_double(system.yearly_downtime_min()) +
+         "\n";
+  out += "eq_failure_rate=" + fmt_double(system.eq_failure_rate()) + "\n";
+  out += "mtbf_h=" + fmt_double(system.mtbf_h()) + "\n";
+  out += "mission_time_h=" + fmt_double(mission) + "\n";
+  out += "interval_availability=" +
+         fmt_double(system.interval_availability(mission)) + "\n";
+  out += "reliability=" + fmt_double(system.reliability(mission)) + "\n";
+  out += "blocks=" + std::to_string(system.blocks().size()) + "\n";
+  out += "states=" + std::to_string(system.total_states()) + "\n";
+  return make_result(req.request_id, robust::PointStatus::kOk,
+                     std::move(out));
+}
+
+Frame Service::do_sweep(const std::shared_ptr<Session>& session,
+                        const Frame& req, const robust::CancelToken& token) {
+  std::string_view text(req.body.data() + 4, req.body.size() - 4);
+  const std::vector<std::string> head = take_header(text, 6);
+  const std::string& diagram = head[0];
+  const std::string& block = head[1];
+  const std::string& param = head[2];
+  const double lo = parse_double_field(head[3], "sweep lo");
+  const double hi = parse_double_field(head[4], "sweep hi");
+  const std::size_t n =
+      static_cast<std::size_t>(parse_u64_field(head[5], "sweep points"));
+  if (n < 2) throw std::invalid_argument("serve: sweep needs >= 2 points");
+
+  const core::BlockMutator mutate = mutator_for(param);
+  spec::ModelSpec model = spec::parse_model(text);
+
+  core::SweepOptions opts;
+  opts.model.cache = &cache_;
+  opts.incremental = true;
+  // The request token in the loop options is what buys degradation: a
+  // deadline mid-sweep yields the completed prefix, and the un-run points
+  // come back with their PointStatus instead of an exception.
+  opts.parallel.cancel = token;
+  const std::vector<core::SweepPoint> points = core::sweep_block_parameter(
+      model, diagram, block, mutate, core::linspace(lo, hi, n), opts);
+
+  // Stream the series through the connection ring in row chunks: the
+  // worker never waits for the client to read one chunk before producing
+  // the next (until the ring itself backpressures).
+  const std::string csv = core::sweep_csv(points);
+  std::size_t line_start = 0;
+  std::size_t rows = 0;
+  std::size_t chunk_start = 0;
+  while (line_start < csv.size()) {
+    const std::size_t nl = csv.find('\n', line_start);
+    const std::size_t line_end = nl == std::string::npos ? csv.size() : nl + 1;
+    ++rows;
+    if (rows >= kRowsPerChunk || line_end >= csv.size()) {
+      session->push(make_chunk(
+          req.request_id, csv.substr(chunk_start, line_end - chunk_start)));
+      chunk_start = line_end;
+      rows = 0;
+    }
+    line_start = line_end;
+  }
+
+  robust::PointStatus status = robust::PointStatus::kOk;
+  std::size_t completed = 0;
+  for (const auto& p : points) {
+    if (p.ok()) {
+      ++completed;
+    } else if (status == robust::PointStatus::kOk) {
+      status = p.status;
+    }
+  }
+  std::string out;
+  out += "points=" + std::to_string(points.size()) + "\n";
+  out += "completed=" + std::to_string(completed) + "\n";
+  out += std::string("status=") + robust::to_string(status) + "\n";
+  return make_result(req.request_id, status, std::move(out));
+}
+
+Frame Service::do_simulate(const Frame& req,
+                           const robust::CancelToken& token) {
+  std::string_view text(req.body.data() + 4, req.body.size() - 4);
+  const std::vector<std::string> head = take_header(text, 3);
+  const double horizon = parse_double_field(head[0], "simulate horizon_h");
+  const std::size_t reps =
+      static_cast<std::size_t>(parse_u64_field(head[1], "simulate reps"));
+  const std::uint64_t seed = parse_u64_field(head[2], "simulate seed");
+  const spec::ModelSpec model = spec::parse_model(text);
+
+  exec::ParallelOptions par;
+  par.cancel = token;
+  const sim::ReplicatedSystemResult rep =
+      sim::replicate_system(model, horizon, reps, seed, {}, par);
+
+  const auto ci = rep.availability.confidence_interval();
+  std::string out;
+  out += "requested=" + std::to_string(rep.requested) + "\n";
+  out += "completed=" + std::to_string(rep.completed) + "\n";
+  out += std::string("status=") + robust::to_string(rep.status) + "\n";
+  out += "availability_mean=" + fmt_double(rep.availability.mean()) + "\n";
+  out += "availability_ci_lo=" + fmt_double(ci.lo) + "\n";
+  out += "availability_ci_hi=" + fmt_double(ci.hi) + "\n";
+  out += "downtime_min_mean=" + fmt_double(rep.downtime_minutes.mean()) +
+         "\n";
+  out += "outages_mean=" + fmt_double(rep.outages.mean()) + "\n";
+  // Partial Monte-Carlo statistics are still statistics: report them with
+  // the degradation status instead of discarding completed replications.
+  return make_result(req.request_id, rep.status, std::move(out));
+}
+
+Frame Service::do_stats(const Frame& req) {
+  const ServiceStats s = stats();
+  std::string out;
+  out += "accepted=" + std::to_string(s.accepted) + "\n";
+  out += "rejected=" + std::to_string(s.rejected) + "\n";
+  out += "completed=" + std::to_string(s.completed) + "\n";
+  out += "failed=" + std::to_string(s.failed) + "\n";
+  out += "inflight=" + std::to_string(s.inflight) + "\n";
+  out += "queue_capacity=" + std::to_string(s.queue_capacity) + "\n";
+  const auto table = [&out](const char* prefix,
+                            const cache::CacheCounters& c) {
+    out += std::string(prefix) + ".hits=" + std::to_string(c.hits) + "\n";
+    out += std::string(prefix) + ".misses=" + std::to_string(c.misses) + "\n";
+    out += std::string(prefix) +
+           ".insertions=" + std::to_string(c.insertions) + "\n";
+    out += std::string(prefix) + ".evictions=" + std::to_string(c.evictions) +
+           "\n";
+    out += std::string(prefix) + ".entries=" + std::to_string(c.entries) +
+           "\n";
+  };
+  table("cache.block", s.cache_blocks);
+  table("cache.curve", s.cache_curves);
+  return make_result(req.request_id, robust::PointStatus::kOk,
+                     std::move(out));
+}
+
+}  // namespace rascad::serve

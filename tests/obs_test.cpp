@@ -7,8 +7,11 @@
 #include <atomic>
 #include <cctype>
 #include <cstddef>
+#include <cstdio>
+#include <fstream>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -502,6 +505,177 @@ TEST_F(ObsTest, BenchMetricsLineFormat) {
             "{\"bench\":\"demo\",\"metrics\":{\"count\":42,\"ratio\":0.5,"
             "\"label\":\"a\\\"b\",\"ok\":true}}");
   EXPECT_TRUE(valid_json_object(line));
+}
+
+// --- dump lifecycle regressions ------------------------------------------
+
+namespace {
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+}  // namespace
+
+// Regression for the peek-then-clear race: dump_jsonl (and every dump
+// path) must take the trace with ONE atomic drain. The old sequence —
+// peek_trace(), write the file, clear_trace() — destroyed every span
+// recorded between the two calls. Here a second thread records spans
+// continuously while the main thread dumps repeatedly; conservation must
+// hold: every recorded span appears in exactly one dump.
+TEST_F(ObsTest, DumpNeverDropsSpansRecordedConcurrently) {
+  rascad::obs::set_enabled(true);
+  constexpr std::size_t kSpans = 4000;
+  std::atomic<bool> go{false};
+  std::thread recorder([&] {
+    while (!go.load()) std::this_thread::yield();
+    for (std::size_t i = 0; i < kSpans; ++i) {
+      Span s("race.recorded");
+      if ((i & 0x3ff) == 0) std::this_thread::yield();
+    }
+  });
+
+  std::string all;
+  go.store(true);
+  for (int round = 0; round < 50; ++round) {
+    std::ostringstream os;
+    rascad::obs::dump_jsonl(os);  // one atomic drain per dump
+    all += os.str();
+  }
+  recorder.join();
+  {
+    std::ostringstream os;
+    rascad::obs::dump_jsonl(os);  // final sweep picks up the tail
+    all += os.str();
+  }
+  EXPECT_EQ(count_occurrences(all, "\"race.recorded\""), kSpans);
+}
+
+// A span still open while a dump runs must neither lose data nor produce
+// a garbage duration: it stays buffered (absent from this dump) and
+// surfaces in the next drain with a sane dur_us.
+TEST_F(ObsTest, SpanHeldOpenAcrossDumpSurvivesWithSaneDuration) {
+  rascad::obs::set_enabled(true);
+  auto held = std::make_unique<Span>("held.open");
+  std::ostringstream first;
+  rascad::obs::dump_jsonl(first);
+  EXPECT_EQ(count_occurrences(first.str(), "\"held.open\""), 0u)
+      << "open span must stay owned by its Span object";
+  held.reset();  // closes the span
+  std::ostringstream second;
+  rascad::obs::dump_jsonl(second);
+  const std::string out = second.str();
+  ASSERT_EQ(count_occurrences(out, "\"held.open\""), 1u);
+  // No unsigned-underflow duration (~5.8e17 us) and not marked live.
+  EXPECT_EQ(out.find("\"live\":true"), std::string::npos);
+  EXPECT_EQ(out.find("e+17"), std::string::npos);
+  EXPECT_EQ(out.find("e+18"), std::string::npos);
+}
+
+// write_trace_jsonl formatting contract for incoherent span timestamps:
+// "live":true + "dur_us":null, never an underflowed unsigned duration.
+TEST_F(ObsTest, LiveSpanRecordsMarkedInsteadOfUnderflowed) {
+  TraceDump dump;
+  SpanRecord open;
+  open.id = 1;
+  open.name = "live.open";
+  open.start_ns = 5'000;
+  open.end_ns = 0;  // never closed
+  SpanRecord skewed;
+  skewed.id = 2;
+  skewed.name = "live.skewed";
+  skewed.start_ns = 9'000;
+  skewed.end_ns = 4'000;  // end before start
+  SpanRecord closed;
+  closed.id = 3;
+  closed.name = "live.closed";
+  closed.start_ns = 1'000;
+  closed.end_ns = 3'000;
+  dump.spans = {open, skewed, closed};
+  std::ostringstream os;
+  rascad::obs::write_trace_jsonl(os, dump);
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t live = 0;
+  while (std::getline(is, line)) {
+    EXPECT_TRUE(valid_json_object(line)) << line;
+    if (line.find("\"live\":true") != std::string::npos) {
+      ++live;
+      EXPECT_NE(line.find("\"dur_us\":null"), std::string::npos) << line;
+    }
+  }
+  EXPECT_EQ(live, 2u);
+  EXPECT_NE(os.str().find("\"live.closed\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"dur_us\":2"), std::string::npos);
+}
+
+// The obs.dropped trailer must carry its count as a JSON number.
+TEST_F(ObsTest, DroppedTrailerCountIsNumeric) {
+  TraceDump dump;
+  dump.dropped = 37;
+  std::ostringstream os;
+  rascad::obs::write_trace_jsonl(os, dump);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"count\":37"), std::string::npos) << out;
+  EXPECT_EQ(out.find("\"count\":\"37\""), std::string::npos) << out;
+  std::istringstream is(out);
+  std::string line;
+  while (std::getline(is, line)) {
+    EXPECT_TRUE(valid_json_object(line)) << line;
+  }
+}
+
+// The incremental sink: repeated appends accumulate, each drains the
+// trace exactly once, and a failed open leaves the trace intact.
+TEST_F(ObsTest, AppendJsonlDrainsIncrementally) {
+  rascad::obs::set_enabled(true);
+  const std::string path =
+      ::testing::TempDir() + "/rascad_obs_append_test.jsonl";
+  std::remove(path.c_str());
+
+  { Span s("append.first"); }
+  ASSERT_TRUE(rascad::obs::append_jsonl(path));
+  { Span s("append.second"); }
+  ASSERT_TRUE(rascad::obs::append_jsonl(path));
+
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string out = ss.str();
+  EXPECT_EQ(count_occurrences(out, "\"append.first\""), 1u);
+  EXPECT_EQ(count_occurrences(out, "\"append.second\""), 1u);
+  EXPECT_EQ(count_occurrences(out, "\"type\":\"metrics\""), 2u);
+
+  // Unwritable destination: returns false and keeps the buffered trace.
+  { Span s("append.kept"); }
+  EXPECT_FALSE(rascad::obs::append_jsonl(
+      ::testing::TempDir() + "/no-such-dir-xyz/out.jsonl"));
+  const TraceDump kept = rascad::obs::peek_trace();
+  ASSERT_EQ(kept.spans.size(), 1u);
+  EXPECT_STREQ(kept.spans[0].name, "append.kept");
+  std::remove(path.c_str());
+}
+
+// --- histogram quantiles (serve latency reporting) ------------------------
+
+TEST_F(ObsTest, HistogramQuantileInterpolatesBuckets) {
+  Histogram h;
+  EXPECT_EQ(h.snapshot().quantile_ms(0.5), 0.0);  // empty: no estimate
+  for (int i = 0; i < 100; ++i) h.observe_ms(0.5);   // bucket [~0.256, ~1)
+  for (int i = 0; i < 100; ++i) h.observe_ms(100.0);
+  const auto snap = h.snapshot();
+  const double p25 = snap.quantile_ms(0.25);
+  const double p99 = snap.quantile_ms(0.99);
+  EXPECT_GT(p25, 0.0);
+  EXPECT_LT(p25, 2.0);       // inside the low bucket's range
+  EXPECT_GT(p99, 50.0);      // inside the high bucket's range
+  EXPECT_LE(p99, 300.0);
+  EXPECT_LE(snap.quantile_ms(0.0), p25);
+  EXPECT_LE(p25, snap.quantile_ms(0.75));
 }
 
 }  // namespace

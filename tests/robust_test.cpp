@@ -5,6 +5,7 @@
 // and the status columns of the CSV round-trip.
 #include <atomic>
 #include <chrono>
+#include <locale>
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -613,6 +614,35 @@ TEST(Watchdog, FlagsUnobservedStopAndSparesObservedOne) {
   EXPECT_EQ(dog.stall_count(), mid);
 }
 
+// Regression for the idle spin: with no registered guards the poll thread
+// must park on its condition variable, not wake every poll_ms_ forever.
+// scan_count() counts passes over a non-empty entry list, so a parked
+// watchdog's count freezes and a watched token's count grows.
+TEST(Watchdog, ParksWhenIdleInsteadOfSpinning) {
+  auto& dog = rascad::robust::StallWatchdog::global();
+  dog.set_poll_interval_ms(1.0);
+
+  // Ensure the poll thread exists, then let the entry list empty out.
+  {
+    const CancelToken warmup = CancelToken::manual();
+    const auto guard = dog.watch(warmup, 1000.0, "robust_test.warmup");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  const std::uint64_t idle_before = dog.scan_count();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(dog.scan_count(), idle_before)
+      << "poll thread scanned with zero entries: it is spinning, not parked";
+
+  // A new registration must wake it back up.
+  const CancelToken token = CancelToken::manual();
+  const auto guard = dog.watch(token, 1000.0, "robust_test.wakeup");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_GT(dog.scan_count(), idle_before)
+      << "poll thread failed to resume after a watch() registration";
+}
+
 // ---------------------------------------------------------------- CSV ----
 
 TEST(CsvRoundTrip, SweepStatusColumnsSurviveReadBack) {
@@ -688,6 +718,108 @@ TEST(CsvRoundTrip, ImportanceStatusColumnsSurviveReadBack) {
     EXPECT_EQ(back[i].status, rows[i].status);
     EXPECT_EQ(back[i].status_detail, rows[i].status_detail);
   }
+}
+
+// A degraded row whose detail carries CSV metacharacters — commas, quotes
+// — must survive write→read bit-exactly (quoting, not mangling).
+TEST(CsvRoundTrip, SweepDetailWithCommasAndQuotesSurvives) {
+  std::vector<rascad::core::SweepPoint> points(1);
+  points[0].value = 3.5;
+  points[0].availability = std::nan("");
+  points[0].yearly_downtime_min = std::nan("");
+  points[0].eq_failure_rate = std::nan("");
+  points[0].solve_source = "none";
+  points[0].status = PointStatus::kCancelled;
+  points[0].status_detail =
+      "cooperative stop (cancelled), rung 2, residual \"1e-9\", gave up";
+
+  const auto back =
+      rascad::core::read_sweep_csv(rascad::core::sweep_csv(points));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].status, PointStatus::kCancelled);
+  EXPECT_EQ(back[0].status_detail, points[0].status_detail);
+}
+
+namespace {
+
+/// Classic-locale-like numpunct that renders the decimal point as ',' —
+/// the de_DE convention, without needing de_DE installed in the image.
+class CommaDecimal : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+/// Installs a comma-decimal global locale for the scope. Streams imbue
+/// the global locale at construction, so any CSV writer/reader that
+/// forgets to pin the classic locale breaks under this guard.
+class GlobalLocaleGuard {
+ public:
+  GlobalLocaleGuard()
+      : saved_(std::locale::global(
+            std::locale(std::locale::classic(), new CommaDecimal))) {}
+  ~GlobalLocaleGuard() { std::locale::global(saved_); }
+
+ private:
+  std::locale saved_;
+};
+
+}  // namespace
+
+// The CSV interchange layer must be LC_NUMERIC-independent: writers pin
+// the classic locale on their streams, and the parser uses std::from_chars.
+// Under a comma-decimal global locale the round trip must stay bit-exact
+// (an unpinned writer would emit "0,999875" and the parse would fail or
+// silently truncate at the comma).
+TEST(CsvRoundTrip, LocaleIndependentUnderCommaDecimalGlobal) {
+  const GlobalLocaleGuard guard;
+
+  std::vector<rascad::core::SweepPoint> points(2);
+  points[0].value = 1234.5678;
+  points[0].availability = 0.99987512345;
+  points[0].yearly_downtime_min = 65.73;
+  points[0].eq_failure_rate = 1.25e-6;
+  points[0].fresh_blocks = 1234;  // grouping separator bait
+  points[1].value = 2000.25;
+  points[1].availability = std::nan("");
+  points[1].yearly_downtime_min = std::nan("");
+  points[1].eq_failure_rate = std::nan("");
+  points[1].solve_source = "none";
+  points[1].status = PointStatus::kDeadlineExceeded;
+  points[1].status_detail = "point skipped (deadline-exceeded)";
+
+  const std::string csv = rascad::core::sweep_csv(points);
+  EXPECT_EQ(csv.find("0,99987512345"), std::string::npos)
+      << "writer leaked the global locale's decimal comma:\n"
+      << csv;
+  EXPECT_EQ(csv.find("1.234"), std::string::npos)
+      << "writer leaked the global locale's thousands grouping:\n"
+      << csv;
+
+  const auto back = rascad::core::read_sweep_csv(csv);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].value, points[0].value);
+  EXPECT_EQ(back[0].availability, points[0].availability);
+  EXPECT_EQ(back[0].eq_failure_rate, points[0].eq_failure_rate);
+  EXPECT_EQ(back[0].fresh_blocks, points[0].fresh_blocks);
+  EXPECT_TRUE(std::isnan(back[1].availability));
+  EXPECT_EQ(back[1].status, PointStatus::kDeadlineExceeded);
+  EXPECT_EQ(back[1].status_detail, points[1].status_detail);
+
+  // Importance table: same contract under the same hostile locale.
+  std::vector<rascad::core::BlockImportance> rows(1);
+  rows[0].diagram = "Web Shop";
+  rows[0].block = "Load Balancer, \"Pair\"";
+  rows[0].availability = 0.503456789123;  // 12 sig digits: writer precision
+  rows[0].birnbaum = 1.5e-3;
+  rows[0].criticality = 0.75;
+  const auto rows_back =
+      rascad::core::read_importance_csv(rascad::core::importance_csv(rows));
+  ASSERT_EQ(rows_back.size(), 1u);
+  EXPECT_EQ(rows_back[0].block, rows[0].block);
+  EXPECT_EQ(rows_back[0].availability, rows[0].availability);
+  EXPECT_EQ(rows_back[0].birnbaum, rows[0].birnbaum);
 }
 
 TEST(CsvRoundTrip, MalformedInputThrows) {

@@ -1,0 +1,512 @@
+// Solve-service daemon: frame protocol round trips, the MPSC frame ring,
+// in-process Service + Client end-to-end (solve parity with a direct
+// build, shared warm cache across connections, admission backpressure
+// with retry-after, per-request deadlines with degraded partial results,
+// chunked sweep streaming, graceful shutdown draining in-flight work).
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/csv.hpp"
+#include "core/library.hpp"
+#include "core/sweep.hpp"
+#include "mg/system.hpp"
+#include "robust/cancel.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/ring.hpp"
+#include "serve/service.hpp"
+#include "spec/parser.hpp"
+#include "spec/writer.hpp"
+
+namespace {
+
+using rascad::robust::PointStatus;
+using rascad::serve::Client;
+using rascad::serve::Frame;
+using rascad::serve::FrameRing;
+using rascad::serve::FrameType;
+using rascad::serve::Reply;
+using rascad::serve::Service;
+using rascad::serve::ServiceConfig;
+using rascad::serve::ServiceStats;
+
+/// A model with enough structure to exercise the cache (the library's
+/// datacenter system), rendered back to `.rsc` text for the wire.
+std::string datacenter_text() {
+  return rascad::spec::to_rsc_string(rascad::core::library::datacenter_system());
+}
+
+/// Unique-per-test socket path under /tmp (sun_path is length-limited, so
+/// TempDir — often a deep path — is not safe here).
+std::string socket_path(const char* tag) {
+  return "/tmp/rascad_serve_test_" + std::to_string(::getpid()) + "_" + tag +
+         ".sock";
+}
+
+struct ServerFixture {
+  explicit ServerFixture(ServiceConfig cfg) : service(std::move(cfg)) {
+    service.start();
+  }
+  ~ServerFixture() {
+    service.stop();
+    std::remove(service.config().socket_path.c_str());
+  }
+  Service service;
+};
+
+ServiceConfig base_config(const char* tag) {
+  ServiceConfig cfg;
+  cfg.socket_path = socket_path(tag);
+  return cfg;
+}
+
+// ------------------------------------------------------------ protocol ----
+
+TEST(ServeProtocol, FrameEncodeDecodeRoundTripsOverAPipe) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Frame out;
+  out.type = FrameType::kSolve;
+  out.request_id = 0xdeadbeefcafe;
+  out.body = std::string("\x01\x00\x00\x00", 4) + "block \"X\" {}\n";
+  rascad::serve::write_frame(fds[0], out);
+  Frame in;
+  ASSERT_TRUE(rascad::serve::read_frame(fds[1], in));
+  EXPECT_EQ(in.type, out.type);
+  EXPECT_EQ(in.request_id, out.request_id);
+  EXPECT_EQ(in.body, out.body);
+
+  ::close(fds[0]);  // clean EOF at a frame boundary
+  EXPECT_FALSE(rascad::serve::read_frame(fds[1], in));
+  ::close(fds[1]);
+}
+
+TEST(ServeProtocol, TruncatedAndOversizedFramesThrow) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Announce a large frame, deliver half a header, close.
+  const char partial[] = {0x40, 0x00, 0x00, 0x00, 0x02};
+  ASSERT_EQ(::write(fds[0], partial, sizeof(partial)),
+            static_cast<ssize_t>(sizeof(partial)));
+  ::close(fds[0]);
+  Frame in;
+  EXPECT_THROW(rascad::serve::read_frame(fds[1], in), std::runtime_error);
+  ::close(fds[1]);
+
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Length below the type+request_id minimum is a protocol violation.
+  const char runt[] = {0x04, 0x00, 0x00, 0x00, 1, 2, 3, 4};
+  ASSERT_EQ(::write(fds[0], runt, sizeof(runt)),
+            static_cast<ssize_t>(sizeof(runt)));
+  EXPECT_THROW(rascad::serve::read_frame(fds[1], in), std::runtime_error);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServeProtocol, ScalarCodecsAreLittleEndianAndBoundsChecked) {
+  std::string body;
+  rascad::serve::put_u32(body, 0x01020304u);
+  rascad::serve::put_u64(body, 0x1122334455667788ull);
+  EXPECT_EQ(static_cast<unsigned char>(body[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(body[3]), 0x01);
+  EXPECT_EQ(rascad::serve::get_u32(body, 0), 0x01020304u);
+  EXPECT_EQ(rascad::serve::get_u64(body, 4), 0x1122334455667788ull);
+  EXPECT_THROW(rascad::serve::get_u32(body, 9), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- ring ----
+
+TEST(FrameRingTest, FifoPerProducerAndCloseDrains) {
+  FrameRing ring(8);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ring.push("frame-" + std::to_string(i)));
+  }
+  ring.close();
+  EXPECT_FALSE(ring.push("late"));  // rejected after close
+  std::string out;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.pop(out));  // close() never truncates accepted frames
+    EXPECT_EQ(out, "frame-" + std::to_string(i));
+  }
+  EXPECT_FALSE(ring.pop(out));  // closed and drained
+}
+
+TEST(FrameRingTest, ManyProducersOneConsumerConservesFrames) {
+  constexpr std::size_t kProducers = 6;
+  constexpr std::size_t kPerProducer = 500;
+  FrameRing ring(16);  // small: forces full-ring blocking
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(ring.push(std::to_string(p) + ":" + std::to_string(i)));
+      }
+    });
+  }
+  std::vector<std::size_t> next(kProducers, 0);
+  std::size_t popped = 0;
+  std::thread consumer([&] {
+    std::string out;
+    while (ring.pop(out)) {
+      const std::size_t colon = out.find(':');
+      ASSERT_NE(colon, std::string::npos);
+      const std::size_t p = std::stoul(out.substr(0, colon));
+      const std::size_t i = std::stoul(out.substr(colon + 1));
+      ASSERT_LT(p, kProducers);
+      EXPECT_EQ(i, next[p]) << "per-producer FIFO violated";
+      next[p] = i + 1;
+      ++popped;
+    }
+  });
+  for (auto& t : producers) t.join();
+  ring.close();
+  consumer.join();
+  EXPECT_EQ(popped, kProducers * kPerProducer);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next[p], kPerProducer);
+  }
+}
+
+// ---------------------------------------------------------- end-to-end ----
+
+TEST(ServeEndToEnd, PingPongAndStats) {
+  ServerFixture server(base_config("ping"));
+  Client client;
+  client.connect_retry(server.service.config().socket_path, 2000.0);
+  const Reply pong = client.ping();
+  EXPECT_TRUE(pong.ok());
+  EXPECT_EQ(pong.type, FrameType::kPong);
+
+  const Reply stats = client.stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(rascad::serve::reply_value(stats.text, "accepted"), 1.0);
+  EXPECT_EQ(rascad::serve::reply_value(stats.text, "rejected"), 0.0);
+  EXPECT_GT(rascad::serve::reply_value(stats.text, "queue_capacity"), 0.0);
+}
+
+TEST(ServeEndToEnd, SolveMatchesDirectBuildBitwise) {
+  const std::string text = datacenter_text();
+
+  // Oracle: the one-shot in-process path.
+  auto model = rascad::spec::parse_model(text);
+  const auto direct = rascad::mg::SystemModel::build(std::move(model));
+
+  ServerFixture server(base_config("solve"));
+  Client client;
+  client.connect_retry(server.service.config().socket_path, 2000.0);
+  const Reply reply = client.solve(text);
+  ASSERT_TRUE(reply.ok()) << reply.text;
+  EXPECT_EQ(rascad::serve::reply_value(reply.text, "availability"),
+            direct.availability());
+  EXPECT_EQ(rascad::serve::reply_value(reply.text, "yearly_downtime_min"),
+            direct.yearly_downtime_min());
+  EXPECT_EQ(rascad::serve::reply_value(reply.text, "mtbf_h"),
+            direct.mtbf_h());
+  EXPECT_EQ(rascad::serve::reply_value(reply.text, "blocks"),
+            static_cast<double>(direct.blocks().size()));
+}
+
+TEST(ServeEndToEnd, CacheIsSharedAcrossConnections) {
+  const std::string text = datacenter_text();
+  ServerFixture server(base_config("cache"));
+  const std::string path = server.service.config().socket_path;
+
+  Client first;
+  first.connect_retry(path, 2000.0);
+  ASSERT_TRUE(first.solve(text).ok());
+  const auto cold = server.service.stats();
+  EXPECT_GT(cold.cache_blocks.insertions, 0u);
+
+  // A different connection issues the same solve: every block solve must
+  // come from the shared warm cache, inserting nothing new.
+  Client second;
+  second.connect_retry(path, 2000.0);
+  ASSERT_TRUE(second.solve(text).ok());
+  const auto warm = server.service.stats();
+  EXPECT_EQ(warm.cache_blocks.insertions, cold.cache_blocks.insertions);
+  EXPECT_GT(warm.cache_blocks.hits, cold.cache_blocks.hits);
+}
+
+TEST(ServeEndToEnd, AdmissionRejectsWithRetryAfterWhenFull) {
+  ServiceConfig cfg = base_config("backpressure");
+  cfg.queue_capacity = 1;
+  cfg.retry_after_ms = 7.0;
+  ServerFixture server(cfg);
+  const std::string path = server.service.config().socket_path;
+
+  // Occupy the single slot with a parked ping...
+  Client occupant;
+  occupant.connect_retry(path, 2000.0);
+  std::thread parked([&occupant] {
+    const Reply r = occupant.ping(0, 400);
+    EXPECT_TRUE(r.ok());
+  });
+
+  // ...then probe until the slot is observably taken and the admission
+  // gate answers with the configured retry hint.
+  Client prober;
+  prober.connect_retry(path, 2000.0);
+  Reply rejected;
+  bool saw_rejection = false;
+  for (int i = 0; i < 200; ++i) {
+    rejected = prober.ping();
+    if (rejected.rejected()) {
+      saw_rejection = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(saw_rejection) << "queue_capacity=1 never produced a rejection";
+  EXPECT_EQ(rejected.retry_after_ms, 7.0);
+  EXPECT_NE(rejected.text.find("queue full"), std::string::npos);
+
+  parked.join();
+  EXPECT_GE(server.service.stats().rejected, 1u);
+
+  // After the occupant finishes, the same client is admitted again. The
+  // pong is streamed before the admission slot frees, so poll briefly.
+  Reply after;
+  for (int i = 0; i < 200; ++i) {
+    after = prober.ping();
+    if (after.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(after.ok()) << "slot never freed after occupant finished";
+}
+
+TEST(ServeEndToEnd, RetryingClientEventuallyAdmitted) {
+  ServiceConfig cfg = base_config("retry");
+  cfg.queue_capacity = 1;
+  cfg.retry_after_ms = 5.0;
+  ServerFixture server(cfg);
+  const std::string path = server.service.config().socket_path;
+  const std::string text = datacenter_text();
+
+  Client occupant;
+  occupant.connect_retry(path, 2000.0);
+  std::thread parked([&occupant] { EXPECT_TRUE(occupant.ping(0, 150).ok()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  Client retrier;
+  retrier.connect_retry(path, 2000.0);
+  std::size_t attempts = 0;
+  const Reply reply = retrier.solve_retrying(text, 5000.0, 0, &attempts);
+  EXPECT_TRUE(reply.ok()) << reply.text;
+  EXPECT_GE(attempts, 1u);
+  parked.join();
+}
+
+TEST(ServeEndToEnd, ClientDeadlineCutsRequestShort) {
+  ServerFixture server(base_config("deadline"));
+  Client client;
+  client.connect_retry(server.service.config().socket_path, 2000.0);
+  // Park the worker for 2 s under a 30 ms deadline: the request-scoped
+  // token fires and the error carries the deadline taxonomy.
+  const auto start = std::chrono::steady_clock::now();
+  const Reply reply = client.ping(/*deadline_ms=*/30, /*sleep_ms=*/2000);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(reply.type, FrameType::kError);
+  EXPECT_EQ(reply.status, PointStatus::kDeadlineExceeded);
+  EXPECT_LT(elapsed_ms, 1500.0) << "deadline did not cut the park short";
+}
+
+TEST(ServeEndToEnd, SweepStreamsChunksAndParsesBack) {
+  const std::string text = datacenter_text();
+  ServerFixture server(base_config("sweep"));
+  Client client;
+  client.connect_retry(server.service.config().socket_path, 2000.0);
+
+  constexpr std::size_t kPoints = 40;  // > one 16-row chunk
+  const Reply reply = client.sweep(text, "Server Box", "Centerplane",
+                                   "service_response_h", 0.5, 24.0, kPoints);
+  ASSERT_TRUE(reply.ok()) << reply.text;
+  EXPECT_EQ(rascad::serve::reply_value(reply.text, "points"),
+            static_cast<double>(kPoints));
+  EXPECT_EQ(rascad::serve::reply_value(reply.text, "completed"),
+            static_cast<double>(kPoints));
+
+  // The streamed chunks concatenate to EXACTLY the CSV text the core
+  // layer produces for the same sweep — byte-identical, by the solver's
+  // determinism contract plus the serializer's canonical formatting.
+  const auto points = rascad::core::read_sweep_csv(reply.stream);
+  ASSERT_EQ(points.size(), kPoints);
+  for (const auto& p : points) EXPECT_TRUE(p.ok());
+  auto model = rascad::spec::parse_model(text);
+  rascad::core::SweepOptions opts;
+  const auto direct = rascad::core::sweep_block_parameter(
+      model, "Server Box", "Centerplane",
+      [](rascad::spec::BlockSpec& b, double v) { b.service_response_h = v; },
+      rascad::core::linspace(0.5, 24.0, kPoints), opts);
+  EXPECT_EQ(reply.stream, rascad::core::sweep_csv(direct));
+}
+
+TEST(ServeEndToEnd, SweepUnderDeadlineReturnsDegradedPrefix) {
+  const std::string text = datacenter_text();
+  ServiceConfig cfg = base_config("degrade");
+  ServerFixture server(cfg);
+  Client client;
+  client.connect_retry(server.service.config().socket_path, 2000.0);
+
+  // A big sweep under a tiny deadline: the reply must be a kResult (not
+  // an error) whose status explains the missing tail, with every row
+  // accounted for — completed measurements plus status-carrying stubs.
+  const Reply reply = client.sweep(text, "Server Box", "Centerplane",
+                                   "service_response_h", 0.5, 24.0, 512,
+                                   /*deadline_ms=*/1);
+  ASSERT_EQ(reply.type, FrameType::kResult) << reply.text;
+  ASSERT_TRUE(reply.degraded()) << "1 ms deadline finished a 512-point sweep?";
+  EXPECT_EQ(reply.status, PointStatus::kDeadlineExceeded);
+  const auto points = rascad::core::read_sweep_csv(reply.stream);
+  ASSERT_EQ(points.size(), 512u);
+  const double completed = rascad::serve::reply_value(reply.text, "completed");
+  EXPECT_LT(completed, 512.0);
+  std::size_t ok_rows = 0;
+  for (const auto& p : points) {
+    if (p.ok()) {
+      ++ok_rows;
+      EXPECT_FALSE(std::isnan(p.availability));
+    } else {
+      EXPECT_EQ(p.status, PointStatus::kDeadlineExceeded);
+      EXPECT_TRUE(std::isnan(p.availability));
+    }
+  }
+  EXPECT_EQ(static_cast<double>(ok_rows), completed);
+}
+
+TEST(ServeEndToEnd, SimulatePartialUnderDeadlineKeepsCompletedStats) {
+  const std::string text = datacenter_text();
+  ServerFixture server(base_config("simulate"));
+  Client client;
+  client.connect_retry(server.service.config().socket_path, 2000.0);
+
+  // Full run first: status ok, requested == completed.
+  const Reply full = client.simulate(text, 1000.0, 50, 42);
+  ASSERT_TRUE(full.ok()) << full.text;
+  EXPECT_EQ(rascad::serve::reply_value(full.text, "requested"), 50.0);
+  EXPECT_EQ(rascad::serve::reply_value(full.text, "completed"), 50.0);
+  const double mean =
+      rascad::serve::reply_value(full.text, "availability_mean");
+  EXPECT_GT(mean, 0.9);
+  EXPECT_LE(mean, 1.0);
+
+  // Deadline-cut run: still a kResult carrying the completed subset.
+  const Reply cut = client.simulate(text, 5000.0, 20000, 42,
+                                    /*deadline_ms=*/10);
+  ASSERT_EQ(cut.type, FrameType::kResult) << cut.text;
+  if (cut.degraded()) {
+    EXPECT_EQ(cut.status, PointStatus::kDeadlineExceeded);
+    EXPECT_LT(rascad::serve::reply_value(cut.text, "completed"),
+              rascad::serve::reply_value(cut.text, "requested"));
+  }
+}
+
+TEST(ServeEndToEnd, MalformedModelAnswersErrorNotDisconnect) {
+  ServerFixture server(base_config("badmodel"));
+  Client client;
+  client.connect_retry(server.service.config().socket_path, 2000.0);
+  const Reply bad = client.solve("diagram \"Broken\" { block }}}");
+  EXPECT_EQ(bad.type, FrameType::kError);
+  EXPECT_EQ(bad.status, PointStatus::kFailed);
+  EXPECT_FALSE(bad.text.empty());
+  // The connection survives the failed request.
+  EXPECT_TRUE(client.ping().ok());
+  EXPECT_GE(server.service.stats().failed, 1u);
+}
+
+TEST(ServeEndToEnd, ConcurrentClientsAllServed) {
+  const std::string text = datacenter_text();
+  ServiceConfig cfg = base_config("concurrent");
+  cfg.queue_capacity = 64;
+  ServerFixture server(cfg);
+  const std::string path = server.service.config().socket_path;
+
+  // Prime the shared cache so worker threads mostly hit.
+  {
+    Client warm;
+    warm.connect_retry(path, 2000.0);
+    ASSERT_TRUE(warm.solve(text).ok());
+  }
+
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kRequests = 5;
+  std::atomic<std::size_t> ok{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  double expected = -1.0;
+  {
+    Client probe;
+    probe.connect_retry(path, 2000.0);
+    expected = rascad::serve::reply_value(probe.solve(text).text,
+                                          "availability");
+  }
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client;
+      client.connect_retry(path, 2000.0);
+      for (std::size_t r = 0; r < kRequests; ++r) {
+        const Reply reply = client.solve_retrying(text, 10000.0);
+        ASSERT_TRUE(reply.ok()) << "client " << c << ": " << reply.text;
+        ASSERT_EQ(rascad::serve::reply_value(reply.text, "availability"),
+                  expected);
+        ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), kClients * kRequests);
+  // The terminal frame reaches the client a beat before the server's
+  // bookkeeping settles; poll for the counters to catch up.
+  ServiceStats stats;
+  for (int i = 0; i < 200; ++i) {
+    stats = server.service.stats();
+    if (stats.completed >= kClients * kRequests && stats.inflight == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(stats.completed, kClients * kRequests);
+  EXPECT_EQ(stats.inflight, 0u);
+}
+
+TEST(ServeEndToEnd, ShutdownVerbSignalsAndStopDrainsInFlight) {
+  ServerFixture server(base_config("shutdown"));
+  const std::string path = server.service.config().socket_path;
+
+  // An in-flight slow request must complete across stop(), not be killed.
+  Client slow;
+  slow.connect_retry(path, 2000.0);
+  std::atomic<bool> slow_ok{false};
+  std::thread slow_thread([&] {
+    const Reply r = slow.ping(0, 300);
+    slow_ok.store(r.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  Client admin;
+  admin.connect_retry(path, 2000.0);
+  EXPECT_FALSE(server.service.shutdown_requested());
+  EXPECT_TRUE(admin.request_shutdown().ok());
+  EXPECT_TRUE(server.service.wait_shutdown_requested(2000.0));
+
+  server.service.stop();  // must drain the parked ping first
+  slow_thread.join();
+  EXPECT_TRUE(slow_ok.load()) << "stop() dropped an in-flight request";
+  EXPECT_FALSE(server.service.running());
+
+  // Idempotent: a second stop is a no-op.
+  server.service.stop();
+}
+
+}  // namespace

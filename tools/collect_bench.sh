@@ -14,7 +14,7 @@ set -euo pipefail
 root="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$root/build}"
 
-for name in scalability cache simd robust; do
+for name in scalability cache simd robust serve; do
   bin="$build/bench/bench_$name"
   if [[ ! -x "$bin" ]]; then
     echo "missing $bin — build the benches first (cmake --build $build)" >&2
