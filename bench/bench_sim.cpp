@@ -1,0 +1,379 @@
+// Event-engine simulator gates: million-replication throughput, flat
+// streaming memory, and bitwise determinism.
+//
+// Sections, three of them hard gates (nonzero exit on violation):
+//
+//   1. Flat memory (gate). Peak RSS is sampled after a 100k-replication
+//      streaming run and again after the 1M-replication run: the growth
+//      must stay under 32 MB, i.e. streaming statistics hold O(batch)
+//      state no matter how many replications flow through. (ru_maxrss is
+//      a monotone high-water mark, so both samples are taken BEFORE any
+//      legacy run — the legacy replayer's per-replication arrays would
+//      poison the peak.)
+//
+//   2. Bitwise determinism (gate). (a) The event engine must reproduce
+//      the legacy replayer exactly — same seed, same availability /
+//      downtime / outage / tally values — across several seeds, with
+//      exponential and non-exponential sampling. (b) The streaming fold
+//      must be bitwise identical across thread counts {1, 2, 8},
+//      including the P² marker states (quantile values) and event counts.
+//
+//   3. Throughput (gate + report). The 1M-replication streaming run
+//      reports replications/sec and simulated events/sec on the
+//      failure-heavy model; then an interleaved A/B (alternating 50k
+//      chunks, >=100k replications per side, robust to CPU-frequency
+//      drift on shared boxes) on the high-availability reference model
+//      requires the streaming engine to beat the legacy replayer's
+//      replications/sec in the rare-failure regime that million-
+//      replication runs exist for.
+//
+//   4. CI early exit (report only): a stop_when_ci_below run shows how
+//      many replications a target half-width actually needs.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_json.hpp"
+#include "sim/event_engine.hpp"
+#include "sim/streaming.hpp"
+#include "sim/system_sim.hpp"
+#include "spec/parser.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using rascad::sim::BlockSimOptions;
+using rascad::sim::StreamingOptions;
+using rascad::sim::StreamingReplicationResult;
+
+double sec_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Peak RSS in MB (Linux ru_maxrss is KB). Monotone: only meaningful as
+/// a high-water mark, which is exactly how the flat-memory gate uses it.
+double peak_rss_mb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+/// Failure-heavy reference system: one year of mission time over four
+/// blocks with few-thousand-hour MTBFs, so every replication schedules a
+/// realistic handful of failure/repair/logistics events.
+rascad::spec::ModelSpec bench_model() {
+  return rascad::spec::parse_model(R"(
+globals { reboot_time = 10 min mttm = 12 h mttrfid = 4 h mission_time = 8760 h }
+diagram "Node" {
+  block "Board" { mtbf = 3000 mttr_corrective = 120 service_response = 4
+                  p_correct_diagnosis = 0.9 transient_rate = 60000 fit }
+  block "PSU" {
+    quantity = 2 min_quantity = 1 mtbf = 2000
+    mttr_corrective = 60 service_response = 4
+    recovery = transparent repair = transparent
+  }
+  block "IOB" {
+    quantity = 2 min_quantity = 1 mtbf = 2500 transient_rate = 80000 fit
+    mttr_corrective = 90 service_response = 4
+    p_correct_diagnosis = 0.9 p_latent_fault = 0.1 mttdlf = 24
+    recovery = nontransparent ar_time = 6 p_spf = 0.05 t_spf = 30
+    repair = nontransparent reintegration_time = 10
+  }
+  block "Cluster" {
+    quantity = 2 min_quantity = 1 mode = primary_standby mtbf = 3500
+    transient_rate = 50000 fit mttr_corrective = 90 service_response = 4
+    failover_time = 4 min p_failover = 0.95 t_spf = 45 min
+    repair = transparent
+  }
+}
+)");
+}
+
+/// High-availability reference system for the throughput A/B: twelve
+/// block chains with server-grade failure rates (MTBFs of 100k-1M hours,
+/// transient rates of a few hundred FIT), so a replication schedules only
+/// a handful of events across the whole year. This is the regime that
+/// actually needs a million replications — failures are rare, so the
+/// estimator starves without them — and it is where the engines differ:
+/// per-replication work is dominated by fixed overhead (validation,
+/// block collection, interval vectors, the sort+merge pass), all of
+/// which the event engine hoists out of the hot loop. On failure-heavy
+/// models like bench_model() the shared block-stepping code dominates
+/// both engines and they tie; section 1 reports that regime's absolute
+/// events/sec instead.
+rascad::spec::ModelSpec ha_model() {
+  return rascad::spec::parse_model(R"(
+globals { reboot_time = 10 min mttm = 12 h mttrfid = 4 h mission_time = 8760 h }
+diagram "Server" {
+  block "Board" { mtbf = 150000 mttr_corrective = 120 service_response = 4
+                  p_correct_diagnosis = 0.9 transient_rate = 1200 fit }
+  block "CPU" { quantity = 4 min_quantity = 3 mtbf = 400000 transient_rate = 800 fit
+    mttr_corrective = 60 service_response = 4 p_correct_diagnosis = 0.95
+    recovery = nontransparent ar_time = 5 p_spf = 0.02 t_spf = 20
+    repair = nontransparent reintegration_time = 8 }
+  block "DIMM" { quantity = 16 min_quantity = 15 mtbf = 1000000 transient_rate = 500 fit
+    mttr_corrective = 30 service_response = 4 p_correct_diagnosis = 0.95
+    recovery = transparent repair = nontransparent reintegration_time = 6 }
+  block "PSU" { quantity = 2 min_quantity = 1 mtbf = 100000
+    mttr_corrective = 60 service_response = 4
+    recovery = transparent repair = transparent }
+  block "Fan" { quantity = 6 min_quantity = 5 mtbf = 250000
+    mttr_corrective = 20 service_response = 4
+    recovery = transparent repair = transparent }
+  block "Disk" { quantity = 8 min_quantity = 6 mtbf = 200000
+    mttr_corrective = 45 service_response = 4 p_latent_fault = 0.15 mttdlf = 48
+    p_correct_diagnosis = 0.9
+    recovery = transparent repair = nontransparent reintegration_time = 12 }
+  block "NIC" { quantity = 2 min_quantity = 1 mtbf = 300000 transient_rate = 600 fit
+    mttr_corrective = 40 service_response = 4
+    recovery = nontransparent ar_time = 4
+    repair = nontransparent reintegration_time = 5 }
+  block "IOB" { quantity = 2 min_quantity = 1 mtbf = 125000 transient_rate = 1600 fit
+    mttr_corrective = 90 service_response = 4
+    p_correct_diagnosis = 0.9 p_latent_fault = 0.1 mttdlf = 24
+    recovery = nontransparent ar_time = 6 p_spf = 0.05 t_spf = 30
+    repair = nontransparent reintegration_time = 10 }
+  block "Switch" { quantity = 2 min_quantity = 1 mtbf = 350000 transient_rate = 400 fit
+    mttr_corrective = 75 service_response = 4
+    recovery = transparent repair = transparent }
+  block "Controller" { mtbf = 450000 mttr_corrective = 100 service_response = 4
+    p_correct_diagnosis = 0.9 transient_rate = 700 fit }
+  block "Software" { transient_rate = 2400 fit }
+  block "Cluster" { quantity = 2 min_quantity = 1 mode = primary_standby mtbf = 175000
+    transient_rate = 1000 fit mttr_corrective = 90 service_response = 4
+    failover_time = 4 min p_failover = 0.95 t_spf = 45 min
+    repair = transparent }
+}
+)");
+}
+
+constexpr double kHorizonH = 8760.0;
+constexpr std::uint64_t kSeed = 20'260'807;
+
+bool bitwise_equal(const rascad::sim::SystemSimResult& a,
+                   const rascad::sim::SystemSimResult& b) {
+  return a.down_time == b.down_time && a.outages == b.outages &&
+         a.permanent_faults == b.permanent_faults &&
+         a.transient_faults == b.transient_faults &&
+         a.service_errors == b.service_errors && a.events == b.events;
+}
+
+bool streaming_equal(const StreamingReplicationResult& a,
+                     const StreamingReplicationResult& b) {
+  return a.availability.mean() == b.availability.mean() &&
+         a.availability.variance() == b.availability.variance() &&
+         a.availability.min() == b.availability.min() &&
+         a.availability.max() == b.availability.max() &&
+         a.downtime_minutes.mean() == b.downtime_minutes.mean() &&
+         a.outages.mean() == b.outages.mean() &&
+         a.availability_p50.value() == b.availability_p50.value() &&
+         a.availability_p99.value() == b.availability_p99.value() &&
+         a.availability_p999.value() == b.availability_p999.value() &&
+         a.outage_minutes_p50.value() == b.outage_minutes_p50.value() &&
+         a.outage_minutes_p99.value() == b.outage_minutes_p99.value() &&
+         a.events == b.events && a.completed == b.completed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rascad::obs::JsonOnlyGuard json_guard(argc, argv);
+  const auto model = bench_model();
+  bool pass = true;
+
+  std::cout << "== bench_sim: event-engine simulator gates ==\n\n";
+
+  // Warm-up: fault the code paths and the thread pool in before any
+  // timing or RSS sample.
+  {
+    StreamingOptions w;
+    rascad::sim::replicate_system_streaming(model, kHorizonH, 1'000, kSeed, w);
+  }
+
+  // -- 1. Flat memory across a 10x replication jump ------------------------
+  StreamingOptions sopts;
+  rascad::sim::replicate_system_streaming(model, kHorizonH, 100'000, kSeed,
+                                          sopts);
+  const double rss_100k_mb = peak_rss_mb();
+
+  const Clock::time_point t1m = Clock::now();
+  const auto r1m = rascad::sim::replicate_system_streaming(
+      model, kHorizonH, 1'000'000, kSeed, sopts);
+  const double s1m = sec_since(t1m);
+  const double rss_1m_mb = peak_rss_mb();
+  const double rss_growth_mb = rss_1m_mb - rss_100k_mb;
+
+  const double streaming_rps = static_cast<double>(r1m.completed) / s1m;
+  const double events_per_sec = static_cast<double>(r1m.events) / s1m;
+
+  std::cout << "streaming 1M replications: " << std::fixed
+            << std::setprecision(2) << s1m << " s  ("
+            << std::setprecision(0) << streaming_rps << " reps/s, "
+            << events_per_sec << " events/s)\n";
+  std::cout << std::setprecision(2) << "peak RSS after 100k: " << rss_100k_mb
+            << " MB, after 1M: " << rss_1m_mb << " MB (growth "
+            << rss_growth_mb << " MB)\n";
+  std::cout << std::setprecision(7)
+            << "availability mean=" << r1m.availability.mean()
+            << " p50=" << r1m.availability_p50.value()
+            << " p99=" << r1m.availability_p99.value()
+            << " p999=" << r1m.availability_p999.value() << "\n";
+  std::cout << std::setprecision(2)
+            << "outage minutes p50=" << r1m.outage_minutes_p50.value()
+            << " p99=" << r1m.outage_minutes_p99.value() << "\n\n";
+
+  if (rss_growth_mb > 32.0) {
+    std::cout << "FAIL: peak RSS grew " << rss_growth_mb
+              << " MB from 100k to 1M replications (limit 32 MB)\n";
+    pass = false;
+  }
+
+  // -- 2a. Event engine vs legacy replayer, bitwise -------------------------
+  bool engines_bitwise = true;
+  for (std::uint64_t seed = kSeed; seed < kSeed + 8; ++seed) {
+    const auto legacy = rascad::sim::simulate_system(model, kHorizonH, seed);
+    const auto event =
+        rascad::sim::simulate_system_events(model, kHorizonH, seed);
+    if (!bitwise_equal(legacy, event)) {
+      std::cout << "FAIL: engine drift at seed " << seed << " (legacy down "
+                << legacy.down_time << " h vs event " << event.down_time
+                << " h)\n";
+      engines_bitwise = false;
+      pass = false;
+    }
+  }
+  {
+    BlockSimOptions nonexp;
+    nonexp.exponential_everything = false;
+    nonexp.repair_cv = 0.35;
+    const auto legacy =
+        rascad::sim::simulate_system(model, kHorizonH, kSeed + 99, nonexp);
+    const auto event = rascad::sim::simulate_system_events(model, kHorizonH,
+                                                           kSeed + 99, nonexp);
+    if (!bitwise_equal(legacy, event)) {
+      std::cout << "FAIL: engine drift under non-exponential sampling\n";
+      engines_bitwise = false;
+      pass = false;
+    }
+  }
+  std::cout << "event engine vs legacy replayer: "
+            << (engines_bitwise ? "bitwise identical" : "DRIFT") << "\n";
+
+  // -- 2b. Thread-count determinism of the streaming fold -------------------
+  bool threads_bitwise = true;
+  StreamingOptions base;
+  base.batch = 1024;
+  base.parallel.threads = 1;
+  const auto ref = rascad::sim::replicate_system_streaming(
+      model, kHorizonH, 20'000, kSeed, base);
+  for (std::size_t threads : {2u, 8u}) {
+    StreamingOptions t = base;
+    t.parallel.threads = threads;
+    const auto run = rascad::sim::replicate_system_streaming(
+        model, kHorizonH, 20'000, kSeed, t);
+    if (!streaming_equal(ref, run)) {
+      std::cout << "FAIL: streaming statistics drift at " << threads
+                << " threads\n";
+      threads_bitwise = false;
+      pass = false;
+    }
+  }
+  std::cout << "streaming fold across 1/2/8 threads: "
+            << (threads_bitwise ? "bitwise identical" : "DRIFT") << "\n\n";
+
+  // -- 3. Throughput vs the legacy replayer ---------------------------------
+  // Run AFTER both RSS samples: the legacy path's per-replication result
+  // array would contaminate the monotone peak-RSS high-water mark.
+  //
+  // Measured on the high-availability reference model (see ha_model) in
+  // tightly interleaved alternating chunks: CPU-frequency drift on a
+  // shared box swings one-shot timings by ±25%, but adjacent ~half-second
+  // chunks see the same clock, so summing each side over many alternations
+  // cancels the drift. Each side simulates kAbPairs * kAbChunk >= 100k
+  // replications total.
+  const auto ha = ha_model();
+  constexpr std::size_t kAbChunk = 50'000;
+  constexpr int kAbPairs = 4;
+  double stream_total_s = 0.0;
+  double legacy_total_s = 0.0;
+  bool ab_means_equal = true;
+  for (int pair = 0; pair < kAbPairs; ++pair) {
+    const std::uint64_t pair_seed = kSeed + 7'000'000ULL * pair;
+    const Clock::time_point ts = Clock::now();
+    const auto sr = rascad::sim::replicate_system_streaming(
+        ha, kHorizonH, kAbChunk, pair_seed, sopts);
+    stream_total_s += sec_since(ts);
+
+    const Clock::time_point tl = Clock::now();
+    const auto lr =
+        rascad::sim::replicate_system(ha, kHorizonH, kAbChunk, pair_seed);
+    legacy_total_s += sec_since(tl);
+    if (sr.availability.mean() != lr.availability.mean()) {
+      ab_means_equal = false;
+    }
+  }
+  constexpr std::size_t kAbReps = kAbChunk * kAbPairs;
+  const double ab_stream_rps = static_cast<double>(kAbReps) / stream_total_s;
+  const double legacy_rps = static_cast<double>(kAbReps) / legacy_total_s;
+
+  std::cout << "A/B interleaved " << kAbPairs << "x" << kAbChunk
+            << " replications (high-availability model):\n"
+            << std::setprecision(0) << "  streaming: " << ab_stream_rps
+            << " reps/s   legacy: " << legacy_rps << " reps/s\n";
+  std::cout << "streaming/legacy speedup: " << std::setprecision(2)
+            << ab_stream_rps / legacy_rps << "x\n";
+  if (ab_stream_rps <= legacy_rps) {
+    std::cout << "FAIL: streaming engine (" << ab_stream_rps
+              << " reps/s) did not beat the legacy replayer (" << legacy_rps
+              << " reps/s)\n";
+    pass = false;
+  }
+  if (!ab_means_equal) {
+    std::cout << "FAIL: streaming and legacy availability means drifted on "
+                 "the high-availability model\n";
+    pass = false;
+  }
+
+  // -- 4. CI early exit (report) --------------------------------------------
+  StreamingOptions ci;
+  ci.stop_when_ci_below = 5e-5;
+  const auto rci = rascad::sim::replicate_system_streaming(
+      model, kHorizonH, 1'000'000, kSeed, ci);
+  std::cout << "\nCI early exit at half-width 5e-5: " << rci.completed
+            << " replications (half-width " << std::scientific
+            << std::setprecision(2) << rci.ci_half_width() << ")\n";
+
+  std::cout << "\n== bench_sim: " << (pass ? "PASS" : "FAIL") << " ==\n";
+
+  json_guard.restore();
+  rascad::obs::BenchMetricsLine line("sim");
+  line.metric("replications", r1m.completed)
+      .metric("streaming_sec", s1m)
+      .metric("streaming_rps", streaming_rps)
+      .metric("events_per_sec", events_per_sec)
+      .metric("events", r1m.events)
+      .metric("availability_mean", r1m.availability.mean())
+      .metric("availability_p50", r1m.availability_p50.value())
+      .metric("availability_p99", r1m.availability_p99.value())
+      .metric("availability_p999", r1m.availability_p999.value())
+      .metric("outage_min_p50", r1m.outage_minutes_p50.value())
+      .metric("outage_min_p99", r1m.outage_minutes_p99.value())
+      .metric("rss_100k_mb", rss_100k_mb)
+      .metric("rss_1m_mb", rss_1m_mb)
+      .metric("rss_growth_mb", rss_growth_mb)
+      .metric("ab_streaming_rps", ab_stream_rps)
+      .metric("legacy_rps", legacy_rps)
+      .metric("speedup_vs_legacy", ab_stream_rps / legacy_rps)
+      .metric("engines_bitwise", engines_bitwise)
+      .metric("threads_bitwise", threads_bitwise)
+      .metric("ci_early_exit_reps", rci.completed)
+      .metric("pass", pass);
+  line.write(std::cout);
+  return pass ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -212,7 +212,12 @@ ParallelStatus run_parallel(std::size_t n,
   status.failed = batch->failed.load();
   status.skipped = batch->skipped.load();
   status.first_failed_index = batch->error_index;
-  status.first_error = batch->error;
+  // Move, don't copy: the caller must end up owning the last reference to
+  // the captured exception. Otherwise whichever pool worker destroys the
+  // final Batch ref also performs the final exception_ptr release, and that
+  // refcount lives in (uninstrumented) libstdc++ internals where TSan
+  // cannot observe the synchronization.
+  status.first_error = std::move(batch->error);
   if (status.skipped > 0) status.stop = opts.cancel.reason();
   return status;
 }

@@ -1,0 +1,431 @@
+#include "sim/block_process.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rascad::sim {
+
+namespace {
+constexpr double kNever = std::numeric_limits<double>::infinity();
+}  // namespace
+
+using spec::RedundancyMode;
+using spec::Transparency;
+
+BlockEventProcess::BlockEventProcess(const spec::BlockSpec& block,
+                                     const spec::GlobalParams& globals,
+                                     double horizon, dist::RandomSource& rng,
+                                     const BlockSimOptions& opts)
+    : block_(block),
+      d_(mg::derive_rates(block, globals)),
+      rng_(rng),
+      opts_(opts) {
+  if (!(horizon > 0.0)) {
+    throw std::invalid_argument("simulate_block: horizon must be positive");
+  }
+  horizon_ = horizon;
+  sym_repair_due_ = kNever;
+  sym_latent_detect_due_ = kNever;
+  ps_repair_due_ = kNever;
+  if (block_.mode == RedundancyMode::kPrimaryStandby) {
+    family_ = Family::kPrimaryStandby;
+    // Caller guarantees lambda_p + lambda_t > 0 for this family.
+    ps_fault_mean_ = 1.0 / (d_.lambda_p + d_.lambda_t);
+  } else if (!block_.redundant()) {
+    family_ = Family::kType0;
+  } else if (d_.lambda_p <= 0.0) {
+    family_ = Family::kTransientOnly;
+  } else {
+    family_ = Family::kSymmetric;
+  }
+}
+
+void BlockEventProcess::reset() noexcept {
+  t_ = 0.0;
+  cc_index_ = 0;
+  done_ = false;
+  pending_ = {0.0, 0.0};
+  has_pending_ = false;
+  sym_failed_ = 0;
+  sym_latent_ = 0;
+  sym_repair_due_ = kNever;
+  sym_latent_detect_due_ = kNever;
+  ps_mode_ = PsMode::kOk;
+  ps_repair_due_ = kNever;
+  tallies_ = BlockTallies{};
+}
+
+bool BlockEventProcess::next_window(Interval& out) {
+  while (!done_ && !has_pending_) step();
+  if (has_pending_) {
+    out = pending_;
+    has_pending_ = false;
+    return true;
+  }
+  return false;
+}
+
+double BlockEventProcess::exp_sample(double mean) {
+  return -std::log(rng_.uniform01()) * mean;
+}
+
+double BlockEventProcess::repair_stage(double mean_h) {
+  if (mean_h <= 0.0) return 0.0;
+  if (opts_.exponential_everything) return exp_sample(mean_h);
+  return dist::lognormal_mean_cv(mean_h, opts_.repair_cv)->sample(rng_);
+}
+
+double BlockEventProcess::logistic_stage(double mean_h) {
+  if (mean_h <= 0.0) return 0.0;
+  if (opts_.exponential_everything) return exp_sample(mean_h);
+  return mean_h;
+}
+
+bool BlockEventProcess::chance(double p) { return rng_.uniform01() < p; }
+
+void BlockEventProcess::down(double duration) {
+  const double end = std::min(horizon_, t_ + duration);
+  if (end > t_) {
+    pending_ = {t_, end};
+    has_pending_ = true;
+    tallies_.down_time += end - t_;
+    ++tallies_.outages;
+  }
+  t_ = end;
+}
+
+// Blocking windows freeze the deferred clocks (the chain has no
+// failure/repair arcs out of its down states).
+void BlockEventProcess::down_frozen(double duration) {
+  const double before = t_;
+  down(duration);
+  const double shift = t_ - before;
+  if (sym_repair_due_ != kNever) sym_repair_due_ += shift;
+  if (sym_latent_detect_due_ != kNever) sym_latent_detect_due_ += shift;
+}
+
+double BlockEventProcess::deferred_repair_sample() {
+  return logistic_stage(d_.mttm_h) + logistic_stage(d_.t_resp_h) +
+         repair_stage(d_.mttr_h);
+}
+
+double BlockEventProcess::immediate_repair_sample() {
+  return logistic_stage(d_.t_resp_h) + repair_stage(d_.mttr_h);
+}
+
+double BlockEventProcess::next_common_cause() {
+  if (!opts_.common_cause_times) return kNever;
+  const auto& times = *opts_.common_cause_times;
+  while (cc_index_ < times.size() && times[cc_index_] < t_) ++cc_index_;
+  return cc_index_ < times.size() ? times[cc_index_] : kNever;
+}
+
+// The automatic-recovery downtime for a newly detected fault; the
+// component then joins the detected-failed pool.
+void BlockEventProcess::detected_fault_recovery() {
+  const bool spf = chance(block_.p_spf);
+  if (spf) ++tallies_.spf_events;
+  if (block_.recovery != Transparency::kTransparent) {
+    down(dwell_stage(d_.ar_time_h) + (spf ? dwell_stage(d_.t_spf_h) : 0.0));
+  } else if (spf) {
+    down(dwell_stage(d_.t_spf_h));
+  }
+  ++sym_failed_;
+  if (sym_repair_due_ == kNever) {
+    sym_repair_due_ = t_ + deferred_repair_sample();
+  }
+}
+
+void BlockEventProcess::step() {
+  if (t_ >= horizon_) {
+    done_ = true;
+    return;
+  }
+  switch (family_) {
+    case Family::kType0: step_type0(); return;
+    case Family::kTransientOnly: step_transient_only(); return;
+    case Family::kSymmetric: step_symmetric(); return;
+    case Family::kPrimaryStandby: step_primary_standby(); return;
+  }
+}
+
+// ---- Type 0: no redundancy ------------------------------------------
+void BlockEventProcess::step_type0() {
+  const double n = static_cast<double>(block_.quantity);
+  const double t_perm = d_.lambda_p > 0.0
+                            ? t_ + exp_sample(1.0 / (n * d_.lambda_p))
+                            : kNever;
+  const double t_trans = d_.lambda_t > 0.0
+                             ? t_ + exp_sample(1.0 / (n * d_.lambda_t))
+                             : kNever;
+  const double t_cc = next_common_cause();
+  const double next = std::min(std::min(t_perm, t_trans), t_cc);
+  if (next >= horizon_) {
+    done_ = true;
+    return;
+  }
+  t_ = next;
+  ++tallies_.events;
+  if (next == t_cc) {
+    ++cc_index_;
+    if (!chance(opts_.p_common_cause)) return;
+    if (d_.lambda_p <= 0.0) {
+      // Transient-only block (e.g. software): a shock is a panic.
+      ++tallies_.transient_faults;
+      down(dwell_stage(d_.t_boot_h));
+      return;
+    }
+    // A shock on a non-redundant block is a permanent fault.
+  } else if (t_perm > t_trans) {
+    ++tallies_.transient_faults;
+    down(dwell_stage(d_.t_boot_h));
+    return;
+  }
+  ++tallies_.permanent_faults;
+  double dur = immediate_repair_sample();
+  if (!chance(block_.p_correct_diagnosis)) {
+    ++tallies_.service_errors;
+    dur += repair_stage(d_.mttrfid_h);
+  }
+  ++tallies_.repairs_completed;
+  down(dur);
+}
+
+// ---- Redundant, transient faults only --------------------------------
+void BlockEventProcess::step_transient_only() {
+  const double n = static_cast<double>(block_.quantity);
+  const bool transparent = block_.recovery == Transparency::kTransparent;
+  const double mean = 1.0 / (n * d_.lambda_t);
+  const double t_fault = t_ + exp_sample(mean);
+  const double t_cc = next_common_cause();
+  const double next = std::min(t_fault, t_cc);
+  if (next >= horizon_) {
+    done_ = true;
+    return;
+  }
+  t_ = next;
+  ++tallies_.events;
+  if (next == t_cc) {
+    ++cc_index_;
+    if (!chance(opts_.p_common_cause)) return;
+    // A shock manifests as a transient on this block: reboot.
+    ++tallies_.transient_faults;
+    down(dwell_stage(d_.t_boot_h));
+    return;
+  }
+  ++tallies_.transient_faults;
+  const bool spf = chance(block_.p_spf);
+  if (spf) ++tallies_.spf_events;
+  if (transparent) {
+    if (spf) down(dwell_stage(d_.t_spf_h));
+  } else {
+    down(dwell_stage(d_.t_boot_h) + (spf ? dwell_stage(d_.t_spf_h) : 0.0));
+  }
+}
+
+// ---- Symmetric redundancy (Types 1-4) --------------------------------
+void BlockEventProcess::step_symmetric() {
+  const unsigned n = block_.quantity;
+  const unsigned m = n - block_.min_quantity;  // redundancy depth
+  const bool transparent_rec = block_.recovery == Transparency::kTransparent;
+  const bool transparent_rep = block_.repair == Transparency::kTransparent;
+
+  const unsigned broken = sym_failed_ + sym_latent_;
+  const double good = static_cast<double>(n - broken);
+  const double t_perm = (d_.lambda_p > 0.0 && good > 0.0)
+                            ? t_ + exp_sample(1.0 / (good * d_.lambda_p))
+                            : kNever;
+  const double t_trans = (d_.lambda_t > 0.0 && good > 0.0)
+                             ? t_ + exp_sample(1.0 / (good * d_.lambda_t))
+                             : kNever;
+  const double t_cc = next_common_cause();
+  const double next = std::min(std::min(std::min(t_perm, t_trans), t_cc),
+                               std::min(sym_repair_due_,
+                                        sym_latent_detect_due_));
+  if (next >= horizon_) {
+    done_ = true;
+    return;
+  }
+  t_ = next;
+  ++tallies_.events;
+
+  bool forced_permanent = false;
+  if (next == t_cc) {
+    ++cc_index_;
+    if (!chance(opts_.p_common_cause) || good <= 0.0) return;
+    // A shock kills one component, always detected (the event itself is
+    // visible system-wide).
+    forced_permanent = true;
+  }
+
+  if (!forced_permanent && next == sym_repair_due_) {
+    // One component repaired per service action.
+    ++tallies_.repairs_completed;
+    if (chance(block_.p_correct_diagnosis)) {
+      if (!transparent_rep) down_frozen(dwell_stage(d_.reint_h));
+    } else {
+      ++tallies_.service_errors;
+      down_frozen(repair_stage(d_.mttrfid_h));
+    }
+    sym_failed_ = sym_failed_ > 0 ? sym_failed_ - 1 : 0;
+    sym_repair_due_ =
+        sym_failed_ > 0 ? t_ + deferred_repair_sample() : kNever;
+    return;
+  }
+
+  if (!forced_permanent && next == sym_latent_detect_due_) {
+    // A latent fault surfaces and goes through the AR process.
+    sym_latent_ = sym_latent_ > 0 ? sym_latent_ - 1 : 0;
+    detected_fault_recovery();
+    sym_latent_detect_due_ =
+        sym_latent_ > 0 ? t_ + exp_sample(d_.mttdlf_h) : kNever;
+    return;
+  }
+
+  if (forced_permanent || t_perm <= t_trans) {
+    ++tallies_.permanent_faults;
+    if (forced_permanent && broken < m) {
+      // Shock faults are detected; go straight through AR.
+      detected_fault_recovery();
+      return;
+    }
+    if (broken >= m) {
+      // No redundancy left: the block is down until the emergency service
+      // action completes (chain: PF(M) -> PF(M+1) -> PF(M)).
+      double dur = immediate_repair_sample();
+      if (!chance(block_.p_correct_diagnosis)) {
+        ++tallies_.service_errors;
+        dur += repair_stage(d_.mttrfid_h);
+      }
+      ++tallies_.repairs_completed;
+      down_frozen(dur);
+      // The outage's diagnostics surface any latent faults.
+      if (sym_latent_ > 0) {
+        sym_failed_ += sym_latent_;
+        sym_latent_ = 0;
+        sym_latent_detect_due_ = kNever;
+        if (sym_repair_due_ == kNever && sym_failed_ > 0) {
+          sym_repair_due_ = t_ + deferred_repair_sample();
+        }
+      }
+    } else if (chance(block_.p_latent_fault)) {
+      ++tallies_.latent_faults;
+      ++sym_latent_;
+      if (sym_latent_detect_due_ == kNever) {
+        sym_latent_detect_due_ = t_ + exp_sample(d_.mttdlf_h);
+      }
+    } else {
+      detected_fault_recovery();
+    }
+  } else {
+    ++tallies_.transient_faults;
+    if (broken >= m) {
+      // Transient on a required component: reboot regardless of the
+      // recovery scenario (chain: TF(M+1)).
+      const bool spf = chance(block_.p_spf);
+      if (spf) ++tallies_.spf_events;
+      down_frozen(dwell_stage(d_.t_boot_h) +
+                  (spf ? dwell_stage(d_.t_spf_h) : 0.0));
+    } else if (!transparent_rec) {
+      const bool spf = chance(block_.p_spf);
+      if (spf) {
+        // Data corruption: the component needs a real repair.
+        ++tallies_.spf_events;
+        down_frozen(dwell_stage(d_.t_boot_h) + dwell_stage(d_.t_spf_h));
+        ++sym_failed_;
+        if (sym_repair_due_ == kNever) {
+          sym_repair_due_ = t_ + deferred_repair_sample();
+        }
+      } else {
+        down_frozen(dwell_stage(d_.t_boot_h));
+      }
+    } else if (chance(block_.p_spf)) {
+      ++tallies_.spf_events;
+      down_frozen(dwell_stage(d_.t_spf_h));
+      ++sym_failed_;
+      if (sym_repair_due_ == kNever) {
+        sym_repair_due_ = t_ + deferred_repair_sample();
+      }
+    }
+  }
+}
+
+// ---- Primary/standby cluster (extension) -----------------------------
+void BlockEventProcess::step_primary_standby() {
+  if (ps_mode_ == PsMode::kOk) {
+    const double t_primary = t_ + exp_sample(ps_fault_mean_);
+    const double t_standby =
+        d_.lambda_p > 0.0 ? t_ + exp_sample(1.0 / d_.lambda_p) : kNever;
+    const double next = std::min(t_primary, t_standby);
+    if (next >= horizon_) {
+      done_ = true;
+      return;
+    }
+    t_ = next;
+    ++tallies_.events;
+    if (t_primary <= t_standby) {
+      ++tallies_.permanent_faults;
+      double dur = dwell_stage(d_.failover_h);
+      if (!chance(block_.p_failover)) {
+        ++tallies_.spf_events;
+        dur += dwell_stage(d_.t_spf_h > 0.0
+                               ? d_.t_spf_h
+                               : std::max(d_.t_boot_h, 1.0 / 60.0));
+      }
+      down(dur);
+      ps_mode_ = PsMode::kDegraded;
+      ps_repair_due_ = d_.lambda_p > 0.0 ? t_ + deferred_repair_sample()
+                                         : t_ + dwell_stage(d_.t_boot_h);
+    } else {
+      ++tallies_.permanent_faults;
+      ps_mode_ = PsMode::kStandbyDown;
+      ps_repair_due_ = t_ + deferred_repair_sample();
+    }
+    return;
+  }
+
+  const double t_perm =
+      d_.lambda_p > 0.0 ? t_ + exp_sample(1.0 / d_.lambda_p) : kNever;
+  const double t_trans =
+      d_.lambda_t > 0.0 ? t_ + exp_sample(1.0 / d_.lambda_t) : kNever;
+  const double next = std::min(std::min(t_perm, t_trans), ps_repair_due_);
+  if (next >= horizon_) {
+    done_ = true;
+    return;
+  }
+  t_ = next;
+  ++tallies_.events;
+
+  if (next == ps_repair_due_) {
+    ++tallies_.repairs_completed;
+    if (d_.lambda_p > 0.0 && !chance(block_.p_correct_diagnosis)) {
+      ++tallies_.service_errors;
+      down(repair_stage(d_.mttrfid_h));
+    } else if (ps_mode_ == PsMode::kDegraded &&
+               block_.repair == Transparency::kNontransparent &&
+               d_.reint_h > 0.0) {
+      down(dwell_stage(d_.reint_h));  // failback restart
+    }
+    ps_mode_ = PsMode::kOk;
+    ps_repair_due_ = kNever;
+    return;
+  }
+
+  if (t_perm <= t_trans) {
+    // The other node is dead too: emergency service restores one node.
+    ++tallies_.permanent_faults;
+    down(immediate_repair_sample());
+    ++tallies_.repairs_completed;
+    ps_mode_ = PsMode::kDegraded;
+    ps_repair_due_ = t_ + deferred_repair_sample();
+  } else {
+    ++tallies_.transient_faults;
+    down(dwell_stage(d_.t_boot_h));
+    // Mode unchanged; the blocking window froze nothing because the
+    // repair clock keeps running during a reboot of the active node.
+  }
+}
+
+}  // namespace rascad::sim

@@ -1,429 +1,11 @@
 #include "sim/block_sim.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
 #include <stdexcept>
 
-#include "mg/generator.hpp"
+#include "sim/block_process.hpp"
 #include "sim/rng.hpp"
 
 namespace rascad::sim {
-
-namespace {
-
-constexpr double kNever = std::numeric_limits<double>::infinity();
-
-using spec::RedundancyMode;
-using spec::Transparency;
-
-/// One simulated block lifetime. Down windows are processed as blocking
-/// dwells (no other clock advances inside them), matching the generated
-/// chain's semantics where AR/SPF/repair states have no failure arcs.
-class BlockProcess {
- public:
-  BlockProcess(const spec::BlockSpec& block, const spec::GlobalParams& globals,
-               dist::RandomSource& rng, const BlockSimOptions& opts)
-      : block_(block),
-        d_(mg::derive_rates(block, globals)),
-        rng_(rng),
-        opts_(opts) {}
-
-  BlockSimResult run(double horizon) {
-    if (!(horizon > 0.0)) {
-      throw std::invalid_argument("simulate_block: horizon must be positive");
-    }
-    result_ = BlockSimResult{};
-    result_.horizon = horizon;
-    horizon_ = horizon;
-    t_ = 0.0;
-
-    if (block_.mode == RedundancyMode::kPrimaryStandby) {
-      run_primary_standby();
-    } else if (!block_.redundant()) {
-      run_type0();
-    } else if (d_.lambda_p <= 0.0) {
-      run_transient_only();
-    } else {
-      run_symmetric();
-    }
-    return result_;
-  }
-
- private:
-  double exp_sample(double mean) {
-    return -std::log(rng_.uniform01()) * mean;
-  }
-
-  /// Repair-stage duration: exponential, or lognormal with the same mean.
-  double repair_stage(double mean_h) {
-    if (mean_h <= 0.0) return 0.0;
-    if (opts_.exponential_everything) return exp_sample(mean_h);
-    return dist::lognormal_mean_cv(mean_h, opts_.repair_cv)->sample(rng_);
-  }
-
-  /// Logistic-stage duration: exponential, or deterministic (a scheduled
-  /// maintenance window / contractual response time).
-  double logistic_stage(double mean_h) {
-    if (mean_h <= 0.0) return 0.0;
-    if (opts_.exponential_everything) return exp_sample(mean_h);
-    return mean_h;
-  }
-
-  /// Short operational dwell (reboot, AR, SPF): exponential or
-  /// deterministic.
-  double dwell_stage(double mean_h) { return logistic_stage(mean_h); }
-
-  bool chance(double p) { return rng_.uniform01() < p; }
-
-  /// Blocking downtime window starting at the current time. Clamps at the
-  /// horizon. Other pending absolute-time clocks are shifted by the
-  /// window's length by the caller where needed.
-  void down(double duration) {
-    const double end = std::min(horizon_, t_ + duration);
-    if (end > t_) {
-      result_.down_intervals.push_back({t_, end});
-      result_.down_time += end - t_;
-      ++result_.outages;
-    }
-    t_ = end;
-  }
-
-  double deferred_repair_sample() {
-    return logistic_stage(d_.mttm_h) + logistic_stage(d_.t_resp_h) +
-           repair_stage(d_.mttr_h);
-  }
-
-  double immediate_repair_sample() {
-    return logistic_stage(d_.t_resp_h) + repair_stage(d_.mttr_h);
-  }
-
-  /// Next pending common-cause shock at or after the current time, or
-  /// kNever. Advances the cursor past consumed times.
-  double next_common_cause() {
-    if (!opts_.common_cause_times) return kNever;
-    const auto& times = *opts_.common_cause_times;
-    while (cc_index_ < times.size() && times[cc_index_] < t_) ++cc_index_;
-    return cc_index_ < times.size() ? times[cc_index_] : kNever;
-  }
-
-  // ---- Type 0: no redundancy ------------------------------------------
-  void run_type0() {
-    const double n = static_cast<double>(block_.quantity);
-    while (t_ < horizon_) {
-      const double t_perm =
-          d_.lambda_p > 0.0 ? t_ + exp_sample(1.0 / (n * d_.lambda_p))
-                            : kNever;
-      const double t_trans =
-          d_.lambda_t > 0.0 ? t_ + exp_sample(1.0 / (n * d_.lambda_t))
-                            : kNever;
-      const double t_cc = next_common_cause();
-      const double next = std::min(std::min(t_perm, t_trans), t_cc);
-      if (next >= horizon_) break;
-      t_ = next;
-      if (next == t_cc) {
-        ++cc_index_;
-        if (!chance(opts_.p_common_cause)) continue;
-        if (d_.lambda_p <= 0.0) {
-          // Transient-only block (e.g. software): a shock is a panic.
-          ++result_.transient_faults;
-          down(dwell_stage(d_.t_boot_h));
-          continue;
-        }
-        // A shock on a non-redundant block is a permanent fault.
-      } else if (t_perm > t_trans) {
-        ++result_.transient_faults;
-        down(dwell_stage(d_.t_boot_h));
-        continue;
-      }
-      ++result_.permanent_faults;
-      double dur = immediate_repair_sample();
-      if (!chance(block_.p_correct_diagnosis)) {
-        ++result_.service_errors;
-        dur += repair_stage(d_.mttrfid_h);
-      }
-      ++result_.repairs_completed;
-      down(dur);
-    }
-  }
-
-  // ---- Redundant, transient faults only --------------------------------
-  void run_transient_only() {
-    const double n = static_cast<double>(block_.quantity);
-    const bool transparent =
-        block_.recovery == Transparency::kTransparent;
-    while (t_ < horizon_) {
-      const double mean = 1.0 / (n * d_.lambda_t);
-      const double t_fault = t_ + exp_sample(mean);
-      const double t_cc = next_common_cause();
-      const double next = std::min(t_fault, t_cc);
-      if (next >= horizon_) break;
-      t_ = next;
-      if (next == t_cc) {
-        ++cc_index_;
-        if (!chance(opts_.p_common_cause)) continue;
-        // A shock manifests as a transient on this block: reboot.
-        ++result_.transient_faults;
-        down(dwell_stage(d_.t_boot_h));
-        continue;
-      }
-      ++result_.transient_faults;
-      const bool spf = chance(block_.p_spf);
-      if (spf) ++result_.spf_events;
-      if (transparent) {
-        if (spf) down(dwell_stage(d_.t_spf_h));
-      } else {
-        down(dwell_stage(d_.t_boot_h) + (spf ? dwell_stage(d_.t_spf_h) : 0.0));
-      }
-    }
-  }
-
-  // ---- Symmetric redundancy (Types 1-4) --------------------------------
-  void run_symmetric() {
-    const unsigned n = block_.quantity;
-    const unsigned m = n - block_.min_quantity;  // redundancy depth
-    const bool transparent_rec =
-        block_.recovery == Transparency::kTransparent;
-    const bool transparent_rep = block_.repair == Transparency::kTransparent;
-
-    unsigned failed = 0;  // detected failed components awaiting repair
-    unsigned latent = 0;  // undetected failed components
-    double repair_due = kNever;
-    double latent_detect_due = kNever;
-
-    // The automatic-recovery downtime for a newly detected fault; the
-    // component then joins the detected-failed pool.
-    auto detected_fault_recovery = [&] {
-      const bool spf = chance(block_.p_spf);
-      if (spf) ++result_.spf_events;
-      if (!transparent_rec) {
-        down(dwell_stage(d_.ar_time_h) + (spf ? dwell_stage(d_.t_spf_h) : 0.0));
-      } else if (spf) {
-        down(dwell_stage(d_.t_spf_h));
-      }
-      ++failed;
-      if (repair_due == kNever) {
-        repair_due = t_ + deferred_repair_sample();
-      }
-    };
-
-    // Blocking windows freeze the deferred clocks (the chain has no
-    // failure/repair arcs out of its down states).
-    auto down_frozen = [&](double duration) {
-      const double before = t_;
-      down(duration);
-      const double shift = t_ - before;
-      if (repair_due != kNever) repair_due += shift;
-      if (latent_detect_due != kNever) latent_detect_due += shift;
-    };
-
-    while (t_ < horizon_) {
-      const unsigned broken = failed + latent;
-      const double good = static_cast<double>(n - broken);
-      const double t_perm =
-          (d_.lambda_p > 0.0 && good > 0.0)
-              ? t_ + exp_sample(1.0 / (good * d_.lambda_p))
-              : kNever;
-      const double t_trans =
-          (d_.lambda_t > 0.0 && good > 0.0)
-              ? t_ + exp_sample(1.0 / (good * d_.lambda_t))
-              : kNever;
-      const double t_cc = next_common_cause();
-      const double next =
-          std::min(std::min(std::min(t_perm, t_trans), t_cc),
-                   std::min(repair_due, latent_detect_due));
-      if (next >= horizon_) break;
-      t_ = next;
-
-      bool forced_permanent = false;
-      if (next == t_cc) {
-        ++cc_index_;
-        if (!chance(opts_.p_common_cause) || good <= 0.0) continue;
-        // A shock kills one component, always detected (the event itself
-        // is visible system-wide).
-        forced_permanent = true;
-      }
-
-      if (!forced_permanent && next == repair_due) {
-        // One component repaired per service action.
-        ++result_.repairs_completed;
-        if (chance(block_.p_correct_diagnosis)) {
-          if (!transparent_rep) down_frozen(dwell_stage(d_.reint_h));
-        } else {
-          ++result_.service_errors;
-          down_frozen(repair_stage(d_.mttrfid_h));
-        }
-        failed = failed > 0 ? failed - 1 : 0;
-        repair_due =
-            failed > 0 ? t_ + deferred_repair_sample() : kNever;
-        continue;
-      }
-
-      if (!forced_permanent && next == latent_detect_due) {
-        // A latent fault surfaces and goes through the AR process.
-        latent = latent > 0 ? latent - 1 : 0;
-        detected_fault_recovery();
-        latent_detect_due =
-            latent > 0 ? t_ + exp_sample(d_.mttdlf_h) : kNever;
-        continue;
-      }
-
-      if (forced_permanent || t_perm <= t_trans) {
-        ++result_.permanent_faults;
-        if (forced_permanent && broken < m) {
-          // Shock faults are detected; go straight through AR.
-          detected_fault_recovery();
-          continue;
-        }
-        if (broken >= m) {
-          // No redundancy left: the block is down until the emergency
-          // service action completes (chain: PF(M) -> PF(M+1) -> PF(M)).
-          double dur = immediate_repair_sample();
-          if (!chance(block_.p_correct_diagnosis)) {
-            ++result_.service_errors;
-            dur += repair_stage(d_.mttrfid_h);
-          }
-          ++result_.repairs_completed;
-          down_frozen(dur);
-          // The outage's diagnostics surface any latent faults.
-          if (latent > 0) {
-            failed += latent;
-            latent = 0;
-            latent_detect_due = kNever;
-            if (repair_due == kNever && failed > 0) {
-              repair_due = t_ + deferred_repair_sample();
-            }
-          }
-        } else if (chance(block_.p_latent_fault)) {
-          ++result_.latent_faults;
-          ++latent;
-          if (latent_detect_due == kNever) {
-            latent_detect_due = t_ + exp_sample(d_.mttdlf_h);
-          }
-        } else {
-          detected_fault_recovery();
-        }
-      } else {
-        ++result_.transient_faults;
-        if (broken >= m) {
-          // Transient on a required component: reboot regardless of the
-          // recovery scenario (chain: TF(M+1)).
-          const bool spf = chance(block_.p_spf);
-          if (spf) ++result_.spf_events;
-          down_frozen(dwell_stage(d_.t_boot_h) +
-                      (spf ? dwell_stage(d_.t_spf_h) : 0.0));
-        } else if (!transparent_rec) {
-          const bool spf = chance(block_.p_spf);
-          if (spf) {
-            // Data corruption: the component needs a real repair.
-            ++result_.spf_events;
-            down_frozen(dwell_stage(d_.t_boot_h) + dwell_stage(d_.t_spf_h));
-            ++failed;
-            if (repair_due == kNever) {
-              repair_due = t_ + deferred_repair_sample();
-            }
-          } else {
-            down_frozen(dwell_stage(d_.t_boot_h));
-          }
-        } else if (chance(block_.p_spf)) {
-          ++result_.spf_events;
-          down_frozen(dwell_stage(d_.t_spf_h));
-          ++failed;
-          if (repair_due == kNever) {
-            repair_due = t_ + deferred_repair_sample();
-          }
-        }
-      }
-    }
-  }
-
-  // ---- Primary/standby cluster (extension) -----------------------------
-  void run_primary_standby() {
-    enum class Mode { kOk, kDegraded, kStandbyDown };
-    Mode mode = Mode::kOk;
-    double repair_due = kNever;
-    const double fault_mean =
-        1.0 / (d_.lambda_p + d_.lambda_t);  // caller guarantees > 0
-
-    while (t_ < horizon_) {
-      if (mode == Mode::kOk) {
-        const double t_primary = t_ + exp_sample(fault_mean);
-        const double t_standby =
-            d_.lambda_p > 0.0 ? t_ + exp_sample(1.0 / d_.lambda_p) : kNever;
-        const double next = std::min(t_primary, t_standby);
-        if (next >= horizon_) break;
-        t_ = next;
-        if (t_primary <= t_standby) {
-          ++result_.permanent_faults;
-          double dur = dwell_stage(d_.failover_h);
-          if (!chance(block_.p_failover)) {
-            ++result_.spf_events;
-            dur += dwell_stage(d_.t_spf_h > 0.0 ? d_.t_spf_h
-                                                : std::max(d_.t_boot_h,
-                                                           1.0 / 60.0));
-          }
-          down(dur);
-          mode = Mode::kDegraded;
-          repair_due = d_.lambda_p > 0.0 ? t_ + deferred_repair_sample()
-                                         : t_ + dwell_stage(d_.t_boot_h);
-        } else {
-          ++result_.permanent_faults;
-          mode = Mode::kStandbyDown;
-          repair_due = t_ + deferred_repair_sample();
-        }
-        continue;
-      }
-
-      const double t_perm =
-          d_.lambda_p > 0.0 ? t_ + exp_sample(1.0 / d_.lambda_p) : kNever;
-      const double t_trans =
-          d_.lambda_t > 0.0 ? t_ + exp_sample(1.0 / d_.lambda_t) : kNever;
-      const double next = std::min(std::min(t_perm, t_trans), repair_due);
-      if (next >= horizon_) break;
-      t_ = next;
-
-      if (next == repair_due) {
-        ++result_.repairs_completed;
-        if (d_.lambda_p > 0.0 && !chance(block_.p_correct_diagnosis)) {
-          ++result_.service_errors;
-          down(repair_stage(d_.mttrfid_h));
-        } else if (mode == Mode::kDegraded &&
-                   block_.repair == Transparency::kNontransparent &&
-                   d_.reint_h > 0.0) {
-          down(dwell_stage(d_.reint_h));  // failback restart
-        }
-        mode = Mode::kOk;
-        repair_due = kNever;
-        continue;
-      }
-
-      if (t_perm <= t_trans) {
-        // The other node is dead too: emergency service restores one node.
-        ++result_.permanent_faults;
-        down(immediate_repair_sample());
-        ++result_.repairs_completed;
-        mode = Mode::kDegraded;
-        repair_due = t_ + deferred_repair_sample();
-      } else {
-        ++result_.transient_faults;
-        down(dwell_stage(d_.t_boot_h));
-        // Mode unchanged; the blocking window froze nothing because the
-        // repair clock keeps running during a reboot of the active node.
-      }
-    }
-  }
-
-  const spec::BlockSpec& block_;
-  const mg::DerivedRates d_;
-  dist::RandomSource& rng_;
-  const BlockSimOptions& opts_;
-  BlockSimResult result_;
-  double horizon_ = 0.0;
-  double t_ = 0.0;
-  std::size_t cc_index_ = 0;  // cursor into opts_.common_cause_times
-};
-
-}  // namespace
 
 BlockSimResult simulate_block(const spec::BlockSpec& block,
                               const spec::GlobalParams& globals,
@@ -433,7 +15,24 @@ BlockSimResult simulate_block(const spec::BlockSpec& block,
     throw std::invalid_argument("simulate_block: block '" + block.name +
                                 "' has no failure parameters");
   }
-  return BlockProcess(block, globals, rng, opts).run(horizon);
+  BlockEventProcess process(block, globals, horizon, rng, opts);
+  BlockSimResult result;
+  result.horizon = horizon;
+  Interval window;
+  while (process.next_window(window)) {
+    result.down_intervals.push_back(window);
+  }
+  const BlockTallies& t = process.tallies();
+  result.down_time = t.down_time;
+  result.permanent_faults = t.permanent_faults;
+  result.transient_faults = t.transient_faults;
+  result.latent_faults = t.latent_faults;
+  result.spf_events = t.spf_events;
+  result.service_errors = t.service_errors;
+  result.repairs_completed = t.repairs_completed;
+  result.outages = t.outages;
+  result.events = t.events;
+  return result;
 }
 
 SampleStats replicate_block_availability(const spec::BlockSpec& block,

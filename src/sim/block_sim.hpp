@@ -8,6 +8,11 @@
 // Section 5). With `exponential_everything` the estimate converges to the
 // chain's analytic result; with realistic non-exponential repair/logistic
 // distributions it quantifies how much the exponential assumption matters.
+//
+// The block semantics themselves live in sim/block_process.hpp as a
+// resumable event process; this header is the legacy materializing entry
+// point (full interval vectors per run), kept for single-run inspection
+// and as the reference the event engine is checked against.
 #pragma once
 
 #include <cstdint>
@@ -15,28 +20,11 @@
 
 #include "dist/distribution.hpp"
 #include "exec/parallel.hpp"
+#include "sim/block_process.hpp"
 #include "sim/stats.hpp"
 #include "spec/ast.hpp"
 
 namespace rascad::sim {
-
-struct BlockSimOptions {
-  /// true: all durations exponential with the spec means (matches the
-  /// generated chain's assumptions). false: repair/logistic stages use
-  /// deterministic+lognormal shapes with the same means.
-  bool exponential_everything = true;
-  /// Coefficient of variation for the lognormal repair stages when
-  /// exponential_everything is false.
-  double repair_cv = 0.7;
-
-  /// Common-cause injection (ablation of the paper's independence
-  /// assumption): at each of these absolute times (hours, sorted), the
-  /// block suffers a permanent fault of one component with probability
-  /// `p_common_cause`. The caller shares ONE schedule across all blocks,
-  /// which is exactly what makes the faults correlated.
-  const std::vector<double>* common_cause_times = nullptr;
-  double p_common_cause = 0.0;
-};
 
 struct BlockSimResult {
   double horizon = 0.0;
@@ -47,7 +35,8 @@ struct BlockSimResult {
   std::size_t spf_events = 0;
   std::size_t service_errors = 0;
   std::size_t repairs_completed = 0;
-  std::size_t outages = 0;  // number of distinct down windows
+  std::size_t outages = 0;     // number of distinct down windows
+  std::uint64_t events = 0;    // scheduled events consumed
   std::vector<Interval> down_intervals;
 
   double availability() const {

@@ -1,0 +1,85 @@
+// Schedulable event engine for system-level Monte-Carlo replications.
+//
+// The legacy replayer (system_sim.cpp) materializes every block's down
+// intervals, concatenates them, sorts, and merges — O(total windows)
+// memory and an O(W log W) pass per replication. The event engine runs
+// the same block processes (sim/block_process.hpp) as schedulables behind
+// a binary-heap event queue keyed on monotone simulated time: the heap
+// holds each block's next pending down window; popping the earliest one
+// advances that block just far enough to produce its next window, while a
+// live open-window sweep accumulates system downtime directly. Memory is
+// O(blocks) per replication and there is no merge pass.
+//
+// Determinism contract: the heap pops windows in globally sorted
+// (start, block index) order — the same order the legacy sort visits them
+// — and the block processes consume RNG draws in the legacy order, so
+// availability, downtime, outage counts, and fault tallies are bitwise
+// identical between the two engines for the same (model, horizon, seed,
+// options). sim_test and bench_sim both enforce this.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/system_sim.hpp"
+
+namespace rascad::sim {
+
+/// Which simulator core runs each replication.
+enum class SimEngine : std::uint8_t {
+  /// Heap-scheduled event engine with streaming window union (default).
+  kEvent,
+  /// Legacy materializing replayer (per-block interval vectors + sort +
+  /// merge). Kept for one release as the reference implementation the
+  /// event engine is checked against.
+  kReplay,
+};
+
+const char* to_string(SimEngine engine);
+
+/// Reusable per-caller scratch for simulate_replication_events: the
+/// schedulable slots and the event heap survive across replications, so
+/// the hot loop allocates nothing after the first call. Not thread-safe —
+/// one workspace per concurrent caller (the streaming driver keeps one
+/// per batch slot). Never affects results; only allocation traffic.
+class EventWorkspace {
+ public:
+  EventWorkspace();
+  ~EventWorkspace();
+  EventWorkspace(EventWorkspace&&) noexcept;
+  EventWorkspace& operator=(EventWorkspace&&) noexcept;
+  EventWorkspace(const EventWorkspace&) = delete;
+  EventWorkspace& operator=(const EventWorkspace&) = delete;
+
+ private:
+  friend SystemSimResult simulate_replication_events(
+      const std::vector<const spec::BlockSpec*>&, const spec::GlobalParams&,
+      double, std::uint64_t, const BlockSimOptions&, std::vector<double>*,
+      EventWorkspace*);
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One replication over pre-collected failing blocks — validation and
+/// block collection hoisted out of the hot loop (the streaming driver
+/// calls this a million times per run). Per-block RNG streams are seeded
+/// (seed, block position + 1), identical to the legacy replayer. When
+/// `window_minutes` is non-null, every merged system down window's length
+/// (minutes) is appended in time order — the feed for streaming
+/// outage-duration quantiles. Passing the same `ws` across calls reuses
+/// its buffers (identical results, no per-replication allocation).
+SystemSimResult simulate_replication_events(
+    const std::vector<const spec::BlockSpec*>& blocks,
+    const spec::GlobalParams& globals, double horizon, std::uint64_t seed,
+    const BlockSimOptions& opts, std::vector<double>* window_minutes = nullptr,
+    EventWorkspace* ws = nullptr);
+
+/// Validating single-run entry point, the event-engine counterpart of
+/// simulate_system (same checks, same exceptions, bitwise-identical
+/// result).
+SystemSimResult simulate_system_events(const spec::ModelSpec& model,
+                                       double horizon, std::uint64_t seed,
+                                       const BlockSimOptions& opts = {});
+
+}  // namespace rascad::sim

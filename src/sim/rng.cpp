@@ -19,6 +19,10 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 }  // namespace
 
 Xoshiro256::Xoshiro256(std::uint64_t seed, std::uint64_t stream) {
+  reseed(seed, stream);
+}
+
+void Xoshiro256::reseed(std::uint64_t seed, std::uint64_t stream) {
   // Hash (seed, stream) into one well-mixed 64-bit value: scramble the
   // seed, fold the stream into the splitmix state, scramble again. Both
   // words pass through the full avalanche, so flipping any single bit of

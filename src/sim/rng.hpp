@@ -21,6 +21,9 @@ class Xoshiro256 final : public dist::RandomSource {
   Xoshiro256(std::uint64_t seed, std::uint64_t stream);
 
   void reseed(std::uint64_t seed);
+  /// Stream reseed, identical to the (seed, stream) constructor — lets a
+  /// hot loop rewind an existing generator instead of rebuilding it.
+  void reseed(std::uint64_t seed, std::uint64_t stream);
 
   std::uint64_t next_u64();
 

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace rascad::sim {
@@ -28,6 +29,9 @@ class SampleStats {
   /// Normal-approximation confidence interval at the given z (1.96 ~ 95%).
   Interval confidence_interval(double z = 1.96) const;
 
+  /// Smallest / largest sample seen. NaN before the first add() — an
+  /// empty accumulator used to report 0.0, indistinguishable from a real
+  /// observed extreme of 0.
   double min() const noexcept { return min_; }
   double max() const noexcept { return max_; }
 
@@ -35,8 +39,8 @@ class SampleStats {
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  double min_ = std::numeric_limits<double>::quiet_NaN();
+  double max_ = std::numeric_limits<double>::quiet_NaN();
 };
 
 /// Merge a set of half-open busy intervals [start, end) into their union

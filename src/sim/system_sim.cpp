@@ -30,6 +30,13 @@ void collect_blocks(const spec::ModelSpec& model,
 
 }  // namespace
 
+std::vector<const spec::BlockSpec*> collect_failing_blocks(
+    const spec::ModelSpec& model) {
+  std::vector<const spec::BlockSpec*> blocks;
+  collect_blocks(model, model.root(), blocks);
+  return blocks;
+}
+
 SystemSimResult simulate_system_common_cause(const spec::ModelSpec& model,
                                              double horizon,
                                              std::uint64_t seed,
@@ -65,8 +72,8 @@ SystemSimResult simulate_system(const spec::ModelSpec& model, double horizon,
   if (!(horizon > 0.0)) {
     throw std::invalid_argument("simulate_system: horizon must be positive");
   }
-  std::vector<const spec::BlockSpec*> blocks;
-  collect_blocks(model, model.root(), blocks);
+  const std::vector<const spec::BlockSpec*> blocks =
+      collect_failing_blocks(model);
 
   SystemSimResult result;
   result.horizon = horizon;
@@ -80,6 +87,7 @@ SystemSimResult simulate_system(const spec::ModelSpec& model, double horizon,
     result.permanent_faults += r.permanent_faults;
     result.transient_faults += r.transient_faults;
     result.service_errors += r.service_errors;
+    result.events += r.events;
     all_down.insert(all_down.end(), r.down_intervals.begin(),
                     r.down_intervals.end());
   }

@@ -26,12 +26,20 @@ struct SystemSimResult {
   std::size_t permanent_faults = 0;
   std::size_t transient_faults = 0;
   std::size_t service_errors = 0;
+  std::uint64_t events = 0;  // scheduled block events consumed
 
   double availability() const {
     return horizon > 0.0 ? 1.0 - down_time / horizon : 1.0;
   }
   double downtime_minutes() const { return down_time * 60.0; }
 };
+
+/// Depth-first collection of every failing block reachable from the root
+/// diagram, in the deterministic order both engines seed their
+/// per-block RNG streams (stream = position + 1). Throws
+/// std::invalid_argument on dangling subdiagram references.
+std::vector<const spec::BlockSpec*> collect_failing_blocks(
+    const spec::ModelSpec& model);
 
 /// Simulates every failing block reachable from the root diagram over
 /// [0, horizon] hours and merges the down intervals. Throws on validation

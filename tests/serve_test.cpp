@@ -6,6 +6,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -16,6 +17,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "cache/solve_cache.hpp"
 #include "core/csv.hpp"
 #include "core/library.hpp"
 #include "core/sweep.hpp"
@@ -347,6 +349,12 @@ TEST(ServeEndToEnd, SweepStreamsChunksAndParsesBack) {
   for (const auto& p : points) EXPECT_TRUE(p.ok());
   auto model = rascad::spec::parse_model(text);
   rascad::core::SweepOptions opts;
+  // The service solves against its own per-instance cache (cold for this
+  // fixture); point the direct sweep at a cold cache too, instead of the
+  // process-global one, so the provenance columns (fresh vs cache) match
+  // no matter what earlier tests or repeats left in the global table.
+  rascad::cache::SolveCache direct_cache;
+  opts.model.cache = &direct_cache;
   const auto direct = rascad::core::sweep_block_parameter(
       model, "Server Box", "Centerplane",
       [](rascad::spec::BlockSpec& b, double v) { b.service_response_h = v; },
@@ -424,7 +432,16 @@ TEST(ServeEndToEnd, MalformedModelAnswersErrorNotDisconnect) {
   EXPECT_FALSE(bad.text.empty());
   // The connection survives the failed request.
   EXPECT_TRUE(client.ping().ok());
-  EXPECT_GE(server.service.stats().failed, 1u);
+  // The failed counter is bumped in finish_request AFTER the error reply
+  // is pushed, so the client can observe the reply before the increment
+  // lands; poll instead of asserting on the first read.
+  std::uint64_t failed = 0;
+  for (int i = 0; i < 200; ++i) {
+    failed = server.service.stats().failed;
+    if (failed >= 1u) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(failed, 1u);
 }
 
 TEST(ServeEndToEnd, ConcurrentClientsAllServed) {

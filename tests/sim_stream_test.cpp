@@ -1,0 +1,367 @@
+// Tests for the event-engine simulator and the streaming statistics layer:
+// P² quantile accuracy against exact sorted-sample quantiles, bitwise
+// agreement between the event engine and the legacy replayer, thread-count
+// determinism of the streaming fold, CI early exit, cancellation
+// degradation, and the async JSONL replication sink.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/event_engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/sink.hpp"
+#include "sim/stats.hpp"
+#include "sim/streaming.hpp"
+#include "sim/system_sim.hpp"
+#include "spec/parser.hpp"
+
+namespace {
+
+using rascad::sim::BlockSimOptions;
+using rascad::sim::P2Quantile;
+using rascad::sim::SampleStats;
+using rascad::sim::SimEngine;
+using rascad::sim::StreamingOptions;
+using rascad::sim::SystemSimResult;
+using rascad::sim::Xoshiro256;
+
+// ---- SampleStats empty extremes (regression) ------------------------------
+
+TEST(Stats, EmptyMinMaxIsNaN) {
+  // Regression: an empty accumulator used to report min()/max() of 0.0,
+  // indistinguishable from a genuinely observed extreme of 0.
+  SampleStats s;
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  s.add(-3.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), -3.0);
+}
+
+// ---- P² quantile estimator -------------------------------------------------
+
+double exact_quantile(std::vector<double> xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  const double rank = std::ceil(p * static_cast<double>(xs.size()));
+  std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  if (idx >= xs.size()) idx = xs.size() - 1;
+  return xs[idx];
+}
+
+void expect_p2_tracks(const std::vector<double>& xs, double p, double tol,
+                      const char* what) {
+  P2Quantile est(p);
+  for (double x : xs) est.add(x);
+  const double exact = exact_quantile(xs, p);
+  EXPECT_NEAR(est.value(), exact, tol)
+      << what << " p=" << p << ": P2 " << est.value() << " vs exact " << exact;
+}
+
+TEST(P2Quantile, EmptyIsNaNAndSmallSamplesAreExact) {
+  P2Quantile est(0.5);
+  EXPECT_TRUE(std::isnan(est.value()));
+  est.add(5.0);
+  EXPECT_DOUBLE_EQ(est.value(), 5.0);  // one sample: every quantile is it
+  est.add(1.0);
+  est.add(3.0);
+  // Three samples {1,3,5}: nearest-rank median is the 2nd order statistic.
+  EXPECT_DOUBLE_EQ(est.value(), 3.0);
+  EXPECT_EQ(est.count(), 3u);
+
+  P2Quantile p99(0.99);
+  for (double x : {4.0, 2.0, 8.0, 6.0}) p99.add(x);
+  EXPECT_DOUBLE_EQ(p99.value(), 8.0);  // nearest-rank on 4 samples
+}
+
+TEST(P2Quantile, RejectsDegenerateProbability) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(-0.5), std::invalid_argument);
+}
+
+TEST(P2Quantile, TracksUniform) {
+  Xoshiro256 rng(101);
+  std::vector<double> xs(20'000);
+  for (double& x : xs) x = rng.uniform01();
+  expect_p2_tracks(xs, 0.50, 0.01, "uniform");
+  expect_p2_tracks(xs, 0.99, 0.01, "uniform");
+  expect_p2_tracks(xs, 0.999, 0.005, "uniform");
+}
+
+TEST(P2Quantile, TracksExponential) {
+  Xoshiro256 rng(202);
+  std::vector<double> xs(20'000);
+  for (double& x : xs) x = -std::log(rng.uniform01());
+  expect_p2_tracks(xs, 0.50, 0.05, "exponential");
+  expect_p2_tracks(xs, 0.99, 0.30, "exponential");
+  expect_p2_tracks(xs, 0.999, 1.50, "exponential");
+}
+
+TEST(P2Quantile, TracksBimodal) {
+  // Half U(0,1), half U(9,10): quantiles inside either mode must land in
+  // the right mode despite the 8-wide density gap.
+  Xoshiro256 rng(303);
+  std::vector<double> xs(20'000);
+  for (double& x : xs) {
+    x = rng.uniform01() < 0.5 ? rng.uniform01() : 9.0 + rng.uniform01();
+  }
+  expect_p2_tracks(xs, 0.25, 0.10, "bimodal");
+  expect_p2_tracks(xs, 0.90, 0.15, "bimodal");
+  expect_p2_tracks(xs, 0.999, 0.05, "bimodal");
+}
+
+TEST(P2Quantile, OrderIsDeterministic) {
+  // The estimator is a pure function of the sample order: same order, same
+  // marker state — the property the index-ordered streaming fold relies on.
+  Xoshiro256 rng(7);
+  P2Quantile a(0.99);
+  P2Quantile b(0.99);
+  std::vector<double> xs(5'000);
+  for (double& x : xs) x = rng.uniform01();
+  for (double x : xs) a.add(x);
+  for (double x : xs) b.add(x);
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(a.count(), b.count());
+}
+
+// ---- Event engine vs legacy replayer ---------------------------------------
+
+rascad::spec::ModelSpec test_model() {
+  return rascad::spec::parse_model(R"(
+globals { reboot_time = 10 min mttm = 12 h mttrfid = 4 h mission_time = 8760 h }
+diagram "Sys" {
+  block "A" { mtbf = 4000 mttr_corrective = 120 service_response = 4 }
+  block "B" {
+    quantity = 2 min_quantity = 1 mtbf = 3000
+    mttr_corrective = 60 service_response = 4
+    recovery = transparent repair = transparent
+  }
+  block "C" {
+    quantity = 2 min_quantity = 1 mtbf = 2500 transient_rate = 80000 fit
+    mttr_corrective = 90 service_response = 4
+    p_correct_diagnosis = 0.9 p_latent_fault = 0.1 mttdlf = 24
+    recovery = nontransparent ar_time = 6 p_spf = 0.05 t_spf = 30
+    repair = nontransparent reintegration_time = 10
+  }
+}
+)");
+}
+
+void expect_bitwise_equal(const SystemSimResult& a, const SystemSimResult& b,
+                          std::uint64_t seed) {
+  EXPECT_EQ(a.down_time, b.down_time) << "seed " << seed;
+  EXPECT_EQ(a.outages, b.outages) << "seed " << seed;
+  EXPECT_EQ(a.permanent_faults, b.permanent_faults) << "seed " << seed;
+  EXPECT_EQ(a.transient_faults, b.transient_faults) << "seed " << seed;
+  EXPECT_EQ(a.service_errors, b.service_errors) << "seed " << seed;
+  EXPECT_EQ(a.events, b.events) << "seed " << seed;
+  EXPECT_EQ(a.availability(), b.availability()) << "seed " << seed;
+}
+
+TEST(EventEngine, BitwiseMatchesLegacyExponential) {
+  const auto model = test_model();
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto legacy = rascad::sim::simulate_system(model, 50'000.0, seed);
+    const auto event =
+        rascad::sim::simulate_system_events(model, 50'000.0, seed);
+    expect_bitwise_equal(legacy, event, seed);
+    EXPECT_GT(event.events, 0u);
+  }
+}
+
+TEST(EventEngine, BitwiseMatchesLegacyNonExponential) {
+  const auto model = test_model();
+  BlockSimOptions opts;
+  opts.exponential_everything = false;
+  opts.repair_cv = 0.4;
+  for (std::uint64_t seed = 11; seed <= 16; ++seed) {
+    const auto legacy =
+        rascad::sim::simulate_system(model, 50'000.0, seed, opts);
+    const auto event =
+        rascad::sim::simulate_system_events(model, 50'000.0, seed, opts);
+    expect_bitwise_equal(legacy, event, seed);
+  }
+}
+
+TEST(EventEngine, BitwiseMatchesLegacyWithCommonCauseShocks) {
+  const auto model = test_model();
+  const std::vector<double> shocks{500.0, 12'000.0, 30'000.0, 44'000.0};
+  BlockSimOptions opts;
+  opts.common_cause_times = &shocks;
+  opts.p_common_cause = 0.5;
+  for (std::uint64_t seed = 21; seed <= 24; ++seed) {
+    const auto legacy =
+        rascad::sim::simulate_system(model, 50'000.0, seed, opts);
+    const auto event =
+        rascad::sim::simulate_system_events(model, 50'000.0, seed, opts);
+    expect_bitwise_equal(legacy, event, seed);
+  }
+}
+
+TEST(EventEngine, RejectsBadHorizon) {
+  const auto model = test_model();
+  EXPECT_THROW(rascad::sim::simulate_system_events(model, 0.0, 1),
+               std::invalid_argument);
+}
+
+// ---- Streaming replication driver ------------------------------------------
+
+TEST(StreamingSim, BitwiseMatchesLegacyReplicate) {
+  const auto model = test_model();
+  const auto legacy = rascad::sim::replicate_system(model, 20'000.0, 50, 7);
+
+  StreamingOptions sopts;
+  sopts.batch = 7;  // deliberately misaligned with 50 to cross boundaries
+  const auto streaming =
+      rascad::sim::replicate_system_streaming(model, 20'000.0, 50, 7, sopts);
+
+  EXPECT_EQ(streaming.completed, 50u);
+  EXPECT_TRUE(streaming.complete());
+  EXPECT_EQ(streaming.availability.mean(), legacy.availability.mean());
+  EXPECT_EQ(streaming.availability.variance(), legacy.availability.variance());
+  EXPECT_EQ(streaming.availability.min(), legacy.availability.min());
+  EXPECT_EQ(streaming.availability.max(), legacy.availability.max());
+  EXPECT_EQ(streaming.downtime_minutes.mean(), legacy.downtime_minutes.mean());
+  EXPECT_EQ(streaming.outages.mean(), legacy.outages.mean());
+  EXPECT_GT(streaming.events, 0u);
+}
+
+TEST(StreamingSim, ReplayEngineMatchesEventEngine) {
+  const auto model = test_model();
+  StreamingOptions event_opts;
+  event_opts.batch = 16;
+  StreamingOptions replay_opts = event_opts;
+  replay_opts.engine = SimEngine::kReplay;
+
+  const auto ev =
+      rascad::sim::replicate_system_streaming(model, 20'000.0, 40, 3, event_opts);
+  const auto rp = rascad::sim::replicate_system_streaming(model, 20'000.0, 40,
+                                                          3, replay_opts);
+  EXPECT_EQ(ev.availability.mean(), rp.availability.mean());
+  EXPECT_EQ(ev.availability.variance(), rp.availability.variance());
+  EXPECT_EQ(ev.downtime_minutes.mean(), rp.downtime_minutes.mean());
+  EXPECT_EQ(ev.outages.mean(), rp.outages.mean());
+  EXPECT_EQ(ev.events, rp.events);
+  // Only the event engine feeds outage-duration quantiles.
+  EXPECT_GT(ev.outage_minutes_p50.count(), 0u);
+  EXPECT_EQ(rp.outage_minutes_p50.count(), 0u);
+  EXPECT_TRUE(std::isnan(rp.outage_minutes_p50.value()));
+}
+
+TEST(StreamingSim, DeterministicAcrossThreadCounts) {
+  const auto model = test_model();
+  std::vector<rascad::sim::StreamingReplicationResult> runs;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    StreamingOptions sopts;
+    sopts.batch = 32;
+    sopts.parallel.threads = threads;
+    runs.push_back(rascad::sim::replicate_system_streaming(model, 20'000.0,
+                                                           200, 99, sopts));
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[0].availability.mean(), runs[i].availability.mean());
+    EXPECT_EQ(runs[0].availability.variance(),
+              runs[i].availability.variance());
+    EXPECT_EQ(runs[0].availability.min(), runs[i].availability.min());
+    EXPECT_EQ(runs[0].availability.max(), runs[i].availability.max());
+    EXPECT_EQ(runs[0].downtime_minutes.mean(),
+              runs[i].downtime_minutes.mean());
+    EXPECT_EQ(runs[0].outages.mean(), runs[i].outages.mean());
+    EXPECT_EQ(runs[0].availability_p50.value(),
+              runs[i].availability_p50.value());
+    EXPECT_EQ(runs[0].availability_p99.value(),
+              runs[i].availability_p99.value());
+    EXPECT_EQ(runs[0].availability_p999.value(),
+              runs[i].availability_p999.value());
+    EXPECT_EQ(runs[0].outage_minutes_p50.value(),
+              runs[i].outage_minutes_p50.value());
+    EXPECT_EQ(runs[0].outage_minutes_p99.value(),
+              runs[i].outage_minutes_p99.value());
+    EXPECT_EQ(runs[0].events, runs[i].events);
+    EXPECT_EQ(runs[0].completed, runs[i].completed);
+  }
+}
+
+TEST(StreamingSim, EarlyExitOnTightCi) {
+  const auto model = test_model();
+  StreamingOptions sopts;
+  sopts.batch = 10;
+  sopts.min_replications = 10;
+  sopts.stop_when_ci_below = 1.0;  // any CI satisfies this immediately
+  const auto r =
+      rascad::sim::replicate_system_streaming(model, 20'000.0, 1'000, 5, sopts);
+  EXPECT_TRUE(r.early_exit);
+  EXPECT_EQ(r.completed, 10u);
+  EXPECT_EQ(r.requested, 1'000u);
+  EXPECT_EQ(r.status, rascad::robust::PointStatus::kOk);
+  EXPECT_LE(r.ci_half_width(sopts.ci_z), 1.0);
+}
+
+TEST(StreamingSim, PreCancelledTokenCompletesNothing) {
+  const auto model = test_model();
+  StreamingOptions sopts;
+  sopts.batch = 8;
+  sopts.parallel.cancel = rascad::robust::CancelToken::manual();
+  sopts.parallel.cancel.request_cancel();
+  const auto r =
+      rascad::sim::replicate_system_streaming(model, 20'000.0, 100, 5, sopts);
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_EQ(r.requested, 100u);
+  EXPECT_FALSE(r.early_exit);
+  EXPECT_EQ(r.status, rascad::robust::PointStatus::kCancelled);
+  EXPECT_TRUE(std::isnan(r.availability_p50.value()));
+}
+
+TEST(StreamingSim, RejectsBadHorizon) {
+  const auto model = test_model();
+  EXPECT_THROW(
+      rascad::sim::replicate_system_streaming(model, -1.0, 10, 1, {}),
+      std::invalid_argument);
+}
+
+// ---- JSONL replication sink -------------------------------------------------
+
+TEST(StreamingSim, SinkWritesOneLinePerReplication) {
+  const auto model = test_model();
+  const std::string path = ::testing::TempDir() + "sim_stream_sink.jsonl";
+  std::remove(path.c_str());
+
+  StreamingOptions sopts;
+  sopts.batch = 9;
+  sopts.jsonl_path = path;
+  sopts.sink_capacity = 4;  // force backpressure on the fold thread
+  const auto r =
+      rascad::sim::replicate_system_streaming(model, 20'000.0, 30, 13, sopts);
+  EXPECT_EQ(r.completed, 30u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  std::size_t last_index = 0;
+  while (std::getline(in, line)) {
+    EXPECT_NE(line.find("\"type\":\"replication\""), std::string::npos);
+    EXPECT_NE(line.find("\"availability\":"), std::string::npos);
+    const auto pos = line.find("\"index\":");
+    ASSERT_NE(pos, std::string::npos);
+    last_index = static_cast<std::size_t>(
+        std::stoul(line.substr(pos + 8)));
+    ++lines;
+  }
+  EXPECT_EQ(lines, 30u);
+  EXPECT_EQ(last_index, 29u);  // records land in replication-index order
+  std::remove(path.c_str());
+}
+
+TEST(ReplicationSink, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(
+      rascad::sim::ReplicationSink("/nonexistent-dir/sink.jsonl", 4),
+      std::runtime_error);
+}
+
+}  // namespace

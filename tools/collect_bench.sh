@@ -5,24 +5,58 @@
 # binary's entire stdout is its one metrics line, see obs/bench_json.hpp)
 # and writes BENCH_<name>.json next to this repo's README. Each bench also
 # enforces its own regression gate (cache speedup floor, batched-sweep
-# throughput floor, batched bitwise agreement) and exits nonzero on
-# failure, which aborts the collection.
+# throughput floor, batched bitwise agreement, streaming-sim flat memory).
+# Every bench runs and every snapshot is written even when a gate trips —
+# a full snapshot is what you need to diagnose the failure — but the
+# script still exits nonzero listing the failed gates.
 #
-# Usage: tools/collect_bench.sh [build-dir]   (default: ./build)
+# With --append, every collected line is ALSO appended to BENCH_history.jsonl
+# wrapped with a UTC timestamp and the current commit:
+#   {"ts":"2026-08-07T12:00:00Z","commit":"abc1234","bench":...,"metrics":...}
+# so trends survive the per-bench snapshot files being overwritten.
+#
+# Usage: tools/collect_bench.sh [--append] [build-dir]   (default: ./build)
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
-build="${1:-$root/build}"
+append=0
+build="$root/build"
+for arg in "$@"; do
+  case "$arg" in
+    --append) append=1 ;;
+    *) build="$arg" ;;
+  esac
+done
 
-for name in scalability cache simd robust serve; do
+history="$root/BENCH_history.jsonl"
+ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+commit="$(git -C "$root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+failed=()
+for name in scalability cache simd robust serve sim; do
   bin="$build/bench/bench_$name"
   if [[ ! -x "$bin" ]]; then
     echo "missing $bin — build the benches first (cmake --build $build)" >&2
     exit 1
   fi
   echo "collecting BENCH_$name.json"
-  "$bin" --json > "$root/BENCH_$name.json"
+  if ! "$bin" --json > "$root/BENCH_$name.json"; then
+    failed+=("$name")
+  fi
+  if [[ "$append" == 1 ]]; then
+    line="$(cat "$root/BENCH_$name.json")"
+    # Splice the timestamp/commit prefix into the bench's own JSON object.
+    printf '{"ts":"%s","commit":"%s",%s\n' "$ts" "$commit" "${line#\{}" \
+      >> "$history"
+  fi
 done
 
 echo "done:"
 ls -l "$root"/BENCH_*.json
+if [[ "$append" == 1 ]]; then
+  echo "appended $(date -u) snapshot to $history"
+fi
+if [[ ${#failed[@]} -gt 0 ]]; then
+  echo "gate failures: ${failed[*]}" >&2
+  exit 1
+fi
