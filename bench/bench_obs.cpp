@@ -49,7 +49,8 @@ double solve_ms(const rascad::spec::ModelSpec& spec, double* out) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  rascad::obs::JsonOnlyGuard json(argc, argv);
   const rascad::spec::ModelSpec spec =
       rascad::core::library::datacenter_system();
 
@@ -125,6 +126,7 @@ int main() {
                  "availability\n";
   }
 
+  json.restore();
   rascad::obs::BenchMetricsLine("obs")
       .metric("enabled_solve_ms", enabled_ms)
       .metric("disabled_solve_ms", disabled_ms)

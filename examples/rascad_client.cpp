@@ -7,6 +7,8 @@
 //   rascad_client <socket> simulate <model.rsc> <horizon_h> <reps> <seed>
 //                          [deadline_ms]
 //   rascad_client <socket> stats
+//   rascad_client <socket> metrics [delta]
+//   rascad_client <socket> watch [interval_ms [ticks [deadline_ms]]]
 //   rascad_client <socket> shutdown
 //
 // Exit codes: 0 ok, 1 error reply / degraded result, 2 usage,
@@ -30,7 +32,10 @@ int usage() {
          " <param> <lo> <hi> <points> [deadline_ms]\n"
          "       rascad_client <socket> simulate <model.rsc> <horizon_h>"
          " <reps> <seed> [deadline_ms]\n"
-         "       rascad_client <socket> stats | shutdown\n";
+         "       rascad_client <socket> stats | shutdown\n"
+         "       rascad_client <socket> metrics [delta]\n"
+         "       rascad_client <socket> watch [interval_ms [ticks"
+         " [deadline_ms]]]\n";
   return 2;
 }
 
@@ -103,6 +108,19 @@ int main(int argc, char** argv) {
                                     u32(7, 0)));
     }
     if (verb == "stats") return report(client.stats());
+    if (verb == "metrics") {
+      const bool delta = argc >= 4 && std::string(argv[3]) == "delta";
+      return report(client.metrics(delta));
+    }
+    if (verb == "watch") {
+      // Chunks print as they arrive (live JSONL telemetry on stdout); the
+      // terminal summary goes through report() like every other verb.
+      auto reply = client.watch(
+          u32(3, 1000), u32(4, 5), u32(5, 0),
+          [](std::string_view chunk) { std::cout << chunk << std::flush; });
+      reply.stream.clear();  // already printed incrementally
+      return report(reply);
+    }
     if (verb == "shutdown") return report(client.request_shutdown());
   } catch (const std::exception& e) {
     std::cerr << "rascad_client: " << e.what() << '\n';

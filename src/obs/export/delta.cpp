@@ -1,0 +1,58 @@
+#include "obs/export/delta.hpp"
+
+#include <ostream>
+
+#include "obs/jsonl.hpp"
+
+namespace rascad::obs::scrape {
+
+MetricsSnapshot MetricsCursor::collect() {
+  const MetricsSnapshot full = registry_->snapshot();
+  const bool first = scrapes_ == 0;
+  ++scrapes_;
+  MetricsSnapshot delta;
+  for (const auto& c : full.counters) {
+    const auto it = counters_.find(c.name);
+    if (first || it == counters_.end() || it->second != c.value) {
+      delta.counters.push_back(c);
+      counters_[c.name] = c.value;
+    }
+  }
+  for (const auto& g : full.gauges) {
+    const auto it = gauges_.find(g.name);
+    if (first || it == gauges_.end() || it->second != g.value) {
+      delta.gauges.push_back(g);
+      gauges_[g.name] = g.value;
+    }
+  }
+  for (const auto& h : full.histograms) {
+    // The observation count moves on every observe_ms(), so it is the
+    // one change signal needed (sum/buckets cannot move without it).
+    const auto it = histogram_counts_.find(h.name);
+    if (first || it == histogram_counts_.end() ||
+        it->second != h.data.count) {
+      delta.histograms.push_back(h);
+      histogram_counts_[h.name] = h.data.count;
+    }
+  }
+  return delta;
+}
+
+TraceDump TraceCursor::collect() {
+  TraceDump dump = peek_trace_since(last_seq_);
+  for (const SpanRecord& s : dump.spans) {
+    if (s.seq > last_seq_) last_seq_ = s.seq;
+  }
+  for (const EventRecord& e : dump.events) {
+    if (e.seq > last_seq_) last_seq_ = e.seq;
+  }
+  return dump;
+}
+
+void write_delta_jsonl(std::ostream& os, const MetricsSnapshot& delta,
+                       const TraceDump& trace) {
+  write_metrics_jsonl(os, delta, "metrics_delta");
+  write_trace_jsonl(os, trace);
+}
+
+}  // namespace rascad::obs::scrape

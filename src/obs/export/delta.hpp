@@ -1,0 +1,82 @@
+// Per-scraper delta cursors over the metrics Registry and the trace.
+//
+// A long-running daemon is scraped by several independent consumers (a
+// Prometheus poller, a couple of `rascad_top` sessions, a test harness).
+// Each consumer owns its cursors; a scrape returns only what changed
+// since THAT consumer's previous scrape:
+//
+//   * MetricsCursor — diffs one consistent Registry::snapshot() (taken
+//     under the registry lock, counter cells summed per metric) against
+//     the values this cursor last reported. Values stay CUMULATIVE —
+//     Prometheus semantics — the delta is in *which series appear*, so a
+//     quiet scrape is a few bytes instead of the whole registry. The
+//     first collect() reports every registered metric (the consumer needs
+//     the full picture once); after that, only series whose value (or,
+//     for histograms, observation count) moved.
+//
+//   * TraceCursor — a high-water mark over the seq-stamped span/event
+//     records, read with peek_trace_since(). Peeking never consumes, so
+//     any number of trace scrapers coexist with each other AND with
+//     dump_if_enabled()/append_jsonl(), whose drains keep their exact
+//     semantics. (The flip side: a record drained into a dump file before
+//     a cursor read it is gone for that cursor — the dump owns it.)
+//
+// Cursors are plain values: no registration, no global scraper table,
+// nothing to unregister when a connection dies. A scraper that vanishes
+// costs nothing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rascad::obs::scrape {
+
+class MetricsCursor {
+ public:
+  explicit MetricsCursor(Registry& registry = Registry::global())
+      : registry_(&registry) {}
+
+  /// Metrics that changed since this cursor's last collect (all of them on
+  /// the first call), with cumulative values from one consistent registry
+  /// snapshot. A counter that wrapped back (Registry::reset between
+  /// scrapes) reports too: "changed" is `!=`, not `>`.
+  MetricsSnapshot collect();
+
+  /// Number of collect() calls so far (0 = the next one is the full view).
+  std::uint64_t scrapes() const noexcept { return scrapes_; }
+
+ private:
+  Registry* registry_;
+  std::uint64_t scrapes_ = 0;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::int64_t> gauges_;
+  std::map<std::string, std::uint64_t> histogram_counts_;
+};
+
+class TraceCursor {
+ public:
+  /// Spans/events recorded since the last collect, without consuming them
+  /// (see file comment for the interaction with drain-based dumps).
+  TraceDump collect();
+
+  /// Highest record sequence number this cursor has observed.
+  std::uint64_t last_seq() const noexcept { return last_seq_; }
+
+ private:
+  std::uint64_t last_seq_ = 0;
+};
+
+/// One watch-stream chunk: a `{"type":"metrics_delta",...}` line for the
+/// changed metrics (always written, even when empty — the scraper's
+/// heartbeat) followed by standard span/event JSONL lines for the new
+/// trace records. This is the payload format of the serve daemon's
+/// `watch` verb and the input format of `rascad_top`.
+void write_delta_jsonl(std::ostream& os, const MetricsSnapshot& delta,
+                       const TraceDump& trace);
+
+}  // namespace rascad::obs::scrape

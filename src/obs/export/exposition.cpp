@@ -1,0 +1,129 @@
+#include "obs/export/exposition.hpp"
+
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "obs/jsonl.hpp"
+
+namespace rascad::obs::scrape {
+
+namespace {
+
+/// Shortest round-trip decimal (json_number already renders doubles that
+/// way); exposition wants literal NaN/Inf spellings instead of null.
+std::string expo_number(double v) {
+  if (v != v) return "NaN";
+  if (v > 1.7976931348623157e308) return "+Inf";
+  if (v < -1.7976931348623157e308) return "-Inf";
+  return json_number(v);
+}
+
+void write_labels(std::ostream& os, const std::vector<Label>& labels) {
+  if (labels.empty()) return;
+  os << '{';
+  bool first = true;
+  for (const Label& l : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << exposition_name(l.key).substr(7)  // labels carry no rascad_ prefix
+       << "=\"" << escape_label_value(l.value) << '"';
+  }
+  os << '}';
+}
+
+void write_family_header(std::ostream& os, const std::string& expo,
+                         std::string_view raw, const char* type) {
+  os << "# HELP " << expo << ' ' << escape_help(raw) << '\n';
+  os << "# TYPE " << expo << ' ' << type << '\n';
+}
+
+}  // namespace
+
+std::string exposition_name(std::string_view raw) {
+  std::string out = "rascad_";
+  if (!raw.empty() && std::isdigit(static_cast<unsigned char>(raw[0]))) {
+    out += '_';
+  }
+  for (const char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string escape_label_value(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_help(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void write_exposition(std::ostream& os, const MetricsSnapshot& snapshot,
+                      const std::vector<ExtraSample>& extras) {
+  for (const auto& c : snapshot.counters) {
+    // Prometheus counters carry a _total suffix by convention.
+    const std::string expo = exposition_name(c.name) + "_total";
+    write_family_header(os, expo, c.name, "counter");
+    os << expo << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string expo = exposition_name(g.name);
+    write_family_header(os, expo, g.name, "gauge");
+    os << expo << ' ' << g.value << '\n';
+  }
+  const auto& bounds = Histogram::bounds_ms();
+  for (const auto& h : snapshot.histograms) {
+    const std::string expo = exposition_name(h.name);
+    write_family_header(os, expo, h.name, "histogram");
+    // Registry buckets are per-bucket counts; the exposition format wants
+    // cumulative counts per upper bound, closed by an explicit +Inf bucket
+    // equal to the total observation count.
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < bounds.size(); ++b) {
+      cum += h.data.buckets[b];
+      os << expo << "_bucket{le=\"" << expo_number(bounds[b]) << "\"} " << cum
+         << '\n';
+    }
+    os << expo << "_bucket{le=\"+Inf\"} " << h.data.count << '\n';
+    os << expo << "_sum " << expo_number(h.data.sum_ms) << '\n';
+    os << expo << "_count " << h.data.count << '\n';
+  }
+  for (const ExtraSample& e : extras) {
+    const std::string expo = exposition_name(e.name);
+    write_family_header(os, expo, e.name, e.type);
+    os << expo;
+    write_labels(os, e.labels);
+    os << ' ' << expo_number(e.value) << '\n';
+  }
+}
+
+std::string exposition_text(const MetricsSnapshot& snapshot,
+                            const std::vector<ExtraSample>& extras) {
+  std::ostringstream os;
+  write_exposition(os, snapshot, extras);
+  return os.str();
+}
+
+}  // namespace rascad::obs::scrape

@@ -1,0 +1,67 @@
+// Prometheus-style text exposition of a MetricsSnapshot.
+//
+// The serve daemon's `metrics` verb answers with this format so any
+// standard monitoring scraper can poll a long-running rascad process the
+// way it polls every other service. The mapping from the registry's
+// dotted names follows the Prometheus conventions:
+//
+//   serve.requests        counter    -> rascad_serve_requests_total
+//   serve.queue_depth     gauge      -> rascad_serve_queue_depth
+//   serve.request_ms      histogram  -> rascad_serve_request_ms_bucket{le="..."}
+//                                       ... le="+Inf", _sum, _count
+//
+// Every family is preceded by `# HELP` (carrying the original registry
+// name) and `# TYPE` lines. Histogram buckets are emitted CUMULATIVE with
+// an explicit `+Inf` bucket equal to `_count` — scrapers are entitled to
+// both, and the registry's per-bucket counts are converted here.
+//
+// Extra samples let a caller attach process-level series with labels
+// (e.g. rascad_serve_info{socket="/run/ras.sock"} 1); label values are
+// escaped per the exposition format (backslash, double quote, newline).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace rascad::obs::scrape {
+
+/// One key="value" exposition label.
+struct Label {
+  std::string key;
+  std::string value;
+};
+
+/// A caller-supplied sample appended after the registry families
+/// (info/build metadata, per-connection series — anything with labels).
+struct ExtraSample {
+  std::string name;           // dotted registry-style name, sanitized here
+  std::vector<Label> labels;  // values escaped on write
+  double value = 0.0;
+  /// Exposition metric type for the # TYPE line.
+  const char* type = "gauge";
+};
+
+/// Registry name -> exposition metric name: `rascad_` prefix, every char
+/// outside [a-zA-Z0-9_:] becomes '_', and a leading digit gains one more.
+std::string exposition_name(std::string_view raw);
+
+/// Label-value escaping: backslash -> \\, double quote -> \", newline -> \n.
+std::string escape_label_value(std::string_view v);
+
+/// HELP-text escaping: backslash -> \\, newline -> \n.
+std::string escape_help(std::string_view v);
+
+/// The full exposition page: counters (as `_total`), gauges, histograms
+/// (cumulative buckets + explicit +Inf + _sum/_count), then extras.
+void write_exposition(std::ostream& os, const MetricsSnapshot& snapshot,
+                      const std::vector<ExtraSample>& extras = {});
+
+/// write_exposition into a string (the serve reply body).
+std::string exposition_text(const MetricsSnapshot& snapshot,
+                            const std::vector<ExtraSample>& extras = {});
+
+}  // namespace rascad::obs::scrape

@@ -49,8 +49,9 @@ double us(std::uint64_t ns) { return static_cast<double>(ns) / 1e3; }
 
 }  // namespace
 
-void write_metrics_jsonl(std::ostream& os, const MetricsSnapshot& snapshot) {
-  os << "{\"type\":\"metrics\",\"counters\":{";
+void write_metrics_jsonl(std::ostream& os, const MetricsSnapshot& snapshot,
+                         std::string_view type) {
+  os << "{\"type\":\"" << type << "\",\"counters\":{";
   bool first = true;
   for (const auto& c : snapshot.counters) {
     if (!first) os << ',';

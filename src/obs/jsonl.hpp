@@ -32,8 +32,10 @@ std::string json_escape(std::string_view s);
 /// become null.
 std::string json_number(double v);
 
-/// One "metrics" line for the snapshot.
-void write_metrics_jsonl(std::ostream& os, const MetricsSnapshot& snapshot);
+/// One "metrics" line for the snapshot. `type` overrides the line's type
+/// tag (the watch stream writes "metrics_delta" lines of the same shape).
+void write_metrics_jsonl(std::ostream& os, const MetricsSnapshot& snapshot,
+                         std::string_view type = "metrics");
 
 /// One "span" line per span and one "event" line per event.
 void write_trace_jsonl(std::ostream& os, const TraceDump& dump);

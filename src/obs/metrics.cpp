@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 
 namespace rascad::obs {
@@ -40,7 +41,10 @@ void Histogram::observe_ms(double ms) noexcept {
 }
 
 double Histogram::Snapshot::quantile_ms(double q) const noexcept {
-  if (count == 0) return 0.0;
+  // An empty histogram has no quantiles. Returning 0.0 here used to make
+  // "no data" indistinguishable from "everything was instant" in dashboards;
+  // NaN propagates honestly (and renders as "NaN" in the exposition text).
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
   const double target = q * static_cast<double>(count);

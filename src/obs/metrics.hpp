@@ -94,7 +94,8 @@ class Histogram {
     }
     /// Bucket-resolution quantile estimate (q in [0,1]): linear
     /// interpolation inside the bucket where the cumulative count crosses
-    /// q*count. The overflow bucket reports its lower bound. 0 when empty.
+    /// q*count. The overflow bucket reports its lower bound. NaN when
+    /// empty — there is no estimate, and 0.0 would read as "instant".
     /// Resolution is the log-bucket width — good enough for p50/p99
     /// latency gates, not for microsecond-exact comparisons.
     double quantile_ms(double q) const noexcept;

@@ -54,6 +54,11 @@ Collector& collector() {
 
 std::atomic<SpanId> g_next_id{1};
 
+/// Record sequence numbers, stamped at buffer-append time (not span start)
+/// so they are monotone in the order records become visible to readers —
+/// the property the scraping cursors rely on.
+std::atomic<std::uint64_t> g_next_seq{1};
+
 /// Thread-local state: the ambient span stack head plus the registered
 /// buffer. The destructor hands any unflushed records to the collector so
 /// short-lived threads (tests, user threads) never lose spans.
@@ -104,10 +109,20 @@ void sort_dump(TraceDump& dump) {
             });
 }
 
-TraceDump collect(bool drain) {
+TraceDump collect(bool drain, std::uint64_t after_seq = 0) {
   TraceDump dump;
   Collector& c = collector();
   std::lock_guard<std::mutex> lock(c.mu);
+  // Copy-mode helper: scraper cursors read only records newer than their
+  // high-water mark, so repeated peeks are cheap deltas, not full copies.
+  // Orphan chunks interleave across exited threads, so only a linear
+  // filter is correct there.
+  const auto copy_newer = [&dump, after_seq](
+                              const std::vector<SpanRecord>& spans) {
+    for (const SpanRecord& s : spans) {
+      if (s.seq > after_seq) dump.spans.push_back(s);
+    }
+  };
   for (ThreadBuffer* buf : c.buffers) {
     std::lock_guard<std::mutex> buf_lock(buf->mu);
     if (drain) {
@@ -118,8 +133,15 @@ TraceDump collect(bool drain) {
       dump.dropped += buf->dropped;
       buf->dropped = 0;
     } else {
-      dump.spans.insert(dump.spans.end(), buf->spans.begin(),
-                        buf->spans.end());
+      // Within one live buffer seq equals append order, so the records
+      // newer than the cursor are exactly the tail past a partition
+      // point — a scrape pays for what it returns, not for everything
+      // still buffered (a 100 ms watch tick over a long run would
+      // otherwise rescan an ever-growing backlog).
+      const auto tail = std::partition_point(
+          buf->spans.begin(), buf->spans.end(),
+          [after_seq](const SpanRecord& s) { return s.seq <= after_seq; });
+      dump.spans.insert(dump.spans.end(), tail, buf->spans.end());
       dump.dropped += buf->dropped;
     }
   }
@@ -133,8 +155,10 @@ TraceDump collect(bool drain) {
     dump.dropped += c.orphan_dropped;
     c.orphan_dropped = 0;
   } else {
-    dump.spans.insert(dump.spans.end(), c.orphans.begin(), c.orphans.end());
-    dump.events = c.events;
+    copy_newer(c.orphans);
+    for (const EventRecord& e : c.events) {
+      if (e.seq > after_seq) dump.events.push_back(e);
+    }
     dump.dropped += c.orphan_dropped;
   }
   sort_dump(dump);
@@ -164,8 +188,16 @@ Span::~Span() {
     ++buf.dropped;
     return;
   }
+  // seq is stamped inside the critical section so that, per buffer, seq
+  // order equals append order. Across buffers a scrape that races a
+  // straggling append can still miss one record behind its cursor —
+  // acceptable for live telemetry (drain-based dumps stay exact), and the
+  // alternative (a global lock per span close) is not worth the hot-path
+  // contention.
   buf.spans.push_back(SpanRecord{id_, parent_, name_, std::move(detail_),
-                                 start_ns_, end, buf.thread_index});
+                                 start_ns_, end, buf.thread_index,
+                                 g_next_seq.fetch_add(
+                                     1, std::memory_order_relaxed)});
 }
 
 void Span::set_detail(std::string detail) {
@@ -192,6 +224,7 @@ void emit_event(const char* kind,
   event.t_ns = now_ns();
   event.span = t_state.current;
   event.thread = t_state.ensure_buffer().thread_index;
+  event.seq = g_next_seq.fetch_add(1, std::memory_order_relaxed);
   Collector& c = collector();
   std::lock_guard<std::mutex> lock(c.mu);
   if (c.events.size() >= kMaxEvents) {
@@ -204,6 +237,10 @@ void emit_event(const char* kind,
 TraceDump drain_trace() { return collect(/*drain=*/true); }
 
 TraceDump peek_trace() { return collect(/*drain=*/false); }
+
+TraceDump peek_trace_since(std::uint64_t after_seq) {
+  return collect(/*drain=*/false, after_seq);
+}
 
 void clear_trace() { (void)collect(/*drain=*/true); }
 

@@ -45,6 +45,12 @@ struct SpanRecord {
   std::uint64_t start_ns = 0;  // relative to the process trace epoch
   std::uint64_t end_ns = 0;
   std::uint32_t thread = 0;    // dense per-process thread index
+  /// Global record sequence number, assigned when the record lands in a
+  /// buffer (monotone in append order, shared with events). The scraping
+  /// layer's incremental-read cursor: peek_trace_since(seq) returns only
+  /// records newer than a scraper's high-water mark without consuming
+  /// anything, so scrapes never steal records from dump/drain consumers.
+  std::uint64_t seq = 0;
 };
 
 /// Out-of-band occurrence (ladder attempt failed, health check tripped):
@@ -55,6 +61,7 @@ struct EventRecord {
   std::uint64_t t_ns = 0;
   SpanId span = 0;
   std::uint32_t thread = 0;
+  std::uint64_t seq = 0;  // see SpanRecord::seq
 };
 
 /// Innermost active span on this thread (0 when none / disabled).
@@ -116,6 +123,16 @@ TraceDump drain_trace();
 
 /// Copy of what drain_trace would return, leaving the buffers intact.
 TraceDump peek_trace();
+
+/// Copy of every buffered record with seq > after_seq, leaving the buffers
+/// intact — the incremental-read primitive for telemetry scrapers. Each
+/// scraper keeps its own high-water mark (the max seq it has seen, see
+/// export/delta.hpp), so concurrent scrapers are independent and none of
+/// them interferes with dump_if_enabled()'s drain. Records drained by a
+/// dump before a scraper reads them are gone for that scraper (they went
+/// to the dump file); TraceDump::dropped reports the current buffer-cap
+/// drop total, not a per-cursor delta.
+TraceDump peek_trace_since(std::uint64_t after_seq);
 
 /// Discards all buffered spans and events.
 void clear_trace();

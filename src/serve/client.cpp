@@ -83,7 +83,8 @@ void Client::close() {
   }
 }
 
-Reply Client::roundtrip(Frame request) {
+Reply Client::roundtrip(
+    Frame request, const std::function<void(std::string_view)>* on_chunk) {
   if (fd_ < 0) throw std::runtime_error("serve client: not connected");
   const std::uint64_t id = request.request_id;
   write_frame(fd_, request);
@@ -102,6 +103,7 @@ Reply Client::roundtrip(Frame request) {
                                std::to_string(frame.request_id));
     }
     if (frame.type == FrameType::kChunk) {
+      if (on_chunk != nullptr && *on_chunk) (*on_chunk)(frame.body);
       reply.stream += frame.body;
       continue;
     }
@@ -199,6 +201,26 @@ Reply Client::request_shutdown() {
   f.type = FrameType::kShutdown;
   f.request_id = next_id();
   return roundtrip(std::move(f));
+}
+
+Reply Client::metrics(bool delta) {
+  Frame f;
+  f.type = FrameType::kMetrics;
+  f.request_id = next_id();
+  put_u32(f.body, delta ? 1u : 0u);
+  return roundtrip(std::move(f));
+}
+
+Reply Client::watch(std::uint32_t interval_ms, std::uint32_t max_ticks,
+                    std::uint32_t deadline_ms,
+                    const std::function<void(std::string_view)>& on_chunk) {
+  Frame f;
+  f.type = FrameType::kWatch;
+  f.request_id = next_id();
+  put_u32(f.body, deadline_ms);
+  put_u32(f.body, interval_ms);
+  put_u32(f.body, max_ticks);
+  return roundtrip(std::move(f), &on_chunk);
 }
 
 Reply Client::solve_retrying(std::string_view model_text, double budget_ms,

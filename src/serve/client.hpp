@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -91,6 +92,23 @@ class Client {
   Reply stats();
   Reply request_shutdown();
 
+  /// One metrics scrape. delta == false: Reply::text is the Prometheus
+  /// exposition page. delta == true: Reply::text is JSONL — a
+  /// metrics_delta line plus new span/event lines since this
+  /// CONNECTION's previous delta scrape (the cursor is server-side,
+  /// per connection).
+  Reply metrics(bool delta = false);
+
+  /// Watch stream: one JSONL telemetry chunk immediately and then every
+  /// `interval_ms` until `max_ticks` chunks arrived (0 = run until the
+  /// deadline or server shutdown ends the stream). Each chunk is handed
+  /// to `on_chunk` as it arrives AND accumulated into Reply::stream;
+  /// Reply::text is the terminal "ticks=N\nstatus=...\n" summary. Blocks
+  /// until the terminal frame.
+  Reply watch(std::uint32_t interval_ms, std::uint32_t max_ticks,
+              std::uint32_t deadline_ms = 0,
+              const std::function<void(std::string_view)>& on_chunk = {});
+
   /// solve() with retry-after honoring: on rejection sleeps the hinted
   /// backoff and retries until `budget_ms` is exhausted, then returns the
   /// last rejection. `attempts` (optional) reports tries made.
@@ -99,7 +117,9 @@ class Client {
                        std::size_t* attempts = nullptr);
 
  private:
-  Reply roundtrip(Frame request);
+  Reply roundtrip(Frame request,
+                  const std::function<void(std::string_view)>* on_chunk =
+                      nullptr);
   std::uint64_t next_id() noexcept { return ++last_id_; }
 
   int fd_ = -1;

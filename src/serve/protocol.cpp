@@ -17,6 +17,8 @@ const char* to_string(FrameType type) noexcept {
     case FrameType::kSimulate: return "simulate";
     case FrameType::kStats: return "stats";
     case FrameType::kShutdown: return "shutdown";
+    case FrameType::kMetrics: return "metrics";
+    case FrameType::kWatch: return "watch";
     case FrameType::kPong: return "pong";
     case FrameType::kChunk: return "chunk";
     case FrameType::kResult: return "result";

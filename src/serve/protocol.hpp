@@ -21,6 +21,16 @@
 //              `.rsc` model text.
 //   kStats     empty.
 //   kShutdown  empty.
+//   kMetrics   [u32 flags]  bit 0 set -> delta mode: only metrics that
+//              changed since this CONNECTION's previous delta scrape (the
+//              cursor lives in the session). Clear/absent -> the full
+//              Prometheus-style exposition page.
+//   kWatch     u32 deadline_ms, u32 interval_ms, u32 max_ticks.
+//              Streams one kChunk of JSONL telemetry (metrics_delta line +
+//              new span/event lines) every interval_ms until max_ticks
+//              chunks were sent (0 = until the deadline/shutdown), then a
+//              terminal kResult. Served by a dedicated scraper thread —
+//              never a solver pool slot, never admission-gated.
 //
 // deadline_ms == 0 means "no deadline from the client" (the server's
 // configured default, if any, still applies).
@@ -59,6 +69,8 @@ enum class FrameType : std::uint8_t {
   kSimulate = 4,
   kStats = 5,
   kShutdown = 6,
+  kMetrics = 7,
+  kWatch = 8,
   // responses
   kPong = 0x81,
   kChunk = 0x82,

@@ -4,6 +4,8 @@
 #include <charconv>
 #include <chrono>
 #include <cstring>
+#include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -16,6 +18,8 @@
 #include "core/sweep.hpp"
 #include "exec/parallel.hpp"
 #include "mg/system.hpp"
+#include "obs/export/delta.hpp"
+#include "obs/export/exposition.hpp"
 #include "obs/jsonl.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
@@ -148,6 +152,10 @@ obs::Gauge& admitted_gauge() {
   static obs::Gauge& g = obs::Registry::global().gauge("serve.queue_depth");
   return g;
 }
+obs::Counter& scrapes_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("serve.scrapes");
+  return c;
+}
 
 }  // namespace
 
@@ -167,7 +175,13 @@ struct Service::Session {
   std::atomic<bool> reader_done{false};
   std::atomic<bool> writer_done{false};
 
-  void push(const Frame& frame) { ring.push(encode_frame(frame)); }
+  /// Delta-scrape cursors for the kMetrics verb, which runs only on this
+  /// connection's reader thread — per-connection state, no lock needed.
+  /// (Each kWatch stream owns its own pair on its scraper thread.)
+  std::unique_ptr<obs::scrape::MetricsCursor> metrics_cursor;
+  std::unique_ptr<obs::scrape::TraceCursor> trace_cursor;
+
+  bool push(const Frame& frame) { return ring.push(encode_frame(frame)); }
 
   /// Reader saw EOF / error, or the service is stopping: close the ring
   /// once no worker can still produce into it.
@@ -225,6 +239,7 @@ void Service::start() {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = false;
   }
+  scrapers_stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   acceptor_ = std::thread([this] { accept_loop(); });
 }
@@ -235,6 +250,15 @@ void Service::stop() {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;  // no further admissions
   }
+  // Wake watch scrapers out of their interval sleeps so they wind down
+  // (emit their terminal frames) concurrently with the request drain. The
+  // flag flips under scrapers_mu_ — paired with the spawn-side check in
+  // handle_frame, so watcher creation and shutdown cannot interleave.
+  {
+    std::lock_guard<std::mutex> lock(scrapers_mu_);
+    scrapers_stop_.store(true, std::memory_order_release);
+  }
+  scrapers_cv_.notify_all();
   // Unblock accept(); the acceptor exits on the resulting error.
   ::shutdown(listen_fd_, SHUT_RDWR);
   if (acceptor_.joinable()) acceptor_.join();
@@ -250,6 +274,13 @@ void Service::stop() {
   // Helper tasks submitted by those requests' parallel loops reference
   // solver state; make sure none is still running either.
   exec::global_pool().drain();
+  // Scrapers next: their terminal kResult frames must be in the rings
+  // before the rings close below. They are detached threads (each owns a
+  // session shared_ptr), so the handshake is a count, not a join.
+  {
+    std::unique_lock<std::mutex> lock(scrapers_mu_);
+    scrapers_cv_.wait(lock, [this] { return active_watchers_ == 0; });
+  }
 
   std::vector<std::shared_ptr<Session>> sessions;
   {
@@ -288,9 +319,14 @@ ServiceStats Service::stats() const {
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
+  s.scrapes = scrapes_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.inflight = inflight_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(scrapers_mu_);
+    s.watchers = active_watchers_;
   }
   s.queue_capacity = cfg_.queue_capacity;
   s.cache_blocks = cache_.block_counters();
@@ -401,6 +437,38 @@ void Service::handle_frame(const std::shared_ptr<Session>& session,
       }
       shutdown_cv_.notify_all();
       return;
+    case FrameType::kMetrics:
+      // Scrapes bypass admission entirely: answered right here on the
+      // reader thread, they can never occupy a pool slot or be rejected
+      // while the solver queue is saturated — exactly when a monitoring
+      // poller most needs an answer.
+      session->push(do_metrics(session, frame));
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    case FrameType::kWatch: {
+      // A watch stream gets a dedicated scraper thread, detached: it owns
+      // a session reference and counts in session->inflight so the
+      // connection ring cannot close under its pushes; stop() handshakes
+      // on active_watchers_ (see stop()). The stop-flag check and the
+      // increment share the mutex so no watcher can start after stop()'s
+      // active_watchers_ == 0 wait has passed.
+      {
+        std::lock_guard<std::mutex> lock(scrapers_mu_);
+        if (scrapers_stop_.load(std::memory_order_acquire)) {
+          session->push(make_result(frame.request_id,
+                                    robust::PointStatus::kCancelled,
+                                    "ticks=0\nstatus=cancelled\n"));
+          completed_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        ++active_watchers_;
+      }
+      session->inflight.fetch_add(1, std::memory_order_acq_rel);
+      std::thread([this, session, req = std::move(frame)]() mutable {
+        watch_loop(session, std::move(req));
+      }).detach();
+      return;
+    }
     case FrameType::kPing:
     case FrameType::kSolve:
     case FrameType::kSweep:
@@ -694,8 +762,127 @@ Frame Service::do_stats(const Frame& req) {
   };
   table("cache.block", s.cache_blocks);
   table("cache.curve", s.cache_curves);
+  out += "scrapes=" + std::to_string(s.scrapes) + "\n";
+  out += "watchers=" + std::to_string(s.watchers) + "\n";
   return make_result(req.request_id, robust::PointStatus::kOk,
                      std::move(out));
+}
+
+Frame Service::do_metrics(const std::shared_ptr<Session>& session,
+                          const Frame& req) {
+  scrapes_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) scrapes_counter().inc();
+  const std::uint32_t flags = req.body.size() >= 4 ? get_u32(req.body, 0) : 0;
+  if ((flags & 1u) != 0) {
+    // Delta mode: the cursors live in the session (this verb only ever
+    // runs on the session's reader thread), so each connection gets its
+    // own "changed since my last scrape" view.
+    if (!session->metrics_cursor) {
+      session->metrics_cursor =
+          std::make_unique<obs::scrape::MetricsCursor>();
+      session->trace_cursor = std::make_unique<obs::scrape::TraceCursor>();
+    }
+    std::ostringstream os;
+    obs::scrape::write_delta_jsonl(os, session->metrics_cursor->collect(),
+                                   session->trace_cursor->collect());
+    return make_result(req.request_id, robust::PointStatus::kOk, os.str());
+  }
+  // Full mode: the Prometheus-style exposition page. The service's own
+  // lifecycle tallies ride along as extra samples — unlike the registry
+  // metrics they are maintained even with observability disabled, so a
+  // plain scrape of an un-instrumented daemon still shows traffic.
+  const ServiceStats s = stats();
+  std::vector<obs::scrape::ExtraSample> extras = {
+      {"serve.info",
+       {{"socket", cfg_.socket_path}},
+       1.0,
+       "gauge"},
+      {"serve.stats.accepted", {}, static_cast<double>(s.accepted),
+       "counter"},
+      {"serve.stats.rejected", {}, static_cast<double>(s.rejected),
+       "counter"},
+      {"serve.stats.completed", {}, static_cast<double>(s.completed),
+       "counter"},
+      {"serve.stats.failed", {}, static_cast<double>(s.failed), "counter"},
+      {"serve.stats.inflight", {}, static_cast<double>(s.inflight), "gauge"},
+      {"serve.stats.watchers", {}, static_cast<double>(s.watchers), "gauge"},
+  };
+  return make_result(
+      req.request_id, robust::PointStatus::kOk,
+      obs::scrape::exposition_text(obs::Registry::global().snapshot(),
+                                   extras));
+}
+
+void Service::watch_loop(std::shared_ptr<Session> session, Frame req) {
+  const std::uint32_t deadline_ms =
+      req.body.size() >= 4 ? get_u32(req.body, 0) : 0;
+  std::uint32_t interval_ms = req.body.size() >= 8 ? get_u32(req.body, 4) : 0;
+  const std::uint32_t max_ticks =
+      req.body.size() >= 12 ? get_u32(req.body, 8) : 0;
+  if (interval_ms == 0) interval_ms = 1000;
+
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(deadline_ms);
+  obs::scrape::MetricsCursor metrics;
+  obs::scrape::TraceCursor trace;
+  std::uint64_t ticks = 0;
+  robust::PointStatus status = robust::PointStatus::kOk;
+  for (;;) {
+    if (scrapers_stop_.load(std::memory_order_acquire)) {
+      status = robust::PointStatus::kCancelled;
+      break;
+    }
+    if (session->closing.load(std::memory_order_acquire)) {
+      // Client hung up; the terminal frame below is best-effort.
+      status = robust::PointStatus::kCancelled;
+      break;
+    }
+    if (deadline_ms > 0 && Clock::now() >= deadline) {
+      // Same degraded-partial contract as a deadline mid-sweep: the
+      // chunks already streamed are the result, the status says why the
+      // stream ended.
+      status = robust::PointStatus::kDeadlineExceeded;
+      break;
+    }
+    // First chunk immediately (the consumer wants a baseline at t=0),
+    // then one per interval.
+    std::ostringstream os;
+    obs::scrape::write_delta_jsonl(os, metrics.collect(), trace.collect());
+    if (!session->push(make_chunk(req.request_id, os.str()))) {
+      status = robust::PointStatus::kCancelled;  // ring closed under us
+      break;
+    }
+    ++ticks;
+    scrapes_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) scrapes_counter().inc();
+    if (max_ticks > 0 && ticks >= max_ticks) break;
+
+    std::unique_lock<std::mutex> lock(scrapers_mu_);
+    scrapers_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                          [this, &session] {
+                            return scrapers_stop_.load(
+                                       std::memory_order_acquire) ||
+                                   session->closing.load(
+                                       std::memory_order_acquire);
+                          });
+  }
+  session->push(make_result(req.request_id, status,
+                            "ticks=" + std::to_string(ticks) + "\nstatus=" +
+                                robust::to_string(status) + "\n"));
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (session->inflight.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+      session->closing.load(std::memory_order_acquire)) {
+    session->ring.close();
+  }
+  {
+    // notify_all under the lock on purpose: stop() may destroy this
+    // Service the moment its active_watchers_ == 0 wait returns, and that
+    // return cannot happen before this thread releases the mutex — after
+    // which it never touches *this again.
+    std::lock_guard<std::mutex> lock(scrapers_mu_);
+    --active_watchers_;
+    scrapers_cv_.notify_all();
+  }
 }
 
 }  // namespace rascad::serve

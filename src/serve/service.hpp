@@ -75,7 +75,9 @@ struct ServiceStats {
   std::uint64_t rejected = 0;   // kRetryAfter responses
   std::uint64_t completed = 0;  // terminal kResult/kPong responses
   std::uint64_t failed = 0;     // terminal kError responses
+  std::uint64_t scrapes = 0;    // kMetrics replies + kWatch chunks sent
   std::size_t inflight = 0;     // admitted, not yet terminal
+  std::size_t watchers = 0;     // live kWatch scraper sessions
   std::size_t queue_capacity = 0;
   cache::CacheCounters cache_blocks;  // shared-cache block table
   cache::CacheCounters cache_curves;  // shared-cache curve table
@@ -138,6 +140,10 @@ class Service {
                  const robust::CancelToken& token);
   Frame do_simulate(const Frame& req, const robust::CancelToken& token);
   Frame do_stats(const Frame& req);
+  /// kMetrics, answered inline on the reader thread (no pool slot).
+  Frame do_metrics(const std::shared_ptr<Session>& session, const Frame& req);
+  /// Body of one kWatch scraper thread (see handle_frame for spawning).
+  void watch_loop(std::shared_ptr<Session> session, Frame req);
 
   ServiceConfig cfg_;
   cache::SolveCache cache_;
@@ -156,12 +162,25 @@ class Service {
 
   std::mutex obs_append_mu_;
 
+  // Scraper (kWatch) coordination: watcher threads are detached — each
+  // holds its session shared_ptr — so stop() synchronizes on this count
+  // instead of joining. scrapers_stop_ winds them down promptly (the cv
+  // cuts the interval sleep short); it is separate from lifetime_ on
+  // purpose: shutdown drains solve requests, it does not cancel them, and
+  // scrapers must stop *first* so their terminal frames reach the rings
+  // before the rings close.
+  mutable std::mutex scrapers_mu_;
+  std::condition_variable scrapers_cv_;
+  std::size_t active_watchers_ = 0;
+  std::atomic<bool> scrapers_stop_{false};
+
   std::atomic<bool> running_{false};
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> scrapes_{0};
 };
 
 }  // namespace rascad::serve

@@ -19,6 +19,9 @@
 
 #include "cache/solve_cache.hpp"
 #include "core/csv.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "core/library.hpp"
 #include "core/sweep.hpp"
 #include "mg/system.hpp"
@@ -523,6 +526,163 @@ TEST(ServeEndToEnd, ShutdownVerbSignalsAndStopDrainsInFlight) {
   EXPECT_FALSE(server.service.running());
 
   // Idempotent: a second stop is a no-op.
+  server.service.stop();
+}
+
+// ------------------------------------------------------------- scraping ----
+
+/// The registry families only fill in while observability is on; scrape
+/// tests flip it for their scope and leave the process state clean.
+struct ObsOn {
+  ObsOn() {
+    rascad::obs::set_enabled(true);
+    rascad::obs::Registry::global().reset();
+    rascad::obs::clear_trace();
+  }
+  ~ObsOn() {
+    rascad::obs::clear_trace();
+    rascad::obs::set_enabled(false);
+  }
+};
+
+TEST(ServeScrape, MetricsVerbServesTheExpositionPage) {
+  ObsOn obs;
+  ServerFixture server(base_config("metrics"));
+  Client client;
+  client.connect_retry(server.service.config().socket_path, 2000.0);
+  ASSERT_TRUE(client.solve(datacenter_text()).ok());
+  // The terminal frame races the worker's post-push bookkeeping (latency
+  // histogram, inflight decrement); wait for it to settle before scraping.
+  ServiceStats settled;
+  for (int i = 0; i < 200; ++i) {
+    settled = server.service.stats();
+    if (settled.completed >= 1 && settled.inflight == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(settled.inflight, 0u);
+
+  const Reply page = client.metrics();
+  ASSERT_TRUE(page.ok()) << page.text;
+  // Registry families from the solve, in exposition form.
+  EXPECT_NE(page.text.find("# TYPE rascad_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(page.text.find("rascad_serve_request_ms_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  // Service-level extras are maintained outside the registry and carry the
+  // socket path as an escaped label.
+  EXPECT_NE(page.text.find("rascad_serve_info{socket=\""), std::string::npos);
+  EXPECT_NE(page.text.find("rascad_serve_stats_completed"),
+            std::string::npos);
+
+  // Scrapes are answered on the reader thread: none of them occupied a
+  // solver slot, all of them counted.
+  const ServiceStats stats = server.service.stats();
+  EXPECT_GE(stats.scrapes, 1u);
+  EXPECT_EQ(stats.inflight, 0u);
+}
+
+TEST(ServeScrape, DeltaScrapesAreCursoredPerConnection) {
+  ObsOn obs;
+  ServerFixture server(base_config("delta"));
+  const std::string path = server.service.config().socket_path;
+  Client first;
+  first.connect_retry(path, 2000.0);
+  ASSERT_TRUE(first.solve(datacenter_text()).ok());
+  for (int i = 0; i < 200; ++i) {  // see the settle note above
+    const ServiceStats s = server.service.stats();
+    if (s.completed >= 1 && s.inflight == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // First delta scrape on a connection reports the full registry.
+  const Reply full = first.metrics(/*delta=*/true);
+  ASSERT_TRUE(full.ok());
+  EXPECT_NE(full.text.find("\"type\":\"metrics_delta\""), std::string::npos);
+  EXPECT_NE(full.text.find("serve.completed"), std::string::npos);
+
+  // Quiet follow-up: the heartbeat line survives, the settled counters
+  // drop out (serve.scrapes itself moved — the scrape counted — so the
+  // line is not literally empty, but the solve-side series are gone).
+  const Reply quiet = first.metrics(/*delta=*/true);
+  ASSERT_TRUE(quiet.ok());
+  EXPECT_NE(quiet.text.find("\"type\":\"metrics_delta\""), std::string::npos);
+  EXPECT_EQ(quiet.text.find("serve.completed"), std::string::npos);
+
+  // A second connection owns its own cursor: its first delta scrape is
+  // the full view again, unaffected by the first connection's position.
+  Client second;
+  second.connect_retry(path, 2000.0);
+  const Reply fresh = second.metrics(/*delta=*/true);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_NE(fresh.text.find("serve.completed"), std::string::npos);
+}
+
+TEST(ServeScrape, WatchStreamsTheRequestedTickCount) {
+  ServerFixture server(base_config("watch"));
+  Client client;
+  client.connect_retry(server.service.config().socket_path, 2000.0);
+
+  std::size_t chunks = 0;
+  const Reply reply =
+      client.watch(/*interval_ms=*/20, /*max_ticks=*/3, /*deadline_ms=*/0,
+                   [&chunks](std::string_view chunk) {
+                     ++chunks;
+                     EXPECT_NE(chunk.find("\"type\":\"metrics_delta\""),
+                               std::string_view::npos);
+                   });
+  ASSERT_TRUE(reply.ok()) << reply.text;
+  EXPECT_EQ(chunks, 3u);
+  EXPECT_NE(reply.text.find("ticks=3"), std::string::npos);
+  EXPECT_NE(reply.text.find("status=ok"), std::string::npos);
+  EXPECT_FALSE(reply.stream.empty());
+}
+
+TEST(ServeScrape, WatchHonorsItsDeadline) {
+  ServerFixture server(base_config("watchdl"));
+  Client client;
+  client.connect_retry(server.service.config().socket_path, 2000.0);
+
+  // Unbounded tick count, 80ms deadline: the stream must end itself.
+  const Reply reply = client.watch(/*interval_ms=*/20, /*max_ticks=*/0,
+                                   /*deadline_ms=*/80);
+  EXPECT_TRUE(reply.degraded());
+  EXPECT_EQ(reply.status, PointStatus::kDeadlineExceeded);
+  EXPECT_NE(reply.text.find("status=deadline-exceeded"), std::string::npos);
+  EXPECT_FALSE(reply.stream.empty());  // at least the immediate first tick
+}
+
+TEST(ServeScrape, StopDrainsAnUnboundedWatchStream) {
+  ServerFixture server(base_config("watchstop"));
+  Client client;
+  client.connect_retry(server.service.config().socket_path, 2000.0);
+
+  // An unbounded watch with no deadline only ends when the server says so.
+  std::atomic<std::size_t> chunks{0};
+  std::atomic<bool> terminal_ok{false};
+  std::thread watcher([&] {
+    const Reply reply = client.watch(
+        /*interval_ms=*/20, /*max_ticks=*/0, /*deadline_ms=*/0,
+        [&chunks](std::string_view) { chunks.fetch_add(1); });
+    // stop() must deliver a clean kCancelled terminal, not a dead socket.
+    terminal_ok.store(reply.type == FrameType::kResult &&
+                      reply.status == PointStatus::kCancelled &&
+                      reply.text.find("status=cancelled") !=
+                          std::string::npos);
+  });
+
+  // Let the stream produce a few chunks before shutting down under it.
+  for (int i = 0; i < 400 && chunks.load() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(chunks.load(), 3u);
+
+  server.service.stop();  // must wake the watcher and drain its terminal
+  watcher.join();
+  EXPECT_TRUE(terminal_ok.load())
+      << "stop() did not drain the watch stream to a cancelled terminal";
+  EXPECT_EQ(server.service.stats().watchers, 0u);
+
+  // A watch landing after shutdown is refused immediately, not leaked.
   server.service.stop();
 }
 

@@ -33,7 +33,7 @@ ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 commit="$(git -C "$root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 failed=()
-for name in scalability cache simd robust serve sim; do
+for name in scalability cache simd robust obs serve sim; do
   bin="$build/bench/bench_$name"
   if [[ ! -x "$bin" ]]; then
     echo "missing $bin — build the benches first (cmake --build $build)" >&2
@@ -60,3 +60,9 @@ if [[ ${#failed[@]} -gt 0 ]]; then
   echo "gate failures: ${failed[*]}" >&2
   exit 1
 fi
+
+# Trajectory gate: the fresh snapshots must not regress >15% against the
+# trailing history baseline (tools/check_bench.py). Runs after the
+# snapshots are written so a failing gate still leaves them on disk for
+# diagnosis.
+python3 "$root/tools/check_bench.py" --root "$root"
